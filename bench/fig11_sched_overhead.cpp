@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 11 (§5.2): scheduling overhead of HyperFlow-serverless
+ * (MasterSP) versus FaaSFlow (WorkerSP) for all 8 benchmarks, 1000
+ * closed-loop invocations each, control-plane-only workloads.
+ *
+ * Paper reference: scientific 712 -> 141.9 ms, real-world 181.3 ->
+ * 51.4 ms; 74.6% average reduction.
+ */
+#include <cstdio>
+
+#include "harness.h"
+
+namespace {
+
+double
+overheadFor(faasflow::SystemConfig config,
+            const faasflow::benchmarks::Benchmark& bench, size_t n)
+{
+    faasflow::System system(config);
+    const std::string name = faasflow::bench::deployBenchmark(
+        system, bench, /*strip_payloads=*/true);
+    faasflow::bench::runClosedLoop(system, name, n);
+    return system.metrics().schedOverhead(name).mean();
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace faasflow;
+
+    std::printf("Fig. 11 — scheduling overhead: HyperFlow-serverless "
+                "(MasterSP) vs FaaSFlow (WorkerSP), 1000 invocations\n\n");
+
+    TextTable table;
+    table.setHeader({"benchmark", "HyperFlow (ms)", "FaaSFlow (ms)",
+                     "reduction"});
+
+    double sci_m = 0, sci_w = 0, rw_m = 0, rw_w = 0;
+    double reduction_sum = 0;
+    for (const auto& bench : benchmarks::allBenchmarks()) {
+        const double master =
+            overheadFor(SystemConfig::hyperflowServerless(), bench, 1000);
+        const double worker =
+            overheadFor(SystemConfig::faasflowFaastore(), bench, 1000);
+        const bool scientific = bench.dag.taskCount() >= 50;
+        (scientific ? sci_m : rw_m) += master;
+        (scientific ? sci_w : rw_w) += worker;
+        reduction_sum += 1.0 - worker / master;
+        table.addRow({bench.name, bench::ms(master), bench::ms(worker),
+                      bench::pct(1.0 - worker / master)});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("scientific: %.1f -> %.1f ms   (paper: 712 -> 141.9)\n",
+                sci_m / 4, sci_w / 4);
+    std::printf("real-world: %.1f -> %.1f ms   (paper: 181.3 -> 51.4)\n",
+                rw_m / 4, rw_w / 4);
+    std::printf("mean reduction: %.1f%%        (paper: 74.6%%)\n",
+                reduction_sum / 8 * 100.0);
+    return 0;
+}

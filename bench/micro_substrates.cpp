@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Micro-benchmarks of the substrates (google-benchmark): event queue
+ * throughput, JSON/YAML parsing, max-min fair rate recomputation,
+ * critical-path analysis, and one full simulated invocation.
+ */
+#include <benchmark/benchmark.h>
+
+#include "benchmarks/specs.h"
+#include "common/rng.h"
+#include "faasflow/system.h"
+#include "json/json.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "workflow/analysis.h"
+#include "workflow/wdl.h"
+#include "yamllite/yaml.h"
+
+namespace {
+
+using namespace faasflow;
+
+void
+BM_EventQueueScheduleRun(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(1);
+    for (auto _ : state) {
+        sim::Simulator sim;
+        for (int i = 0; i < n; ++i) {
+            sim.schedule(SimTime::micros(rng.uniformInt(0, 1000000)),
+                         [] {});
+        }
+        sim.run();
+        benchmark::DoNotOptimize(sim.processedEvents());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void
+BM_JsonParse(benchmark::State& state)
+{
+    // A representative workflow-ish document.
+    json::Value doc = json::Value::object();
+    json::Value steps = json::Value::array();
+    for (int i = 0; i < 64; ++i) {
+        json::Value step = json::Value::object();
+        step.set("task", std::string("fn_") + std::to_string(i));
+        step.set("output_mb", 1.5);
+        steps.push(std::move(step));
+    }
+    doc.set("name", "bench");
+    doc.set("steps", std::move(steps));
+    const std::string text = doc.dump();
+    for (auto _ : state) {
+        auto parsed = json::parse(text);
+        benchmark::DoNotOptimize(parsed);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonParse);
+
+void
+BM_YamlParseWorkflow(benchmark::State& state)
+{
+    std::string yaml = "name: bench\nsteps:\n";
+    for (int i = 0; i < 64; ++i) {
+        yaml += "  - task: fn_" + std::to_string(i) +
+                "\n    output_mb: 1.5\n";
+    }
+    for (auto _ : state) {
+        auto parsed = yaml::parse(yaml);
+        benchmark::DoNotOptimize(parsed);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(yaml.size()));
+}
+BENCHMARK(BM_YamlParseWorkflow);
+
+void
+BM_NetworkFairShareRecompute(benchmark::State& state)
+{
+    const int flows = static_cast<int>(state.range(0));
+    sim::Simulator sim;
+    net::Network net(sim);
+    for (int i = 0; i < 16; ++i)
+        net.addNode("n" + std::to_string(i), 100e6, 100e6);
+    Rng rng(2);
+    // A standing set of flows; each new flow triggers a full recompute.
+    for (int i = 0; i < flows; ++i) {
+        const auto src = static_cast<net::NodeId>(rng.uniformInt(0, 15));
+        auto dst = static_cast<net::NodeId>(rng.uniformInt(0, 15));
+        if (dst == src)
+            dst = (dst + 1) % 16;
+        net.startFlow(src, dst, 1000000000000LL, nullptr);
+    }
+    for (auto _ : state) {
+        net.startFlow(0, 1, 1000000000000LL, nullptr);
+        benchmark::DoNotOptimize(net.activeFlows());
+    }
+}
+BENCHMARK(BM_NetworkFairShareRecompute)->Arg(16)->Arg(128);
+
+void
+BM_CriticalPath(benchmark::State& state)
+{
+    const auto bench = benchmarks::genome(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto cp = workflow::criticalPath(bench.dag);
+        benchmark::DoNotOptimize(cp);
+    }
+}
+BENCHMARK(BM_CriticalPath)->Arg(50)->Arg(200);
+
+void
+BM_FullInvocationWorkerSp(benchmark::State& state)
+{
+    System system(SystemConfig::faasflowFaastore());
+    auto bench = benchmarks::wordCount();
+    system.registerFunctions(bench.functions);
+    const std::string name = system.deploy(std::move(bench.dag));
+    for (auto _ : state) {
+        bool done = false;
+        system.invoke(name, [&](const engine::InvocationRecord&) {
+            done = true;
+        });
+        system.run();
+        benchmark::DoNotOptimize(done);
+    }
+}
+BENCHMARK(BM_FullInvocationWorkerSp);
+
+}  // namespace
+
+BENCHMARK_MAIN();

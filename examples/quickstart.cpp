@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Quickstart: define a workflow in WDL (YAML), deploy it on a simulated
+ * FaaSFlow cluster, run a few invocations under both scheduling
+ * patterns, and print what the system measured.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "faasflow/client.h"
+#include "faasflow/system.h"
+#include "workflow/wdl.h"
+
+namespace {
+
+constexpr const char* kWorkflowYaml = R"yaml(
+name: thumbnailer
+functions:
+  - name: fetch_image
+    exec_ms: 120
+    mem_mb: 256
+    peak_mb: 110
+  - name: resize
+    exec_ms: 300
+    mem_mb: 256
+    peak_mb: 140
+  - name: watermark
+    exec_ms: 180
+    mem_mb: 256
+    peak_mb: 120
+  - name: publish
+    exec_ms: 90
+    mem_mb: 256
+    peak_mb: 100
+steps:
+  - task: fetch_image
+    output_mb: 6
+  - foreach:
+      name: sizes
+      width: 4
+      steps:
+        - task: resize
+          output_mb: 2.5
+  - task: watermark
+    output_mb: 2
+  - task: publish
+)yaml";
+
+/** Runs `invocations` closed-loop requests and returns mean metrics. */
+struct RunResult
+{
+    double mean_e2e_ms = 0;
+    double mean_overhead_ms = 0;
+    double mean_data_s = 0;
+    double local_fraction = 0;
+};
+
+RunResult
+runOnce(faasflow::SystemConfig config, int invocations)
+{
+    using namespace faasflow;
+
+    workflow::WdlResult wdl = workflow::parseWdlYaml(kWorkflowYaml);
+    if (!wdl.ok()) {
+        std::fprintf(stderr, "WDL error: %s\n", wdl.error.c_str());
+        std::exit(1);
+    }
+
+    System system(config);
+    system.registerFunctions(wdl.functions);
+    const std::string name = system.deploy(std::move(wdl.dag));
+
+    // Warm up under the hash placement, then let the Graph Scheduler
+    // re-partition with the collected feedback (Algorithm 1).
+    ClosedLoopClient warmup(system, name, 5);
+    warmup.start();
+    system.run();
+    system.repartition(name);
+    system.metrics().clear();
+
+    ClosedLoopClient client(system, name,
+                            static_cast<size_t>(invocations));
+    client.start();
+    system.run();
+
+    RunResult result;
+    result.mean_e2e_ms = system.metrics().e2e(name).mean();
+    result.mean_overhead_ms = system.metrics().schedOverhead(name).mean();
+    result.mean_data_s = system.metrics().dataLatency(name).mean();
+    const double local = system.metrics().meanBytesLocal(name);
+    const double remote = system.metrics().meanBytesRemote(name);
+    result.local_fraction =
+        local + remote > 0 ? local / (local + remote) : 0.0;
+    return result;
+}
+
+}  // namespace
+
+int
+main()
+{
+    using faasflow::SystemConfig;
+
+    std::printf("FaaSFlow quickstart: 4-function thumbnail workflow, "
+                "7-worker simulated cluster\n\n");
+
+    const RunResult master =
+        runOnce(SystemConfig::hyperflowServerless(), 50);
+    const RunResult worker_db =
+        runOnce(SystemConfig::faasflowRemoteOnly(), 50);
+    const RunResult worker_faastore =
+        runOnce(SystemConfig::faasflowFaastore(), 50);
+
+    faasflow::TextTable table;
+    table.setHeader({"configuration", "mean e2e (ms)", "sched overhead (ms)",
+                     "data latency (s)", "local data %"});
+    auto row = [&](const char* label, const RunResult& r) {
+        table.addRow({label, faasflow::strFormat("%.1f", r.mean_e2e_ms),
+                      faasflow::strFormat("%.1f", r.mean_overhead_ms),
+                      faasflow::strFormat("%.3f", r.mean_data_s),
+                      faasflow::strFormat("%.0f%%",
+                                          r.local_fraction * 100.0)});
+    };
+    row("HyperFlow-serverless (MasterSP + DB)", master);
+    row("FaaSFlow (WorkerSP + DB)", worker_db);
+    row("FaaSFlow-FaaStore (WorkerSP + FaaStore)", worker_faastore);
+    std::printf("%s\n", table.str().c_str());
+
+    std::printf("WorkerSP removes the master's task-assignment hops and\n"
+                "serialization; FaaStore keeps co-located intermediates in\n"
+                "node memory instead of the remote store.\n");
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Domain example built entirely with the programmatic Builder API (no
+ * YAML): an ETL pipeline whose transform stage is flaky. Shows failure
+ * injection with transparent retries, the Greedy-Dual keep-alive policy
+ * absorbing the resulting container churn, and the DAG-vs-sequence
+ * comparison (§2.1: most vendors only support function sequences).
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/resilient_pipeline
+ */
+#include <cstdio>
+#include <functional>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "faasflow/client.h"
+#include "faasflow/system.h"
+#include "workflow/analysis.h"
+#include "workflow/builder.h"
+
+namespace {
+
+using namespace faasflow;
+
+workflow::WdlResult
+buildPipeline(double transform_failure_rate)
+{
+    using Steps = workflow::Builder::Steps;
+    return workflow::Builder("etl")
+        .function("extract", SimTime::millis(150), 0.05)
+        .function("transform", SimTime::millis(400), 0.05,
+                  256 * kMB, 128 * kMB, transform_failure_rate)
+        .function("validate", SimTime::millis(120), 0.05)
+        .function("aggregate", SimTime::millis(200), 0.05)
+        .function("load", SimTime::millis(100), 0.05)
+        .task("extract", 5 * kMB)
+        .foreach(6, [](Steps& s) { s.task("transform", 3 * kMB); })
+        .parallel({[](Steps& s) { s.task("validate", 1 * kMB); },
+                   [](Steps& s) { s.task("aggregate", 2 * kMB); }})
+        .task("load")
+        .build();
+}
+
+struct Result
+{
+    double mean_ms;
+    double p99_ms;
+    double retries_per_inv;
+};
+
+Result
+run(double failure_rate, cluster::KeepAlivePolicy policy)
+{
+    auto wdl = buildPipeline(failure_rate);
+    if (!wdl.ok()) {
+        std::fprintf(stderr, "builder error: %s\n", wdl.error.c_str());
+        std::exit(1);
+    }
+    SystemConfig config = SystemConfig::faasflowFaastore();
+    config.cluster.node.pool.keep_alive = policy;
+    System system(config);
+    system.registerFunctions(wdl.functions);
+    const std::string name = system.deploy(std::move(wdl.dag));
+
+    ClosedLoopClient warm(system, name, 8);
+    warm.start();
+    system.run();
+    system.repartition(name);
+    system.metrics().clear();
+
+    // Closed loop driven from the completion callback — invoking and
+    // draining the simulator per request would fast-forward through the
+    // 600 s container lifetime between invocations and evict every warm
+    // container, which is a driver artifact, not a policy effect.
+    uint64_t retries = 0;
+    size_t done = 0;
+    const size_t n = 60;
+    std::function<void()> next = [&] {
+        system.invoke(name, [&](const engine::InvocationRecord& r) {
+            retries += r.retries;
+            if (++done < n)
+                next();
+        });
+    };
+    next();
+    system.run();
+    Result result;
+    result.mean_ms = system.metrics().e2e(name).mean();
+    result.p99_ms = system.metrics().e2e(name).p99();
+    result.retries_per_inv =
+        static_cast<double>(retries) / static_cast<double>(done);
+    return result;
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Resilient ETL pipeline (extract -> 6-way transform -> "
+                "validate || aggregate -> load)\nbuilt with the "
+                "programmatic Builder API; transform attempts can "
+                "crash.\n\n");
+
+    TextTable table;
+    table.setHeader({"transform failure rate", "keep-alive", "mean e2e (ms)",
+                     "p99 e2e (ms)", "retries/invocation"});
+    for (const double rate : {0.0, 0.1, 0.3}) {
+        for (const auto policy : {cluster::KeepAlivePolicy::FixedLifetime,
+                                  cluster::KeepAlivePolicy::GreedyDual}) {
+            const Result r = run(rate, policy);
+            table.addRow(
+                {strFormat("%.0f%%", rate * 100),
+                 policy == cluster::KeepAlivePolicy::GreedyDual
+                     ? "GreedyDual"
+                     : "FixedLifetime",
+                 strFormat("%.0f", r.mean_ms), strFormat("%.0f", r.p99_ms),
+                 strFormat("%.2f", r.retries_per_inv)});
+        }
+    }
+    std::printf("%s\n", table.str().c_str());
+
+    // DAG vs forced sequence (§2.1): what a sequence-only vendor loses.
+    auto wdl = buildPipeline(0.0);
+    const workflow::Dag seq = workflow::linearize(wdl.dag);
+    std::printf("DAG critical path: %s;  forced-sequence length: %s\n",
+                workflow::criticalPathExecTime(wdl.dag).str().c_str(),
+                workflow::criticalPathExecTime(seq).str().c_str());
+    std::printf("(crashed attempts are retried on fresh containers; the "
+                "platform absorbs the failures\nwithout surfacing "
+                "errors — at the cost of tail latency.)\n");
+    return 0;
+}

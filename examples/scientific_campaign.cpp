@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Domain example: a Pegasus-style scientific campaign. Deploys the
+ * 1000-Genome workflow at several scales, lets the Graph Scheduler
+ * iterate with runtime feedback, and prints how the partition evolves —
+ * groups formed, workers used, data localized — plus the effect on
+ * end-to-end latency across iterations.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/scientific_campaign
+ */
+#include <cstdio>
+#include <limits>
+
+#include "benchmarks/specs.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "faasflow/client.h"
+#include "faasflow/system.h"
+
+namespace {
+
+void
+campaign(int tasks)
+{
+    using namespace faasflow;
+
+    System system(SystemConfig::faasflowFaastore());
+    benchmarks::Benchmark gen = benchmarks::genome(tasks);
+    system.registerFunctions(gen.functions);
+    const size_t task_count = gen.dag.taskCount();
+    const std::string name = system.deploy(std::move(gen.dag));
+
+    std::printf("Genome with %zu function nodes\n", task_count);
+    TextTable table;
+    table.setHeader({"iteration", "groups", "workers used",
+                     "mean e2e (ms)", "local MB/inv", "remote MB/inv"});
+
+    // §4.1.2: a partition iteration is triggered on significant
+    // performance degradation — not unconditionally. Iterate while the
+    // measured latency keeps improving by more than 5%.
+    double previous_e2e = std::numeric_limits<double>::infinity();
+    for (int iteration = 0; iteration < 5; ++iteration) {
+        system.metrics().clear();
+        ClosedLoopClient client(system, name, 20);
+        client.start();
+        system.run();
+        const double e2e = system.metrics().e2e(name).mean();
+
+        const auto& placement = *system.deployed(name).placement;
+        int workers_used = 0;
+        for (const int count : placement.nodesPerWorker(
+                 static_cast<int>(system.cluster().workerCount()))) {
+            if (count > 0)
+                ++workers_used;
+        }
+        table.addRow({strFormat("%d%s", iteration,
+                                iteration == 0 ? " (hash)" : ""),
+                      strFormat("%zu", placement.groups.size()),
+                      strFormat("%d", workers_used),
+                      strFormat("%.0f", e2e),
+                      strFormat("%.1f",
+                                system.metrics().meanBytesLocal(name) / 1e6),
+                      strFormat("%.1f", system.metrics().meanBytesRemote(
+                                            name) / 1e6)});
+
+        if (e2e > previous_e2e * 0.95)
+            break;  // converged: no QoS pressure to re-partition
+        previous_e2e = e2e;
+        // Feed the collected Scale/Map/edge-p99 metrics into Algorithm 1.
+        system.repartition(name);
+    }
+    std::printf("%s\n", table.str().c_str());
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Scientific campaign: feedback-driven partition "
+                "iterations on the 1000-Genome workflow\n"
+                "(iteration 0 runs under the first-iteration hash "
+                "partition; later iterations run Algorithm 1)\n\n");
+    for (const int tasks : {20, 50, 100})
+        campaign(tasks);
+    std::printf("Each iteration localizes more of the heavy per-branch "
+                "data while the slot cap\nkeeps the wide fan-out spread "
+                "across workers.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Domain example: the Alibaba-style video transcoding pipeline (Vid from
+ * the paper's benchmark suite) run end to end, showing how FaaStore's
+ * data localization changes where the bytes of a real media workload
+ * travel — and what happens when the storage network degrades.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/video_pipeline
+ */
+#include <cstdio>
+
+#include "benchmarks/specs.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "faasflow/client.h"
+#include "faasflow/system.h"
+
+namespace {
+
+struct Observation
+{
+    double mean_e2e_ms;
+    double p99_e2e_ms;
+    double local_mb;
+    double remote_mb;
+};
+
+Observation
+observe(faasflow::SystemConfig config, double storage_bandwidth,
+        int invocations)
+{
+    using namespace faasflow;
+    config.cluster.storage_bandwidth = storage_bandwidth;
+
+    System system(config);
+    benchmarks::Benchmark vid = benchmarks::videoFfmpeg();
+    system.registerFunctions(vid.functions);
+    const std::string name = system.deploy(std::move(vid.dag));
+
+    // Warm up under the hash placement, then re-partition with feedback.
+    ClosedLoopClient warmup(system, name, 8);
+    warmup.start();
+    system.run();
+    system.repartition(name);
+    system.metrics().clear();
+
+    ClosedLoopClient client(system, name,
+                            static_cast<size_t>(invocations));
+    client.start();
+    system.run();
+
+    Observation obs;
+    obs.mean_e2e_ms = system.metrics().e2e(name).mean();
+    obs.p99_e2e_ms = system.metrics().e2e(name).p99();
+    obs.local_mb = system.metrics().meanBytesLocal(name) / 1e6;
+    obs.remote_mb = system.metrics().meanBytesRemote(name) / 1e6;
+    return obs;
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace faasflow;
+
+    std::printf("Video transcoding pipeline (probe -> split -> 8-way "
+                "transcode -> merge -> store)\n"
+                "50 closed-loop invocations per configuration\n\n");
+
+    TextTable table;
+    table.setHeader({"configuration", "storage NIC", "mean e2e (ms)",
+                     "p99 e2e (ms)", "local MB/inv", "remote MB/inv"});
+    for (const double bw : {100e6, 50e6, 25e6}) {
+        for (const bool faastore : {false, true}) {
+            const Observation obs = observe(
+                faastore ? SystemConfig::faasflowFaastore()
+                         : SystemConfig::hyperflowServerless(),
+                bw, 50);
+            table.addRow(
+                {faastore ? "FaaSFlow-FaaStore" : "HyperFlow-serverless",
+                 strFormat("%d MB/s", static_cast<int>(bw / 1e6)),
+                 strFormat("%.0f", obs.mean_e2e_ms),
+                 strFormat("%.0f", obs.p99_e2e_ms),
+                 strFormat("%.1f", obs.local_mb),
+                 strFormat("%.1f", obs.remote_mb)});
+        }
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("The split output is fetched by every transcode instance; "
+                "keeping it in node\nmemory makes the pipeline largely "
+                "immune to storage-network degradation.\n");
+    return 0;
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * API tour: every Workflow Definition Language construct in one file —
+ * task, sequence, parallel, switch, foreach — parsed from YAML, printed
+ * as a DAG (nodes, fences, payload routing), analysed (critical path),
+ * and executed once on the simulated cluster.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/wdl_tour
+ */
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/units.h"
+#include "faasflow/system.h"
+#include "workflow/analysis.h"
+#include "workflow/wdl.h"
+
+namespace {
+
+constexpr const char* kTourYaml = R"yaml(
+# A loan-application workflow exercising every WDL construct.
+name: loan-approval
+functions:
+  - name: intake        # parse the application
+    exec_ms: 80
+    peak_mb: 110
+  - name: credit_check
+    exec_ms: 220
+    peak_mb: 140
+  - name: fraud_check
+    exec_ms: 300
+    peak_mb: 150
+  - name: score_model   # runs per document chunk (foreach)
+    exec_ms: 150
+    peak_mb: 170
+  - name: approve
+    exec_ms: 60
+    peak_mb: 100
+  - name: reject
+    exec_ms: 40
+    peak_mb: 100
+  - name: notify
+    exec_ms: 50
+    peak_mb: 100
+steps:
+  - task: intake
+    output_mb: 1.2
+  - parallel:               # independent checks fan out
+      name: checks
+      branches:
+        - steps:
+            - task: credit_check
+              output_mb: 0.4
+        - steps:
+            - task: fraud_check
+              output_mb: 0.6
+  - foreach:                # score each document chunk in parallel
+      name: scoring
+      width: 4
+      steps:
+        - task: score_model
+          output_mb: 0.8
+  - switch:                 # decision
+      name: decision
+      branches:
+        - steps:
+            - task: approve
+              output_mb: 0.1
+        - steps:
+            - task: reject
+              output_mb: 0.05
+  - task: notify
+)yaml";
+
+}  // namespace
+
+int
+main()
+{
+    using namespace faasflow;
+
+    workflow::WdlResult wdl = workflow::parseWdlYaml(kTourYaml);
+    if (!wdl.ok()) {
+        std::fprintf(stderr, "WDL error: %s\n", wdl.error.c_str());
+        return 1;
+    }
+
+    const workflow::Dag& dag = wdl.dag;
+    std::printf("Workflow '%s': %zu nodes (%zu tasks, %zu virtual "
+                "fences), %zu edges, %s of edge data\n\n",
+                dag.name().c_str(), dag.nodeCount(), dag.taskCount(),
+                dag.nodeCount() - dag.taskCount(), dag.edgeCount(),
+                formatBytes(dag.totalDataBytes()).c_str());
+
+    std::printf("nodes:\n");
+    for (const auto& node : dag.nodes()) {
+        std::string kind = "task";
+        if (node.kind == workflow::StepKind::VirtualStart)
+            kind = "virtual-start";
+        if (node.kind == workflow::StepKind::VirtualEnd)
+            kind = "virtual-end";
+        std::string extra;
+        if (node.foreach_width > 1)
+            extra += strFormat(" width=%d", node.foreach_width);
+        if (node.switch_id >= 0 && node.switch_branch >= 0)
+            extra += strFormat(" switch=%d branch=%d", node.switch_id,
+                               node.switch_branch);
+        std::printf("  [%2d] %-16s %-14s%s\n", node.id, node.name.c_str(),
+                    kind.c_str(), extra.c_str());
+    }
+
+    std::printf("\nedges (payload origins show how data rides through "
+                "the fences):\n");
+    for (const auto& edge : dag.edges()) {
+        std::string payload;
+        for (const auto& item : edge.payload) {
+            payload += strFormat(" %s:%s",
+                                 dag.node(item.origin).name.c_str(),
+                                 formatBytes(item.bytes).c_str());
+        }
+        std::printf("  %-16s -> %-16s%s\n", dag.node(edge.from).name.c_str(),
+                    dag.node(edge.to).name.c_str(),
+                    payload.empty() ? " (control only)" : payload.c_str());
+    }
+
+    const auto cp = workflow::criticalPath(dag);
+    std::printf("\ncritical path (%s):", cp.length.str().c_str());
+    for (const auto id : cp.nodes)
+        std::printf(" %s", dag.node(id).name.c_str());
+    std::printf("\n\n");
+
+    // Execute it once on the simulated cluster.
+    System system(SystemConfig::faasflowFaastore());
+    system.registerFunctions(wdl.functions);
+    const std::string name = system.deploy(std::move(wdl.dag));
+    system.invoke(name, [&](const engine::InvocationRecord& r) {
+        std::printf("executed: e2e %s, %llu function invocations, "
+                    "%llu cold starts,\n          data latency %s, "
+                    "%s local / %s remote\n",
+                    r.e2e().str().c_str(),
+                    static_cast<unsigned long long>(r.functions_executed),
+                    static_cast<unsigned long long>(r.cold_starts),
+                    r.data_latency.str().c_str(),
+                    formatBytes(r.bytes_via_local).c_str(),
+                    formatBytes(r.bytes_via_remote).c_str());
+    });
+    system.run();
+    std::printf("(the switch executed exactly one of approve/reject; the "
+                "foreach ran 4 score_model instances)\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+#ifndef FAASFLOW_BENCHMARKS_SPECS_H_
+#define FAASFLOW_BENCHMARKS_SPECS_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/function.h"
+#include "workflow/dag.h"
+
+namespace faasflow::benchmarks {
+
+/** One benchmark: a parsed DAG plus the function specs it requires. */
+struct Benchmark
+{
+    std::string name;       ///< paper short name (Cyc, Epi, ...)
+    std::string long_name;  ///< descriptive name
+    workflow::Dag dag;
+    std::vector<cluster::FunctionSpec> functions;
+};
+
+/**
+ * The 8 workloads of Table 1, rebuilt as WDL definitions with execution
+ * times, data sizes and memory profiles calibrated to reproduce the
+ * paper's shapes (Fig. 5 data-movement ratios, Table 4 localization
+ * fractions, Fig. 13 tail behaviour). Scientific workflows carry 50
+ * function nodes; real-world applications carry ~10 or fewer.
+ */
+Benchmark cycles();            ///< Cyc  — Pegasus Cycles (data heaviest)
+Benchmark epigenomics();       ///< Epi  — Pegasus Epigenomics
+Benchmark genome(int tasks = 50);  ///< Gen — Pegasus 1000-Genome, scalable
+Benchmark soykb();             ///< Soy  — Pegasus SoyKB (barely localizable)
+Benchmark videoFfmpeg();       ///< Vid  — Alibaba FFmpeg transcoding
+Benchmark illegalRecognizer(); ///< IR   — Google OCR/translate/blur
+Benchmark fileProcessing();    ///< FP   — AWS real-time file processing
+Benchmark wordCount();         ///< WC   — classic word count
+
+/** All 8 benchmarks in the paper's reporting order. */
+std::vector<Benchmark> allBenchmarks();
+
+/** The four 50-node scientific workflows. */
+std::vector<Benchmark> scientificBenchmarks();
+
+/** The four real-world applications. */
+std::vector<Benchmark> realWorldBenchmarks();
+
+/**
+ * Removes every edge payload (the §2.3 methodology: "all required input
+ * data ... packed in the container image"), leaving a pure control-plane
+ * workflow for the scheduling-overhead experiments (Fig. 4 / Fig. 11).
+ */
+workflow::Dag stripPayloads(const workflow::Dag& dag);
+
+/**
+ * Bytes a monolithic (single-process) deployment moves: every produced
+ * datum counted once — the left bars of Fig. 5.
+ */
+int64_t monolithicBytes(const workflow::Dag& dag);
+
+/**
+ * Bytes the FaaS data-shipping pattern moves: one store write per
+ * produced datum plus one fetch per consumer per executor instance —
+ * the right bars of Fig. 5.
+ */
+int64_t faasShippedBytes(const workflow::Dag& dag);
+
+}  // namespace faasflow::benchmarks
+
+#endif  // FAASFLOW_BENCHMARKS_SPECS_H_

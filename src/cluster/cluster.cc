@@ -1,0 +1,39 @@
+#include "cluster/cluster.h"
+
+#include "common/string_util.h"
+
+namespace faasflow::cluster {
+
+Cluster::Cluster(sim::Simulator& sim, net::Network& network,
+                 const FunctionRegistry& registry, Config config, Rng rng)
+    : sim_(sim), network_(network), registry_(registry), config_(config)
+{
+    for (int i = 0; i < config.worker_count; ++i) {
+        const std::string name = strFormat("worker-%d", i);
+        const net::NodeId nid = network.addNode(
+            name, config.worker_bandwidth, config.worker_bandwidth);
+        workers_.push_back(std::make_unique<WorkerNode>(
+            sim, registry, nid, name, config.node, rng.split()));
+    }
+    storage_node_id_ = network.addNode(
+        "storage", config.storage_bandwidth, config.storage_bandwidth);
+}
+
+WorkerNode*
+Cluster::workerByNetId(net::NodeId id)
+{
+    for (auto& w : workers_) {
+        if (w->netId() == id)
+            return w.get();
+    }
+    return nullptr;
+}
+
+void
+Cluster::setStorageBandwidth(double bytes_per_sec)
+{
+    config_.storage_bandwidth = bytes_per_sec;
+    network_.setNicBandwidth(storage_node_id_, bytes_per_sec, bytes_per_sec);
+}
+
+}  // namespace faasflow::cluster

@@ -1,0 +1,63 @@
+#ifndef FAASFLOW_CLUSTER_CLUSTER_H_
+#define FAASFLOW_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/function.h"
+#include "cluster/node.h"
+#include "common/rng.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace faasflow::cluster {
+
+/**
+ * The full testbed: N worker nodes plus one storage node (which also
+ * hosts the master-side components, mirroring the paper's setup of 7
+ * workers + 1 storage/master node), all attached to one Network.
+ */
+class Cluster
+{
+  public:
+    struct Config
+    {
+        int worker_count = 7;
+        WorkerNode::Config node;
+        /** Worker NIC bandwidth (bytes/s, full duplex). */
+        double worker_bandwidth = 100e6;
+        /** Storage-node NIC bandwidth — the knob Fig. 12 sweeps. */
+        double storage_bandwidth = 50e6;
+    };
+
+    Cluster(sim::Simulator& sim, net::Network& network,
+            const FunctionRegistry& registry, Config config, Rng rng);
+
+    size_t workerCount() const { return workers_.size(); }
+    WorkerNode& worker(size_t i) { return *workers_[i]; }
+    const WorkerNode& worker(size_t i) const { return *workers_[i]; }
+
+    /** Worker lookup by network id; nullptr for the storage node. */
+    WorkerNode* workerByNetId(net::NodeId id);
+
+    net::NodeId storageNodeId() const { return storage_node_id_; }
+
+    net::Network& network() { return network_; }
+    const FunctionRegistry& registry() const { return registry_; }
+
+    /** Applies a new storage-node bandwidth (wondershaper stand-in). */
+    void setStorageBandwidth(double bytes_per_sec);
+
+  private:
+    sim::Simulator& sim_;
+    net::Network& network_;
+    const FunctionRegistry& registry_;
+    Config config_;
+    std::vector<std::unique_ptr<WorkerNode>> workers_;
+    net::NodeId storage_node_id_;
+};
+
+}  // namespace faasflow::cluster
+
+#endif  // FAASFLOW_CLUSTER_CLUSTER_H_

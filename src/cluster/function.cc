@@ -1,0 +1,52 @@
+#include "cluster/function.h"
+
+#include "common/logging.h"
+
+namespace faasflow::cluster {
+
+SimTime
+FunctionSpec::sampleExecTime(Rng& rng) const
+{
+    if (exec_sigma <= 0.0)
+        return exec_mean;
+    const double mean_us = static_cast<double>(exec_mean.micros());
+    return SimTime::micros(
+        static_cast<int64_t>(rng.lognormal(mean_us, exec_sigma)));
+}
+
+void
+FunctionRegistry::add(FunctionSpec spec)
+{
+    if (spec.name.empty())
+        fatal("function spec needs a name");
+    if (specs_.count(spec.name))
+        fatal("duplicate function registration: %s", spec.name.c_str());
+    specs_.emplace(spec.name, std::move(spec));
+}
+
+bool
+FunctionRegistry::contains(const std::string& name) const
+{
+    return specs_.count(name) > 0;
+}
+
+const FunctionSpec&
+FunctionRegistry::get(const std::string& name) const
+{
+    const auto it = specs_.find(name);
+    if (it == specs_.end())
+        fatal("unknown function '%s'", name.c_str());
+    return it->second;
+}
+
+std::vector<std::string>
+FunctionRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(specs_.size());
+    for (const auto& [name, spec] : specs_)
+        out.push_back(name);
+    return out;
+}
+
+}  // namespace faasflow::cluster

@@ -1,0 +1,69 @@
+#ifndef FAASFLOW_CLUSTER_FUNCTION_H_
+#define FAASFLOW_CLUSTER_FUNCTION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/units.h"
+
+namespace faasflow::cluster {
+
+/**
+ * Static description of a serverless function: what the tenant registered.
+ *
+ * Execution time is modelled as lognormal around `exec_mean` with
+ * multiplicative jitter `exec_sigma` — FaaS function durations show long
+ * right tails. Memory fields drive FaaStore's reclamation (Eq. 1 in the
+ * paper): `mem_provisioned` is the container limit Mem(v), `mem_peak` is
+ * the historically observed peak S.
+ */
+struct FunctionSpec
+{
+    std::string name;
+    SimTime exec_mean = SimTime::millis(100);
+    double exec_sigma = 0.08;  ///< lognormal sigma; 0 = deterministic
+    int64_t mem_provisioned = 256 * kMiB;
+    int64_t mem_peak = 120 * kMiB;
+
+    /**
+     * Probability that one execution attempt fails (crash, OOM, upstream
+     * 5xx). The platform retries failed attempts transparently, so this
+     * manifests as extra latency and container churn, not user errors.
+     */
+    double failure_rate = 0.0;
+
+    /** Samples one execution duration. */
+    SimTime sampleExecTime(Rng& rng) const;
+};
+
+/**
+ * Registry of all functions known to the platform. Both engines and the
+ * graph scheduler resolve function metadata here.
+ */
+class FunctionRegistry
+{
+  public:
+    /** Registers a function; name must be unique. */
+    void add(FunctionSpec spec);
+
+    bool contains(const std::string& name) const;
+
+    /** Lookup; fatals if unknown (a workflow referencing an unregistered
+     *  function is a user configuration error). */
+    const FunctionSpec& get(const std::string& name) const;
+
+    size_t size() const { return specs_.size(); }
+
+    std::vector<std::string> names() const;
+
+  private:
+    std::map<std::string, FunctionSpec> specs_;
+};
+
+}  // namespace faasflow::cluster
+
+#endif  // FAASFLOW_CLUSTER_FUNCTION_H_

@@ -1,0 +1,119 @@
+#include "cluster/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace faasflow::cluster {
+
+WorkerNode::WorkerNode(sim::Simulator& sim, const FunctionRegistry& registry,
+                       net::NodeId net_id, std::string name, Config config,
+                       Rng rng)
+    : sim_(sim), net_id_(net_id), name_(std::move(name)), config_(config)
+{
+    pool_ = std::make_unique<ContainerPool>(
+        sim, registry, config.pool, rng,
+        [this](int64_t bytes) { return reserveMemory(bytes); },
+        [this](int64_t bytes) { releaseMemory(bytes); });
+    cpu_epoch_ = cpu_last_change_ = sim.now();
+}
+
+void
+WorkerNode::acquireCore(std::function<void()> granted)
+{
+    if (cores_in_use_ < config_.cores) {
+        noteCpuChange(+1);
+        // Asynchronous grant keeps caller stacks shallow and uniform.
+        sim_.schedule(SimTime::zero(), std::move(granted));
+    } else {
+        core_waiters_.push_back(std::move(granted));
+    }
+}
+
+void
+WorkerNode::releaseCore()
+{
+    if (cores_in_use_ <= 0)
+        panic("releaseCore with no core in use on %s", name_.c_str());
+    if (!core_waiters_.empty()) {
+        // Hand the core straight to the next waiter; utilisation unchanged.
+        auto next = std::move(core_waiters_.front());
+        core_waiters_.pop_front();
+        sim_.schedule(SimTime::zero(), std::move(next));
+    } else {
+        noteCpuChange(-1);
+    }
+}
+
+void
+WorkerNode::noteCpuChange(int delta)
+{
+    const SimTime now = sim_.now();
+    cpu_integral_ += static_cast<double>(cores_in_use_) *
+                     (now - std::max(cpu_last_change_, cpu_epoch_)).secondsF();
+    cpu_last_change_ = now;
+    cores_in_use_ += delta;
+    assert(cores_in_use_ >= 0 && cores_in_use_ <= config_.cores);
+}
+
+bool
+WorkerNode::reserveMemory(int64_t bytes)
+{
+    assert(bytes >= 0);
+    if (memory_used_ + bytes > memoryCapacity())
+        return false;
+    memory_used_ += bytes;
+    return true;
+}
+
+void
+WorkerNode::releaseMemory(int64_t bytes)
+{
+    assert(bytes >= 0);
+    if (bytes > memory_used_)
+        panic("releaseMemory underflow on %s", name_.c_str());
+    memory_used_ -= bytes;
+}
+
+int64_t
+WorkerNode::memoryCapacity() const
+{
+    return config_.memory - config_.reserved_memory;
+}
+
+int64_t
+WorkerNode::memoryFree() const
+{
+    return memoryCapacity() - memory_used_;
+}
+
+int
+WorkerNode::containerCapacityLeft(int64_t container_size) const
+{
+    if (container_size <= 0)
+        return 0;
+    return static_cast<int>(memoryFree() / container_size);
+}
+
+double
+WorkerNode::averageCpuUtilisation() const
+{
+    const double window = (sim_.now() - cpu_epoch_).secondsF();
+    if (window <= 0.0)
+        return static_cast<double>(cores_in_use_) / config_.cores;
+    const double integral =
+        cpu_integral_ +
+        static_cast<double>(cores_in_use_) *
+            (sim_.now() - std::max(cpu_last_change_, cpu_epoch_)).secondsF();
+    return integral / window / static_cast<double>(config_.cores);
+}
+
+void
+WorkerNode::resetCpuStats()
+{
+    cpu_epoch_ = cpu_last_change_ = sim_.now();
+    cpu_integral_ = 0.0;
+}
+
+}  // namespace faasflow::cluster

@@ -1,0 +1,179 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace faasflow {
+
+void
+FlagParser::add(const std::string& name, Type type, std::string value,
+                std::string help)
+{
+    if (flags_.count(name))
+        panic("flag '--%s' registered twice", name.c_str());
+    flags_.emplace(name, Flag{type, std::move(help), std::move(value)});
+}
+
+void
+FlagParser::addString(const std::string& name, std::string def,
+                      std::string help)
+{
+    add(name, Type::String, std::move(def), std::move(help));
+}
+
+void
+FlagParser::addInt(const std::string& name, int64_t def, std::string help)
+{
+    add(name, Type::Int, strFormat("%lld", static_cast<long long>(def)),
+        std::move(help));
+}
+
+void
+FlagParser::addDouble(const std::string& name, double def, std::string help)
+{
+    add(name, Type::Double, strFormat("%g", def), std::move(help));
+}
+
+void
+FlagParser::addBool(const std::string& name, bool def, std::string help)
+{
+    add(name, Type::Bool, def ? "true" : "false", std::move(help));
+}
+
+bool
+FlagParser::setValue(const std::string& name, const std::string& value)
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+        error_ = "unknown flag '--" + name + "'";
+        return false;
+    }
+    Flag& flag = it->second;
+    char* end = nullptr;
+    switch (flag.type) {
+      case Type::String:
+        break;
+      case Type::Int:
+        std::strtoll(value.c_str(), &end, 10);
+        if (!end || *end != '\0' || value.empty()) {
+            error_ = "flag '--" + name + "' expects an integer, got '" +
+                     value + "'";
+            return false;
+        }
+        break;
+      case Type::Double:
+        std::strtod(value.c_str(), &end);
+        if (!end || *end != '\0' || value.empty()) {
+            error_ = "flag '--" + name + "' expects a number, got '" +
+                     value + "'";
+            return false;
+        }
+        break;
+      case Type::Bool:
+        if (value != "true" && value != "false") {
+            error_ = "flag '--" + name + "' expects true/false, got '" +
+                     value + "'";
+            return false;
+        }
+        break;
+    }
+    flag.value = value;
+    return true;
+}
+
+bool
+FlagParser::parse(int argc, const char* const* argv)
+{
+    error_.clear();
+    positional_.clear();
+    help_requested_ = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        if (!startsWith(arg, "--")) {
+            positional_.emplace_back(arg);
+            continue;
+        }
+        arg.remove_prefix(2);
+        if (arg == "help") {
+            help_requested_ = true;
+            return true;
+        }
+        const size_t eq = arg.find('=');
+        if (eq != std::string_view::npos) {
+            if (!setValue(std::string(arg.substr(0, eq)),
+                          std::string(arg.substr(eq + 1)))) {
+                return false;
+            }
+            continue;
+        }
+        const std::string name(arg);
+        const auto it = flags_.find(name);
+        if (it == flags_.end()) {
+            error_ = "unknown flag '--" + name + "'";
+            return false;
+        }
+        if (it->second.type == Type::Bool) {
+            // Bare boolean: --verbose means true.
+            it->second.value = "true";
+            continue;
+        }
+        if (i + 1 >= argc) {
+            error_ = "flag '--" + name + "' needs a value";
+            return false;
+        }
+        if (!setValue(name, argv[++i]))
+            return false;
+    }
+    return true;
+}
+
+std::string
+FlagParser::usage(const std::string& program) const
+{
+    std::string out = "usage: " + program + " [flags] [args]\n";
+    for (const auto& [name, flag] : flags_) {
+        out += strFormat("  --%-18s %s (default: %s)\n", name.c_str(),
+                         flag.help.c_str(), flag.value.c_str());
+    }
+    return out;
+}
+
+const FlagParser::Flag&
+FlagParser::get(const std::string& name, Type type) const
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end())
+        panic("flag '--%s' was never registered", name.c_str());
+    if (it->second.type != type)
+        panic("flag '--%s' accessed with the wrong type", name.c_str());
+    return it->second;
+}
+
+std::string
+FlagParser::getString(const std::string& name) const
+{
+    return get(name, Type::String).value;
+}
+
+int64_t
+FlagParser::getInt(const std::string& name) const
+{
+    return std::strtoll(get(name, Type::Int).value.c_str(), nullptr, 10);
+}
+
+double
+FlagParser::getDouble(const std::string& name) const
+{
+    return std::strtod(get(name, Type::Double).value.c_str(), nullptr);
+}
+
+bool
+FlagParser::getBool(const std::string& name) const
+{
+    return get(name, Type::Bool).value == "true";
+}
+
+}  // namespace faasflow

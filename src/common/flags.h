@@ -1,0 +1,70 @@
+#ifndef FAASFLOW_COMMON_FLAGS_H_
+#define FAASFLOW_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace faasflow {
+
+/**
+ * Minimal command-line flag parser for the tools and examples.
+ *
+ * Supports `--name value`, `--name=value`, and bare boolean flags
+ * (`--verbose`). Unknown flags are errors; remaining words collect as
+ * positional arguments.
+ */
+class FlagParser
+{
+  public:
+    /** Registers flags with defaults and help text. */
+    void addString(const std::string& name, std::string def,
+                   std::string help);
+    void addInt(const std::string& name, int64_t def, std::string help);
+    void addDouble(const std::string& name, double def, std::string help);
+    void addBool(const std::string& name, bool def, std::string help);
+
+    /**
+     * Parses argv. On failure returns false and error() describes why.
+     * `--help` sets helpRequested() and returns true.
+     */
+    bool parse(int argc, const char* const* argv);
+
+    const std::string& error() const { return error_; }
+    bool helpRequested() const { return help_requested_; }
+
+    /** Renders a usage block listing every flag with its default. */
+    std::string usage(const std::string& program) const;
+
+    std::string getString(const std::string& name) const;
+    int64_t getInt(const std::string& name) const;
+    double getDouble(const std::string& name) const;
+    bool getBool(const std::string& name) const;
+
+    const std::vector<std::string>& positional() const { return positional_; }
+
+  private:
+    enum class Type { String, Int, Double, Bool };
+
+    struct Flag
+    {
+        Type type;
+        std::string help;
+        std::string value;  ///< textual value (default or parsed)
+    };
+
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> positional_;
+    std::string error_;
+    bool help_requested_ = false;
+
+    void add(const std::string& name, Type type, std::string value,
+             std::string help);
+    const Flag& get(const std::string& name, Type type) const;
+    bool setValue(const std::string& name, const std::string& value);
+};
+
+}  // namespace faasflow
+
+#endif  // FAASFLOW_COMMON_FLAGS_H_

@@ -1,0 +1,65 @@
+#ifndef FAASFLOW_COMMON_LOGGING_H_
+#define FAASFLOW_COMMON_LOGGING_H_
+
+#include <cstdarg>
+#include <string>
+
+namespace faasflow {
+
+/** Severity levels; Off disables all output. */
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+/**
+ * Minimal global logger. Experiments run millions of events so logging is
+ * compiled-in but cheap to skip: callers check isEnabled() (the macros do
+ * this) before formatting.
+ */
+class Logger
+{
+  public:
+    static Logger& instance();
+
+    void setLevel(LogLevel level) { level_ = level; }
+    LogLevel level() const { return level_; }
+    bool isEnabled(LogLevel l) const { return l >= level_ && level_ != LogLevel::Off; }
+
+    /** printf-style log line with level tag; thread-unsafe by design (the
+     *  simulator is single-threaded). */
+    void log(LogLevel level, const char* fmt, ...)
+        __attribute__((format(printf, 3, 4)));
+
+  private:
+    Logger() = default;
+
+    LogLevel level_ = LogLevel::Warn;
+};
+
+/**
+ * Terminates with a message for conditions that indicate a bug in this
+ * library (gem5 "panic" semantics).
+ */
+[[noreturn]] void panic(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminates with a message for unrecoverable *user* errors such as a
+ * malformed workflow definition (gem5 "fatal" semantics).
+ */
+[[noreturn]] void fatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace faasflow
+
+#define FAAS_LOG(level, ...)                                              \
+    do {                                                                  \
+        if (::faasflow::Logger::instance().isEnabled(level))              \
+            ::faasflow::Logger::instance().log(level, __VA_ARGS__);       \
+    } while (0)
+
+#define FAAS_TRACE(...) FAAS_LOG(::faasflow::LogLevel::Trace, __VA_ARGS__)
+#define FAAS_DEBUG(...) FAAS_LOG(::faasflow::LogLevel::Debug, __VA_ARGS__)
+#define FAAS_INFO(...) FAAS_LOG(::faasflow::LogLevel::Info, __VA_ARGS__)
+#define FAAS_WARN(...) FAAS_LOG(::faasflow::LogLevel::Warn, __VA_ARGS__)
+#define FAAS_ERROR(...) FAAS_LOG(::faasflow::LogLevel::Error, __VA_ARGS__)
+
+#endif  // FAASFLOW_COMMON_LOGGING_H_

@@ -1,0 +1,63 @@
+#ifndef FAASFLOW_COMMON_RNG_H_
+#define FAASFLOW_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace faasflow {
+
+/**
+ * Deterministic pseudo-random number generator (xoshiro256**), seeded via
+ * SplitMix64.
+ *
+ * The simulator must be reproducible run-to-run, so every stochastic
+ * component takes an explicit Rng (or a seed) instead of using global
+ * state. xoshiro256** is small, fast, and has no measurable bias for the
+ * distributions used here.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Exponentially distributed sample with the given mean (> 0). */
+    double exponential(double mean);
+
+    /** Standard normal via Box-Muller, scaled to (mean, stddev). */
+    double normal(double mean, double stddev);
+
+    /**
+     * Lognormal sample parameterised by the *target* mean and the sigma of
+     * the underlying normal. Used for execution-time jitter where long
+     * right tails are realistic.
+     */
+    double lognormal(double mean, double sigma);
+
+    /** Fisher-Yates shuffle of indices [0, n). */
+    std::vector<size_t> permutation(size_t n);
+
+    /** Derives an independent child generator (stream splitting). */
+    Rng split();
+
+  private:
+    uint64_t s_[4];
+    bool has_spare_normal_ = false;
+    double spare_normal_ = 0.0;
+};
+
+}  // namespace faasflow
+
+#endif  // FAASFLOW_COMMON_RNG_H_

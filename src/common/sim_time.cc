@@ -1,0 +1,22 @@
+#include "common/sim_time.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace faasflow {
+
+std::string
+SimTime::str() const
+{
+    char buf[64];
+    if (us_ >= 1000000 || us_ <= -1000000) {
+        std::snprintf(buf, sizeof(buf), "%.2fs", secondsF());
+    } else if (us_ >= 1000 || us_ <= -1000) {
+        std::snprintf(buf, sizeof(buf), "%.2fms", millisF());
+    } else {
+        std::snprintf(buf, sizeof(buf), "%" PRId64 "us", us_);
+    }
+    return buf;
+}
+
+}  // namespace faasflow

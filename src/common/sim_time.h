@@ -1,0 +1,90 @@
+#ifndef FAASFLOW_COMMON_SIM_TIME_H_
+#define FAASFLOW_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace faasflow {
+
+/**
+ * Strongly-typed simulated time, stored as signed microseconds.
+ *
+ * All latency parameters and event timestamps in the simulator use this
+ * type so that unit mistakes (ms vs us vs s) fail to compile rather than
+ * silently corrupting an experiment. Construct via the named factories
+ * (micros/millis/seconds) or the helpers below.
+ */
+class SimTime
+{
+  public:
+    constexpr SimTime() : us_(0) {}
+
+    /** Builds a time point/duration from whole microseconds. */
+    static constexpr SimTime
+    micros(int64_t us)
+    {
+        return SimTime(us);
+    }
+
+    /** Builds a time point/duration from (possibly fractional) milliseconds. */
+    static constexpr SimTime
+    millis(double ms)
+    {
+        return SimTime(static_cast<int64_t>(ms * 1000.0));
+    }
+
+    /** Builds a time point/duration from (possibly fractional) seconds. */
+    static constexpr SimTime
+    seconds(double s)
+    {
+        return SimTime(static_cast<int64_t>(s * 1e6));
+    }
+
+    /** Sentinel usable as "no deadline" / "never". */
+    static constexpr SimTime
+    max()
+    {
+        return SimTime(std::numeric_limits<int64_t>::max());
+    }
+
+    static constexpr SimTime zero() { return SimTime(0); }
+
+    constexpr int64_t micros() const { return us_; }
+    constexpr double millisF() const { return static_cast<double>(us_) / 1e3; }
+    constexpr double secondsF() const { return static_cast<double>(us_) / 1e6; }
+
+    constexpr auto operator<=>(const SimTime&) const = default;
+
+    constexpr SimTime operator+(SimTime o) const { return SimTime(us_ + o.us_); }
+    constexpr SimTime operator-(SimTime o) const { return SimTime(us_ - o.us_); }
+    constexpr SimTime& operator+=(SimTime o) { us_ += o.us_; return *this; }
+    constexpr SimTime& operator-=(SimTime o) { us_ -= o.us_; return *this; }
+
+    /** Scales a duration; useful for averaging and backoff computation. */
+    constexpr SimTime
+    operator*(double f) const
+    {
+        return SimTime(static_cast<int64_t>(static_cast<double>(us_) * f));
+    }
+
+    /** Ratio of two durations (e.g. utilisation computations). */
+    constexpr double
+    operator/(SimTime o) const
+    {
+        return static_cast<double>(us_) / static_cast<double>(o.us_);
+    }
+
+    /** Renders with an adaptive unit, e.g. "1.50ms" or "2.00s". */
+    std::string str() const;
+
+  private:
+    explicit constexpr SimTime(int64_t us) : us_(us) {}
+
+    int64_t us_;
+};
+
+}  // namespace faasflow
+
+#endif  // FAASFLOW_COMMON_SIM_TIME_H_

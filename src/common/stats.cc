@@ -1,0 +1,188 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace faasflow {
+
+void
+Summary::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+Summary::merge(const Summary& other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+double
+Summary::min() const
+{
+    return n_ ? min_ : 0.0;
+}
+
+double
+Summary::max() const
+{
+    return n_ ? max_ : 0.0;
+}
+
+double
+Summary::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Percentiles::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+void
+Percentiles::merge(const Percentiles& other)
+{
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_ = false;
+}
+
+void
+Percentiles::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+Percentiles::percentile(double p) const
+{
+    assert(p >= 0.0 && p <= 100.0);
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    if (samples_.size() == 1)
+        return samples_[0];
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double
+Percentiles::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : samples_)
+        s += x;
+    return s / static_cast<double>(samples_.size());
+}
+
+double
+Percentiles::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return samples_.back();
+}
+
+double
+Percentiles::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return samples_.front();
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    assert(hi > lo && buckets > 0);
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+        size_t idx = static_cast<size_t>((x - lo_) / width);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        ++counts_[idx];
+    }
+}
+
+double
+Histogram::bucketLow(size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(i);
+}
+
+std::string
+Histogram::str() const
+{
+    uint64_t peak = 1;
+    for (uint64_t c : counts_)
+        peak = std::max(peak, c);
+    std::string out;
+    char line[160];
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        const int bars = static_cast<int>(counts_[i] * 40 / peak);
+        std::snprintf(line, sizeof(line), "[%10.3g) %8llu |%.*s\n",
+                      bucketLow(i),
+                      static_cast<unsigned long long>(counts_[i]), bars,
+                      "****************************************");
+        out += line;
+    }
+    return out;
+}
+
+}  // namespace faasflow

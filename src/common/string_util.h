@@ -1,0 +1,35 @@
+#ifndef FAASFLOW_COMMON_STRING_UTIL_H_
+#define FAASFLOW_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faasflow {
+
+/** Splits on a single-character delimiter; empty fields are preserved. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Removes leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view s);
+
+bool startsWith(std::string_view s, std::string_view prefix);
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/** printf-style std::string formatting. */
+std::string strFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Joins items with a separator. */
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/**
+ * Stable 64-bit FNV-1a string hash. Used by the scheduler's first-iteration
+ * hash partition so placements are identical across platforms/runs
+ * (std::hash makes no such guarantee).
+ */
+uint64_t fnv1a(std::string_view s);
+
+}  // namespace faasflow
+
+#endif  // FAASFLOW_COMMON_STRING_UTIL_H_

@@ -1,0 +1,58 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace faasflow {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (!header_.empty() && row.size() != header_.size()) {
+        panic("TextTable row has %zu cells, header has %zu",
+              row.size(), header_.size());
+    }
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::str() const
+{
+    const size_t cols = header_.size();
+    std::vector<size_t> width(cols, 0);
+    for (size_t c = 0; c < cols; ++c)
+        width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto render_row = [&](const std::vector<std::string>& row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line += std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = render_row(header_);
+    size_t total = 0;
+    for (size_t c = 0; c < cols; ++c)
+        total += width[c] + (c + 1 < cols ? 2 : 0);
+    out += std::string(total, '-') + '\n';
+    for (const auto& row : rows_)
+        out += render_row(row);
+    return out;
+}
+
+}  // namespace faasflow

@@ -1,0 +1,35 @@
+#ifndef FAASFLOW_COMMON_TABLE_H_
+#define FAASFLOW_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace faasflow {
+
+/**
+ * Column-aligned ASCII table used by every bench binary to print the
+ * paper's tables/figure series in a uniform, diff-friendly format.
+ */
+class TextTable
+{
+  public:
+    /** Sets the header row; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Appends a data row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: formats each cell with %.*f etc. handled by caller. */
+    size_t rowCount() const { return rows_.size(); }
+
+    /** Renders the table with a separator under the header. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace faasflow
+
+#endif  // FAASFLOW_COMMON_TABLE_H_

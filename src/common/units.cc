@@ -1,0 +1,24 @@
+#include "common/units.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace faasflow {
+
+std::string
+formatBytes(int64_t bytes)
+{
+    char buf[64];
+    if (bytes >= kGB) {
+        std::snprintf(buf, sizeof(buf), "%.2fGB", static_cast<double>(bytes) / 1e9);
+    } else if (bytes >= kMB) {
+        std::snprintf(buf, sizeof(buf), "%.2fMB", static_cast<double>(bytes) / 1e6);
+    } else if (bytes >= kKB) {
+        std::snprintf(buf, sizeof(buf), "%.2fKB", static_cast<double>(bytes) / 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%" PRId64 "B", bytes);
+    }
+    return buf;
+}
+
+}  // namespace faasflow

@@ -1,0 +1,32 @@
+#ifndef FAASFLOW_COMMON_UNITS_H_
+#define FAASFLOW_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace faasflow {
+
+/** Byte quantities. Data sizes throughout the system are plain int64 bytes;
+ *  these helpers keep benchmark specs and configs readable. */
+constexpr int64_t kKiB = 1024;
+constexpr int64_t kMiB = 1024 * kKiB;
+constexpr int64_t kGiB = 1024 * kMiB;
+
+/** The paper quotes decimal MB (e.g. 50MB/s wondershaper limits). */
+constexpr int64_t kKB = 1000;
+constexpr int64_t kMB = 1000 * kKB;
+constexpr int64_t kGB = 1000 * kMB;
+
+/** Converts a byte count to decimal megabytes (paper-style reporting). */
+constexpr double
+toMB(int64_t bytes)
+{
+    return static_cast<double>(bytes) / 1e6;
+}
+
+/** Renders a byte count with an adaptive decimal unit ("12.3MB"). */
+std::string formatBytes(int64_t bytes);
+
+}  // namespace faasflow
+
+#endif  // FAASFLOW_COMMON_UNITS_H_

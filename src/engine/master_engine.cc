@@ -1,0 +1,183 @@
+#include "engine/master_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace faasflow::engine {
+
+namespace {
+
+bool
+isSkipped(const Invocation& inv, const workflow::DagNode& node)
+{
+    if (node.switch_id < 0 || node.switch_branch < 0)
+        return false;
+    const auto it = inv.switch_choice.find(node.switch_id);
+    if (it == inv.switch_choice.end())
+        panic("node '%s' triggered before its switch chose a branch",
+              node.name.c_str());
+    return it->second != node.switch_branch;
+}
+
+int
+switchBranchCount(const workflow::Dag& dag, int switch_id)
+{
+    int max_branch = -1;
+    for (const auto& node : dag.nodes()) {
+        if (node.switch_id == switch_id)
+            max_branch = std::max(max_branch, node.switch_branch);
+    }
+    return max_branch + 1;
+}
+
+}  // namespace
+
+ExecutorAgent::ExecutorAgent(RuntimeContext& ctx, int worker_index, Rng rng)
+    : ctx_(ctx),
+      worker_index_(worker_index),
+      queue_(ctx.sim, ctx.config.worker_service_mean,
+             ctx.config.worker_service_sigma, rng.split()),
+      executor_(ctx.sim, ctx.cluster.worker(static_cast<size_t>(worker_index)),
+                *ctx.stores[static_cast<size_t>(worker_index)], ctx.registry,
+                rng.split(), ctx.trace, workerTrack(worker_index))
+{
+}
+
+void
+ExecutorAgent::execute(Invocation& inv, workflow::NodeId node,
+                       std::function<void(SimTime)> on_result)
+{
+    // Dispatch costs one event on the worker-side proxy.
+    queue_.submit([this, &inv, node, on_result = std::move(on_result)] {
+        executor_.runNode(inv, node, ctx_.data_mode, inv.wf->feedback,
+                          [on_result](TaskExecutor::NodeRunResult result) {
+                              on_result(result.max_exec);
+                          });
+    });
+}
+
+MasterEngine::MasterEngine(RuntimeContext& ctx, Rng rng)
+    : ctx_(ctx),
+      rng_(rng),
+      queue_(ctx.sim, ctx.config.master_service_mean,
+             ctx.config.master_service_sigma, rng.split())
+{
+}
+
+void
+MasterEngine::setAgents(std::vector<ExecutorAgent*> agents)
+{
+    agents_ = std::move(agents);
+}
+
+void
+MasterEngine::setSinkNotifier(std::function<void(Invocation&)> notifier)
+{
+    sink_notifier_ = std::move(notifier);
+}
+
+void
+MasterEngine::invoke(Invocation& inv)
+{
+    for (const auto& node : inv.wf->dag.nodes()) {
+        if (inv.wf->dag.inEdges(node.id).empty())
+            trigger(inv, node.id);
+    }
+}
+
+void
+MasterEngine::deliver(Invocation& inv, workflow::NodeId target)
+{
+    const int needed = static_cast<int>(inv.wf->dag.inEdges(target).size());
+    int& done = state_[inv.id][target];
+    ++done;
+    if (done >= needed)
+        trigger(inv, target);
+}
+
+void
+MasterEngine::trigger(Invocation& inv, workflow::NodeId node_id)
+{
+    // Every trigger condition check serialises through the central
+    // engine's processor.
+    queue_.submit([this, &inv, node_id] {
+        const auto& node = inv.wf->dag.node(node_id);
+        if (ctx_.trace) {
+            ctx_.trace->instant("trigger", node.name,
+                                static_cast<int>(TraceTrack::Master),
+                                ctx_.sim.now());
+        }
+
+        if (node.kind == workflow::StepKind::VirtualStart &&
+            node.switch_id >= 0) {
+            const int branches =
+                switchBranchCount(inv.wf->dag, node.switch_id);
+            if (branches > 0 && !inv.switch_choice.count(node.switch_id)) {
+                inv.switch_choice[node.switch_id] = static_cast<int>(
+                    rng_.uniformInt(0, branches - 1));
+            }
+        }
+
+        if (node.isVirtual()) {
+            completeNode(inv, node_id, SimTime::zero());
+            return;
+        }
+        if (isSkipped(inv, node)) {
+            inv.node_skipped[static_cast<size_t>(node_id)] = true;
+            completeNode(inv, node_id, SimTime::zero());
+            return;
+        }
+
+        // Stage 1 of a MasterSP invocation (§2.3): assign the task to
+        // its worker over TCP.
+        const int worker = inv.placement->workerOf(node_id);
+        ExecutorAgent* agent = agents_[static_cast<size_t>(worker)];
+        const net::NodeId master = ctx_.cluster.storageNodeId();
+        const net::NodeId worker_nid =
+            ctx_.cluster.worker(static_cast<size_t>(worker)).netId();
+        ctx_.network.sendMessage(
+            master, worker_nid, ctx_.config.assign_msg_bytes,
+            [this, agent, &inv, node_id, master, worker_nid] {
+                agent->execute(
+                    inv, node_id, [this, &inv, node_id, master,
+                                   worker_nid](SimTime exec_time) {
+                        // Stage 3: return the execution state to the
+                        // master engine.
+                        ctx_.network.sendMessage(
+                            worker_nid, master, ctx_.config.result_msg_bytes,
+                            [this, &inv, node_id, exec_time] {
+                                queue_.submit([this, &inv, node_id,
+                                               exec_time] {
+                                    completeNode(inv, node_id, exec_time);
+                                });
+                            });
+                    });
+            });
+    });
+}
+
+void
+MasterEngine::completeNode(Invocation& inv, workflow::NodeId node_id,
+                           SimTime exec_time)
+{
+    inv.node_exec[static_cast<size_t>(node_id)] = exec_time;
+    const auto& dag = inv.wf->dag;
+    const auto& out = dag.outEdges(node_id);
+    if (out.empty()) {
+        // Sink: the client runs on the master node, no extra hop.
+        if (sink_notifier_)
+            sink_notifier_(inv);
+        return;
+    }
+    for (const size_t e : out)
+        deliver(inv, dag.edge(e).to);
+}
+
+void
+MasterEngine::cleanup(uint64_t invocation_id)
+{
+    state_.erase(invocation_id);
+}
+
+}  // namespace faasflow::engine

@@ -1,0 +1,89 @@
+#ifndef FAASFLOW_ENGINE_MASTER_ENGINE_H_
+#define FAASFLOW_ENGINE_MASTER_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/runtime_context.h"
+#include "engine/service_queue.h"
+#include "engine/task_executor.h"
+#include "engine/types.h"
+
+namespace faasflow::engine {
+
+/**
+ * The MasterSP executor stub on one worker: receives task assignments
+ * from the central engine, dispatches them into the container runtime,
+ * and returns the execution state. It makes no triggering decisions.
+ */
+class ExecutorAgent
+{
+  public:
+    ExecutorAgent(RuntimeContext& ctx, int worker_index, Rng rng);
+
+    /**
+     * Runs one assigned node; `on_result` fires on the worker when the
+     * function finished (the caller ships the state back to the master).
+     */
+    void execute(Invocation& inv, workflow::NodeId node,
+                 std::function<void(SimTime exec_time)> on_result);
+
+    int workerIndex() const { return worker_index_; }
+    ServiceQueue& queue() { return queue_; }
+    TaskExecutor& executor() { return executor_; }
+
+  private:
+    RuntimeContext& ctx_;
+    int worker_index_;
+    ServiceQueue queue_;
+    TaskExecutor executor_;
+};
+
+/**
+ * The central workflow engine of HyperFlow-serverless (§2.2): keeps all
+ * function states on the master node, checks trigger conditions there,
+ * and assigns every ready task to a worker over the network. Every state
+ * return and every trigger decision serialises through this engine's
+ * single event processor — the MasterSP bottleneck the paper measures.
+ */
+class MasterEngine
+{
+  public:
+    MasterEngine(RuntimeContext& ctx, Rng rng);
+
+    void setAgents(std::vector<ExecutorAgent*> agents);
+
+    /** Called when an invocation fully completes (all sinks done). */
+    void setSinkNotifier(std::function<void(Invocation&)> notifier);
+
+    /** Client entry: submits an invocation (client and master share the
+     *  storage node, as in the paper's testbed). */
+    void invoke(Invocation& inv);
+
+    /** Releases a finished invocation's state. */
+    void cleanup(uint64_t invocation_id);
+
+    ServiceQueue& queue() { return queue_; }
+
+  private:
+    RuntimeContext& ctx_;
+    Rng rng_;
+    ServiceQueue queue_;
+    std::vector<ExecutorAgent*> agents_;
+    std::function<void(Invocation&)> sink_notifier_;
+
+    /** Central state: invocation -> (node -> predecessors done). */
+    std::map<uint64_t, std::map<workflow::NodeId, int>> state_;
+
+    void deliver(Invocation& inv, workflow::NodeId target);
+    void trigger(Invocation& inv, workflow::NodeId node);
+    void completeNode(Invocation& inv, workflow::NodeId node,
+                      SimTime exec_time);
+};
+
+}  // namespace faasflow::engine
+
+#endif  // FAASFLOW_ENGINE_MASTER_ENGINE_H_

@@ -1,0 +1,81 @@
+#ifndef FAASFLOW_ENGINE_METRICS_H_
+#define FAASFLOW_ENGINE_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "engine/types.h"
+
+namespace faasflow::engine {
+
+/**
+ * Computes an invocation's critical-path execution time from the actual
+ * sampled durations: the longest path through the DAG where each node
+ * costs what it really executed for (0 for virtual/skipped nodes) and
+ * edges cost nothing. This is the §2.3 baseline that is subtracted from
+ * end-to-end latency to obtain scheduling overhead.
+ */
+SimTime actualCriticalExec(const workflow::Dag& dag,
+                           const std::vector<SimTime>& node_exec);
+
+/**
+ * Aggregates InvocationRecords per workflow for the evaluation harness:
+ * e2e/overhead/data-latency distributions and byte counters.
+ */
+class MetricsCollector
+{
+  public:
+    void add(const InvocationRecord& record);
+
+    size_t count(const std::string& workflow) const;
+
+    /** End-to-end latency distribution (ms). */
+    const Percentiles& e2e(const std::string& workflow) const;
+
+    /** Scheduling overhead distribution (ms). */
+    const Percentiles& schedOverhead(const std::string& workflow) const;
+
+    /** Data movement latency distribution (s, Table 4). */
+    const Percentiles& dataLatency(const std::string& workflow) const;
+
+    double meanBytesMoved(const std::string& workflow) const;
+
+    /** Mean per-invocation execution-time sum / container-wait sum (ms). */
+    double meanExecTotal(const std::string& workflow) const;
+    double meanContainerWait(const std::string& workflow) const;
+
+    double meanBytesRemote(const std::string& workflow) const;
+    double meanBytesLocal(const std::string& workflow) const;
+    uint64_t timeouts(const std::string& workflow) const;
+    uint64_t coldStarts(const std::string& workflow) const;
+
+    std::vector<std::string> workflows() const;
+
+    void clear();
+
+  private:
+    struct PerWorkflow
+    {
+        Percentiles e2e_ms;
+        Percentiles overhead_ms;
+        Percentiles data_latency_s;
+        Summary bytes_moved;
+        Summary bytes_remote;
+        Summary bytes_local;
+        Summary exec_total_ms;
+        Summary container_wait_ms;
+        uint64_t timeouts = 0;
+        uint64_t cold_starts = 0;
+    };
+
+    std::map<std::string, PerWorkflow> per_workflow_;
+    PerWorkflow empty_;
+
+    const PerWorkflow& get(const std::string& workflow) const;
+};
+
+}  // namespace faasflow::engine
+
+#endif  // FAASFLOW_ENGINE_METRICS_H_

@@ -1,0 +1,20 @@
+#ifndef FAASFLOW_ENGINE_MODES_H_
+#define FAASFLOW_ENGINE_MODES_H_
+
+namespace faasflow::engine {
+
+/** How function triggering is orchestrated (the paper's CONTROL_MODE). */
+enum class ControlMode {
+    MasterSP,  ///< HyperFlow-serverless: central engine assigns tasks
+    WorkerSP   ///< FaaSFlow: per-worker engines trigger locally
+};
+
+/** Where intermediate data may live (the paper's DATA_MODE). */
+enum class DataMode {
+    RemoteOnly,  ///< every object goes through the remote store
+    FaaStore     ///< hybrid local-memory/remote placement
+};
+
+}  // namespace faasflow::engine
+
+#endif  // FAASFLOW_ENGINE_MODES_H_

@@ -1,0 +1,62 @@
+#include "engine/trace.h"
+
+#include "common/logging.h"
+
+namespace faasflow::engine {
+
+void
+TraceRecorder::span(const std::string& category, const std::string& name,
+                    int track, SimTime start, SimTime end,
+                    const std::string& detail)
+{
+    if (!enabled_)
+        return;
+    if (end < start)
+        panic("trace span '%s' ends before it starts", name.c_str());
+    events_.push_back(Event{category, name, track, start.micros(),
+                            (end - start).micros(), detail});
+}
+
+void
+TraceRecorder::instant(const std::string& category, const std::string& name,
+                       int track, SimTime at)
+{
+    if (!enabled_)
+        return;
+    events_.push_back(Event{category, name, track, at.micros(), -1, {}});
+}
+
+json::Value
+TraceRecorder::toChromeTrace() const
+{
+    json::Value trace_events = json::Value::array();
+    for (const Event& event : events_) {
+        json::Value e = json::Value::object();
+        e.set("name", event.name);
+        e.set("cat", event.category);
+        e.set("ph", event.dur_us < 0 ? "i" : "X");
+        e.set("ts", event.start_us);
+        if (event.dur_us >= 0)
+            e.set("dur", event.dur_us);
+        e.set("pid", int64_t{1});
+        e.set("tid", int64_t{event.track});
+        if (!event.detail.empty()) {
+            json::Value args = json::Value::object();
+            args.set("detail", event.detail);
+            e.set("args", std::move(args));
+        }
+        trace_events.push(std::move(e));
+    }
+    json::Value doc = json::Value::object();
+    doc.set("traceEvents", std::move(trace_events));
+    doc.set("displayTimeUnit", "ms");
+    return doc;
+}
+
+std::string
+TraceRecorder::toChromeTraceText() const
+{
+    return toChromeTrace().dump(1);
+}
+
+}  // namespace faasflow::engine

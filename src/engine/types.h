@@ -1,0 +1,119 @@
+#ifndef FAASFLOW_ENGINE_TYPES_H_
+#define FAASFLOW_ENGINE_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "engine/modes.h"
+#include "scheduler/feedback.h"
+#include "scheduler/placement.h"
+#include "workflow/dag.h"
+
+namespace faasflow::engine {
+
+/**
+ * Everything measured about one workflow invocation; the unit of all
+ * evaluation metrics (§5).
+ */
+struct InvocationRecord
+{
+    uint64_t invocation_id = 0;
+    std::string workflow;
+    SimTime submit;
+    SimTime finish;
+    bool timed_out = false;
+
+    /** Sum of the *actual* execution times of the functions on the
+     *  critical path (the §2.3 baseline for scheduling overhead). */
+    SimTime critical_exec;
+
+    /** Total latency of every data put/get across all edges (Table 4). */
+    SimTime data_latency;
+
+    /** Application-level bytes moved, split by path. */
+    int64_t bytes_via_remote = 0;
+    int64_t bytes_via_local = 0;
+
+    uint64_t cold_starts = 0;
+    uint64_t functions_executed = 0;
+
+    /** Failed execution attempts that were retried transparently. */
+    uint64_t retries = 0;
+
+    /** Decomposition aids: total pure execution time across all function
+     *  instances, and total time instances spent waiting for a container
+     *  (cold starts and slot queueing). Sums over parallel work, so they
+     *  can exceed e2e(). */
+    SimTime exec_total;
+    SimTime container_wait;
+
+    SimTime e2e() const { return finish - submit; }
+
+    /** The paper's scheduling overhead: end-to-end minus critical-path
+     *  execution time. */
+    SimTime schedOverhead() const { return e2e() - critical_exec; }
+
+    int64_t bytesMoved() const { return bytes_via_remote + bytes_via_local; }
+};
+
+/**
+ * A workflow registered with the platform. The placement is held behind
+ * a shared_ptr so red-black redeployment (§4.2.2) can swap in a new
+ * version while in-flight invocations keep routing by the snapshot they
+ * started under.
+ */
+struct DeployedWorkflow
+{
+    std::string name;
+    workflow::Dag dag;
+    std::shared_ptr<const scheduler::Placement> placement;
+
+    /** Feedback sink for the current partition iteration (may be null
+     *  when collection is disabled). */
+    scheduler::RuntimeFeedback* feedback = nullptr;
+};
+
+/**
+ * Per-invocation runtime state shared by the metrics pipeline. Trigger
+ * counting itself is decentralised (each engine keeps its own State for
+ * its local sub-graph); this object only aggregates what the evaluation
+ * needs plus cross-cutting facts (switch choices) that in a real
+ * deployment ride inside the state-synchronisation payloads.
+ */
+struct Invocation
+{
+    uint64_t id = 0;
+    DeployedWorkflow* wf = nullptr;
+
+    /** Placement snapshot taken at submission (red-black isolation). */
+    std::shared_ptr<const scheduler::Placement> placement;
+
+    /** Actual execution duration per DAG node (max across foreach
+     *  instances); feeds the critical-path recomputation at finish. */
+    std::vector<SimTime> node_exec;
+
+    /** Nodes whose switch branch was not taken (skipped at run time). */
+    std::vector<bool> node_skipped;
+
+    /** switch construct id -> taken branch. */
+    std::map<int, int> switch_choice;
+
+    size_t sinks_remaining = 0;
+    bool finished = false;
+
+    /** Set once the record reached metrics/the client (a timed-out
+     *  invocation delivers early; its eventual completion is silent). */
+    bool record_delivered = false;
+
+    InvocationRecord record;
+    std::function<void(const InvocationRecord&)> on_complete;
+};
+
+}  // namespace faasflow::engine
+
+#endif  // FAASFLOW_ENGINE_TYPES_H_

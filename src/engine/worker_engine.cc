@@ -1,0 +1,190 @@
+#include "engine/worker_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace faasflow::engine {
+
+namespace {
+
+/** Baseline memory of one deployed per-worker engine (§5.7: 47 MB). */
+constexpr int64_t kEngineBaselineMemory = 47 * kMB;
+/** Approximate footprint of one invocation's State structure. */
+constexpr int64_t kStateStructureBytes = 2 * kKiB;
+
+/** True when `node` sits on a switch branch the invocation did not take. */
+bool
+isSkipped(const Invocation& inv, const workflow::DagNode& node)
+{
+    if (node.switch_id < 0 || node.switch_branch < 0)
+        return false;
+    const auto it = inv.switch_choice.find(node.switch_id);
+    if (it == inv.switch_choice.end())
+        panic("node '%s' triggered before its switch chose a branch",
+              node.name.c_str());
+    return it->second != node.switch_branch;
+}
+
+/** Branch count of a switch construct = max branch index + 1. */
+int
+switchBranchCount(const workflow::Dag& dag, int switch_id)
+{
+    int max_branch = -1;
+    for (const auto& node : dag.nodes()) {
+        if (node.switch_id == switch_id)
+            max_branch = std::max(max_branch, node.switch_branch);
+    }
+    return max_branch + 1;
+}
+
+}  // namespace
+
+WorkerEngine::WorkerEngine(RuntimeContext& ctx, int worker_index, Rng rng)
+    : ctx_(ctx),
+      worker_index_(worker_index),
+      rng_(rng),
+      queue_(ctx.sim, ctx.config.worker_service_mean,
+             ctx.config.worker_service_sigma, rng.split()),
+      executor_(ctx.sim, ctx.cluster.worker(static_cast<size_t>(worker_index)),
+                *ctx.stores[static_cast<size_t>(worker_index)], ctx.registry,
+                rng.split(), ctx.trace, workerTrack(worker_index))
+{
+}
+
+void
+WorkerEngine::setPeers(std::vector<WorkerEngine*> peers)
+{
+    peers_ = std::move(peers);
+}
+
+void
+WorkerEngine::setSinkNotifier(std::function<void(Invocation&)> notifier)
+{
+    sink_notifier_ = std::move(notifier);
+}
+
+void
+WorkerEngine::startSource(Invocation& inv, workflow::NodeId source)
+{
+    trigger(inv, source);
+}
+
+void
+WorkerEngine::deliverStateUpdate(Invocation& inv, workflow::NodeId target)
+{
+    const int needed =
+        static_cast<int>(inv.wf->dag.inEdges(target).size());
+    int& done = state_[inv.id][target];
+    ++done;
+    if (done >= needed)
+        trigger(inv, target);
+}
+
+void
+WorkerEngine::trigger(Invocation& inv, workflow::NodeId node_id)
+{
+    // Each trigger decision is one event for this engine's processor.
+    queue_.submit([this, &inv, node_id] {
+        const auto& node = inv.wf->dag.node(node_id);
+        if (ctx_.trace) {
+            ctx_.trace->instant("trigger", node.name,
+                                workerTrack(worker_index_), ctx_.sim.now());
+        }
+
+        // A switch start picks the taken branch; the choice travels with
+        // the state-update protocol to every involved engine.
+        if (node.kind == workflow::StepKind::VirtualStart &&
+            node.switch_id >= 0) {
+            const int branches =
+                switchBranchCount(inv.wf->dag, node.switch_id);
+            if (branches > 0 &&
+                !inv.switch_choice.count(node.switch_id)) {
+                inv.switch_choice[node.switch_id] = static_cast<int>(
+                    rng_.uniformInt(0, branches - 1));
+            }
+        }
+
+        if (node.isVirtual()) {
+            completeNode(inv, node_id, SimTime::zero());
+            return;
+        }
+        if (isSkipped(inv, node)) {
+            inv.node_skipped[static_cast<size_t>(node_id)] = true;
+            completeNode(inv, node_id, SimTime::zero());
+            return;
+        }
+        executor_.runNode(inv, node_id, ctx_.data_mode, inv.wf->feedback,
+                          [this, &inv, node_id](
+                              TaskExecutor::NodeRunResult result) {
+                              completeNode(inv, node_id, result.max_exec);
+                          });
+    });
+}
+
+void
+WorkerEngine::completeNode(Invocation& inv, workflow::NodeId node_id,
+                           SimTime exec_time)
+{
+    inv.node_exec[static_cast<size_t>(node_id)] = exec_time;
+    propagate(inv, node_id);
+}
+
+void
+WorkerEngine::propagate(Invocation& inv, workflow::NodeId node_id)
+{
+    const auto& dag = inv.wf->dag;
+    const auto& out = dag.outEdges(node_id);
+    if (out.empty()) {
+        // Sink: report the execution state back to the client side.
+        ctx_.network.sendMessage(
+            ctx_.cluster.worker(static_cast<size_t>(worker_index_)).netId(),
+            ctx_.cluster.storageNodeId(), ctx_.config.result_msg_bytes,
+            [this, &inv] {
+                if (sink_notifier_)
+                    sink_notifier_(inv);
+            });
+        return;
+    }
+    for (const size_t e : out) {
+        const workflow::NodeId target = dag.edge(e).to;
+        const int target_worker = inv.placement->workerOf(target);
+        if (target_worker == worker_index_) {
+            // Inner RPC on the same node (§3.1).
+            ctx_.sim.schedule(ctx_.config.local_trigger_latency,
+                              [this, &inv, target] {
+                                  deliverStateUpdate(inv, target);
+                              });
+        } else {
+            // Cross-worker state transfer over TCP — the only kind of
+            // control traffic WorkerSP puts on the network.
+            WorkerEngine* peer = peers_[static_cast<size_t>(target_worker)];
+            ctx_.network.sendMessage(
+                ctx_.cluster.worker(static_cast<size_t>(worker_index_))
+                    .netId(),
+                ctx_.cluster.worker(static_cast<size_t>(target_worker))
+                    .netId(),
+                ctx_.config.state_msg_bytes, [peer, &inv, target] {
+                    peer->deliverStateUpdate(inv, target);
+                });
+        }
+    }
+}
+
+void
+WorkerEngine::cleanup(uint64_t invocation_id)
+{
+    state_.erase(invocation_id);
+}
+
+int64_t
+WorkerEngine::memoryFootprint() const
+{
+    int64_t states = 0;
+    for (const auto& [id, nodes] : state_)
+        states += static_cast<int64_t>(nodes.size());
+    return kEngineBaselineMemory + states * kStateStructureBytes;
+}
+
+}  // namespace faasflow::engine

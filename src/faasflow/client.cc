@@ -1,0 +1,71 @@
+#include "faasflow/client.h"
+
+namespace faasflow {
+
+ClosedLoopClient::ClosedLoopClient(System& system, std::string workflow,
+                                   size_t invocations,
+                                   std::function<void()> on_finished)
+    : system_(system), workflow_(std::move(workflow)), target_(invocations),
+      on_finished_(std::move(on_finished))
+{
+}
+
+void
+ClosedLoopClient::start()
+{
+    if (target_ == 0) {
+        if (on_finished_)
+            on_finished_();
+        return;
+    }
+    next();
+}
+
+void
+ClosedLoopClient::next()
+{
+    system_.invoke(workflow_, [this](const engine::InvocationRecord&) {
+        ++completed_;
+        if (completed_ < target_) {
+            next();
+        } else if (on_finished_) {
+            on_finished_();
+        }
+    });
+}
+
+OpenLoopClient::OpenLoopClient(System& system, std::string workflow,
+                               double rate_per_minute, size_t invocations,
+                               Rng rng)
+    : system_(system), workflow_(std::move(workflow)),
+      rate_per_minute_(rate_per_minute), target_(invocations), rng_(rng)
+{
+}
+
+void
+OpenLoopClient::start()
+{
+    if (target_ == 0)
+        return;
+    const double mean_gap_s = 60.0 / rate_per_minute_;
+    scheduleNext(system_.simulator().now() +
+                 SimTime::seconds(rng_.exponential(mean_gap_s)));
+}
+
+void
+OpenLoopClient::scheduleNext(SimTime at)
+{
+    system_.simulator().scheduleAt(at, [this] {
+        ++issued_;
+        system_.invoke(workflow_, [this](const engine::InvocationRecord&) {
+            ++completed_;
+        });
+        if (issued_ < target_) {
+            const double mean_gap_s = 60.0 / rate_per_minute_;
+            scheduleNext(system_.simulator().now() +
+                         SimTime::seconds(rng_.exponential(mean_gap_s)));
+        }
+    });
+}
+
+}  // namespace faasflow

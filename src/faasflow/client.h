@@ -1,0 +1,80 @@
+#ifndef FAASFLOW_FAASFLOW_CLIENT_H_
+#define FAASFLOW_FAASFLOW_CLIENT_H_
+
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "faasflow/system.h"
+
+namespace faasflow {
+
+/**
+ * Closed-loop invocation client (§5.1): sends the next invocation only
+ * after the previous one returned its execution state, so exactly one
+ * invocation of the workflow is in flight at any time. Used by the
+ * scheduling-overhead, data-movement and co-location experiments.
+ */
+class ClosedLoopClient
+{
+  public:
+    /**
+     * @param invocations how many requests to issue in total
+     * @param on_finished optional completion hook (all requests done)
+     */
+    ClosedLoopClient(System& system, std::string workflow,
+                     size_t invocations,
+                     std::function<void()> on_finished = nullptr);
+
+    /** Begins the loop (submits the first invocation). */
+    void start();
+
+    size_t completed() const { return completed_; }
+    bool done() const { return completed_ >= target_; }
+
+  private:
+    System& system_;
+    std::string workflow_;
+    size_t target_;
+    size_t completed_ = 0;
+    std::function<void()> on_finished_;
+
+    void next();
+};
+
+/**
+ * Open-loop Poisson client (§5.4): invocations arrive at a fixed average
+ * rate regardless of completions, so queueing and cold-start effects
+ * surface in the tail. Timed-out invocations are clamped by the System.
+ */
+class OpenLoopClient
+{
+  public:
+    /**
+     * @param rate_per_minute mean arrival rate
+     * @param invocations total arrivals to generate
+     */
+    OpenLoopClient(System& system, std::string workflow,
+                   double rate_per_minute, size_t invocations, Rng rng);
+
+    /** Schedules all arrivals (call once, then run the simulator). */
+    void start();
+
+    size_t completed() const { return completed_; }
+    size_t issued() const { return issued_; }
+
+  private:
+    System& system_;
+    std::string workflow_;
+    double rate_per_minute_;
+    size_t target_;
+    Rng rng_;
+    size_t issued_ = 0;
+    size_t completed_ = 0;
+
+    void scheduleNext(SimTime at);
+};
+
+}  // namespace faasflow
+
+#endif  // FAASFLOW_FAASFLOW_CLIENT_H_

@@ -1,0 +1,73 @@
+#ifndef FAASFLOW_FAASFLOW_CONFIG_H_
+#define FAASFLOW_FAASFLOW_CONFIG_H_
+
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "engine/modes.h"
+#include "engine/runtime_context.h"
+#include "net/network.h"
+#include "scheduler/graph_scheduler.h"
+#include "storage/faastore.h"
+#include "storage/remote_store.h"
+
+namespace faasflow {
+
+/**
+ * Full configuration of one simulated FaaSFlow (or HyperFlow-serverless)
+ * deployment. Defaults mirror the paper's testbed: 7 workers + 1
+ * storage node, 8 cores / 32 GB each, 1-core 256 MB containers with a
+ * 600 s lifetime and a 10-per-function-per-node cap, CouchDB-class
+ * remote store behind a 50 MB/s NIC.
+ */
+struct SystemConfig
+{
+    cluster::Cluster::Config cluster;
+    net::Network::Config network;
+    storage::RemoteStore::Config remote;
+    storage::FaaStore::Config faastore;
+    engine::EngineConfig engine;
+    scheduler::GraphScheduler::Config scheduler;
+
+    /** CONTROL_MODE: who triggers functions. */
+    engine::ControlMode control_mode = engine::ControlMode::WorkerSP;
+
+    /** DATA_MODE: whether FaaStore may localize intermediate data. */
+    engine::DataMode data_mode = engine::DataMode::FaaStore;
+
+    /** Open-loop execution timeout (§5.4): latency is clamped here. */
+    SimTime invocation_timeout = SimTime::seconds(60);
+
+    /** Root seed; every stochastic component derives from it. */
+    uint64_t seed = 1;
+
+    /** Convenience: the paper's HyperFlow-serverless baseline. */
+    static SystemConfig
+    hyperflowServerless()
+    {
+        SystemConfig config;
+        config.control_mode = engine::ControlMode::MasterSP;
+        config.data_mode = engine::DataMode::RemoteOnly;
+        return config;
+    }
+
+    /** Convenience: FaaSFlow with FaaStore enabled (the full system). */
+    static SystemConfig
+    faasflowFaastore()
+    {
+        return SystemConfig{};
+    }
+
+    /** Convenience: FaaSFlow with the database-only data path. */
+    static SystemConfig
+    faasflowRemoteOnly()
+    {
+        SystemConfig config;
+        config.data_mode = engine::DataMode::RemoteOnly;
+        return config;
+    }
+};
+
+}  // namespace faasflow
+
+#endif  // FAASFLOW_FAASFLOW_CONFIG_H_

@@ -1,0 +1,334 @@
+#include "faasflow/system.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "workflow/analysis.h"
+
+namespace faasflow {
+
+System::System(SystemConfig config)
+    : config_(config), rng_(config.seed)
+{
+    sim_ = std::make_unique<sim::Simulator>();
+    network_ = std::make_unique<net::Network>(*sim_, config_.network);
+    cluster_ = std::make_unique<cluster::Cluster>(
+        *sim_, *network_, registry_, config_.cluster, rng_.split());
+    remote_ = std::make_unique<storage::RemoteStore>(
+        *sim_, *network_, cluster_->storageNodeId(), config_.remote);
+
+    for (size_t w = 0; w < cluster_->workerCount(); ++w) {
+        stores_.push_back(std::make_unique<storage::FaaStore>(
+            *sim_, cluster_->worker(w), *remote_, config_.faastore));
+    }
+
+    std::vector<storage::FaaStore*> store_ptrs;
+    for (auto& s : stores_)
+        store_ptrs.push_back(s.get());
+    ctx_ = std::make_unique<engine::RuntimeContext>(engine::RuntimeContext{
+        *sim_, *network_, *cluster_, std::move(store_ptrs), *remote_,
+        registry_, config_.engine, config_.data_mode, &trace_});
+
+    // Both engine stacks are constructed; control_mode selects which one
+    // invocations flow through, so ablations can flip modes per System.
+    for (size_t w = 0; w < cluster_->workerCount(); ++w) {
+        worker_engines_.push_back(std::make_unique<engine::WorkerEngine>(
+            *ctx_, static_cast<int>(w), rng_.split()));
+        agents_.push_back(std::make_unique<engine::ExecutorAgent>(
+            *ctx_, static_cast<int>(w), rng_.split()));
+    }
+    std::vector<engine::WorkerEngine*> peers;
+    for (auto& e : worker_engines_)
+        peers.push_back(e.get());
+    for (auto& e : worker_engines_) {
+        e->setPeers(peers);
+        e->setSinkNotifier(
+            [this](engine::Invocation& inv) { onSinkComplete(inv); });
+    }
+    master_engine_ =
+        std::make_unique<engine::MasterEngine>(*ctx_, rng_.split());
+    std::vector<engine::ExecutorAgent*> agent_ptrs;
+    for (auto& a : agents_)
+        agent_ptrs.push_back(a.get());
+    master_engine_->setAgents(std::move(agent_ptrs));
+    master_engine_->setSinkNotifier(
+        [this](engine::Invocation& inv) { onSinkComplete(inv); });
+
+    graph_scheduler_ = std::make_unique<scheduler::GraphScheduler>(
+        registry_, config_.scheduler);
+}
+
+System::~System() = default;
+
+void
+System::registerFunctions(const std::vector<cluster::FunctionSpec>& specs)
+{
+    for (const auto& spec : specs) {
+        if (!registry_.contains(spec.name))
+            registry_.add(spec);
+    }
+}
+
+std::string
+System::deploy(workflow::Dag dag)
+{
+    const auto placement = graph_scheduler_->initialPlacement(
+        dag, static_cast<int>(cluster_->workerCount()));
+    return deploy(std::move(dag), placement);
+}
+
+std::string
+System::deploy(workflow::Dag dag, scheduler::Placement placement)
+{
+    const auto check = workflow::validate(dag);
+    if (!check.ok)
+        fatal("deploy('%s'): %s", dag.name().c_str(), check.error.c_str());
+    for (const auto& node : dag.nodes()) {
+        if (node.isTask() && !registry_.contains(node.function)) {
+            fatal("deploy('%s'): function '%s' is not registered",
+                  dag.name().c_str(), node.function.c_str());
+        }
+    }
+    const std::string name = dag.name();
+    if (workflows_.count(name))
+        fatal("workflow '%s' already deployed", name.c_str());
+
+    auto state = std::make_unique<WorkflowState>();
+    state->wf.name = name;
+    state->wf.dag = std::move(dag);
+    state->wf.placement =
+        std::make_shared<const scheduler::Placement>(std::move(placement));
+    state->wf.feedback = &state->feedback;
+    allocateStorePools(*state);
+    workflows_.emplace(name, std::move(state));
+    return name;
+}
+
+void
+System::allocateStorePools(WorkflowState& state)
+{
+    if (config_.data_mode != engine::DataMode::FaaStore)
+        return;
+    const auto& dag = state.wf.dag;
+    const auto& placement = *state.wf.placement;
+    const int64_t headroom = config_.faastore.headroom;
+    for (size_t w = 0; w < cluster_->workerCount(); ++w) {
+        int64_t quota = 0;
+        for (const auto& node : dag.nodes()) {
+            if (!node.isTask() ||
+                placement.workerOf(node.id) != static_cast<int>(w)) {
+                continue;
+            }
+            const auto& spec = registry_.get(node.function);
+            const double map_factor =
+                node.foreach_width > 1
+                    ? std::max<double>(node.foreach_width,
+                                       state.feedback.map(node.name))
+                    : 1.0;
+            quota += storage::FaaStore::overProvision(spec, map_factor,
+                                                      headroom);
+        }
+        if (!stores_[w]->allocatePool(state.wf.name, quota)) {
+            FAAS_WARN("worker %zu cannot back FaaStore pool of %s (%lld B)",
+                      w, state.wf.name.c_str(),
+                      static_cast<long long>(quota));
+        }
+    }
+}
+
+System::WorkflowState&
+System::stateOf(const std::string& workflow)
+{
+    const auto it = workflows_.find(workflow);
+    if (it == workflows_.end())
+        fatal("unknown workflow '%s'", workflow.c_str());
+    return *it->second;
+}
+
+const engine::DeployedWorkflow&
+System::deployed(const std::string& name) const
+{
+    const auto it = workflows_.find(name);
+    if (it == workflows_.end())
+        fatal("unknown workflow '%s'", name.c_str());
+    return it->second->wf;
+}
+
+scheduler::RuntimeFeedback&
+System::feedback(const std::string& name)
+{
+    return stateOf(name).feedback;
+}
+
+std::vector<int>
+System::workerCapacities() const
+{
+    std::vector<int> caps;
+    for (size_t w = 0; w < cluster_->workerCount(); ++w) {
+        const int by_memory = cluster_->worker(w).containerCapacityLeft(
+            config_.scheduler.container_size);
+        caps.push_back(std::min(by_memory, config_.scheduler.capacity_cap));
+    }
+    return caps;
+}
+
+void
+System::repartition(const std::string& workflow)
+{
+    WorkflowState& state = stateOf(workflow);
+    const auto old_placement = state.wf.placement;
+
+    scheduler::Placement next = graph_scheduler_->iterate(
+        state.wf.dag, state.feedback, workerCapacities(),
+        old_placement->version);
+
+    // Red-black switch (§4.2.2): recycle containers of every function
+    // that moved off its old worker; in-flight invocations keep their
+    // placement snapshot and drain naturally.
+    for (const auto& node : state.wf.dag.nodes()) {
+        if (!node.isTask())
+            continue;
+        const int old_worker = old_placement->workerOf(node.id);
+        if (next.workerOf(node.id) != old_worker) {
+            cluster_->worker(static_cast<size_t>(old_worker))
+                .pool()
+                .recycleFunction(node.function);
+        }
+    }
+
+    state.wf.placement =
+        std::make_shared<const scheduler::Placement>(std::move(next));
+    allocateStorePools(state);
+    state.feedback.clear();
+}
+
+uint64_t
+System::invoke(const std::string& workflow,
+               std::function<void(const engine::InvocationRecord&)> on_result)
+{
+    WorkflowState& state = stateOf(workflow);
+    const auto& dag = state.wf.dag;
+
+    auto inv = std::make_unique<engine::Invocation>();
+    engine::Invocation& ref = *inv;
+    ref.id = next_invocation_id_++;
+    ref.wf = &state.wf;
+    ref.placement = state.wf.placement;
+    ref.node_exec.assign(dag.nodeCount(), SimTime::zero());
+    ref.node_skipped.assign(dag.nodeCount(), false);
+    ref.sinks_remaining = workflow::sinkNodes(dag).size();
+    ref.record.invocation_id = ref.id;
+    ref.record.workflow = workflow;
+    ref.record.submit = sim_->now();
+    ref.on_complete = std::move(on_result);
+    invocations_.emplace(ref.id, std::move(inv));
+
+    // Timeout watchdog (§5.4): when the deadline passes first, deliver a
+    // clamped record; the invocation itself drains silently afterwards.
+    const uint64_t id = ref.id;
+    sim_->schedule(config_.invocation_timeout, [this, id] {
+        const auto it = invocations_.find(id);
+        if (it == invocations_.end() || it->second->record_delivered)
+            return;
+        deliverRecord(*it->second, true);
+    });
+
+    if (config_.control_mode == engine::ControlMode::MasterSP) {
+        master_engine_->invoke(ref);
+    } else {
+        // The client reaches each source node's worker engine directly.
+        for (const workflow::NodeId source : workflow::sourceNodes(dag)) {
+            const int worker = ref.placement->workerOf(source);
+            engine::WorkerEngine* eng =
+                worker_engines_[static_cast<size_t>(worker)].get();
+            network_->sendMessage(
+                cluster_->storageNodeId(),
+                cluster_->worker(static_cast<size_t>(worker)).netId(),
+                config_.engine.assign_msg_bytes,
+                [eng, &ref, source] { eng->startSource(ref, source); });
+        }
+    }
+    return id;
+}
+
+void
+System::onSinkComplete(engine::Invocation& inv)
+{
+    if (inv.sinks_remaining == 0)
+        panic("sink completion underflow for invocation %llu",
+              static_cast<unsigned long long>(inv.id));
+    if (--inv.sinks_remaining == 0) {
+        inv.finished = true;
+        finalize(inv);
+    }
+}
+
+void
+System::deliverRecord(engine::Invocation& inv, bool timed_out)
+{
+    if (inv.record_delivered)
+        return;
+    inv.record_delivered = true;
+    inv.record.timed_out = timed_out;
+    inv.record.finish = timed_out
+                            ? inv.record.submit + config_.invocation_timeout
+                            : sim_->now();
+    inv.record.critical_exec =
+        engine::actualCriticalExec(inv.wf->dag, inv.node_exec);
+    trace_.span("invocation",
+                strFormat("%s#%llu", inv.record.workflow.c_str(),
+                          static_cast<unsigned long long>(inv.id)),
+                static_cast<int>(engine::TraceTrack::Client),
+                inv.record.submit, inv.record.finish,
+                timed_out ? "timeout" : "");
+    metrics_.add(inv.record);
+    if (inv.on_complete)
+        inv.on_complete(inv.record);
+}
+
+void
+System::finalize(engine::Invocation& inv)
+{
+    deliverRecord(inv, false);
+
+    // Drop intermediate objects and engine state (§4.2.1).
+    const auto& dag = inv.wf->dag;
+    for (const auto& node : dag.nodes()) {
+        if (!node.isTask())
+            continue;
+        const std::string key = engine::dataKey(inv, node.id);
+        const int worker = inv.placement->workerOf(node.id);
+        stores_[static_cast<size_t>(worker)]->drop(inv.wf->name, key);
+    }
+    for (auto& eng : worker_engines_)
+        eng->cleanup(inv.id);
+    master_engine_->cleanup(inv.id);
+    invocations_.erase(inv.id);
+}
+
+void
+System::run()
+{
+    sim_->run();
+}
+
+void
+System::runFor(SimTime span)
+{
+    sim_->runUntil(sim_->now() + span);
+}
+
+double
+System::workerEngineUtilisation(size_t worker) const
+{
+    return worker_engines_[worker]->cpuUsage();
+}
+
+int64_t
+System::workerEngineMemory(size_t worker) const
+{
+    return worker_engines_[worker]->memoryFootprint();
+}
+
+}  // namespace faasflow

@@ -1,0 +1,141 @@
+#ifndef FAASFLOW_FAASFLOW_SYSTEM_H_
+#define FAASFLOW_FAASFLOW_SYSTEM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/master_engine.h"
+#include "engine/metrics.h"
+#include "engine/trace.h"
+#include "engine/types.h"
+#include "engine/worker_engine.h"
+#include "faasflow/config.h"
+#include "workflow/wdl.h"
+
+namespace faasflow {
+
+/**
+ * The top-level facade: one simulated serverless-workflow deployment.
+ *
+ * Owns the simulator, network, cluster, stores, engines and the Graph
+ * Scheduler; exposes workflow deployment, invocation, feedback-driven
+ * repartitioning (with red-black container recycling), and metrics.
+ *
+ * Typical use:
+ *
+ *   System system(SystemConfig::faasflowFaastore());
+ *   system.registerFunctions(wdl.functions);
+ *   system.deploy(std::move(wdl.dag));
+ *   system.invoke("my-flow", [](const engine::InvocationRecord& r) { ... });
+ *   system.run();
+ */
+class System
+{
+  public:
+    explicit System(SystemConfig config);
+    ~System();
+
+    System(const System&) = delete;
+    System& operator=(const System&) = delete;
+
+    /** Registers function specs (usually from a parsed WDL document). */
+    void registerFunctions(const std::vector<cluster::FunctionSpec>& specs);
+
+    /**
+     * Deploys a workflow with the first-iteration hash placement
+     * (§4.1.2). Returns the workflow name.
+     */
+    std::string deploy(workflow::Dag dag);
+
+    /** Deploys with an explicit placement (tests/ablations). */
+    std::string deploy(workflow::Dag dag, scheduler::Placement placement);
+
+    /**
+     * Runs one partition iteration for a deployed workflow: Algorithm 1
+     * over the collected runtime feedback, followed by a red-black
+     * switch (stale containers recycled, FaaStore pools resized).
+     */
+    void repartition(const std::string& workflow);
+
+    /**
+     * Submits an invocation. `on_result` fires exactly once: at
+     * completion, or at the execution timeout with a clamped record.
+     */
+    uint64_t invoke(const std::string& workflow,
+                    std::function<void(const engine::InvocationRecord&)>
+                        on_result = nullptr);
+
+    /** Drives the simulation until no events remain. */
+    void run();
+
+    /** Drives the simulation for a fixed span of simulated time. */
+    void runFor(SimTime span);
+
+    sim::Simulator& simulator() { return *sim_; }
+    net::Network& network() { return *network_; }
+    cluster::Cluster& cluster() { return *cluster_; }
+    cluster::FunctionRegistry& registry() { return registry_; }
+    storage::RemoteStore& remoteStore() { return *remote_; }
+    storage::FaaStore& store(size_t worker) { return *stores_[worker]; }
+    engine::MetricsCollector& metrics() { return metrics_; }
+    scheduler::GraphScheduler& graphScheduler() { return *graph_scheduler_; }
+    const SystemConfig& config() const { return config_; }
+
+    const engine::DeployedWorkflow& deployed(const std::string& name) const;
+    scheduler::RuntimeFeedback& feedback(const std::string& name);
+
+    /** Activity recorder; call trace().enable() before invoking to
+     *  collect Chrome-trace timelines of every span. */
+    engine::TraceRecorder& trace() { return trace_; }
+
+    /** Per-worker engine utilisation/footprint (§5.7); WorkerSP only. */
+    double workerEngineUtilisation(size_t worker) const;
+    int64_t workerEngineMemory(size_t worker) const;
+
+    /** Live invocations (for load-shedding checks in tests). */
+    size_t inFlight() const { return invocations_.size(); }
+
+  private:
+    struct WorkflowState
+    {
+        engine::DeployedWorkflow wf;
+        scheduler::RuntimeFeedback feedback;
+    };
+
+    SystemConfig config_;
+    cluster::FunctionRegistry registry_;
+    std::unique_ptr<sim::Simulator> sim_;
+    std::unique_ptr<net::Network> network_;
+    std::unique_ptr<cluster::Cluster> cluster_;
+    std::unique_ptr<storage::RemoteStore> remote_;
+    std::vector<std::unique_ptr<storage::FaaStore>> stores_;
+    std::unique_ptr<engine::RuntimeContext> ctx_;
+
+    // WorkerSP components.
+    std::vector<std::unique_ptr<engine::WorkerEngine>> worker_engines_;
+    // MasterSP components.
+    std::unique_ptr<engine::MasterEngine> master_engine_;
+    std::vector<std::unique_ptr<engine::ExecutorAgent>> agents_;
+
+    std::unique_ptr<scheduler::GraphScheduler> graph_scheduler_;
+    std::map<std::string, std::unique_ptr<WorkflowState>> workflows_;
+    std::map<uint64_t, std::unique_ptr<engine::Invocation>> invocations_;
+    engine::MetricsCollector metrics_;
+    engine::TraceRecorder trace_;
+    Rng rng_;
+    uint64_t next_invocation_id_ = 1;
+
+    void allocateStorePools(WorkflowState& state);
+    void onSinkComplete(engine::Invocation& inv);
+    void finalize(engine::Invocation& inv);
+    void deliverRecord(engine::Invocation& inv, bool timed_out);
+    std::vector<int> workerCapacities() const;
+    WorkflowState& stateOf(const std::string& workflow);
+};
+
+}  // namespace faasflow
+
+#endif  // FAASFLOW_FAASFLOW_SYSTEM_H_

@@ -1,0 +1,633 @@
+#include "json/json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace faasflow::json {
+
+Value::Value(Array a)
+    : kind_(Kind::ArrayKind), array_(std::make_shared<Array>(std::move(a)))
+{
+}
+
+Value::Value(Object o)
+    : kind_(Kind::ObjectKind), object_(std::make_shared<Object>(std::move(o)))
+{
+}
+
+bool
+Value::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        fatal("json: asBool on non-bool value");
+    return bool_;
+}
+
+int64_t
+Value::asInt() const
+{
+    if (kind_ != Kind::Int)
+        fatal("json: asInt on non-int value");
+    return int_;
+}
+
+double
+Value::asDouble() const
+{
+    if (kind_ == Kind::Int)
+        return static_cast<double>(int_);
+    if (kind_ != Kind::Double)
+        fatal("json: asDouble on non-numeric value");
+    return double_;
+}
+
+const std::string&
+Value::asString() const
+{
+    if (kind_ != Kind::String)
+        fatal("json: asString on non-string value");
+    return str_;
+}
+
+const Array&
+Value::asArray() const
+{
+    if (kind_ != Kind::ArrayKind)
+        fatal("json: asArray on non-array value");
+    return *array_;
+}
+
+Array&
+Value::asArray()
+{
+    if (kind_ != Kind::ArrayKind)
+        fatal("json: asArray on non-array value");
+    return *array_;
+}
+
+const Object&
+Value::asObject() const
+{
+    if (kind_ != Kind::ObjectKind)
+        fatal("json: asObject on non-object value");
+    return *object_;
+}
+
+Object&
+Value::asObject()
+{
+    if (kind_ != Kind::ObjectKind)
+        fatal("json: asObject on non-object value");
+    return *object_;
+}
+
+std::optional<bool>
+Value::tryBool() const
+{
+    if (kind_ == Kind::Bool)
+        return bool_;
+    return std::nullopt;
+}
+
+std::optional<int64_t>
+Value::tryInt() const
+{
+    if (kind_ == Kind::Int)
+        return int_;
+    return std::nullopt;
+}
+
+std::optional<double>
+Value::tryDouble() const
+{
+    if (kind_ == Kind::Int)
+        return static_cast<double>(int_);
+    if (kind_ == Kind::Double)
+        return double_;
+    return std::nullopt;
+}
+
+std::optional<std::string>
+Value::tryString() const
+{
+    if (kind_ == Kind::String)
+        return str_;
+    return std::nullopt;
+}
+
+const Value*
+Value::find(std::string_view key) const
+{
+    if (kind_ != Kind::ObjectKind)
+        return nullptr;
+    for (const auto& [k, v] : *object_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+bool
+Value::getOr(std::string_view key, bool def) const
+{
+    const Value* v = find(key);
+    return v && v->isBool() ? v->asBool() : def;
+}
+
+int64_t
+Value::getOr(std::string_view key, int64_t def) const
+{
+    const Value* v = find(key);
+    return v && v->isInt() ? v->asInt() : def;
+}
+
+double
+Value::getOr(std::string_view key, double def) const
+{
+    const Value* v = find(key);
+    return v && v->isNumber() ? v->asDouble() : def;
+}
+
+std::string
+Value::getOr(std::string_view key, const std::string& def) const
+{
+    const Value* v = find(key);
+    return v && v->isString() ? v->asString() : def;
+}
+
+void
+Value::push(Value v)
+{
+    asArray().push_back(std::move(v));
+}
+
+void
+Value::set(std::string key, Value v)
+{
+    Object& obj = asObject();
+    for (auto& [k, existing] : obj) {
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    obj.emplace_back(std::move(key), std::move(v));
+}
+
+bool
+Value::operator==(const Value& other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null: return true;
+      case Kind::Bool: return bool_ == other.bool_;
+      case Kind::Int: return int_ == other.int_;
+      case Kind::Double: return double_ == other.double_;
+      case Kind::String: return str_ == other.str_;
+      case Kind::ArrayKind: return *array_ == *other.array_;
+      case Kind::ObjectKind: return *object_ == *other.object_;
+    }
+    return false;
+}
+
+namespace {
+
+void
+escapeString(std::string& out, const std::string& s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+newlineIndent(std::string& out, int indent, int depth)
+{
+    if (indent > 0) {
+        out += '\n';
+        out.append(static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+    }
+}
+
+}  // namespace
+
+void
+Value::dumpTo(std::string& out, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Int: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(int_));
+        out += buf;
+        break;
+      }
+      case Kind::Double: {
+        char buf[48];
+        if (std::isfinite(double_)) {
+            std::snprintf(buf, sizeof(buf), "%.17g", double_);
+        } else {
+            // JSON has no Inf/NaN; emit null like most serialisers.
+            std::snprintf(buf, sizeof(buf), "null");
+        }
+        out += buf;
+        break;
+      }
+      case Kind::String:
+        escapeString(out, str_);
+        break;
+      case Kind::ArrayKind: {
+        if (array_->empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        bool first = true;
+        for (const Value& v : *array_) {
+            if (!first)
+                out += indent > 0 ? "," : ",";
+            first = false;
+            newlineIndent(out, indent, depth + 1);
+            v.dumpTo(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += ']';
+        break;
+      }
+      case Kind::ObjectKind: {
+        if (object_->empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto& [k, v] : *object_) {
+            if (!first)
+                out += ",";
+            first = false;
+            newlineIndent(out, indent, depth + 1);
+            escapeString(out, k);
+            out += indent > 0 ? ": " : ":";
+            v.dumpTo(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string_view, tracking line numbers
+ *  for error reporting. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    ParseResult run();
+
+  private:
+    std::string_view text_;
+    size_t pos_ = 0;
+    size_t line_ = 1;
+    std::string error_;
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    char
+    advance()
+    {
+        const char c = text_[pos_++];
+        if (c == '\n')
+            ++line_;
+        return c;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (!atEnd()) {
+            const char c = peek();
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+                advance();
+            } else {
+                break;
+            }
+        }
+    }
+
+    bool
+    fail(const std::string& msg)
+    {
+        if (error_.empty())
+            error_ = msg;
+        return false;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (atEnd() || peek() != c)
+            return fail(std::string("expected '") + c + "'");
+        advance();
+        return true;
+    }
+
+    bool parseValue(Value& out);
+    bool parseString(std::string& out);
+    bool parseNumber(Value& out);
+    bool parseArray(Value& out);
+    bool parseObject(Value& out);
+    bool parseLiteral(std::string_view word, Value v, Value& out);
+};
+
+bool
+Parser::parseLiteral(std::string_view word, Value v, Value& out)
+{
+    if (text_.substr(pos_, word.size()) != word)
+        return fail("invalid literal");
+    pos_ += word.size();
+    out = std::move(v);
+    return true;
+}
+
+bool
+Parser::parseString(std::string& out)
+{
+    if (!expect('"'))
+        return false;
+    out.clear();
+    while (true) {
+        if (atEnd())
+            return fail("unterminated string");
+        char c = advance();
+        if (c == '"')
+            return true;
+        if (c == '\\') {
+            if (atEnd())
+                return fail("unterminated escape");
+            const char e = advance();
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = advance();
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') {
+                        code |= static_cast<unsigned>(h - '0');
+                    } else if (h >= 'a' && h <= 'f') {
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    } else if (h >= 'A' && h <= 'F') {
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    } else {
+                        return fail("bad hex digit in \\u escape");
+                    }
+                }
+                // Encode as UTF-8 (surrogate pairs unsupported: BMP only,
+                // which covers workflow names).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape character");
+            }
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            return fail("raw control character in string");
+        } else {
+            out += c;
+        }
+    }
+}
+
+bool
+Parser::parseNumber(Value& out)
+{
+    const size_t start = pos_;
+    bool is_double = false;
+    if (!atEnd() && peek() == '-')
+        advance();
+    if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("invalid number");
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    if (!atEnd() && peek() == '.') {
+        is_double = true;
+        advance();
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("digit required after decimal point");
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+            advance();
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+        is_double = true;
+        advance();
+        if (!atEnd() && (peek() == '+' || peek() == '-'))
+            advance();
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("digit required in exponent");
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+            advance();
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (is_double) {
+        out = Value(std::strtod(token.c_str(), nullptr));
+    } else {
+        errno = 0;
+        const long long v = std::strtoll(token.c_str(), nullptr, 10);
+        if (errno == ERANGE) {
+            out = Value(std::strtod(token.c_str(), nullptr));
+        } else {
+            out = Value(static_cast<int64_t>(v));
+        }
+    }
+    return true;
+}
+
+bool
+Parser::parseArray(Value& out)
+{
+    advance();  // '['
+    Array arr;
+    skipWhitespace();
+    if (!atEnd() && peek() == ']') {
+        advance();
+        out = Value(std::move(arr));
+        return true;
+    }
+    while (true) {
+        Value v;
+        skipWhitespace();
+        if (!parseValue(v))
+            return false;
+        arr.push_back(std::move(v));
+        skipWhitespace();
+        if (atEnd())
+            return fail("unterminated array");
+        const char c = advance();
+        if (c == ']')
+            break;
+        if (c != ',')
+            return fail("expected ',' or ']' in array");
+    }
+    out = Value(std::move(arr));
+    return true;
+}
+
+bool
+Parser::parseObject(Value& out)
+{
+    advance();  // '{'
+    Object obj;
+    skipWhitespace();
+    if (!atEnd() && peek() == '}') {
+        advance();
+        out = Value(std::move(obj));
+        return true;
+    }
+    while (true) {
+        skipWhitespace();
+        std::string key;
+        if (!parseString(key))
+            return false;
+        skipWhitespace();
+        if (!expect(':'))
+            return false;
+        skipWhitespace();
+        Value v;
+        if (!parseValue(v))
+            return false;
+        obj.emplace_back(std::move(key), std::move(v));
+        skipWhitespace();
+        if (atEnd())
+            return fail("unterminated object");
+        const char c = advance();
+        if (c == '}')
+            break;
+        if (c != ',')
+            return fail("expected ',' or '}' in object");
+    }
+    out = Value(std::move(obj));
+    return true;
+}
+
+bool
+Parser::parseValue(Value& out)
+{
+    skipWhitespace();
+    if (atEnd())
+        return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parseObject(out);
+      case '[': return parseArray(out);
+      case '"': {
+        std::string s;
+        if (!parseString(s))
+            return false;
+        out = Value(std::move(s));
+        return true;
+      }
+      case 't': return parseLiteral("true", Value(true), out);
+      case 'f': return parseLiteral("false", Value(false), out);
+      case 'n': return parseLiteral("null", Value(nullptr), out);
+      default: return parseNumber(out);
+    }
+}
+
+ParseResult
+Parser::run()
+{
+    ParseResult result;
+    Value v;
+    if (!parseValue(v)) {
+        result.error = error_.empty() ? "parse error" : error_;
+        result.line = line_;
+        return result;
+    }
+    skipWhitespace();
+    if (!atEnd()) {
+        result.error = "trailing characters after JSON document";
+        result.line = line_;
+        return result;
+    }
+    result.value = std::move(v);
+    return result;
+}
+
+}  // namespace
+
+ParseResult
+parse(std::string_view text)
+{
+    return Parser(text).run();
+}
+
+Value
+parseOrDie(std::string_view text)
+{
+    ParseResult r = parse(text);
+    if (!r.ok())
+        fatal("json parse failed at line %zu: %s", r.line, r.error.c_str());
+    return std::move(*r.value);
+}
+
+}  // namespace faasflow::json

@@ -1,0 +1,129 @@
+#ifndef FAASFLOW_JSON_JSON_H_
+#define FAASFLOW_JSON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faasflow::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/** Ordered map: workflow definitions care about declaration order of steps. */
+using Object = std::vector<std::pair<std::string, Value>>;
+
+/** JSON value kinds. Integers are kept distinct from doubles so byte
+ *  counts survive a round trip exactly. */
+enum class Kind { Null, Bool, Int, Double, String, ArrayKind, ObjectKind };
+
+/**
+ * A dynamically-typed JSON value.
+ *
+ * This is the interchange format between the YAML-subset parser, the
+ * Workflow Definition Language (WDL) front end, and test fixtures. The
+ * accessors come in two flavours: checked (asInt() fatals on kind
+ * mismatch — parser-internal bugs) and optional (tryInt()).
+ */
+class Value
+{
+  public:
+    Value() : kind_(Kind::Null) {}
+    Value(std::nullptr_t) : kind_(Kind::Null) {}
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(int i) : kind_(Kind::Int), int_(i) {}
+    Value(int64_t i) : kind_(Kind::Int), int_(i) {}
+    Value(double d) : kind_(Kind::Double), double_(d) {}
+    Value(const char* s) : kind_(Kind::String), str_(s) {}
+    Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    Value(Array a);
+    Value(Object o);
+
+    /** Named constructors for empty containers. */
+    static Value array() { return Value(Array{}); }
+    static Value object() { return Value(Object{}); }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isInt() const { return kind_ == Kind::Int; }
+    bool isDouble() const { return kind_ == Kind::Double; }
+    bool isNumber() const { return isInt() || isDouble(); }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::ArrayKind; }
+    bool isObject() const { return kind_ == Kind::ObjectKind; }
+
+    bool asBool() const;
+    int64_t asInt() const;
+    /** Numeric accessor: returns ints widened to double too. */
+    double asDouble() const;
+    const std::string& asString() const;
+    const Array& asArray() const;
+    Array& asArray();
+    const Object& asObject() const;
+    Object& asObject();
+
+    std::optional<bool> tryBool() const;
+    std::optional<int64_t> tryInt() const;
+    std::optional<double> tryDouble() const;
+    std::optional<std::string> tryString() const;
+
+    /** Object field lookup; nullptr when absent or not an object. */
+    const Value* find(std::string_view key) const;
+
+    /** Object field lookup with a default when absent. */
+    bool getOr(std::string_view key, bool def) const;
+    int64_t getOr(std::string_view key, int64_t def) const;
+    double getOr(std::string_view key, double def) const;
+    std::string getOr(std::string_view key, const std::string& def) const;
+
+    /** Appends to an array value (must be an array). */
+    void push(Value v);
+
+    /** Sets/overwrites an object field (must be an object). */
+    void set(std::string key, Value v);
+
+    /** Structural equality; Int(3) != Double(3.0) by design. */
+    bool operator==(const Value& other) const;
+
+    /**
+     * Serialises to JSON text.
+     * @param indent spaces per nesting level; 0 emits compact one-line JSON.
+     */
+    std::string dump(int indent = 0) const;
+
+  private:
+    Kind kind_;
+    bool bool_ = false;
+    int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string str_;
+    std::shared_ptr<Array> array_;
+    std::shared_ptr<Object> object_;
+
+    void dumpTo(std::string& out, int indent, int depth) const;
+};
+
+/** Result of parsing: either a value or a position-annotated error. */
+struct ParseResult
+{
+    std::optional<Value> value;
+    std::string error;  ///< empty on success
+    size_t line = 0;    ///< 1-based line of the error
+
+    bool ok() const { return value.has_value(); }
+};
+
+/** Parses a complete JSON document; trailing garbage is an error. */
+ParseResult parse(std::string_view text);
+
+/** Parses and fatals on error — for compiled-in fixtures only. */
+Value parseOrDie(std::string_view text);
+
+}  // namespace faasflow::json
+
+#endif  // FAASFLOW_JSON_JSON_H_

@@ -1,0 +1,267 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace faasflow::net {
+
+namespace {
+
+/** Flows this close to done (bytes) are considered complete; guards
+ *  against floating-point residue stalling the completion event. */
+constexpr double kDrainEpsilon = 0.5;
+
+}  // namespace
+
+Network::Network(sim::Simulator& sim) : Network(sim, Config{}) {}
+
+Network::Network(sim::Simulator& sim, Config config)
+    : sim_(sim), config_(config)
+{
+}
+
+NodeId
+Network::addNode(std::string name, double egress_bw, double ingress_bw)
+{
+    if (egress_bw <= 0.0 || ingress_bw <= 0.0)
+        fatal("net: node '%s' needs positive NIC bandwidth", name.c_str());
+    nodes_.push_back(Node{std::move(name), egress_bw, ingress_bw, {}});
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void
+Network::checkNode(NodeId id) const
+{
+    if (id < 0 || static_cast<size_t>(id) >= nodes_.size())
+        panic("net: invalid node id %d", id);
+}
+
+const std::string&
+Network::nodeName(NodeId id) const
+{
+    checkNode(id);
+    return nodes_[static_cast<size_t>(id)].name;
+}
+
+void
+Network::setNicBandwidth(NodeId id, double egress_bw, double ingress_bw)
+{
+    checkNode(id);
+    if (egress_bw <= 0.0 || ingress_bw <= 0.0)
+        fatal("net: NIC bandwidth must stay positive");
+    advanceProgress();
+    nodes_[static_cast<size_t>(id)].egress_bw = egress_bw;
+    nodes_[static_cast<size_t>(id)].ingress_bw = ingress_bw;
+    recomputeRates();
+    completeAndReschedule();
+}
+
+void
+Network::sendMessage(NodeId src, NodeId dst, int64_t bytes,
+                     std::function<void()> on_delivered)
+{
+    checkNode(src);
+    checkNode(dst);
+    auto& sn = nodes_[static_cast<size_t>(src)];
+    sn.stats.messages_sent++;
+    sn.stats.bytes_sent += bytes;
+    nodes_[static_cast<size_t>(dst)].stats.bytes_received += bytes;
+
+    const SimTime base =
+        (src == dst) ? config_.loopback_latency : config_.hop_latency;
+    const SimTime serialisation =
+        SimTime::seconds(static_cast<double>(bytes) / config_.message_bandwidth);
+    sim_.schedule(base + serialisation, std::move(on_delivered));
+}
+
+FlowId
+Network::startFlow(NodeId src, NodeId dst, int64_t bytes,
+                   std::function<void(SimTime)> on_complete)
+{
+    checkNode(src);
+    checkNode(dst);
+    if (src == dst)
+        panic("net: same-node bulk flow (use local storage instead)");
+    if (bytes < 0)
+        panic("net: negative flow size");
+
+    auto& sn = nodes_[static_cast<size_t>(src)];
+    sn.stats.flows_started++;
+    sn.stats.bytes_sent += bytes;
+    nodes_[static_cast<size_t>(dst)].stats.bytes_received += bytes;
+
+    const FlowId id{next_flow_id_++};
+    advanceProgress();
+    Flow flow;
+    flow.id = id;
+    flow.src = src;
+    flow.dst = dst;
+    flow.remaining = static_cast<double>(bytes);
+    flow.start = sim_.now();
+    flow.on_complete = std::move(on_complete);
+    flows_.emplace(id.value, std::move(flow));
+    recomputeRates();
+    completeAndReschedule();
+    return id;
+}
+
+double
+Network::flowRate(FlowId id) const
+{
+    const auto it = flows_.find(id.value);
+    return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+const NicStats&
+Network::stats(NodeId id) const
+{
+    checkNode(id);
+    return nodes_[static_cast<size_t>(id)].stats;
+}
+
+void
+Network::advanceProgress()
+{
+    const SimTime now = sim_.now();
+    const double elapsed = (now - last_update_).secondsF();
+    if (elapsed > 0.0) {
+        for (auto& [id, flow] : flows_) {
+            flow.remaining =
+                std::max(0.0, flow.remaining - flow.rate * elapsed);
+        }
+    }
+    last_update_ = now;
+}
+
+void
+Network::recomputeRates()
+{
+    // Progressive filling: repeatedly saturate the NIC capacity whose fair
+    // share is smallest, freezing its flows at that rate.
+    const size_t n = nodes_.size();
+    std::vector<double> egress_left(n), ingress_left(n);
+    std::vector<int> egress_flows(n, 0), ingress_flows(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        egress_left[i] = nodes_[i].egress_bw;
+        ingress_left[i] = nodes_[i].ingress_bw;
+    }
+
+    std::vector<Flow*> unfrozen;
+    unfrozen.reserve(flows_.size());
+    for (auto& [id, flow] : flows_) {
+        flow.rate = 0.0;
+        unfrozen.push_back(&flow);
+        egress_flows[static_cast<size_t>(flow.src)]++;
+        ingress_flows[static_cast<size_t>(flow.dst)]++;
+    }
+
+    while (!unfrozen.empty()) {
+        // Find the bottleneck capacity: the smallest per-flow fair share.
+        double best_share = std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < n; ++i) {
+            if (egress_flows[i] > 0) {
+                best_share = std::min(best_share,
+                                      egress_left[i] / egress_flows[i]);
+            }
+            if (ingress_flows[i] > 0) {
+                best_share = std::min(best_share,
+                                      ingress_left[i] / ingress_flows[i]);
+            }
+        }
+        assert(best_share < std::numeric_limits<double>::infinity());
+
+        // Freeze every flow crossing a capacity that is now saturated at
+        // `best_share` per flow, then charge the frozen rates against both
+        // endpoint capacities.
+        std::vector<Flow*> still_unfrozen;
+        std::vector<Flow*> frozen_now;
+        still_unfrozen.reserve(unfrozen.size());
+        for (Flow* flow : unfrozen) {
+            const size_t s = static_cast<size_t>(flow->src);
+            const size_t d = static_cast<size_t>(flow->dst);
+            const double egress_share = egress_left[s] / egress_flows[s];
+            const double ingress_share = ingress_left[d] / ingress_flows[d];
+            // A small tolerance keeps ties (equal shares) in one round.
+            const double tol = best_share * 1e-12 + 1e-9;
+            if (egress_share <= best_share + tol ||
+                ingress_share <= best_share + tol) {
+                flow->rate = best_share;
+                frozen_now.push_back(flow);
+            } else {
+                still_unfrozen.push_back(flow);
+            }
+        }
+        for (Flow* flow : frozen_now) {
+            const size_t s = static_cast<size_t>(flow->src);
+            const size_t d = static_cast<size_t>(flow->dst);
+            egress_left[s] = std::max(0.0, egress_left[s] - flow->rate);
+            ingress_left[d] = std::max(0.0, ingress_left[d] - flow->rate);
+            egress_flows[s]--;
+            ingress_flows[d]--;
+        }
+        if (frozen_now.empty())
+            panic("net: progressive filling failed to converge");
+        unfrozen.swap(still_unfrozen);
+    }
+}
+
+void
+Network::completeAndReschedule()
+{
+    // Collect drained flows, remove them, then fire callbacks. Callbacks
+    // may start new flows reentrantly, which re-runs the allocator.
+    std::vector<Flow> done;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+        if (it->second.remaining <= kDrainEpsilon) {
+            done.push_back(std::move(it->second));
+            it = flows_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    if (!done.empty())
+        recomputeRates();
+
+    // Schedule the next completion wakeup.
+    if (completion_event_.valid()) {
+        sim_.cancel(completion_event_);
+        completion_event_ = {};
+    }
+    SimTime next = SimTime::max();
+    for (const auto& [id, flow] : flows_) {
+        if (flow.rate > 0.0) {
+            // Round the ETA *up* to the next microsecond: truncation
+            // would leave a sub-epsilon residue and respawn a zero-delay
+            // completion event forever.
+            const double eta_s = flow.remaining / flow.rate;
+            const SimTime eta =
+                sim_.now() +
+                SimTime::micros(static_cast<int64_t>(std::ceil(eta_s * 1e6)));
+            next = std::min(next, eta);
+        }
+    }
+    if (next != SimTime::max()) {
+        completion_event_ =
+            sim_.scheduleAt(next, [this] { onCompletionEvent(); });
+    }
+
+    const SimTime now = sim_.now();
+    for (Flow& flow : done) {
+        if (flow.on_complete)
+            flow.on_complete(now - flow.start);
+    }
+}
+
+void
+Network::onCompletionEvent()
+{
+    completion_event_ = {};
+    advanceProgress();
+    completeAndReschedule();
+}
+
+}  // namespace faasflow::net

@@ -1,0 +1,148 @@
+#ifndef FAASFLOW_NET_NETWORK_H_
+#define FAASFLOW_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sim/simulator.h"
+
+namespace faasflow::net {
+
+/** Index of a node attached to the network. */
+using NodeId = int;
+
+/** Handle for an in-flight bulk transfer. */
+struct FlowId
+{
+    uint64_t value = 0;
+    bool valid() const { return value != 0; }
+    bool operator==(const FlowId&) const = default;
+};
+
+/** Per-node traffic counters, for bandwidth-utilisation reporting. */
+struct NicStats
+{
+    int64_t bytes_sent = 0;
+    int64_t bytes_received = 0;
+    uint64_t messages_sent = 0;
+    uint64_t flows_started = 0;
+};
+
+/**
+ * Flow-level network model of a cluster on a non-blocking switch.
+ *
+ * Each node has an ingress and an egress NIC capacity; every bulk Flow is
+ * allocated a rate by progressive filling (max-min fairness) across all
+ * NIC capacities it traverses. Rates are recomputed whenever the set of
+ * active flows or any NIC capacity changes, so transfer latencies react
+ * to contention exactly as the paper's wondershaper experiments do.
+ *
+ * Small control-plane messages (task assignments, state updates) are
+ * modelled with a fixed per-hop latency plus an unshared serialisation
+ * term; they represent single TCP round trips and are too small to move
+ * the fair-share allocation.
+ */
+class Network
+{
+  public:
+    struct Config
+    {
+        /** One-way latency of a cross-node control message. */
+        SimTime hop_latency = SimTime::millis(0.5);
+        /** Latency of a loopback (same-node) message. */
+        SimTime loopback_latency = SimTime::micros(30);
+        /** Serialisation bandwidth applied to control messages. */
+        double message_bandwidth = 1e9;  // bytes/s
+    };
+
+    explicit Network(sim::Simulator& sim);
+    Network(sim::Simulator& sim, Config config);
+
+    /**
+     * Attaches a node.
+     * @param name human-readable label for stats output
+     * @param egress_bw NIC egress capacity, bytes/s
+     * @param ingress_bw NIC ingress capacity, bytes/s
+     */
+    NodeId addNode(std::string name, double egress_bw, double ingress_bw);
+
+    size_t nodeCount() const { return nodes_.size(); }
+    const std::string& nodeName(NodeId id) const;
+
+    /** Re-points a node's NIC capacities (wondershaper stand-in). Active
+     *  flows are re-allocated immediately. */
+    void setNicBandwidth(NodeId id, double egress_bw, double ingress_bw);
+
+    /**
+     * Sends a small control message; `on_delivered` fires after the hop
+     * latency (loopback latency when src == dst) plus serialisation time.
+     */
+    void sendMessage(NodeId src, NodeId dst, int64_t bytes,
+                     std::function<void()> on_delivered);
+
+    /**
+     * Starts a bulk data transfer sharing NIC bandwidth with all other
+     * flows. `on_complete` receives the transfer's total elapsed time.
+     * A same-node (src == dst) flow is not meaningful here — local data
+     * movement bypasses the network via FaaStore — and is rejected.
+     */
+    FlowId startFlow(NodeId src, NodeId dst, int64_t bytes,
+                     std::function<void(SimTime elapsed)> on_complete);
+
+    /** Number of currently active bulk flows. */
+    size_t activeFlows() const { return flows_.size(); }
+
+    /** Current allocated rate of a flow in bytes/s; 0 if finished. */
+    double flowRate(FlowId id) const;
+
+    const NicStats& stats(NodeId id) const;
+
+  private:
+    struct Node
+    {
+        std::string name;
+        double egress_bw;
+        double ingress_bw;
+        NicStats stats;
+    };
+
+    struct Flow
+    {
+        FlowId id;
+        NodeId src;
+        NodeId dst;
+        double remaining;  ///< bytes left at time `last_update_`
+        double rate = 0.0; ///< bytes/s allocated by the last recompute
+        SimTime start;
+        std::function<void(SimTime)> on_complete;
+    };
+
+    sim::Simulator& sim_;
+    Config config_;
+    std::vector<Node> nodes_;
+    std::map<uint64_t, Flow> flows_;
+    uint64_t next_flow_id_ = 1;
+    SimTime last_update_;
+    sim::EventId completion_event_;
+
+    void checkNode(NodeId id) const;
+
+    /** Charges elapsed time against every flow's remaining bytes. */
+    void advanceProgress();
+
+    /** Progressive-filling (max-min fair) rate allocation. */
+    void recomputeRates();
+
+    /** Completes flows that have drained and reschedules the next wakeup. */
+    void completeAndReschedule();
+
+    void onCompletionEvent();
+};
+
+}  // namespace faasflow::net
+
+#endif  // FAASFLOW_NET_NETWORK_H_

@@ -1,0 +1,132 @@
+#ifndef FAASFLOW_SCHEDULER_PARTITION_H_
+#define FAASFLOW_SCHEDULER_PARTITION_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/function.h"
+#include "common/rng.h"
+#include "scheduler/feedback.h"
+#include "scheduler/placement.h"
+#include "workflow/dag.h"
+
+namespace faasflow::scheduler {
+
+/** A pair of function names that must not share a group (cont(G)). */
+using ContentionPair = std::pair<std::string, std::string>;
+
+/**
+ * Inputs to graph partitioning beyond the DAG itself: per-worker
+ * capacity, quota parameters, and declared contention pairs.
+ */
+struct PartitionContext
+{
+    /** Container slots left on each worker — Cap[node] in Algorithm 1. */
+    std::vector<int> capacity;
+
+    /** Quota(G): the workflow's reclaimed in-memory budget (Eq. 2). */
+    int64_t quota = 0;
+
+    /** Conflicting function pairs supplied by interference-aware
+     *  load-balancing work FaaSFlow integrates with (§4.1.3). */
+    std::set<ContentionPair> contention;
+
+    /** Effective bandwidth of a localized (same-node, in-memory) edge,
+     *  used to relax critical-path weights after a merge. */
+    double local_copy_bandwidth = 2e9;
+
+    /** True when the named pair conflicts (order-insensitive). */
+    bool conflicts(const std::string& a, const std::string& b) const;
+};
+
+/**
+ * Baseline: uniform-random node placement (what a load balancer without
+ * workflow awareness does). For placement-quality comparisons only.
+ */
+Placement randomPartition(const workflow::Dag& dag, int worker_count,
+                          int version, Rng rng);
+
+/**
+ * Baseline: round-robin over the topological order — spreads load
+ * perfectly but ignores data affinity entirely.
+ */
+Placement roundRobinPartition(const workflow::Dag& dag, int worker_count,
+                              int version);
+
+/**
+ * First-iteration partition (§4.1.2): Scale/Map feedback does not exist
+ * yet, so nodes are spread by a stable hash of their name, like other
+ * systems do. Virtual fences follow their construct's first real
+ * member so a construct is not split around its fences arbitrarily.
+ */
+Placement hashPartition(const workflow::Dag& dag, int worker_count,
+                        int version);
+
+/**
+ * Algorithm 1: greedy function grouping along the critical path with
+ * capacity, quota, and contention constraints, followed by bin-packed
+ * worker selection per group.
+ *
+ * Each outer iteration recomputes the critical path (localized edges
+ * are re-weighted to in-memory copy latency), takes the heaviest
+ * cross-group edge on it, and merges the two endpoint groups if the
+ * merged group fits a worker, the localized data fits Quota(G), and no
+ * contention pair lands in one group. Iterates until no merge applies.
+ */
+class GreedyGrouper
+{
+  public:
+    GreedyGrouper(const workflow::Dag& dag,
+                  const cluster::FunctionRegistry& registry,
+                  const RuntimeFeedback& feedback, PartitionContext context,
+                  Rng rng);
+
+    /** Runs the algorithm; `version` stamps the resulting placement. */
+    Placement run(int version);
+
+    /** Total merge operations performed (test/diagnostic hook). */
+    int mergeCount() const { return merge_count_; }
+
+    /** Bytes of edge data localized under the quota. */
+    int64_t memConsumed() const { return mem_consume_; }
+
+  private:
+    const workflow::Dag& dag_;
+    const cluster::FunctionRegistry& registry_;
+    const RuntimeFeedback& feedback_;
+    PartitionContext context_;
+    Rng rng_;
+
+    /** Union-find over DAG nodes -> group representative. */
+    std::vector<int> parent_;
+    /** Group worker assignment, keyed by representative. */
+    std::vector<int> group_worker_;
+    /** StorageType marker per node (true == 'MEM'). */
+    std::vector<bool> storage_mem_;
+
+    int merge_count_ = 0;
+    int64_t mem_consume_ = 0;
+
+    int find(int x);
+
+    /** Scale(v): container slots a node costs (0 for virtual nodes). */
+    double nodeScale(workflow::NodeId id) const;
+
+    /** Sum of Scale over a group. */
+    double groupScale(int rep);
+
+    /** Weight an edge carries on the critical path given current groups:
+     *  localized edges cost an in-memory copy, remote ones their p99. */
+    SimTime effectiveWeight(const workflow::DagEdge& edge);
+
+    /** Best-fit bin-pack: smallest capacity that still fits `demand`. */
+    int binpack(double demand) const;
+
+    bool tryMerge(size_t edge_idx);
+};
+
+}  // namespace faasflow::scheduler
+
+#endif  // FAASFLOW_SCHEDULER_PARTITION_H_

@@ -1,0 +1,34 @@
+#include "scheduler/placement.h"
+
+namespace faasflow::scheduler {
+
+bool
+Placement::allConsumersLocal(const workflow::Dag& dag,
+                             workflow::NodeId origin) const
+{
+    const int home = workerOf(origin);
+    bool has_consumer = false;
+    for (const auto& edge : dag.edges()) {
+        for (const auto& item : edge.payload) {
+            if (item.origin != origin)
+                continue;
+            has_consumer = true;
+            if (workerOf(edge.to) != home)
+                return false;
+        }
+    }
+    return has_consumer;
+}
+
+std::vector<int>
+Placement::nodesPerWorker(int worker_count) const
+{
+    std::vector<int> counts(static_cast<size_t>(worker_count), 0);
+    for (const int w : worker_of) {
+        if (w >= 0 && w < worker_count)
+            ++counts[static_cast<size_t>(w)];
+    }
+    return counts;
+}
+
+}  // namespace faasflow::scheduler

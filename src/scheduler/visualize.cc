@@ -1,0 +1,121 @@
+#include "scheduler/visualize.h"
+
+#include <map>
+
+#include "common/string_util.h"
+#include "common/units.h"
+
+namespace faasflow::scheduler {
+
+using workflow::DagNode;
+using workflow::NodeId;
+
+namespace {
+
+/** A readable categorical palette; workers cycle through it. */
+constexpr const char* kPalette[] = {
+    "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+    "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+};
+constexpr size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+std::string
+escapeLabel(const std::string& s)
+{
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+std::string
+nodeLabel(const DagNode& node)
+{
+    if (node.isVirtual())
+        return escapeLabel(node.name);
+    std::string label = escapeLabel(node.name);
+    if (node.foreach_width > 1)
+        label += strFormat("\\n×%d", node.foreach_width);
+    if (node.switch_id >= 0 && node.switch_branch >= 0)
+        label += strFormat("\\n[branch %d]", node.switch_branch);
+    return label;
+}
+
+std::string
+nodeAttrs(const DagNode& node, const char* fill)
+{
+    if (node.isVirtual()) {
+        return strFormat(
+            "shape=diamond, width=0.25, height=0.25, label=\"\", "
+            "tooltip=\"%s\", style=filled, fillcolor=\"%s\"",
+            escapeLabel(node.name).c_str(), fill);
+    }
+    return strFormat("shape=box, style=\"rounded,filled\", "
+                     "fillcolor=\"%s\", label=\"%s\"",
+                     fill, nodeLabel(node).c_str());
+}
+
+void
+emitEdges(const Dag& dag, std::string& out)
+{
+    for (const auto& edge : dag.edges()) {
+        std::string attrs;
+        const int64_t bytes = edge.dataBytes();
+        if (bytes > 0) {
+            attrs = strFormat(" [label=\"%s\"]",
+                              formatBytes(bytes).c_str());
+        } else {
+            attrs = " [style=dashed, color=gray]";
+        }
+        out += strFormat("  n%d -> n%d%s;\n", edge.from, edge.to,
+                         attrs.c_str());
+    }
+}
+
+}  // namespace
+
+std::string
+toDot(const Dag& dag)
+{
+    std::string out = strFormat("digraph \"%s\" {\n  rankdir=TB;\n",
+                                escapeLabel(dag.name()).c_str());
+    for (const auto& node : dag.nodes()) {
+        out += strFormat("  n%d [%s];\n", node.id,
+                         nodeAttrs(node, "#eeeeee").c_str());
+    }
+    emitEdges(dag, out);
+    out += "}\n";
+    return out;
+}
+
+std::string
+toDot(const Dag& dag, const Placement& placement)
+{
+    std::string out = strFormat("digraph \"%s\" {\n  rankdir=TB;\n",
+                                escapeLabel(dag.name()).c_str());
+
+    std::map<int, std::vector<NodeId>> by_worker;
+    for (const auto& node : dag.nodes())
+        by_worker[placement.workerOf(node.id)].push_back(node.id);
+
+    for (const auto& [worker, members] : by_worker) {
+        const char* fill =
+            kPalette[static_cast<size_t>(worker) % kPaletteSize];
+        out += strFormat("  subgraph cluster_w%d {\n"
+                         "    label=\"worker %d\";\n    color=gray;\n",
+                         worker, worker);
+        for (const NodeId id : members) {
+            out += strFormat("    n%d [%s];\n", id,
+                             nodeAttrs(dag.node(id), fill).c_str());
+        }
+        out += "  }\n";
+    }
+    emitEdges(dag, out);
+    out += "}\n";
+    return out;
+}
+
+}  // namespace faasflow::scheduler

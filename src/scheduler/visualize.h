@@ -1,0 +1,29 @@
+#ifndef FAASFLOW_SCHEDULER_VISUALIZE_H_
+#define FAASFLOW_SCHEDULER_VISUALIZE_H_
+
+#include <string>
+
+#include "scheduler/placement.h"
+#include "workflow/dag.h"
+
+namespace faasflow::scheduler {
+
+using workflow::Dag;
+
+/**
+ * Renders a DAG in Graphviz DOT format: tasks as boxes (labelled with
+ * function and foreach width), virtual fences as small diamonds, edges
+ * annotated with their payload sizes. Pipe through `dot -Tsvg` to
+ * visualise a workflow.
+ */
+std::string toDot(const Dag& dag);
+
+/**
+ * Same, but colours nodes by their assigned worker and draws one
+ * cluster box per worker — visualises a Graph Scheduler placement.
+ */
+std::string toDot(const Dag& dag, const Placement& placement);
+
+}  // namespace faasflow::scheduler
+
+#endif  // FAASFLOW_SCHEDULER_VISUALIZE_H_

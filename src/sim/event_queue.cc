@@ -1,0 +1,66 @@
+#include "sim/event_queue.h"
+
+namespace faasflow::sim {
+
+EventId
+EventQueue::schedule(SimTime when, std::function<void()> fn)
+{
+    const uint64_t id = next_id_++;
+    heap_.push(Entry{when, next_seq_++, id, std::move(fn)});
+    pending_.insert(id);
+    return EventId{id};
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (!id.valid())
+        return false;
+    // We cannot look inside the heap cheaply; record a tombstone that pop
+    // will skip. Cancelling an event that already fired (or was already
+    // cancelled) is a no-op returning false.
+    if (pending_.erase(id.value) == 0)
+        return false;
+    tombstones_.insert(id.value);
+    return true;
+}
+
+void
+EventQueue::skipTombstones() const
+{
+    auto* self = const_cast<EventQueue*>(this);
+    while (!self->heap_.empty()) {
+        const auto it = self->tombstones_.find(self->heap_.top().id);
+        if (it == self->tombstones_.end())
+            break;
+        self->tombstones_.erase(it);
+        self->heap_.pop();
+    }
+}
+
+SimTime
+EventQueue::nextTime() const
+{
+    skipTombstones();
+    if (heap_.empty())
+        return SimTime::max();
+    return heap_.top().when;
+}
+
+bool
+EventQueue::pop(SimTime& when, std::function<void()>& fn)
+{
+    skipTombstones();
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; we move out via const_cast, which is
+    // safe because we pop immediately afterwards.
+    auto& top = const_cast<Entry&>(heap_.top());
+    when = top.when;
+    fn = std::move(top.fn);
+    pending_.erase(top.id);
+    heap_.pop();
+    return true;
+}
+
+}  // namespace faasflow::sim

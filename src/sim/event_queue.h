@@ -1,0 +1,84 @@
+#ifndef FAASFLOW_SIM_EVENT_QUEUE_H_
+#define FAASFLOW_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace faasflow::sim {
+
+/** Opaque handle for cancelling a scheduled event. */
+struct EventId
+{
+    uint64_t value = 0;
+
+    bool valid() const { return value != 0; }
+    bool operator==(const EventId&) const = default;
+};
+
+/**
+ * Priority queue of timestamped callbacks.
+ *
+ * Events at equal timestamps fire in scheduling order (FIFO), which keeps
+ * the simulator deterministic. Cancellation is lazy: cancelled ids are
+ * kept in a tombstone set and skipped at pop time, so cancel is O(1).
+ */
+class EventQueue
+{
+  public:
+    /** Schedules `fn` at absolute time `when`; returns a cancellable id. */
+    EventId schedule(SimTime when, std::function<void()> fn);
+
+    /** Cancels a pending event; returns false if already fired/cancelled. */
+    bool cancel(EventId id);
+
+    bool empty() const { return liveCount() == 0; }
+    size_t liveCount() const { return heap_.size() - tombstones_.size(); }
+
+    /** Timestamp of the earliest live event; SimTime::max() when empty. */
+    SimTime nextTime() const;
+
+    /**
+     * Pops the earliest live event.
+     * @param when receives the event's timestamp
+     * @param fn receives the callback
+     * @return false when the queue is empty
+     */
+    bool pop(SimTime& when, std::function<void()>& fn);
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        uint64_t seq;
+        uint64_t id;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<uint64_t> pending_;
+    std::unordered_set<uint64_t> tombstones_;
+    uint64_t next_seq_ = 0;
+    uint64_t next_id_ = 1;
+
+    void skipTombstones() const;
+};
+
+}  // namespace faasflow::sim
+
+#endif  // FAASFLOW_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,56 @@
+#ifndef FAASFLOW_SIM_SIMULATOR_H_
+#define FAASFLOW_SIM_SIMULATOR_H_
+
+#include <functional>
+
+#include "common/sim_time.h"
+#include "sim/event_queue.h"
+
+namespace faasflow::sim {
+
+/**
+ * The discrete-event simulation driver.
+ *
+ * Owns the event queue and the simulated clock. Components schedule
+ * callbacks relative to now(); run() pumps events until the queue drains
+ * or a horizon is reached. The simulator is strictly single-threaded.
+ */
+class Simulator
+{
+  public:
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** Schedules `fn` to run `delay` after now(); delay must be >= 0. */
+    EventId schedule(SimTime delay, std::function<void()> fn);
+
+    /** Schedules `fn` at an absolute timestamp (>= now()). */
+    EventId scheduleAt(SimTime when, std::function<void()> fn);
+
+    /** Cancels a pending event; see EventQueue::cancel. */
+    bool cancel(EventId id);
+
+    /** Runs until the event queue is empty. Returns events processed. */
+    uint64_t run();
+
+    /**
+     * Runs events with timestamp <= horizon; the clock is advanced to
+     * `horizon` even if the queue drains earlier. Returns events processed.
+     */
+    uint64_t runUntil(SimTime horizon);
+
+    /** Pending (non-cancelled) event count. */
+    size_t pendingEvents() const { return queue_.liveCount(); }
+
+    /** Total events processed since construction. */
+    uint64_t processedEvents() const { return processed_; }
+
+  private:
+    EventQueue queue_;
+    SimTime now_;
+    uint64_t processed_ = 0;
+};
+
+}  // namespace faasflow::sim
+
+#endif  // FAASFLOW_SIM_SIMULATOR_H_

@@ -1,0 +1,62 @@
+#ifndef FAASFLOW_STORAGE_KV_STORE_H_
+#define FAASFLOW_STORAGE_KV_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/sim_time.h"
+
+namespace faasflow::storage {
+
+/** Completion callback for a put: elapsed transfer+operation time. */
+using PutCallback = std::function<void(SimTime elapsed)>;
+
+/** Completion callback for a get: elapsed time and the object size. */
+using GetCallback = std::function<void(SimTime elapsed, int64_t bytes)>;
+
+/** Aggregate traffic counters for a store. */
+struct StoreStats
+{
+    uint64_t puts = 0;
+    uint64_t gets = 0;
+    int64_t bytes_written = 0;
+    int64_t bytes_read = 0;
+};
+
+/**
+ * Asynchronous key-value storage interface shared by the remote CouchDB
+ * stand-in and the node-local Redis stand-in. Objects are modelled by
+ * size only — the simulation never materialises payloads.
+ */
+class KvStore
+{
+  public:
+    virtual ~KvStore() = default;
+
+    /**
+     * Stores `bytes` under `key`, overwriting any previous object.
+     * @param from_node network id of the writer (for transfer modelling)
+     */
+    virtual void put(const std::string& key, int64_t bytes, int from_node,
+                     PutCallback on_done) = 0;
+
+    /**
+     * Retrieves the object under `key`. Reading a missing key is a
+     * protocol bug in the engine and panics.
+     * @param to_node network id of the reader
+     */
+    virtual void get(const std::string& key, int to_node,
+                     GetCallback on_done) = 0;
+
+    virtual bool contains(const std::string& key) const = 0;
+
+    /** Drops a key; no-op when absent. */
+    virtual void erase(const std::string& key) = 0;
+
+    virtual const StoreStats& stats() const = 0;
+};
+
+}  // namespace faasflow::storage
+
+#endif  // FAASFLOW_STORAGE_KV_STORE_H_

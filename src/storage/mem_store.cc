@@ -1,0 +1,93 @@
+#include "storage/mem_store.h"
+
+#include "common/logging.h"
+
+namespace faasflow::storage {
+
+MemStore::MemStore(sim::Simulator& sim, int64_t capacity, Config config)
+    : sim_(sim), capacity_(capacity), config_(config)
+{
+}
+
+MemStore::MemStore(sim::Simulator& sim, int64_t capacity)
+    : MemStore(sim, capacity, Config{})
+{
+}
+
+bool
+MemStore::tryReserve(int64_t bytes)
+{
+    if (used_ + reserved_ + bytes > capacity_)
+        return false;
+    reserved_ += bytes;
+    return true;
+}
+
+void
+MemStore::put(const std::string& key, int64_t bytes, int from_node,
+              PutCallback on_done)
+{
+    (void)from_node;  // local by definition
+    // Callers must have reserved space; the overwrite case reuses the
+    // existing allocation.
+    const auto it = objects_.find(key);
+    if (it != objects_.end()) {
+        used_ -= it->second;
+    } else {
+        if (reserved_ < bytes)
+            panic("mem store: put('%s') without a reservation", key.c_str());
+        reserved_ -= bytes;
+    }
+    used_ += bytes;
+    objects_[key] = bytes;
+    stats_.puts++;
+    stats_.bytes_written += bytes;
+
+    const SimTime start = sim_.now();
+    const SimTime copy = SimTime::seconds(static_cast<double>(bytes) /
+                                          config_.copy_bandwidth);
+    sim_.schedule(config_.op_latency + copy, [this, start,
+                                              cb = std::move(on_done)] {
+        if (cb)
+            cb(sim_.now() - start);
+    });
+}
+
+void
+MemStore::get(const std::string& key, int to_node, GetCallback on_done)
+{
+    (void)to_node;
+    const auto it = objects_.find(key);
+    if (it == objects_.end())
+        panic("mem store: get of missing key '%s'", key.c_str());
+    const int64_t bytes = it->second;
+    stats_.gets++;
+    stats_.bytes_read += bytes;
+
+    const SimTime start = sim_.now();
+    const SimTime copy = SimTime::seconds(static_cast<double>(bytes) /
+                                          config_.copy_bandwidth);
+    sim_.schedule(config_.op_latency + copy,
+                  [this, start, bytes, cb = std::move(on_done)] {
+                      if (cb)
+            cb(sim_.now() - start, bytes);
+                  });
+}
+
+bool
+MemStore::contains(const std::string& key) const
+{
+    return objects_.count(key) > 0;
+}
+
+void
+MemStore::erase(const std::string& key)
+{
+    const auto it = objects_.find(key);
+    if (it == objects_.end())
+        return;
+    used_ -= it->second;
+    objects_.erase(it);
+}
+
+}  // namespace faasflow::storage

@@ -1,0 +1,66 @@
+#ifndef FAASFLOW_STORAGE_MEM_STORE_H_
+#define FAASFLOW_STORAGE_MEM_STORE_H_
+
+#include <map>
+#include <string>
+
+#include "sim/simulator.h"
+#include "storage/kv_store.h"
+
+namespace faasflow::storage {
+
+/**
+ * Node-local in-memory object store (the paper's Redis instance on each
+ * worker). Reads and writes cost a small operation latency plus a
+ * memory-bandwidth copy — no network involvement. Capacity is bounded:
+ * FaaStore sizes it with the reclaimed-memory quota (Eq. 2) and callers
+ * must check tryReserve() before writing.
+ */
+class MemStore : public KvStore
+{
+  public:
+    struct Config
+    {
+        /** Per-operation latency (local Redis round trip). */
+        SimTime op_latency = SimTime::micros(120);
+        /** Copy bandwidth between container and store memory, bytes/s. */
+        double copy_bandwidth = 2e9;
+    };
+
+    MemStore(sim::Simulator& sim, int64_t capacity, Config config);
+    MemStore(sim::Simulator& sim, int64_t capacity);
+
+    /** Returns true and reserves space when `bytes` fit under capacity. */
+    bool tryReserve(int64_t bytes);
+
+    /** Grows/shrinks capacity (quota re-computation between partition
+     *  iterations). Shrinking below current usage is allowed; the store
+     *  just refuses new writes until usage drains. */
+    void setCapacity(int64_t capacity) { capacity_ = capacity; }
+
+    int64_t capacity() const { return capacity_; }
+    int64_t usedBytes() const { return used_; }
+
+    void put(const std::string& key, int64_t bytes, int from_node,
+             PutCallback on_done) override;
+    void get(const std::string& key, int to_node,
+             GetCallback on_done) override;
+    bool contains(const std::string& key) const override;
+    void erase(const std::string& key) override;
+    const StoreStats& stats() const override { return stats_; }
+
+    size_t objectCount() const { return objects_.size(); }
+
+  private:
+    sim::Simulator& sim_;
+    int64_t capacity_;
+    Config config_;
+    int64_t used_ = 0;
+    int64_t reserved_ = 0;  ///< reserved but not yet written
+    std::map<std::string, int64_t> objects_;
+    StoreStats stats_;
+};
+
+}  // namespace faasflow::storage
+
+#endif  // FAASFLOW_STORAGE_MEM_STORE_H_

@@ -1,0 +1,100 @@
+#include "storage/remote_store.h"
+
+#include "common/logging.h"
+
+namespace faasflow::storage {
+
+RemoteStore::RemoteStore(sim::Simulator& sim, net::Network& network,
+                         net::NodeId storage_node, Config config)
+    : sim_(sim), network_(network), storage_node_(storage_node),
+      config_(config)
+{
+}
+
+RemoteStore::RemoteStore(sim::Simulator& sim, net::Network& network,
+                         net::NodeId storage_node)
+    : RemoteStore(sim, network, storage_node, Config{})
+{
+}
+
+void
+RemoteStore::put(const std::string& key, int64_t bytes, int from_node,
+                 PutCallback on_done)
+{
+    stats_.puts++;
+    stats_.bytes_written += bytes;
+    objects_[key] = bytes;
+
+    const SimTime start = sim_.now();
+    if (from_node == storage_node_ || bytes == 0) {
+        // Loopback write (master-side client) or a zero-size marker: only
+        // the operation latency applies.
+        sim_.schedule(config_.op_latency,
+                      [this, start, cb = std::move(on_done)] {
+                          if (cb)
+                              cb(sim_.now() - start);
+                      });
+        return;
+    }
+    network_.startFlow(
+        from_node, storage_node_, bytes,
+        [this, start, cb = std::move(on_done)](SimTime) {
+            sim_.schedule(config_.op_latency, [this, start, cb] {
+                if (cb)
+                    cb(sim_.now() - start);
+            });
+        });
+}
+
+void
+RemoteStore::get(const std::string& key, int to_node, GetCallback on_done)
+{
+    const auto it = objects_.find(key);
+    if (it == objects_.end())
+        panic("remote store: get of missing key '%s'", key.c_str());
+    const int64_t bytes = it->second;
+    stats_.gets++;
+    stats_.bytes_read += bytes;
+
+    const SimTime start = sim_.now();
+    if (to_node == storage_node_ || bytes == 0) {
+        sim_.schedule(config_.op_latency,
+                      [this, start, bytes, cb = std::move(on_done)] {
+                          if (cb)
+            cb(sim_.now() - start, bytes);
+                      });
+        return;
+    }
+    // Operation latency first (lookup), then the transfer back.
+    sim_.schedule(config_.op_latency, [this, to_node, bytes, start,
+                                       cb = std::move(on_done)]() mutable {
+        network_.startFlow(storage_node_, to_node, bytes,
+                           [this, start, bytes, cb = std::move(cb)](SimTime) {
+                               if (cb)
+            cb(sim_.now() - start, bytes);
+                           });
+    });
+}
+
+bool
+RemoteStore::contains(const std::string& key) const
+{
+    return objects_.count(key) > 0;
+}
+
+void
+RemoteStore::erase(const std::string& key)
+{
+    objects_.erase(key);
+}
+
+int64_t
+RemoteStore::storedBytes() const
+{
+    int64_t total = 0;
+    for (const auto& [key, bytes] : objects_)
+        total += bytes;
+    return total;
+}
+
+}  // namespace faasflow::storage

@@ -1,0 +1,57 @@
+#ifndef FAASFLOW_STORAGE_REMOTE_STORE_H_
+#define FAASFLOW_STORAGE_REMOTE_STORE_H_
+
+#include <map>
+#include <string>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "storage/kv_store.h"
+
+namespace faasflow::storage {
+
+/**
+ * The remote key-value database (the paper's CouchDB on the storage
+ * node). Every put ships the object over the writer's and the storage
+ * node's NICs as a bulk flow; every get ships it back. Transfers
+ * therefore contend for the storage node's bandwidth — the bottleneck
+ * the paper throttles with wondershaper in §5.4.
+ */
+class RemoteStore : public KvStore
+{
+  public:
+    struct Config
+    {
+        /** Fixed per-operation latency (request handling, indexing). */
+        SimTime op_latency = SimTime::millis(2.0);
+    };
+
+    RemoteStore(sim::Simulator& sim, net::Network& network,
+                net::NodeId storage_node, Config config);
+    RemoteStore(sim::Simulator& sim, net::Network& network,
+                net::NodeId storage_node);
+
+    void put(const std::string& key, int64_t bytes, int from_node,
+             PutCallback on_done) override;
+    void get(const std::string& key, int to_node,
+             GetCallback on_done) override;
+    bool contains(const std::string& key) const override;
+    void erase(const std::string& key) override;
+    const StoreStats& stats() const override { return stats_; }
+
+    net::NodeId storageNode() const { return storage_node_; }
+    size_t objectCount() const { return objects_.size(); }
+    int64_t storedBytes() const;
+
+  private:
+    sim::Simulator& sim_;
+    net::Network& network_;
+    net::NodeId storage_node_;
+    Config config_;
+    std::map<std::string, int64_t> objects_;
+    StoreStats stats_;
+};
+
+}  // namespace faasflow::storage
+
+#endif  // FAASFLOW_STORAGE_REMOTE_STORE_H_

@@ -1,0 +1,132 @@
+#include "workflow/builder.h"
+
+#include "common/units.h"
+
+namespace faasflow::workflow {
+
+using json::Value;
+
+Builder::Steps&
+Builder::Steps::task(const std::string& function, int64_t output_bytes)
+{
+    Value step = Value::object();
+    step.set("task", function);
+    if (output_bytes > 0)
+        step.set("output_bytes", output_bytes);
+    steps_.push(std::move(step));
+    return *this;
+}
+
+Builder::Steps&
+Builder::Steps::parallel(
+    const std::vector<std::function<void(Steps&)>>& branches)
+{
+    Value branch_list = Value::array();
+    for (const auto& fill : branches) {
+        Steps branch;
+        fill(branch);
+        Value b = Value::object();
+        b.set("steps", std::move(branch.steps_));
+        branch_list.push(std::move(b));
+    }
+    Value construct = Value::object();
+    construct.set("branches", std::move(branch_list));
+    Value step = Value::object();
+    step.set("parallel", std::move(construct));
+    steps_.push(std::move(step));
+    return *this;
+}
+
+Builder::Steps&
+Builder::Steps::switchOn(
+    const std::vector<std::function<void(Steps&)>>& branches)
+{
+    Value branch_list = Value::array();
+    for (const auto& fill : branches) {
+        Steps branch;
+        fill(branch);
+        Value b = Value::object();
+        b.set("steps", std::move(branch.steps_));
+        branch_list.push(std::move(b));
+    }
+    Value construct = Value::object();
+    construct.set("branches", std::move(branch_list));
+    Value step = Value::object();
+    step.set("switch", std::move(construct));
+    steps_.push(std::move(step));
+    return *this;
+}
+
+Builder::Steps&
+Builder::Steps::foreach(int width, const std::function<void(Steps&)>& body)
+{
+    Steps inner;
+    body(inner);
+    Value construct = Value::object();
+    construct.set("width", int64_t{width});
+    construct.set("steps", std::move(inner.steps_));
+    Value step = Value::object();
+    step.set("foreach", std::move(construct));
+    steps_.push(std::move(step));
+    return *this;
+}
+
+Builder::Builder(std::string name) : name_(std::move(name)) {}
+
+Builder&
+Builder::function(const std::string& name, SimTime exec_mean, double sigma,
+                  int64_t mem_provisioned, int64_t mem_peak,
+                  double failure_rate)
+{
+    Value f = Value::object();
+    f.set("name", name);
+    f.set("exec_ms", exec_mean.millisF());
+    f.set("sigma", sigma);
+    f.set("mem_mb", toMB(mem_provisioned));
+    f.set("peak_mb", toMB(mem_peak));
+    if (failure_rate > 0.0)
+        f.set("failure_rate", failure_rate);
+    functions_.push(std::move(f));
+    return *this;
+}
+
+Builder&
+Builder::task(const std::string& function, int64_t output_bytes)
+{
+    top_.task(function, output_bytes);
+    return *this;
+}
+
+Builder&
+Builder::parallel(const std::vector<std::function<void(Steps&)>>& branches)
+{
+    top_.parallel(branches);
+    return *this;
+}
+
+Builder&
+Builder::switchOn(const std::vector<std::function<void(Steps&)>>& branches)
+{
+    top_.switchOn(branches);
+    return *this;
+}
+
+Builder&
+Builder::foreach(int width, const std::function<void(Steps&)>& body)
+{
+    top_.foreach(width, body);
+    return *this;
+}
+
+WdlResult
+Builder::build() const
+{
+    Value doc = Value::object();
+    doc.set("name", name_);
+    if (!functions_.asArray().empty())
+        doc.set("functions", functions_);
+    doc.set("steps", top_.steps_);
+    return parseWdl(doc);
+}
+
+}  // namespace faasflow::workflow

@@ -1,0 +1,86 @@
+#ifndef FAASFLOW_WORKFLOW_BUILDER_H_
+#define FAASFLOW_WORKFLOW_BUILDER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "workflow/wdl.h"
+
+namespace faasflow::workflow {
+
+/**
+ * Fluent programmatic construction of workflows — the C++ equivalent of
+ * writing a workflow.yaml. Internally assembles the same WDL document
+ * the YAML front end produces and runs it through the one WDL parser,
+ * so both paths have identical semantics and validation.
+ *
+ *   auto wdl = Builder("pipeline")
+ *       .function("fetch", SimTime::millis(120))
+ *       .function("resize", SimTime::millis(300))
+ *       .task("fetch", 6 * kMB)
+ *       .foreach(4, [](Builder::Steps& s) {
+ *           s.task("resize", 2 * kMB);
+ *       })
+ *       .build();
+ */
+class Builder
+{
+  public:
+    /** A step list under construction (top level or inside a construct). */
+    class Steps
+    {
+      public:
+        /** Appends a task invocation shipping `output_bytes` onward. */
+        Steps& task(const std::string& function, int64_t output_bytes = 0);
+
+        /** Appends a parallel block; each call to `branch` opens one. */
+        Steps& parallel(
+            const std::vector<std::function<void(Steps&)>>& branches);
+
+        /** Appends a switch; exactly one branch runs per invocation. */
+        Steps& switchOn(
+            const std::vector<std::function<void(Steps&)>>& branches);
+
+        /** Appends a foreach with `width` parallel executors. */
+        Steps& foreach(int width, const std::function<void(Steps&)>& body);
+
+      private:
+        friend class Builder;
+        json::Value steps_ = json::Value::array();
+    };
+
+    explicit Builder(std::string name);
+
+    /**
+     * Declares a function (exec time, memory profile, failure rate).
+     * Mirrors the WDL `functions:` entry; memory values in bytes.
+     */
+    Builder& function(const std::string& name, SimTime exec_mean,
+                      double sigma = 0.08,
+                      int64_t mem_provisioned = 256 * 1000 * 1000,
+                      int64_t mem_peak = 128 * 1000 * 1000,
+                      double failure_rate = 0.0);
+
+    /** Top-level step list shortcuts (delegate to an internal Steps). */
+    Builder& task(const std::string& function, int64_t output_bytes = 0);
+    Builder& parallel(
+        const std::vector<std::function<void(Steps&)>>& branches);
+    Builder& switchOn(
+        const std::vector<std::function<void(Steps&)>>& branches);
+    Builder& foreach(int width, const std::function<void(Steps&)>& body);
+
+    /** Assembles the document and parses it; check result.ok(). */
+    WdlResult build() const;
+
+  private:
+    std::string name_;
+    json::Value functions_ = json::Value::array();
+    Steps top_;
+};
+
+}  // namespace faasflow::workflow
+
+#endif  // FAASFLOW_WORKFLOW_BUILDER_H_

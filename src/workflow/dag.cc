@@ -1,0 +1,143 @@
+#include "workflow/dag.h"
+
+#include "common/logging.h"
+
+namespace faasflow::workflow {
+
+NodeId
+Dag::addNode(DagNode node)
+{
+    if (node.name.empty())
+        fatal("dag '%s': node needs a name", name_.c_str());
+    if (by_name_.count(node.name))
+        fatal("dag '%s': duplicate node name '%s'", name_.c_str(),
+              node.name.c_str());
+    if (node.isTask() && node.function.empty())
+        fatal("dag '%s': task node '%s' needs a function", name_.c_str(),
+              node.name.c_str());
+    if (node.isVirtual() && !node.function.empty())
+        fatal("dag '%s': virtual node '%s' must not carry a function",
+              name_.c_str(), node.name.c_str());
+    if (node.foreach_width < 1)
+        fatal("dag '%s': node '%s' has foreach width < 1", name_.c_str(),
+              node.name.c_str());
+
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    node.id = id;
+    by_name_.emplace(node.name, id);
+    nodes_.push_back(std::move(node));
+    out_edges_.emplace_back();
+    in_edges_.emplace_back();
+    return id;
+}
+
+void
+Dag::addEdge(NodeId from, NodeId to, int64_t data_bytes, SimTime weight)
+{
+    std::vector<DataItem> payload;
+    if (data_bytes > 0)
+        payload.push_back(DataItem{from, data_bytes});
+    addEdgeWithPayload(from, to, std::move(payload), weight);
+}
+
+void
+Dag::addEdgeWithPayload(NodeId from, NodeId to, std::vector<DataItem> payload,
+                        SimTime weight)
+{
+    checkNode(from);
+    checkNode(to);
+    if (from == to)
+        fatal("dag '%s': self edge on node '%s'", name_.c_str(),
+              nodes_[static_cast<size_t>(from)].name.c_str());
+    for (const auto& item : payload) {
+        checkNode(item.origin);
+        if (item.bytes < 0)
+            fatal("dag '%s': negative edge payload", name_.c_str());
+    }
+    const size_t idx = edges_.size();
+    edges_.push_back(DagEdge{from, to, std::move(payload), weight});
+    out_edges_[static_cast<size_t>(from)].push_back(idx);
+    in_edges_[static_cast<size_t>(to)].push_back(idx);
+}
+
+void
+Dag::checkNode(NodeId id) const
+{
+    if (id < 0 || static_cast<size_t>(id) >= nodes_.size())
+        panic("dag '%s': invalid node id %d", name_.c_str(), id);
+}
+
+const DagNode&
+Dag::node(NodeId id) const
+{
+    checkNode(id);
+    return nodes_[static_cast<size_t>(id)];
+}
+
+DagNode&
+Dag::node(NodeId id)
+{
+    checkNode(id);
+    return nodes_[static_cast<size_t>(id)];
+}
+
+const std::vector<size_t>&
+Dag::outEdges(NodeId id) const
+{
+    checkNode(id);
+    return out_edges_[static_cast<size_t>(id)];
+}
+
+const std::vector<size_t>&
+Dag::inEdges(NodeId id) const
+{
+    checkNode(id);
+    return in_edges_[static_cast<size_t>(id)];
+}
+
+std::vector<NodeId>
+Dag::successors(NodeId id) const
+{
+    std::vector<NodeId> out;
+    for (size_t e : outEdges(id))
+        out.push_back(edges_[e].to);
+    return out;
+}
+
+std::vector<NodeId>
+Dag::predecessors(NodeId id) const
+{
+    std::vector<NodeId> out;
+    for (size_t e : inEdges(id))
+        out.push_back(edges_[e].from);
+    return out;
+}
+
+NodeId
+Dag::findByName(const std::string& name) const
+{
+    const auto it = by_name_.find(name);
+    return it == by_name_.end() ? -1 : it->second;
+}
+
+size_t
+Dag::taskCount() const
+{
+    size_t n = 0;
+    for (const auto& node : nodes_) {
+        if (node.isTask())
+            ++n;
+    }
+    return n;
+}
+
+int64_t
+Dag::totalDataBytes() const
+{
+    int64_t total = 0;
+    for (const auto& e : edges_)
+        total += e.dataBytes();
+    return total;
+}
+
+}  // namespace faasflow::workflow

@@ -1,0 +1,187 @@
+#include "workflow/serialize.h"
+
+#include "common/string_util.h"
+#include "workflow/analysis.h"
+
+namespace faasflow::workflow {
+
+namespace {
+
+using json::Value;
+
+const char*
+kindName(StepKind kind)
+{
+    switch (kind) {
+      case StepKind::Task: return "task";
+      case StepKind::VirtualStart: return "virtual-start";
+      case StepKind::VirtualEnd: return "virtual-end";
+    }
+    return "?";
+}
+
+bool
+kindFromName(const std::string& name, StepKind& out)
+{
+    if (name == "task") {
+        out = StepKind::Task;
+    } else if (name == "virtual-start") {
+        out = StepKind::VirtualStart;
+    } else if (name == "virtual-end") {
+        out = StepKind::VirtualEnd;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+json::Value
+dagToJson(const Dag& dag)
+{
+    Value doc = Value::object();
+    doc.set("name", dag.name());
+
+    Value nodes = Value::array();
+    for (const auto& node : dag.nodes()) {
+        Value n = Value::object();
+        n.set("name", node.name);
+        n.set("kind", kindName(node.kind));
+        if (node.isTask())
+            n.set("function", node.function);
+        if (node.foreach_width != 1)
+            n.set("foreach_width", int64_t{node.foreach_width});
+        if (node.switch_id >= 0) {
+            n.set("switch_id", int64_t{node.switch_id});
+            n.set("switch_branch", int64_t{node.switch_branch});
+        }
+        n.set("exec_estimate_us", node.exec_estimate.micros());
+        nodes.push(std::move(n));
+    }
+    doc.set("nodes", std::move(nodes));
+
+    Value edges = Value::array();
+    for (const auto& edge : dag.edges()) {
+        Value e = Value::object();
+        e.set("from", int64_t{edge.from});
+        e.set("to", int64_t{edge.to});
+        e.set("weight_us", edge.weight.micros());
+        if (!edge.payload.empty()) {
+            Value payload = Value::array();
+            for (const auto& item : edge.payload) {
+                Value p = Value::object();
+                p.set("origin", int64_t{item.origin});
+                p.set("bytes", item.bytes);
+                payload.push(std::move(p));
+            }
+            e.set("payload", std::move(payload));
+        }
+        edges.push(std::move(e));
+    }
+    doc.set("edges", std::move(edges));
+    return doc;
+}
+
+DagParseResult
+dagFromJson(const json::Value& doc)
+{
+    DagParseResult result;
+    auto fail = [&](std::string msg) {
+        result.error = std::move(msg);
+        return std::move(result);
+    };
+
+    if (!doc.isObject())
+        return fail("dag document must be an object");
+    result.dag = Dag(doc.getOr("name", std::string("workflow")));
+
+    const Value* nodes = doc.find("nodes");
+    if (!nodes || !nodes->isArray())
+        return fail("dag document needs a 'nodes' array");
+    for (const Value& n : nodes->asArray()) {
+        if (!n.isObject())
+            return fail("each node must be an object");
+        DagNode node;
+        node.name = n.getOr("name", std::string());
+        if (node.name.empty())
+            return fail("node without a name");
+        StepKind kind;
+        if (!kindFromName(n.getOr("kind", std::string("task")), kind))
+            return fail("unknown node kind in '" + node.name + "'");
+        node.kind = kind;
+        node.function = n.getOr("function", std::string());
+        node.foreach_width =
+            static_cast<int>(n.getOr("foreach_width", int64_t{1}));
+        node.switch_id = static_cast<int>(n.getOr("switch_id", int64_t{-1}));
+        node.switch_branch =
+            static_cast<int>(n.getOr("switch_branch", int64_t{-1}));
+        node.exec_estimate =
+            SimTime::micros(n.getOr("exec_estimate_us", int64_t{0}));
+        if (node.isTask() && node.function.empty())
+            return fail("task node '" + node.name + "' without function");
+        if (node.foreach_width < 1)
+            return fail("node '" + node.name + "' has invalid width");
+        result.dag.addNode(std::move(node));
+    }
+
+    const Value* edges = doc.find("edges");
+    if (!edges || !edges->isArray())
+        return fail("dag document needs an 'edges' array");
+    const auto node_count = static_cast<int64_t>(result.dag.nodeCount());
+    for (const Value& e : edges->asArray()) {
+        if (!e.isObject())
+            return fail("each edge must be an object");
+        const int64_t from = e.getOr("from", int64_t{-1});
+        const int64_t to = e.getOr("to", int64_t{-1});
+        if (from < 0 || from >= node_count || to < 0 || to >= node_count ||
+            from == to) {
+            return fail(strFormat("edge %lld->%lld out of range",
+                                  static_cast<long long>(from),
+                                  static_cast<long long>(to)));
+        }
+        std::vector<DataItem> payload;
+        if (const Value* p = e.find("payload")) {
+            if (!p->isArray())
+                return fail("edge payload must be an array");
+            for (const Value& item : p->asArray()) {
+                const int64_t origin = item.getOr("origin", int64_t{-1});
+                const int64_t bytes = item.getOr("bytes", int64_t{-1});
+                if (origin < 0 || origin >= node_count || bytes < 0)
+                    return fail("invalid payload item");
+                payload.push_back(
+                    DataItem{static_cast<NodeId>(origin), bytes});
+            }
+        }
+        result.dag.addEdgeWithPayload(
+            static_cast<NodeId>(from), static_cast<NodeId>(to),
+            std::move(payload),
+            SimTime::micros(e.getOr("weight_us", int64_t{0})));
+    }
+
+    const auto check = validate(result.dag);
+    if (!check.ok)
+        return fail("deserialised dag invalid: " + check.error);
+    return result;
+}
+
+std::string
+dagToJsonText(const Dag& dag, int indent)
+{
+    return dagToJson(dag).dump(indent);
+}
+
+DagParseResult
+dagFromJsonText(std::string_view text)
+{
+    json::ParseResult parsed = json::parse(text);
+    if (!parsed.ok()) {
+        DagParseResult result;
+        result.error = strFormat("json error at line %zu: %s", parsed.line,
+                                 parsed.error.c_str());
+        return result;
+    }
+    return dagFromJson(*parsed.value);
+}
+
+}  // namespace faasflow::workflow

@@ -1,0 +1,39 @@
+#ifndef FAASFLOW_WORKFLOW_SERIALIZE_H_
+#define FAASFLOW_WORKFLOW_SERIALIZE_H_
+
+#include <string>
+
+#include "json/json.h"
+#include "workflow/dag.h"
+
+namespace faasflow::workflow {
+
+/**
+ * Serialises a Dag — including virtual fences, switch annotations,
+ * foreach widths, payload routing, and scheduler edge weights — to a
+ * JSON document. This is the *parsed* representation (what the Graph
+ * Scheduler consumes), not the WDL source: it round-trips exactly, so
+ * masters can ship sub-graphs to workers or persist placements across
+ * restarts.
+ */
+json::Value dagToJson(const Dag& dag);
+
+/** Result of deserialising a DAG. */
+struct DagParseResult
+{
+    Dag dag;
+    std::string error;  ///< empty on success
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Rebuilds a Dag from dagToJson output; validates structure. */
+DagParseResult dagFromJson(const json::Value& doc);
+
+/** Convenience: JSON text round trip. */
+std::string dagToJsonText(const Dag& dag, int indent = 2);
+DagParseResult dagFromJsonText(std::string_view text);
+
+}  // namespace faasflow::workflow
+
+#endif  // FAASFLOW_WORKFLOW_SERIALIZE_H_

@@ -1,0 +1,445 @@
+#include "workflow/wdl.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/units.h"
+#include "yamllite/yaml.h"
+
+namespace faasflow::workflow {
+
+namespace {
+
+using json::Value;
+
+/** A construct's outgoing attachment point: the node successors hook to,
+ *  plus the data that flows out through it. */
+struct Terminal
+{
+    NodeId node = -1;
+    std::vector<DataItem> payload;
+};
+
+/** (entries, exits) of a parsed step or step list. */
+struct Segment
+{
+    std::vector<NodeId> entries;
+    std::vector<Terminal> exits;
+};
+
+/** Per-branch switch context applied to nodes created inside it. */
+struct SwitchContext
+{
+    int switch_id = -1;
+    int branch = -1;
+};
+
+class WdlParser
+{
+  public:
+    explicit WdlParser(const json::Value& doc) : doc_(doc) {}
+
+    WdlResult run();
+
+  private:
+    const json::Value& doc_;
+    WdlResult result_;
+    std::map<std::string, SimTime> exec_estimates_;
+    std::map<std::string, int> name_counters_;
+    int next_switch_id_ = 0;
+
+    bool
+    fail(const std::string& msg)
+    {
+        if (result_.error.empty())
+            result_.error = msg;
+        return false;
+    }
+
+    std::string uniqueName(const std::string& base);
+    bool parseFunctions(const Value* funcs);
+    bool parseSteps(const Value& steps, const SwitchContext& ctx,
+                    int foreach_width, Segment& out);
+    bool parseStep(const Value& step, const SwitchContext& ctx,
+                   int foreach_width, Segment& out);
+    bool parseTask(const Value& step, const SwitchContext& ctx,
+                   int foreach_width, Segment& out);
+    bool parseBranches(const Value& construct, bool is_switch,
+                       const SwitchContext& outer_ctx, int foreach_width,
+                       Segment& out);
+    bool parseForeach(const Value& construct, const SwitchContext& ctx,
+                      Segment& out);
+
+    /** Connects every exit terminal of `prev` to every entry of `next`. */
+    void connect(const std::vector<Terminal>& prev_exits,
+                 const std::vector<NodeId>& next_entries);
+
+    /**
+     * Pushes a payload through a virtual fence onto the edges reaching
+     * its first real (task) consumers. Data never "stops" at a virtual
+     * node — it belongs to whichever tasks consume it next.
+     */
+    void propagatePayload(NodeId virtual_node,
+                          const std::vector<DataItem>& payload);
+
+    static SimTime seedWeight(const std::vector<DataItem>& payload);
+    static std::vector<DataItem>
+    mergedPayload(const std::vector<Terminal>& exits);
+};
+
+std::string
+WdlParser::uniqueName(const std::string& base)
+{
+    int& n = name_counters_[base];
+    ++n;
+    if (n == 1 && result_.dag.findByName(base) == -1)
+        return base;
+    std::string name;
+    do {
+        name = strFormat("%s#%d", base.c_str(), n);
+        ++n;
+    } while (result_.dag.findByName(name) != -1);
+    return name;
+}
+
+SimTime
+WdlParser::seedWeight(const std::vector<DataItem>& payload)
+{
+    int64_t bytes = 0;
+    for (const auto& item : payload)
+        bytes += item.bytes;
+    return SimTime::seconds(static_cast<double>(bytes) /
+                            kInitialBandwidthEstimate);
+}
+
+std::vector<DataItem>
+WdlParser::mergedPayload(const std::vector<Terminal>& exits)
+{
+    std::vector<DataItem> merged;
+    for (const Terminal& t : exits) {
+        merged.insert(merged.end(), t.payload.begin(), t.payload.end());
+    }
+    return merged;
+}
+
+void
+WdlParser::propagatePayload(NodeId virtual_node,
+                            const std::vector<DataItem>& payload)
+{
+    if (payload.empty())
+        return;
+    Dag& dag = result_.dag;
+    for (size_t e : dag.outEdges(virtual_node)) {
+        DagEdge& edge = dag.edge(e);
+        if (dag.node(edge.to).isVirtual()) {
+            propagatePayload(edge.to, payload);
+        } else {
+            edge.payload.insert(edge.payload.end(), payload.begin(),
+                                payload.end());
+            edge.weight = seedWeight(edge.payload);
+        }
+    }
+}
+
+void
+WdlParser::connect(const std::vector<Terminal>& prev_exits,
+                   const std::vector<NodeId>& next_entries)
+{
+    for (const Terminal& exit : prev_exits) {
+        for (const NodeId entry : next_entries) {
+            if (result_.dag.node(entry).isVirtual()) {
+                // The fence consumes nothing; the data rides the edges to
+                // the first real consumers inside the construct.
+                result_.dag.addEdgeWithPayload(exit.node, entry, {});
+                propagatePayload(entry, exit.payload);
+            } else {
+                result_.dag.addEdgeWithPayload(exit.node, entry, exit.payload,
+                                               seedWeight(exit.payload));
+            }
+        }
+    }
+}
+
+bool
+WdlParser::parseFunctions(const Value* funcs)
+{
+    if (!funcs)
+        return true;
+    if (!funcs->isArray())
+        return fail("'functions' must be a list");
+    for (const Value& f : funcs->asArray()) {
+        if (!f.isObject())
+            return fail("each function declaration must be a mapping");
+        cluster::FunctionSpec spec;
+        spec.name = f.getOr("name", std::string());
+        if (spec.name.empty())
+            return fail("function declaration needs a name");
+        spec.exec_mean = SimTime::millis(f.getOr("exec_ms", 100.0));
+        spec.exec_sigma = f.getOr("sigma", 0.08);
+        spec.mem_provisioned =
+            static_cast<int64_t>(f.getOr("mem_mb", 256.0) * 1e6);
+        spec.mem_peak = static_cast<int64_t>(
+            f.getOr("peak_mb", toMB(spec.mem_provisioned) * 0.5) * 1e6);
+        spec.failure_rate = f.getOr("failure_rate", 0.0);
+        if (spec.failure_rate < 0.0 || spec.failure_rate >= 1.0)
+            return fail("failure_rate must be in [0, 1) for " + spec.name);
+        exec_estimates_[spec.name] = spec.exec_mean;
+        result_.functions.push_back(std::move(spec));
+    }
+    return true;
+}
+
+bool
+WdlParser::parseTask(const Value& step, const SwitchContext& ctx,
+                     int foreach_width, Segment& out)
+{
+    const std::string function = step.getOr("task", std::string());
+    if (function.empty())
+        return fail("task step needs a function name");
+
+    int64_t output_bytes = step.getOr("output_bytes", int64_t{0});
+    if (const Value* v = step.find("output_kb"); v && v->isNumber())
+        output_bytes = static_cast<int64_t>(v->asDouble() * 1e3);
+    if (const Value* v = step.find("output_mb"); v && v->isNumber())
+        output_bytes = static_cast<int64_t>(v->asDouble() * 1e6);
+    if (output_bytes < 0)
+        return fail("task '" + function + "' has negative output size");
+
+    DagNode node;
+    node.name = uniqueName(step.getOr("name", function));
+    node.function = function;
+    node.kind = StepKind::Task;
+    node.foreach_width = foreach_width;
+    node.switch_id = ctx.switch_id;
+    node.switch_branch = ctx.branch;
+    const auto it = exec_estimates_.find(function);
+    node.exec_estimate =
+        it != exec_estimates_.end() ? it->second : SimTime::millis(100);
+
+    const NodeId id = result_.dag.addNode(std::move(node));
+    out.entries = {id};
+    Terminal t;
+    t.node = id;
+    if (output_bytes > 0)
+        t.payload.push_back(DataItem{id, output_bytes});
+    out.exits = {t};
+    return true;
+}
+
+bool
+WdlParser::parseBranches(const Value& construct, bool is_switch,
+                         const SwitchContext& outer_ctx, int foreach_width,
+                         Segment& out)
+{
+    const Value* branches = construct.find("branches");
+    if (!branches || !branches->isArray() || branches->asArray().empty())
+        return fail("parallel/switch step needs a non-empty 'branches' list");
+    if (is_switch && outer_ctx.switch_id >= 0)
+        return fail("nested switch steps are not supported");
+
+    const int switch_id = is_switch ? next_switch_id_++ : -1;
+    const std::string label =
+        construct.getOr("name", std::string(is_switch ? "switch" : "parallel"));
+
+    DagNode vstart;
+    vstart.name = uniqueName(label + ".start");
+    vstart.kind = StepKind::VirtualStart;
+    vstart.switch_id = switch_id;
+    const NodeId start_id = result_.dag.addNode(std::move(vstart));
+
+    DagNode vend;
+    vend.name = uniqueName(label + ".end");
+    vend.kind = StepKind::VirtualEnd;
+    const NodeId end_id = result_.dag.addNode(std::move(vend));
+
+    std::vector<Terminal> branch_exits;
+    int branch_index = 0;
+    for (const Value& branch : branches->asArray()) {
+        const Value* steps = &branch;
+        if (branch.isObject()) {
+            steps = branch.find("steps");
+            if (!steps)
+                return fail("branch mapping needs a 'steps' list");
+        }
+        if (!steps->isArray() || steps->asArray().empty())
+            return fail("each branch must be a non-empty step list");
+
+        // A switch stamps its branch identity on the nodes inside; any
+        // other construct inherits its enclosing switch context so that
+        // tasks nested in a non-taken branch are still skipped.
+        SwitchContext ctx = outer_ctx;
+        if (is_switch) {
+            ctx.switch_id = switch_id;
+            ctx.branch = branch_index;
+        }
+        Segment seg;
+        if (!parseSteps(*steps, ctx, foreach_width, seg))
+            return false;
+        // VirtualStart relays the incoming payload to each branch entry;
+        // the actual payload is attached when the construct is wired to
+        // its predecessor (see parseSteps), so the fence edges here carry
+        // none. Data still reaches branch entries: the predecessor's
+        // terminal payload is attached to the start->entry edges below.
+        for (const NodeId entry : seg.entries)
+            result_.dag.addEdge(start_id, entry, 0);
+        for (const Terminal& t : seg.exits) {
+            result_.dag.addEdge(t.node, end_id, 0);
+            branch_exits.push_back(t);
+        }
+        ++branch_index;
+    }
+
+    out.entries = {start_id};
+    Terminal t;
+    t.node = end_id;
+    t.payload = mergedPayload(branch_exits);
+    out.exits = {t};
+    return true;
+}
+
+bool
+WdlParser::parseForeach(const Value& construct, const SwitchContext& ctx,
+                        Segment& out)
+{
+    const int width = static_cast<int>(construct.getOr("width", int64_t{2}));
+    if (width < 1)
+        return fail("foreach width must be >= 1");
+    const Value* steps = construct.find("steps");
+    if (!steps || !steps->isArray() || steps->asArray().empty())
+        return fail("foreach step needs a non-empty 'steps' list");
+
+    const std::string label = construct.getOr("name", std::string("foreach"));
+
+    DagNode vstart;
+    vstart.name = uniqueName(label + ".start");
+    vstart.kind = StepKind::VirtualStart;
+    const NodeId start_id = result_.dag.addNode(std::move(vstart));
+
+    DagNode vend;
+    vend.name = uniqueName(label + ".end");
+    vend.kind = StepKind::VirtualEnd;
+    const NodeId end_id = result_.dag.addNode(std::move(vend));
+
+    Segment body;
+    if (!parseSteps(*steps, ctx, width, body))
+        return false;
+    for (const NodeId entry : body.entries)
+        result_.dag.addEdge(start_id, entry, 0);
+    for (const Terminal& t : body.exits)
+        result_.dag.addEdge(t.node, end_id, 0);
+
+    out.entries = {start_id};
+    Terminal t;
+    t.node = end_id;
+    t.payload = mergedPayload(body.exits);
+    out.exits = {t};
+    return true;
+}
+
+bool
+WdlParser::parseStep(const Value& step, const SwitchContext& ctx,
+                     int foreach_width, Segment& out)
+{
+    if (!step.isObject())
+        return fail("each step must be a mapping");
+    if (step.find("task"))
+        return parseTask(step, ctx, foreach_width, out);
+    if (const Value* c = step.find("parallel")) {
+        if (!c->isObject())
+            return fail("'parallel' must be a mapping");
+        return parseBranches(*c, false, ctx, foreach_width, out);
+    }
+    if (const Value* c = step.find("switch")) {
+        if (!c->isObject())
+            return fail("'switch' must be a mapping");
+        return parseBranches(*c, true, ctx, foreach_width, out);
+    }
+    if (const Value* c = step.find("foreach")) {
+        if (!c->isObject())
+            return fail("'foreach' must be a mapping");
+        if (foreach_width != 1)
+            return fail("nested foreach steps are not supported");
+        return parseForeach(*c, ctx, out);
+    }
+    if (const Value* c = step.find("sequence")) {
+        const Value* steps = c->isObject() ? c->find("steps") : c;
+        if (!steps || !steps->isArray())
+            return fail("'sequence' needs a 'steps' list");
+        return parseSteps(*steps, ctx, foreach_width, out);
+    }
+    return fail("unknown step type (expected task/sequence/parallel/"
+                "switch/foreach)");
+}
+
+bool
+WdlParser::parseSteps(const Value& steps, const SwitchContext& ctx,
+                      int foreach_width, Segment& out)
+{
+    if (!steps.isArray() || steps.asArray().empty())
+        return fail("'steps' must be a non-empty list");
+
+    std::vector<Terminal> prev_exits;
+    bool first = true;
+    for (const Value& step : steps.asArray()) {
+        Segment seg;
+        if (!parseStep(step, ctx, foreach_width, seg))
+            return false;
+        if (first) {
+            out.entries = seg.entries;
+            first = false;
+        } else {
+            connect(prev_exits, seg.entries);
+        }
+        prev_exits = std::move(seg.exits);
+    }
+    out.exits = std::move(prev_exits);
+    return true;
+}
+
+WdlResult
+WdlParser::run()
+{
+    if (!doc_.isObject()) {
+        fail("workflow document must be a mapping");
+        return std::move(result_);
+    }
+    result_.dag = Dag(doc_.getOr("name", std::string("workflow")));
+
+    if (!parseFunctions(doc_.find("functions")))
+        return std::move(result_);
+
+    const Value* steps = doc_.find("steps");
+    if (!steps) {
+        fail("workflow needs a 'steps' list");
+        return std::move(result_);
+    }
+    Segment top;
+    SwitchContext no_switch;
+    if (!parseSteps(*steps, no_switch, 1, top))
+        return std::move(result_);
+    return std::move(result_);
+}
+
+}  // namespace
+
+WdlResult
+parseWdl(const json::Value& doc)
+{
+    return WdlParser(doc).run();
+}
+
+WdlResult
+parseWdlYaml(std::string_view yaml_text)
+{
+    json::ParseResult parsed = yaml::parse(yaml_text);
+    if (!parsed.ok()) {
+        WdlResult result;
+        result.error = strFormat("yaml error at line %zu: %s", parsed.line,
+                                 parsed.error.c_str());
+        return result;
+    }
+    return parseWdl(*parsed.value);
+}
+
+}  // namespace faasflow::workflow

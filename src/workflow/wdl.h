@@ -1,0 +1,74 @@
+#ifndef FAASFLOW_WORKFLOW_WDL_H_
+#define FAASFLOW_WORKFLOW_WDL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/function.h"
+#include "json/json.h"
+#include "workflow/dag.h"
+
+namespace faasflow::workflow {
+
+/**
+ * Result of parsing a Workflow Definition Language document: the DAG plus
+ * any function specs declared inline (to be registered with the
+ * FunctionRegistry before deployment).
+ */
+struct WdlResult
+{
+    Dag dag;
+    std::vector<cluster::FunctionSpec> functions;
+    std::string error;  ///< empty on success
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Parses a workflow.yaml-style definition (§4.1.1) into a Dag.
+ *
+ * Document shape:
+ *
+ *   name: video-ffmpeg
+ *   functions:              # optional inline function declarations
+ *     - name: split
+ *       exec_ms: 250        # mean execution time
+ *       sigma: 0.08         # optional lognormal jitter
+ *       mem_mb: 256         # container provisioned memory  (Mem(v))
+ *       peak_mb: 140        # observed peak usage            (S)
+ *   steps:                  # executed as a sequence
+ *     - task: split
+ *       output_mb: 30       # payload shipped to each successor
+ *     - foreach:
+ *         width: 4
+ *         steps:
+ *           - task: transcode
+ *             output_mb: 8
+ *     - parallel:
+ *         branches:
+ *           - - task: a
+ *           - - task: b
+ *     - switch:
+ *         branches:
+ *           - - task: on_true
+ *           - - task: on_false
+ *     - task: merge
+ *
+ * Logic steps follow §4.1.1: task, sequence, parallel, switch, foreach.
+ * Parallel/switch/foreach constructs are fenced by virtual start/end
+ * nodes that keep them atomic during graph partition. Payload sizes may
+ * be given as output_bytes, output_kb, or output_mb.
+ */
+WdlResult parseWdl(const json::Value& doc);
+
+/** Convenience: YAML text -> parseWdl. */
+WdlResult parseWdlYaml(std::string_view yaml_text);
+
+/** Initial bandwidth estimate used to seed edge weights before any
+ *  runtime feedback exists (bytes/s). */
+constexpr double kInitialBandwidthEstimate = 50e6;
+
+}  // namespace faasflow::workflow
+
+#endif  // FAASFLOW_WORKFLOW_WDL_H_

@@ -1,0 +1,497 @@
+#include "yamllite/yaml.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace faasflow::yaml {
+
+using json::Value;
+
+namespace {
+
+/** One significant (non-blank, non-comment) line of the document. */
+struct Line
+{
+    int indent = 0;
+    std::string content;  ///< text after indentation, comments stripped
+    size_t number = 0;    ///< 1-based source line for error messages
+};
+
+/** Parser state shared across the recursive block parser. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) { tokenize(text); }
+
+    json::ParseResult run();
+
+  private:
+    std::vector<Line> lines_;
+    size_t idx_ = 0;
+    std::string error_;
+    size_t error_line_ = 0;
+
+    bool atEnd() const { return idx_ >= lines_.size(); }
+    const Line& cur() const { return lines_[idx_]; }
+
+    bool
+    fail(const std::string& msg, size_t line)
+    {
+        if (error_.empty()) {
+            error_ = msg;
+            error_line_ = line;
+        }
+        return false;
+    }
+
+    void tokenize(std::string_view text);
+
+    bool parseBlock(int indent, Value& out);
+    bool parseSequence(int indent, Value& out);
+    bool parseMapping(int indent, Value& out);
+
+    bool parseFlowOrScalar(std::string_view s, size_t line, Value& out);
+    bool parseFlow(std::string_view s, size_t& pos, size_t line, Value& out);
+    static Value inferScalar(std::string_view s);
+    bool splitKeyValue(std::string_view s, size_t line,
+                       std::string& key, std::string& rest);
+};
+
+/** Removes a trailing comment starting at an unquoted '#'. */
+std::string_view
+stripComment(std::string_view s)
+{
+    char quote = 0;
+    for (size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (quote) {
+            if (c == '\\' && quote == '"' && i + 1 < s.size()) {
+                ++i;
+            } else if (c == quote) {
+                quote = 0;
+            }
+        } else if (c == '"' || c == '\'') {
+            quote = c;
+        } else if (c == '#' && (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t')) {
+            return s.substr(0, i);
+        }
+    }
+    return s;
+}
+
+}  // namespace
+
+void
+Parser::tokenize(std::string_view text)
+{
+    size_t line_no = 0;
+    for (const std::string& raw : split(text, '\n')) {
+        ++line_no;
+        std::string_view s = raw;
+        if (!s.empty() && s.back() == '\r')
+            s.remove_suffix(1);
+        s = stripComment(s);
+        int indent = 0;
+        size_t i = 0;
+        while (i < s.size() && s[i] == ' ') {
+            ++indent;
+            ++i;
+        }
+        if (i < s.size() && s[i] == '\t') {
+            fail("tab character used for indentation", line_no);
+            return;
+        }
+        std::string_view body = trim(s.substr(i));
+        if (body.empty())
+            continue;
+        if (line_no == 1 && body == "---")
+            continue;
+        lines_.push_back({indent, std::string(body), line_no});
+    }
+}
+
+Value
+Parser::inferScalar(std::string_view s)
+{
+    if (s.empty() || s == "~" || s == "null" || s == "Null" || s == "NULL")
+        return Value(nullptr);
+    if (s == "true" || s == "True" || s == "TRUE")
+        return Value(true);
+    if (s == "false" || s == "False" || s == "FALSE")
+        return Value(false);
+
+    // Integer?
+    {
+        const std::string t(s);
+        char* end = nullptr;
+        errno = 0;
+        const long long v = std::strtoll(t.c_str(), &end, 10);
+        if (end && *end == '\0' && errno != ERANGE && end != t.c_str())
+            return Value(static_cast<int64_t>(v));
+    }
+    // Float?
+    {
+        const std::string t(s);
+        char* end = nullptr;
+        const double v = std::strtod(t.c_str(), &end);
+        if (end && *end == '\0' && end != t.c_str())
+            return Value(v);
+    }
+    return Value(std::string(s));
+}
+
+bool
+Parser::parseFlow(std::string_view s, size_t& pos, size_t line, Value& out)
+{
+    auto skip_spaces = [&] {
+        while (pos < s.size() && s[pos] == ' ')
+            ++pos;
+    };
+    skip_spaces();
+    if (pos >= s.size())
+        return fail("empty flow value", line);
+
+    const char c = s[pos];
+    if (c == '[') {
+        ++pos;
+        json::Array arr;
+        skip_spaces();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            out = Value(std::move(arr));
+            return true;
+        }
+        while (true) {
+            Value v;
+            if (!parseFlow(s, pos, line, v))
+                return false;
+            arr.push_back(std::move(v));
+            skip_spaces();
+            if (pos >= s.size())
+                return fail("unterminated flow sequence", line);
+            if (s[pos] == ']') {
+                ++pos;
+                break;
+            }
+            if (s[pos] != ',')
+                return fail("expected ',' or ']' in flow sequence", line);
+            ++pos;
+        }
+        out = Value(std::move(arr));
+        return true;
+    }
+    if (c == '{') {
+        ++pos;
+        json::Object obj;
+        skip_spaces();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            out = Value(std::move(obj));
+            return true;
+        }
+        while (true) {
+            skip_spaces();
+            // Key runs to the ':'.
+            const size_t colon = s.find(':', pos);
+            if (colon == std::string_view::npos)
+                return fail("expected ':' in flow mapping", line);
+            std::string key(trim(s.substr(pos, colon - pos)));
+            if (key.size() >= 2 &&
+                ((key.front() == '"' && key.back() == '"') ||
+                 (key.front() == '\'' && key.back() == '\''))) {
+                key = key.substr(1, key.size() - 2);
+            }
+            pos = colon + 1;
+            Value v;
+            if (!parseFlow(s, pos, line, v))
+                return false;
+            obj.emplace_back(std::move(key), std::move(v));
+            skip_spaces();
+            if (pos >= s.size())
+                return fail("unterminated flow mapping", line);
+            if (s[pos] == '}') {
+                ++pos;
+                break;
+            }
+            if (s[pos] != ',')
+                return fail("expected ',' or '}' in flow mapping", line);
+            ++pos;
+        }
+        out = Value(std::move(obj));
+        return true;
+    }
+    if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++pos;
+        std::string str;
+        while (true) {
+            if (pos >= s.size())
+                return fail("unterminated quoted string", line);
+            const char q = s[pos++];
+            if (q == quote) {
+                break;
+            }
+            if (quote == '"' && q == '\\') {
+                if (pos >= s.size())
+                    return fail("unterminated escape", line);
+                const char e = s[pos++];
+                switch (e) {
+                  case 'n': str += '\n'; break;
+                  case 't': str += '\t'; break;
+                  case '"': str += '"'; break;
+                  case '\\': str += '\\'; break;
+                  default: return fail("unsupported escape in string", line);
+                }
+            } else {
+                str += q;
+            }
+        }
+        out = Value(std::move(str));
+        return true;
+    }
+    // Bare scalar: runs until an unnested ',', ']' or '}'.
+    const size_t start = pos;
+    while (pos < s.size() && s[pos] != ',' && s[pos] != ']' && s[pos] != '}')
+        ++pos;
+    out = inferScalar(trim(s.substr(start, pos - start)));
+    return true;
+}
+
+bool
+Parser::parseFlowOrScalar(std::string_view s, size_t line, Value& out)
+{
+    s = trim(s);
+    if (!s.empty() && (s[0] == '[' || s[0] == '{' || s[0] == '"' || s[0] == '\'')) {
+        size_t pos = 0;
+        if (!parseFlow(s, pos, line, out))
+            return false;
+        while (pos < s.size() && s[pos] == ' ')
+            ++pos;
+        if (pos != s.size())
+            return fail("trailing characters after flow value", line);
+        return true;
+    }
+    if (!s.empty() && (s[0] == '|' || s[0] == '>'))
+        return fail("block scalars (| and >) are not supported", line);
+    if (!s.empty() && (s[0] == '&' || s[0] == '*'))
+        return fail("anchors and aliases are not supported", line);
+    out = inferScalar(s);
+    return true;
+}
+
+bool
+Parser::splitKeyValue(std::string_view s, size_t line,
+                      std::string& key, std::string& rest)
+{
+    // The key ends at the first ':' that is followed by a space or EOL and
+    // is outside quotes.
+    char quote = 0;
+    for (size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (quote) {
+            if (c == quote)
+                quote = 0;
+        } else if (c == '"' || c == '\'') {
+            quote = c;
+        } else if (c == ':' && (i + 1 == s.size() || s[i + 1] == ' ')) {
+            std::string k(trim(s.substr(0, i)));
+            if (k.size() >= 2 &&
+                ((k.front() == '"' && k.back() == '"') ||
+                 (k.front() == '\'' && k.back() == '\''))) {
+                k = k.substr(1, k.size() - 2);
+            }
+            if (k.empty())
+                return fail("empty mapping key", line);
+            key = std::move(k);
+            rest = std::string(trim(s.substr(i + 1)));
+            return true;
+        }
+    }
+    return fail("expected 'key: value' mapping entry", line);
+}
+
+bool
+Parser::parseSequence(int indent, Value& out)
+{
+    json::Array arr;
+    while (!atEnd() && cur().indent == indent &&
+           startsWith(cur().content, "-")) {
+        const Line line = cur();
+        std::string_view item = line.content;
+        item.remove_prefix(1);  // '-'
+        item = trim(item);
+        ++idx_;
+
+        if (item.empty()) {
+            // Nested block on the following lines.
+            if (atEnd() || cur().indent <= indent)
+                return fail("empty sequence item", line.number);
+            Value v;
+            if (!parseBlock(cur().indent, v))
+                return false;
+            arr.push_back(std::move(v));
+        } else if (item == "-" || startsWith(item, "- ")) {
+            // Nested sequence beginning on this line (`- - item`):
+            // re-frame the line at the inner indentation and recurse —
+            // its siblings continue at indent + 2.
+            --idx_;
+            lines_[idx_].indent = indent + 2;
+            lines_[idx_].content = std::string(item);
+            Value v;
+            if (!parseSequence(indent + 2, v))
+                return false;
+            arr.push_back(std::move(v));
+        } else if (item.find(':') != std::string_view::npos &&
+                   item[0] != '[' && item[0] != '{' &&
+                   item[0] != '"' && item[0] != '\'') {
+            // Compact mapping entry: `- key: value`. Continuation keys sit
+            // at the column of `key`, i.e. indent + 2.
+            std::string key, rest;
+            if (!splitKeyValue(item, line.number, key, rest))
+                return false;
+            json::Object obj;
+            Value v;
+            if (rest.empty()) {
+                if (!atEnd() && cur().indent > indent + 2) {
+                    if (!parseBlock(cur().indent, v))
+                        return false;
+                } else {
+                    v = Value(nullptr);
+                }
+            } else if (!parseFlowOrScalar(rest, line.number, v)) {
+                return false;
+            }
+            obj.emplace_back(std::move(key), std::move(v));
+            // Remaining keys of the same compact mapping.
+            while (!atEnd() && cur().indent == indent + 2 &&
+                   !startsWith(cur().content, "-")) {
+                const Line kline = cur();
+                ++idx_;
+                std::string k2, rest2;
+                if (!splitKeyValue(kline.content, kline.number, k2, rest2))
+                    return false;
+                Value v2;
+                if (rest2.empty()) {
+                    if (!atEnd() && cur().indent > indent + 2) {
+                        if (!parseBlock(cur().indent, v2))
+                            return false;
+                    } else {
+                        v2 = Value(nullptr);
+                    }
+                } else if (!parseFlowOrScalar(rest2, kline.number, v2)) {
+                    return false;
+                }
+                obj.emplace_back(std::move(k2), std::move(v2));
+            }
+            arr.push_back(Value(std::move(obj)));
+        } else {
+            Value v;
+            if (!parseFlowOrScalar(item, line.number, v))
+                return false;
+            arr.push_back(std::move(v));
+        }
+    }
+    out = Value(std::move(arr));
+    return true;
+}
+
+bool
+Parser::parseMapping(int indent, Value& out)
+{
+    json::Object obj;
+    while (!atEnd() && cur().indent == indent &&
+           !startsWith(cur().content, "-")) {
+        const Line line = cur();
+        ++idx_;
+        std::string key, rest;
+        if (!splitKeyValue(line.content, line.number, key, rest))
+            return false;
+        for (const auto& [k, v] : obj) {
+            (void)v;
+            if (k == key)
+                return fail("duplicate mapping key '" + key + "'", line.number);
+        }
+        Value v;
+        if (rest.empty()) {
+            // Value is a nested block (or null when nothing is indented).
+            if (!atEnd() && cur().indent > indent) {
+                if (!parseBlock(cur().indent, v))
+                    return false;
+            } else if (!atEnd() && cur().indent == indent &&
+                       startsWith(cur().content, "-")) {
+                // Sequences are commonly indented at the key's own level.
+                if (!parseSequence(indent, v))
+                    return false;
+            } else {
+                v = Value(nullptr);
+            }
+        } else {
+            if (!parseFlowOrScalar(rest, line.number, v))
+                return false;
+        }
+        obj.emplace_back(std::move(key), std::move(v));
+    }
+    out = Value(std::move(obj));
+    return true;
+}
+
+bool
+Parser::parseBlock(int indent, Value& out)
+{
+    if (atEnd())
+        return fail("unexpected end of document", 0);
+    if (cur().indent != indent)
+        return fail("inconsistent indentation", cur().number);
+    if (startsWith(cur().content, "- ") || cur().content == "-")
+        return parseSequence(indent, out);
+    return parseMapping(indent, out);
+}
+
+json::ParseResult
+Parser::run()
+{
+    json::ParseResult result;
+    if (!error_.empty()) {  // tokenizer error
+        result.error = error_;
+        result.line = error_line_;
+        return result;
+    }
+    if (lines_.empty()) {
+        result.value = Value(nullptr);
+        return result;
+    }
+    Value v;
+    if (!parseBlock(lines_.front().indent, v) || !error_.empty()) {
+        result.error = error_.empty() ? "yaml parse error" : error_;
+        result.line = error_line_;
+        return result;
+    }
+    if (!atEnd()) {
+        result.error = "content after top-level block (bad indentation?)";
+        result.line = cur().number;
+        return result;
+    }
+    result.value = std::move(v);
+    return result;
+}
+
+json::ParseResult
+parse(std::string_view text)
+{
+    return Parser(text).run();
+}
+
+json::Value
+parseOrDie(std::string_view text)
+{
+    json::ParseResult r = parse(text);
+    if (!r.ok())
+        fatal("yaml parse failed at line %zu: %s", r.line, r.error.c_str());
+    return std::move(*r.value);
+}
+
+}  // namespace faasflow::yaml

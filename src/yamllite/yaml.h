@@ -1,0 +1,35 @@
+#ifndef FAASFLOW_YAMLLITE_YAML_H_
+#define FAASFLOW_YAMLLITE_YAML_H_
+
+#include <string_view>
+
+#include "json/json.h"
+
+namespace faasflow::yaml {
+
+/**
+ * Parses a YAML subset sufficient for FaaSFlow workflow.yaml files into a
+ * json::Value tree.
+ *
+ * Supported syntax:
+ *  - block mappings (`key: value`) and nested block structure by indent
+ *  - block sequences (`- item`), including `- key: value` compact entries
+ *  - flow sequences `[a, b, c]` and flow mappings `{k: v, k2: v2}`
+ *  - scalars with type inference: int, float, bool (true/false),
+ *    null (~ / null / empty), everything else string
+ *  - single- and double-quoted strings (double quotes support \n, \t, \",
+ *    \\ escapes)
+ *  - full-line and trailing `# comments` (not inside quotes)
+ *  - an optional leading `---` document marker
+ *
+ * Unsupported (rejected with an error): anchors/aliases, multi-document
+ * streams, block scalars (| and >), tabs for indentation.
+ */
+json::ParseResult parse(std::string_view text);
+
+/** Parses and fatals on error — for compiled-in fixtures only. */
+json::Value parseOrDie(std::string_view text);
+
+}  // namespace faasflow::yaml
+
+#endif  // FAASFLOW_YAMLLITE_YAML_H_

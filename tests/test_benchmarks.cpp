@@ -1,0 +1,189 @@
+/** @file Tests for the benchmark suite: structure of the 8 paper
+ *  workloads, scalability of genome(n), and the Fig. 5 byte helpers. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchmarks/specs.h"
+#include "common/units.h"
+#include "storage/faastore.h"
+#include "workflow/analysis.h"
+
+namespace faasflow::benchmarks {
+namespace {
+
+TEST(BenchmarksTest, AllEightPresentInOrder)
+{
+    const auto all = allBenchmarks();
+    ASSERT_EQ(all.size(), 8u);
+    const char* names[] = {"Cyc", "Epi", "Gen", "Soy",
+                           "Vid", "IR",  "FP",  "WC"};
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(all[i].name, names[i]);
+}
+
+TEST(BenchmarksTest, AllValidate)
+{
+    for (const auto& bench : allBenchmarks()) {
+        const auto r = workflow::validate(bench.dag);
+        EXPECT_TRUE(r.ok) << bench.name << ": " << r.error;
+        EXPECT_FALSE(bench.functions.empty()) << bench.name;
+    }
+}
+
+TEST(BenchmarksTest, ScientificWorkflowsHaveFiftyTasks)
+{
+    for (const auto& bench : scientificBenchmarks())
+        EXPECT_EQ(bench.dag.taskCount(), 50u) << bench.name;
+}
+
+TEST(BenchmarksTest, RealWorldWorkflowsAreSmall)
+{
+    for (const auto& bench : realWorldBenchmarks())
+        EXPECT_LE(bench.dag.taskCount(), 10u) << bench.name;
+}
+
+TEST(BenchmarksTest, FunctionNamesAreNamespaced)
+{
+    // Co-location deploys all benchmarks into one registry: function
+    // names must be globally unique.
+    std::set<std::string> seen;
+    for (const auto& bench : allBenchmarks()) {
+        for (const auto& spec : bench.functions)
+            EXPECT_TRUE(seen.insert(spec.name).second) << spec.name;
+    }
+}
+
+TEST(BenchmarksTest, EveryTaskHasARegisteredFunction)
+{
+    for (const auto& bench : allBenchmarks()) {
+        std::set<std::string> declared;
+        for (const auto& spec : bench.functions)
+            declared.insert(spec.name);
+        for (const auto& node : bench.dag.nodes()) {
+            if (node.isTask()) {
+                EXPECT_TRUE(declared.count(node.function))
+                    << bench.name << "/" << node.function;
+            }
+        }
+    }
+}
+
+TEST(BenchmarksTest, GenomeScales)
+{
+    for (const int n : {10, 25, 50, 100, 200}) {
+        const Benchmark bench = genome(n);
+        // 4 fixed tasks + 2 per branch; branches = (n-4)/2.
+        const size_t expected =
+            4 + 2 * static_cast<size_t>((n - 4) / 2);
+        EXPECT_EQ(bench.dag.taskCount(), expected) << n;
+        EXPECT_TRUE(workflow::validate(bench.dag).ok);
+    }
+}
+
+TEST(BenchmarksTest, CyclesHasTheLargestDataFootprint)
+{
+    const auto all = allBenchmarks();
+    const int64_t cyc = faasShippedBytes(all[0].dag);
+    for (size_t i = 1; i < all.size(); ++i)
+        EXPECT_GT(cyc, faasShippedBytes(all[i].dag)) << all[i].name;
+}
+
+TEST(BenchmarksTest, FaasBytesExceedMonolithic)
+{
+    for (const auto& bench : allBenchmarks()) {
+        const int64_t mono = monolithicBytes(bench.dag);
+        const int64_t faas = faasShippedBytes(bench.dag);
+        EXPECT_GT(mono, 0) << bench.name;
+        // The data-shipping pattern at least doubles movement (write +
+        // read), and fan-out amplifies further (Fig. 5).
+        EXPECT_GE(faas, 2 * mono) << bench.name;
+    }
+}
+
+TEST(BenchmarksTest, VideoAmplificationMatchesPaperOrder)
+{
+    // Vid: the paper reports ~23x FaaS/monolithic amplification; ours
+    // must be clearly in the 5x-40x band.
+    const Benchmark vid = videoFfmpeg();
+    const double ratio =
+        static_cast<double>(faasShippedBytes(vid.dag)) /
+        static_cast<double>(monolithicBytes(vid.dag));
+    EXPECT_GT(ratio, 4.0);
+    EXPECT_LT(ratio, 50.0);
+}
+
+TEST(BenchmarksTest, SoyKbHasSmallestReclaimableQuota)
+{
+    // SoyKB runs near its memory limit: Eq. 1 leaves almost nothing,
+    // reproducing its 5.2% Table-4 reduction. Its per-function
+    // over-provision must be the smallest of the scientific suite.
+    const int64_t headroom = 32 * kMiB;
+    auto min_over = [&](const Benchmark& b) {
+        int64_t best = INT64_MAX;
+        for (const auto& spec : b.functions) {
+            best = std::min(best, storage::FaaStore::overProvision(
+                                      spec, 1.0, headroom));
+        }
+        return best;
+    };
+    const int64_t soy = min_over(soykb());
+    EXPECT_LT(soy, 1 * kMB);
+    EXPECT_LT(soy, min_over(genome()));
+    EXPECT_LT(soy, min_over(cycles()));
+}
+
+TEST(BenchmarksTest, StripPayloadsZeroesData)
+{
+    const Benchmark bench = wordCount();
+    const workflow::Dag stripped = stripPayloads(bench.dag);
+    EXPECT_EQ(stripped.nodeCount(), bench.dag.nodeCount());
+    EXPECT_EQ(stripped.edgeCount(), bench.dag.edgeCount());
+    EXPECT_EQ(stripped.totalDataBytes(), 0);
+    EXPECT_GT(bench.dag.totalDataBytes(), 0);
+    // Structure is preserved.
+    for (size_t e = 0; e < bench.dag.edgeCount(); ++e) {
+        EXPECT_EQ(stripped.edge(e).from, bench.dag.edge(e).from);
+        EXPECT_EQ(stripped.edge(e).to, bench.dag.edge(e).to);
+    }
+    EXPECT_TRUE(workflow::validate(stripped).ok);
+}
+
+TEST(BenchmarksTest, IllegalRecognizerHasASwitch)
+{
+    const Benchmark ir = illegalRecognizer();
+    bool has_switch = false;
+    for (const auto& node : ir.dag.nodes()) {
+        if (node.switch_id >= 0 && node.switch_branch >= 0)
+            has_switch = true;
+    }
+    EXPECT_TRUE(has_switch);
+}
+
+TEST(BenchmarksTest, ForeachWidthsWithinContainerCap)
+{
+    // Widths above the 10-per-function-per-node cap would serialise into
+    // cold-start waves; the suite stays within one wave (<= 8 cores).
+    for (const auto& bench : allBenchmarks()) {
+        for (const auto& node : bench.dag.nodes())
+            EXPECT_LE(node.foreach_width, 8) << bench.name;
+    }
+}
+
+class BenchmarkParamTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BenchmarkParamTest, EachBenchmarkHasSingleSourceAndSink)
+{
+    const auto all = allBenchmarks();
+    const auto& bench = all[static_cast<size_t>(GetParam())];
+    EXPECT_EQ(workflow::sourceNodes(bench.dag).size(), 1u) << bench.name;
+    EXPECT_EQ(workflow::sinkNodes(bench.dag).size(), 1u) << bench.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEight, BenchmarkParamTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace faasflow::benchmarks

@@ -1,0 +1,149 @@
+/** @file Tests for the latency decomposition fields and a serialization
+ *  property sweep over randomly generated workflows. */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "faasflow/client.h"
+#include "faasflow/system.h"
+#include "workflow/analysis.h"
+#include "workflow/builder.h"
+#include "workflow/serialize.h"
+
+namespace faasflow {
+namespace {
+
+using engine::InvocationRecord;
+
+TEST(DecompositionTest, ExecTotalSumsAllInstances)
+{
+    auto wdl = workflow::Builder("d")
+                   .function("a", SimTime::millis(100), 0.0)
+                   .function("b", SimTime::millis(50), 0.0)
+                   .task("a")
+                   .foreach(4,
+                            [](workflow::Builder::Steps& s) {
+                                s.task("b");
+                            })
+                   .build();
+    ASSERT_TRUE(wdl.ok()) << wdl.error;
+    System system(SystemConfig::faasflowFaastore());
+    system.registerFunctions(wdl.functions);
+    const std::string name = system.deploy(std::move(wdl.dag));
+    InvocationRecord record;
+    system.invoke(name, [&](const InvocationRecord& r) { record = r; });
+    system.run();
+    // a (100 ms) + 4 x b (50 ms each) = 300 ms of pure execution.
+    EXPECT_EQ(record.exec_total, SimTime::millis(300));
+    // First invocation: every instance cold-started (>= 5 x ~600 ms).
+    EXPECT_GT(record.container_wait, SimTime::seconds(2));
+}
+
+TEST(DecompositionTest, WarmInvocationsWaitLess)
+{
+    auto wdl = workflow::Builder("w")
+                   .function("f", SimTime::millis(100), 0.0)
+                   .task("f")
+                   .task("f")
+                   .build();
+    ASSERT_TRUE(wdl.ok());
+    System system(SystemConfig::faasflowFaastore());
+    system.registerFunctions(wdl.functions);
+    const std::string name = system.deploy(std::move(wdl.dag));
+
+    std::vector<SimTime> waits;
+    std::function<void()> next = [&] {
+        system.invoke(name, [&](const InvocationRecord& r) {
+            waits.push_back(r.container_wait);
+            if (waits.size() < 5)
+                next();
+        });
+    };
+    next();
+    system.run();
+    ASSERT_EQ(waits.size(), 5u);
+    // Invocation 0 pays cold starts; later ones reuse warm containers.
+    EXPECT_GT(waits[0], SimTime::millis(500));
+    for (size_t i = 1; i < waits.size(); ++i)
+        EXPECT_LT(waits[i], SimTime::millis(10));
+}
+
+TEST(DecompositionTest, MetricsAggregateMeans)
+{
+    auto wdl = workflow::Builder("m")
+                   .function("f", SimTime::millis(200), 0.0)
+                   .task("f")
+                   .build();
+    ASSERT_TRUE(wdl.ok());
+    System system(SystemConfig::faasflowFaastore());
+    system.registerFunctions(wdl.functions);
+    const std::string name = system.deploy(std::move(wdl.dag));
+    ClosedLoopClient client(system, name, 10);
+    client.start();
+    system.run();
+    EXPECT_NEAR(system.metrics().meanExecTotal(name), 200.0, 1.0);
+    EXPECT_GE(system.metrics().meanContainerWait(name), 0.0);
+}
+
+/** Property: random Builder-generated workflows serialize losslessly
+ *  and their stats stay internally consistent. */
+class SerializePropertyTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SerializePropertyTest, RandomWorkflowsRoundTrip)
+{
+    Rng rng(GetParam());
+    workflow::Builder builder(strFormat("rt%llu",
+                                        (unsigned long long)GetParam()));
+    int fn = 0;
+    auto new_fn = [&] {
+        const std::string name = strFormat("fn%d", fn++);
+        builder.function(name,
+                         SimTime::millis(rng.uniform(10, 300)), 0.05);
+        return name;
+    };
+    const int steps = 2 + static_cast<int>(rng.uniformInt(0, 4));
+    for (int i = 0; i < steps; ++i) {
+        const double dice = rng.uniform();
+        if (dice < 0.5) {
+            builder.task(new_fn(), rng.uniformInt(0, 3) * 1000000);
+        } else if (dice < 0.75) {
+            const std::string f1 = new_fn(), f2 = new_fn();
+            builder.parallel(
+                {[&](workflow::Builder::Steps& s) { s.task(f1, 500000); },
+                 [&](workflow::Builder::Steps& s) { s.task(f2); }});
+        } else {
+            const std::string body = new_fn();
+            builder.foreach(
+                2 + static_cast<int>(rng.uniformInt(0, 4)),
+                [&](workflow::Builder::Steps& s) { s.task(body, 250000); });
+        }
+    }
+    const auto wdl = builder.build();
+    ASSERT_TRUE(wdl.ok()) << wdl.error;
+
+    const auto round =
+        workflow::dagFromJsonText(workflow::dagToJsonText(wdl.dag));
+    ASSERT_TRUE(round.ok()) << round.error;
+    EXPECT_EQ(workflow::dagToJsonText(round.dag),
+              workflow::dagToJsonText(wdl.dag));
+
+    const auto stats = workflow::computeStats(wdl.dag);
+    EXPECT_EQ(stats.tasks + stats.virtual_fences, wdl.dag.nodeCount());
+    EXPECT_LE(stats.depth, wdl.dag.nodeCount());
+    EXPECT_GE(stats.max_width, 1u);
+    EXPECT_EQ(stats.edges, wdl.dag.edgeCount());
+    // Fences come in start/end pairs.
+    EXPECT_EQ(stats.virtual_fences % 2, 0u);
+    // The linearized form has the same task multiset.
+    const workflow::Dag seq = workflow::linearize(wdl.dag);
+    EXPECT_EQ(seq.nodeCount(), stats.tasks);
+    EXPECT_TRUE(workflow::validate(seq).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializePropertyTest,
+                         ::testing::Values(7, 77, 777, 7777, 77777, 777777));
+
+}  // namespace
+}  // namespace faasflow

@@ -1,0 +1,341 @@
+/** @file Whole-system integration and property tests: randomly generated
+ *  workflows driven through both scheduling patterns, checking global
+ *  invariants — completion, cleanup, determinism, execution counts,
+ *  repartition robustness under load. */
+#include <gtest/gtest.h>
+
+#include "benchmarks/specs.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/units.h"
+#include "faasflow/client.h"
+#include "faasflow/system.h"
+#include "workflow/analysis.h"
+#include "workflow/wdl.h"
+
+namespace faasflow {
+namespace {
+
+using engine::InvocationRecord;
+
+/**
+ * Generates a random but always-valid WDL document: a sequence of 2-5
+ * steps, each a task, parallel block, switch, or foreach, with random
+ * payload sizes and execution times.
+ */
+std::string
+randomWorkflowYaml(Rng& rng, const std::string& name)
+{
+    std::string yaml = "name: " + name + "\n";
+    std::string functions = "functions:\n";
+    std::string steps = "steps:\n";
+    int fn_counter = 0;
+
+    auto new_fn = [&](double max_exec_ms) {
+        const std::string fn = strFormat("%s_f%d", name.c_str(), fn_counter++);
+        functions += strFormat(
+            "  - name: %s\n    exec_ms: %d\n    sigma: 0.05\n"
+            "    peak_mb: %d\n",
+            fn.c_str(), static_cast<int>(rng.uniformInt(10, (int)max_exec_ms)),
+            static_cast<int>(rng.uniformInt(80, 200)));
+        return fn;
+    };
+    auto task_step = [&](int indent) {
+        std::string pad(static_cast<size_t>(indent), ' ');
+        std::string s = pad + "- task: " + new_fn(200) + "\n";
+        if (rng.uniform() < 0.7) {
+            s += pad + strFormat("  output_mb: %.1f",
+                                 rng.uniform(0.1, 4.0)) + "\n";
+        }
+        return s;
+    };
+
+    const int top_steps = 2 + static_cast<int>(rng.uniformInt(0, 3));
+    for (int i = 0; i < top_steps; ++i) {
+        const double dice = rng.uniform();
+        if (dice < 0.45) {
+            steps += task_step(2);
+        } else if (dice < 0.65) {
+            const int branches = 2 + static_cast<int>(rng.uniformInt(0, 2));
+            steps += "  - parallel:\n      branches:\n";
+            for (int b = 0; b < branches; ++b) {
+                steps += "        - steps:\n";
+                steps += task_step(12);
+                if (rng.uniform() < 0.4)
+                    steps += task_step(12);
+            }
+        } else if (dice < 0.85) {
+            steps += "  - switch:\n      branches:\n";
+            for (int b = 0; b < 2; ++b) {
+                steps += "        - steps:\n";
+                steps += task_step(12);
+            }
+        } else {
+            steps += strFormat("  - foreach:\n      width: %d\n"
+                               "      steps:\n",
+                               2 + static_cast<int>(rng.uniformInt(0, 4)));
+            steps += task_step(8);
+        }
+    }
+    return yaml + functions + steps;
+}
+
+class IntegrationPropertyTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(IntegrationPropertyTest, RandomWorkflowRunsCleanlyInBothModes)
+{
+    Rng rng(GetParam());
+    const std::string yaml = randomWorkflowYaml(rng, "rand");
+    auto wdl = workflow::parseWdlYaml(yaml);
+    ASSERT_TRUE(wdl.ok()) << wdl.error << "\n" << yaml;
+    ASSERT_TRUE(workflow::validate(wdl.dag).ok);
+
+    for (const engine::ControlMode mode :
+         {engine::ControlMode::MasterSP, engine::ControlMode::WorkerSP}) {
+        SystemConfig config = SystemConfig::faasflowFaastore();
+        config.control_mode = mode;
+        config.seed = GetParam();
+        System system(config);
+        system.registerFunctions(wdl.functions);
+        workflow::Dag dag = wdl.dag;
+        const std::string name = system.deploy(std::move(dag));
+
+        std::vector<InvocationRecord> records;
+        ClosedLoopClient client(system, name, 12);
+        client.start();
+        system.run();
+        system.repartition(name);
+        ClosedLoopClient client2(system, name, 12);
+        client2.start();
+        system.run();
+
+        // Every invocation completed; nothing is left in flight.
+        EXPECT_EQ(system.metrics().count(name), 24u);
+        EXPECT_EQ(system.metrics().timeouts(name), 0u);
+        EXPECT_EQ(system.inFlight(), 0u);
+
+        // All intermediate objects were dropped.
+        EXPECT_EQ(system.remoteStore().objectCount(), 0u);
+        for (size_t w = 0; w < system.cluster().workerCount(); ++w) {
+            EXPECT_EQ(system.store(w).memStore().objectCount(), 0u);
+            EXPECT_EQ(system.store(w).poolUsed(name), 0);
+            // Engine state recycled (§4.2.1): back to the 47 MB baseline.
+            EXPECT_EQ(system.workerEngineMemory(w), 47 * kMB);
+        }
+    }
+}
+
+TEST_P(IntegrationPropertyTest, ExecutionCountsWithinDagBounds)
+{
+    Rng rng(GetParam() * 31 + 7);
+    const std::string yaml = randomWorkflowYaml(rng, "cnt");
+    auto wdl = workflow::parseWdlYaml(yaml);
+    ASSERT_TRUE(wdl.ok()) << wdl.error;
+
+    // Bounds on function executions per invocation: every non-switch task
+    // runs (foreach width times); per switch, at least the smallest and
+    // at most the largest branch runs.
+    uint64_t base = 0;
+    std::map<int, uint64_t> switch_min, switch_max;
+    std::map<int, std::map<int, uint64_t>> per_branch;
+    for (const auto& node : wdl.dag.nodes()) {
+        if (!node.isTask())
+            continue;
+        const auto width = static_cast<uint64_t>(node.foreach_width);
+        if (node.switch_id < 0) {
+            base += width;
+        } else {
+            per_branch[node.switch_id][node.switch_branch] += width;
+        }
+    }
+    uint64_t lo = base, hi = base;
+    for (const auto& [sid, branches] : per_branch) {
+        uint64_t bmin = UINT64_MAX, bmax = 0;
+        for (const auto& [b, count] : branches) {
+            bmin = std::min(bmin, count);
+            bmax = std::max(bmax, count);
+        }
+        lo += bmin;
+        hi += bmax;
+    }
+
+    System system(SystemConfig::faasflowFaastore());
+    system.registerFunctions(wdl.functions);
+    const std::string name = system.deploy(std::move(wdl.dag));
+    for (int i = 0; i < 10; ++i) {
+        InvocationRecord record;
+        system.invoke(name,
+                      [&](const InvocationRecord& r) { record = r; });
+        system.run();
+        EXPECT_GE(record.functions_executed, lo);
+        EXPECT_LE(record.functions_executed, hi);
+    }
+}
+
+TEST_P(IntegrationPropertyTest, DeterministicForFixedSeed)
+{
+    Rng rng(GetParam() * 17 + 3);
+    const std::string yaml = randomWorkflowYaml(rng, "det");
+    auto wdl = workflow::parseWdlYaml(yaml);
+    ASSERT_TRUE(wdl.ok()) << wdl.error;
+
+    auto run_once = [&] {
+        SystemConfig config = SystemConfig::faasflowFaastore();
+        config.seed = 99;
+        System system(config);
+        system.registerFunctions(wdl.functions);
+        workflow::Dag dag = wdl.dag;
+        const std::string name = system.deploy(std::move(dag));
+        ClosedLoopClient client(system, name, 15);
+        client.start();
+        system.run();
+        return std::make_pair(system.metrics().e2e(name).mean(),
+                              system.metrics().meanBytesMoved(name));
+    };
+    const auto a = run_once();
+    const auto b = run_once();
+    EXPECT_DOUBLE_EQ(a.first, b.first);
+    EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegrationPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// ------------------------------------------------ Cross-cutting checks
+
+TEST(IntegrationTest, RepartitionUnderOpenLoopLoadLosesNothing)
+{
+    auto bench = benchmarks::fileProcessing();
+    System system(SystemConfig::faasflowFaastore());
+    system.registerFunctions(bench.functions);
+    const std::string name = system.deploy(std::move(bench.dag));
+
+    OpenLoopClient client(system, name, 120.0, 60, Rng(4));
+    client.start();
+    // Repartition twice while arrivals are still streaming in.
+    system.runFor(SimTime::seconds(10));
+    system.repartition(name);
+    system.runFor(SimTime::seconds(10));
+    system.repartition(name);
+    system.run();
+
+    EXPECT_EQ(client.completed(), 60u);
+    EXPECT_EQ(system.metrics().count(name), 60u);
+    EXPECT_EQ(system.inFlight(), 0u);
+    EXPECT_EQ(system.remoteStore().objectCount(), 0u);
+}
+
+TEST(IntegrationTest, AllPaperBenchmarksRunInBothModes)
+{
+    for (const auto& bench : benchmarks::allBenchmarks()) {
+        for (const bool master : {true, false}) {
+            SystemConfig config = master
+                                      ? SystemConfig::hyperflowServerless()
+                                      : SystemConfig::faasflowFaastore();
+            System system(config);
+            system.registerFunctions(bench.functions);
+            workflow::Dag dag = bench.dag;
+            const std::string name = system.deploy(std::move(dag));
+            bool done = false;
+            system.invoke(name, [&](const InvocationRecord& r) {
+                done = true;
+                EXPECT_FALSE(r.timed_out) << bench.name;
+                EXPECT_GT(r.functions_executed, 0u) << bench.name;
+            });
+            system.run();
+            EXPECT_TRUE(done) << bench.name;
+        }
+    }
+}
+
+TEST(IntegrationTest, BandwidthThrottleMidRunAffectsOnlyRemoteData)
+{
+    auto bench = benchmarks::wordCount();
+    SystemConfig config = SystemConfig::faasflowRemoteOnly();
+    System system(config);
+    system.registerFunctions(bench.functions);
+    const std::string name = system.deploy(std::move(bench.dag));
+
+    ClosedLoopClient client(system, name, 30);
+    client.start();
+    system.runFor(SimTime::seconds(15));
+    const double before = system.metrics().e2e(name).mean();
+    system.cluster().setStorageBandwidth(5e6);  // 10x throttle
+    system.run();
+    const double after_all = system.metrics().e2e(name).mean();
+    // The post-throttle invocations are slower, pulling the mean up.
+    EXPECT_GT(after_all, before);
+}
+
+TEST(IntegrationTest, SwitchChoicesAreBalancedAcrossInvocations)
+{
+    auto bench = benchmarks::illegalRecognizer();
+    System system(SystemConfig::faasflowFaastore());
+    system.registerFunctions(bench.functions);
+    const std::string name = system.deploy(std::move(bench.dag));
+
+    // ir_blur runs only on branch 0; over many invocations both branches
+    // must be taken a reasonable number of times.
+    int blur_runs = 0;
+    const int n = 60;
+    for (int i = 0; i < n; ++i) {
+        system.invoke(name, [&](const InvocationRecord& r) {
+            // blur (300ms) on the critical path makes e2e distinguishable
+            // from archive (120ms); count via functions_executed == 4.
+            (void)r;
+        });
+    }
+    system.run();
+    // Count through the blur container pool: it exists only if used.
+    for (size_t w = 0; w < system.cluster().workerCount(); ++w) {
+        blur_runs +=
+            static_cast<int>(system.cluster().worker(w).pool().warmHits());
+    }
+    EXPECT_EQ(system.metrics().count(name), static_cast<size_t>(n));
+    EXPECT_GT(blur_runs, 0);
+}
+
+TEST(IntegrationTest, WorkerSpSendsFarFewerControlMessages)
+{
+    // The paper's core claim, measured directly: MasterSP ships one
+    // assignment and one state return per function over the network;
+    // WorkerSP only ships cross-worker state updates. Compare total
+    // control messages for identical data-free workloads.
+    auto count_messages = [&](engine::ControlMode mode) {
+        SystemConfig config = SystemConfig::faasflowRemoteOnly();
+        config.control_mode = mode;
+        System system(config);
+        auto bench = benchmarks::cycles();
+        system.registerFunctions(bench.functions);
+        workflow::Dag dag = benchmarks::stripPayloads(bench.dag);
+        const std::string name = system.deploy(std::move(dag));
+        // Measure under the grouped (Algorithm 1) placement, as deployed
+        // systems run; the hash iteration exists only to collect feedback.
+        ClosedLoopClient warmup(system, name, 5);
+        warmup.start();
+        system.run();
+        system.repartition(name);
+        auto total = [&] {
+            uint64_t messages = 0;
+            for (size_t n = 0; n < system.network().nodeCount(); ++n)
+                messages += system.network().stats(static_cast<int>(n))
+                                .messages_sent;
+            return messages;
+        };
+        const uint64_t before = total();
+        ClosedLoopClient client(system, name, 10);
+        client.start();
+        system.run();
+        return total() - before;
+    };
+    const uint64_t master = count_messages(engine::ControlMode::MasterSP);
+    const uint64_t worker = count_messages(engine::ControlMode::WorkerSP);
+    // 50 tasks x 2 hops each plus fences under MasterSP; WorkerSP pays
+    // only cross-worker edges + invoke/sink messages.
+    EXPECT_GT(master, 2 * worker);
+}
+
+}  // namespace
+}  // namespace faasflow

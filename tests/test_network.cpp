@@ -1,0 +1,225 @@
+/** @file Tests for the flow-level network model (max-min fairness,
+ *  contention, control messages, bandwidth changes). */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace faasflow::net {
+namespace {
+
+struct Fixture
+{
+    sim::Simulator sim;
+    Network net;
+
+    Fixture() : net(sim) {}
+};
+
+TEST(NetworkTest, SingleFlowUsesFullBottleneck)
+{
+    Fixture f;
+    const NodeId a = f.net.addNode("a", 100e6, 100e6);
+    const NodeId b = f.net.addNode("b", 50e6, 50e6);
+    SimTime elapsed;
+    f.net.startFlow(a, b, 50 * kMB, [&](SimTime t) { elapsed = t; });
+    f.sim.run();
+    // Bottleneck is b's 50 MB/s ingress: 50 MB takes 1 s.
+    EXPECT_NEAR(elapsed.secondsF(), 1.0, 1e-6);
+}
+
+TEST(NetworkTest, TwoFlowsShareSourceEgressFairly)
+{
+    Fixture f;
+    const NodeId a = f.net.addNode("a", 100e6, 100e6);
+    const NodeId b = f.net.addNode("b", 100e6, 100e6);
+    const NodeId c = f.net.addNode("c", 100e6, 100e6);
+    int done = 0;
+    SimTime t1, t2;
+    f.net.startFlow(a, b, 50 * kMB, [&](SimTime t) { t1 = t; ++done; });
+    f.net.startFlow(a, c, 50 * kMB, [&](SimTime t) { t2 = t; ++done; });
+    f.sim.run();
+    EXPECT_EQ(done, 2);
+    // Each gets 50 MB/s of a's 100 MB/s egress: 1 s each.
+    EXPECT_NEAR(t1.secondsF(), 1.0, 1e-6);
+    EXPECT_NEAR(t2.secondsF(), 1.0, 1e-6);
+}
+
+TEST(NetworkTest, UnequalFlowsRedistributeAfterCompletion)
+{
+    Fixture f;
+    const NodeId a = f.net.addNode("a", 100e6, 100e6);
+    const NodeId b = f.net.addNode("b", 100e6, 100e6);
+    const NodeId c = f.net.addNode("c", 100e6, 100e6);
+    SimTime t_small, t_big;
+    f.net.startFlow(a, b, 25 * kMB, [&](SimTime t) { t_small = t; });
+    f.net.startFlow(a, c, 75 * kMB, [&](SimTime t) { t_big = t; });
+    f.sim.run();
+    // Phase 1: both at 50 MB/s; small (25 MB) finishes at 0.5 s. The big
+    // flow then gets the full 100 MB/s for its remaining 50 MB: +0.5 s.
+    EXPECT_NEAR(t_small.secondsF(), 0.5, 1e-6);
+    EXPECT_NEAR(t_big.secondsF(), 1.0, 1e-6);
+}
+
+TEST(NetworkTest, StorageNodeIngressIsTheSharedBottleneck)
+{
+    // The Fig. 12 scenario: many workers writing to one storage node.
+    Fixture f;
+    const NodeId storage = f.net.addNode("storage", 50e6, 50e6);
+    std::vector<NodeId> workers;
+    for (int i = 0; i < 5; ++i) {
+        workers.push_back(
+            f.net.addNode("w" + std::to_string(i), 100e6, 100e6));
+    }
+    int done = 0;
+    SimTime last;
+    for (const NodeId w : workers) {
+        f.net.startFlow(w, storage, 10 * kMB, [&](SimTime t) {
+            ++done;
+            last = std::max(last, t);
+        });
+    }
+    f.sim.run();
+    EXPECT_EQ(done, 5);
+    // 50 MB total through a 50 MB/s ingress: all finish together at 1 s.
+    EXPECT_NEAR(last.secondsF(), 1.0, 1e-6);
+}
+
+TEST(NetworkTest, BandwidthChangeMidFlight)
+{
+    Fixture f;
+    const NodeId a = f.net.addNode("a", 100e6, 100e6);
+    const NodeId b = f.net.addNode("b", 100e6, 100e6);
+    SimTime elapsed;
+    f.net.startFlow(a, b, 100 * kMB, [&](SimTime t) { elapsed = t; });
+    // After 0.5 s (50 MB done), throttle b to 25 MB/s (wondershaper).
+    f.sim.schedule(SimTime::seconds(0.5),
+                   [&] { f.net.setNicBandwidth(b, 25e6, 25e6); });
+    f.sim.run();
+    // Remaining 50 MB at 25 MB/s takes 2 s: total 2.5 s.
+    EXPECT_NEAR(elapsed.secondsF(), 2.5, 1e-5);
+}
+
+TEST(NetworkTest, ZeroByteFlowCompletesImmediately)
+{
+    Fixture f;
+    const NodeId a = f.net.addNode("a", 1e6, 1e6);
+    const NodeId b = f.net.addNode("b", 1e6, 1e6);
+    bool done = false;
+    f.net.startFlow(a, b, 0, [&](SimTime) { done = true; });
+    f.sim.run();
+    EXPECT_TRUE(done);
+}
+
+TEST(NetworkTest, MessageLatencyModel)
+{
+    sim::Simulator sim;
+    Network::Config config;
+    config.hop_latency = SimTime::millis(1);
+    config.loopback_latency = SimTime::micros(50);
+    config.message_bandwidth = 1e9;
+    Network net(sim, config);
+    const NodeId a = net.addNode("a", 1e9, 1e9);
+    const NodeId b = net.addNode("b", 1e9, 1e9);
+
+    SimTime cross, local;
+    net.sendMessage(a, b, 1000, [&] { cross = sim.now(); });
+    net.sendMessage(a, a, 1000, [&] { local = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(cross.millisF(), 1.001, 1e-6);
+    EXPECT_NEAR(local.millisF(), 0.051, 1e-6);
+}
+
+TEST(NetworkTest, StatsCountTraffic)
+{
+    Fixture f;
+    const NodeId a = f.net.addNode("a", 100e6, 100e6);
+    const NodeId b = f.net.addNode("b", 100e6, 100e6);
+    f.net.startFlow(a, b, 5 * kMB, nullptr);
+    f.net.sendMessage(a, b, 100, [] {});
+    f.sim.run();
+    EXPECT_EQ(f.net.stats(a).bytes_sent, 5 * kMB + 100);
+    EXPECT_EQ(f.net.stats(b).bytes_received, 5 * kMB + 100);
+    EXPECT_EQ(f.net.stats(a).flows_started, 1u);
+    EXPECT_EQ(f.net.stats(a).messages_sent, 1u);
+}
+
+TEST(NetworkTest, FlowRateVisibleWhileActive)
+{
+    Fixture f;
+    const NodeId a = f.net.addNode("a", 80e6, 80e6);
+    const NodeId b = f.net.addNode("b", 80e6, 80e6);
+    const FlowId id = f.net.startFlow(a, b, 80 * kMB, nullptr);
+    EXPECT_NEAR(f.net.flowRate(id), 80e6, 1.0);
+    EXPECT_EQ(f.net.activeFlows(), 1u);
+    f.sim.run();
+    EXPECT_EQ(f.net.flowRate(id), 0.0);
+    EXPECT_EQ(f.net.activeFlows(), 0u);
+}
+
+TEST(NetworkDeathTest, SameNodeFlowPanics)
+{
+    Fixture f;
+    const NodeId a = f.net.addNode("a", 1e6, 1e6);
+    EXPECT_DEATH(f.net.startFlow(a, a, 10, nullptr), "same-node");
+}
+
+TEST(NetworkDeathTest, InvalidNodePanics)
+{
+    Fixture f;
+    f.net.addNode("a", 1e6, 1e6);
+    EXPECT_DEATH(f.net.sendMessage(0, 5, 10, [] {}), "invalid node");
+}
+
+/**
+ * Property: with random flows, the max-min allocation never oversubscribes
+ * any NIC, and every flow eventually completes with conserved bytes.
+ */
+class NetworkPropertyTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(NetworkPropertyTest, AllFlowsCompleteAndConserveBytes)
+{
+    Rng rng(GetParam());
+    sim::Simulator sim;
+    Network net(sim);
+    const int nodes = 4 + static_cast<int>(rng.uniformInt(0, 4));
+    for (int i = 0; i < nodes; ++i) {
+        net.addNode("n" + std::to_string(i), rng.uniform(10e6, 200e6),
+                    rng.uniform(10e6, 200e6));
+    }
+    const int flows = 20;
+    int64_t total_bytes = 0;
+    int completed = 0;
+    for (int i = 0; i < flows; ++i) {
+        const NodeId src = static_cast<NodeId>(rng.uniformInt(0, nodes - 1));
+        NodeId dst;
+        do {
+            dst = static_cast<NodeId>(rng.uniformInt(0, nodes - 1));
+        } while (dst == src);
+        const int64_t bytes = rng.uniformInt(1, 20) * kMB;
+        total_bytes += bytes;
+        const SimTime start = SimTime::seconds(rng.uniform(0, 2));
+        sim.scheduleAt(start, [&net, &completed, src, dst, bytes] {
+            net.startFlow(src, dst, bytes, [&](SimTime) { ++completed; });
+        });
+    }
+    sim.run();
+    EXPECT_EQ(completed, flows);
+    int64_t sent = 0, received = 0;
+    for (int i = 0; i < nodes; ++i) {
+        sent += net.stats(i).bytes_sent;
+        received += net.stats(i).bytes_received;
+    }
+    EXPECT_EQ(sent, total_bytes);
+    EXPECT_EQ(received, total_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkPropertyTest,
+                         ::testing::Values(3, 14, 159, 2653, 58979));
+
+}  // namespace
+}  // namespace faasflow::net

@@ -1,0 +1,238 @@
+/** @file Tests for the keep-alive policy extension, the placement
+ *  baselines, and the DOT visualiser. */
+#include <gtest/gtest.h>
+
+#include "cluster/container_pool.h"
+#include "cluster/node.h"
+#include "common/units.h"
+#include "net/network.h"
+#include "scheduler/partition.h"
+#include "scheduler/visualize.h"
+#include "sim/simulator.h"
+#include "workflow/wdl.h"
+
+namespace faasflow {
+namespace {
+
+using cluster::AcquireResult;
+using cluster::Container;
+using cluster::KeepAlivePolicy;
+
+struct PoolFixture
+{
+    sim::Simulator sim;
+    cluster::FunctionRegistry registry;
+    net::Network net{sim};
+    std::unique_ptr<cluster::WorkerNode> node;
+
+    explicit PoolFixture(KeepAlivePolicy policy, int64_t memory = 2 * kGiB)
+    {
+        for (const char* name : {"f", "g", "h"}) {
+            cluster::FunctionSpec spec;
+            spec.name = name;
+            spec.exec_sigma = 0.0;
+            registry.add(spec);
+        }
+        cluster::WorkerNode::Config config;
+        config.memory = memory;
+        config.reserved_memory = 1 * kGiB;
+        config.pool.keep_alive = policy;
+        config.pool.cold_start_sigma = 0.0;
+        const net::NodeId nid = net.addNode("w0", 100e6, 100e6);
+        node = std::make_unique<cluster::WorkerNode>(sim, registry, nid,
+                                                     "w0", config, Rng(5));
+    }
+
+    Container*
+    acquireNow(const std::string& fn)
+    {
+        Container* out = nullptr;
+        node->pool().acquire(fn,
+                             [&](AcquireResult r) { out = r.container; });
+        sim.run();
+        return out;
+    }
+};
+
+// ------------------------------------------------------------- Policies
+
+TEST(KeepAlivePolicyTest, AlwaysColdDestroysOnRelease)
+{
+    PoolFixture f(KeepAlivePolicy::AlwaysCold);
+    Container* c = f.acquireNow("f");
+    ASSERT_NE(c, nullptr);
+    f.node->pool().release(c);
+    EXPECT_EQ(f.node->pool().totalContainers(), 0);
+    // Next acquisition is cold again.
+    f.acquireNow("f");
+    EXPECT_EQ(f.node->pool().coldStarts(), 2u);
+    EXPECT_EQ(f.node->pool().warmHits(), 0u);
+}
+
+TEST(KeepAlivePolicyTest, NeverEvictIgnoresLifetime)
+{
+    PoolFixture f(KeepAlivePolicy::NeverEvict);
+    Container* c = f.acquireNow("f");
+    f.node->pool().release(c);
+    // Far beyond the 600 s lifetime: still warm.
+    f.sim.runUntil(f.sim.now() + SimTime::seconds(3600));
+    EXPECT_EQ(f.node->pool().totalContainers(), 1);
+    f.acquireNow("f");
+    EXPECT_EQ(f.node->pool().warmHits(), 1u);
+}
+
+TEST(KeepAlivePolicyTest, GreedyDualEvictsUnderPressure)
+{
+    // 1 GiB usable = 4 containers of 256 MiB.
+    PoolFixture f(KeepAlivePolicy::GreedyDual);
+    std::vector<Container*> held;
+    for (int i = 0; i < 3; ++i)
+        held.push_back(f.acquireNow("f"));
+    Container* idle = f.acquireNow("g");
+    f.node->pool().release(idle);  // one idle 'g' container
+
+    // Memory is full; a new function must evict the idle one.
+    Container* fresh = f.acquireNow("h");
+    ASSERT_NE(fresh, nullptr);
+    EXPECT_EQ(fresh->function(), "h");
+    EXPECT_EQ(f.node->pool().pressureEvictions(), 1u);
+    EXPECT_EQ(f.node->pool().containerCount("g"), 0);
+    // Busy containers were never candidates.
+    for (Container* c : held)
+        EXPECT_EQ(c->state(), cluster::ContainerState::Busy);
+}
+
+TEST(KeepAlivePolicyTest, GreedyDualPrefersLowValueVictims)
+{
+    PoolFixture f(KeepAlivePolicy::GreedyDual);
+    f.registry.add([] {
+        cluster::FunctionSpec spec;
+        spec.name = "k";
+        return spec;
+    }());
+
+    // 'f' is hot (6 uses, then idle); 'g' was used once (idle).
+    Container* hot = f.acquireNow("f");
+    f.node->pool().release(hot);
+    for (int i = 0; i < 5; ++i) {
+        hot = f.acquireNow("f");  // warm reuse of the same container
+        f.node->pool().release(hot);
+    }
+    Container* cold = f.acquireNow("g");
+    f.node->pool().release(cold);
+    // Fill the remaining memory with two busy 'h' containers (4 total).
+    std::vector<Container*> held;
+    held.push_back(f.acquireNow("h"));
+    held.push_back(f.acquireNow("h"));
+
+    // A new function needs space: the single-use idle 'g' is the victim;
+    // the frequently reused idle 'f' survives.
+    Container* fresh = f.acquireNow("k");
+    ASSERT_NE(fresh, nullptr);
+    EXPECT_EQ(f.node->pool().containerCount("g"), 0);
+    EXPECT_EQ(f.node->pool().containerCount("f"), 1);
+    EXPECT_EQ(f.node->pool().pressureEvictions(), 1u);
+}
+
+TEST(KeepAlivePolicyTest, GreedyDualGivesUpWhenAllBusy)
+{
+    PoolFixture f(KeepAlivePolicy::GreedyDual);
+    std::vector<Container*> held;
+    for (int i = 0; i < 4; ++i)
+        held.push_back(f.acquireNow("f"));
+    // Memory exhausted and nothing idle: the request queues.
+    int acquired = 0;
+    f.node->pool().acquire("h", [&](AcquireResult) { ++acquired; });
+    f.sim.run();
+    EXPECT_EQ(acquired, 0);
+    EXPECT_EQ(f.node->pool().waitQueueDepth(), 1u);
+    EXPECT_EQ(f.node->pool().pressureEvictions(), 0u);
+}
+
+// ------------------------------------------------------ Place baselines
+
+workflow::Dag
+smallDag()
+{
+    auto wdl = workflow::parseWdlYaml("name: s\n"
+                                      "steps:\n"
+                                      "  - task: a\n"
+                                      "    output_mb: 1\n"
+                                      "  - task: b\n"
+                                      "  - task: c\n");
+    EXPECT_TRUE(wdl.ok());
+    return std::move(wdl.dag);
+}
+
+TEST(PlacementBaselinesTest, RandomCoversRangeAndIsSeeded)
+{
+    const workflow::Dag dag = smallDag();
+    const auto p1 = scheduler::randomPartition(dag, 4, 2, Rng(9));
+    const auto p2 = scheduler::randomPartition(dag, 4, 2, Rng(9));
+    EXPECT_EQ(p1.worker_of, p2.worker_of);
+    EXPECT_EQ(p1.version, 2);
+    for (const int w : p1.worker_of) {
+        EXPECT_GE(w, 0);
+        EXPECT_LT(w, 4);
+    }
+    EXPECT_TRUE(p1.valid());
+}
+
+TEST(PlacementBaselinesTest, RoundRobinBalancesExactly)
+{
+    const workflow::Dag dag = smallDag();
+    const auto p = scheduler::roundRobinPartition(dag, 3, 0);
+    const auto counts = p.nodesPerWorker(3);
+    EXPECT_EQ(counts, (std::vector<int>{1, 1, 1}));
+    EXPECT_TRUE(p.valid());
+}
+
+// ---------------------------------------------------------------- DOT
+
+TEST(VisualizeTest, PlainDotContainsNodesAndPayloads)
+{
+    const workflow::Dag dag = smallDag();
+    const std::string dot = scheduler::toDot(dag);
+    EXPECT_NE(dot.find("digraph \"s\""), std::string::npos);
+    EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+    EXPECT_NE(dot.find("1.00MB"), std::string::npos);    // payload label
+    EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // 0-byte edge
+}
+
+TEST(VisualizeTest, PlacementDotClustersByWorker)
+{
+    const workflow::Dag dag = smallDag();
+    const auto p = scheduler::roundRobinPartition(dag, 3, 0);
+    const std::string dot = scheduler::toDot(dag, p);
+    EXPECT_NE(dot.find("cluster_w0"), std::string::npos);
+    EXPECT_NE(dot.find("cluster_w1"), std::string::npos);
+    EXPECT_NE(dot.find("cluster_w2"), std::string::npos);
+    EXPECT_NE(dot.find("worker 1"), std::string::npos);
+}
+
+TEST(VisualizeTest, ForeachAndSwitchAnnotations)
+{
+    auto wdl = workflow::parseWdlYaml(
+        "name: v\n"
+        "steps:\n"
+        "  - task: src\n"
+        "  - foreach:\n"
+        "      width: 4\n"
+        "      steps:\n"
+        "        - task: body\n"
+        "  - switch:\n"
+        "      branches:\n"
+        "        - steps:\n"
+        "            - task: yes_p\n"
+        "        - steps:\n"
+        "            - task: no_p\n"
+        "  - task: sink\n");
+    ASSERT_TRUE(wdl.ok());
+    const std::string dot = scheduler::toDot(wdl.dag);
+    EXPECT_NE(dot.find("×4"), std::string::npos);
+    EXPECT_NE(dot.find("[branch 0]"), std::string::npos);
+    EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace faasflow

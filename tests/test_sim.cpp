@@ -1,0 +1,199 @@
+/** @file Tests for the discrete-event core: EventQueue and Simulator. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace faasflow::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimestampOrder)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(SimTime::millis(3), [&] { fired.push_back(3); });
+    q.schedule(SimTime::millis(1), [&] { fired.push_back(1); });
+    q.schedule(SimTime::millis(2), [&] { fired.push_back(2); });
+
+    SimTime when;
+    std::function<void()> fn;
+    while (q.pop(when, fn))
+        fn();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimestampsAreFifo)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(SimTime::millis(5), [&fired, i] { fired.push_back(i); });
+    SimTime when;
+    std::function<void()> fn;
+    while (q.pop(when, fn))
+        fn();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool fired = false;
+    const EventId id = q.schedule(SimTime::millis(1), [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));  // double-cancel is a no-op
+    SimTime when;
+    std::function<void()> fn;
+    EXPECT_FALSE(q.pop(when, fn));
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelAfterFireReturnsFalse)
+{
+    EventQueue q;
+    const EventId id = q.schedule(SimTime::zero(), [] {});
+    SimTime when;
+    std::function<void()> fn;
+    ASSERT_TRUE(q.pop(when, fn));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled)
+{
+    EventQueue q;
+    const EventId early = q.schedule(SimTime::millis(1), [] {});
+    q.schedule(SimTime::millis(9), [] {});
+    q.cancel(early);
+    EXPECT_EQ(q.nextTime(), SimTime::millis(9));
+    EXPECT_EQ(q.liveCount(), 1u);
+}
+
+TEST(EventQueueTest, EmptyQueueReportsMax)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextTime(), SimTime::max());
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents)
+{
+    Simulator sim;
+    std::vector<int64_t> times;
+    sim.schedule(SimTime::millis(10),
+                 [&] { times.push_back(sim.now().micros()); });
+    sim.schedule(SimTime::millis(5),
+                 [&] { times.push_back(sim.now().micros()); });
+    EXPECT_EQ(sim.run(), 2u);
+    EXPECT_EQ(times, (std::vector<int64_t>{5000, 10000}));
+    EXPECT_EQ(sim.now(), SimTime::millis(10));
+}
+
+TEST(SimulatorTest, EventsScheduleMoreEvents)
+{
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            sim.schedule(SimTime::millis(1), chain);
+    };
+    sim.schedule(SimTime::millis(1), chain);
+    sim.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(sim.now(), SimTime::millis(5));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizon)
+{
+    Simulator sim;
+    int fired = 0;
+    for (int i = 1; i <= 10; ++i)
+        sim.schedule(SimTime::millis(i), [&] { ++fired; });
+    EXPECT_EQ(sim.runUntil(SimTime::millis(4)), 4u);
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(sim.now(), SimTime::millis(4));
+    // The rest still run later.
+    sim.run();
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle)
+{
+    Simulator sim;
+    sim.runUntil(SimTime::seconds(3));
+    EXPECT_EQ(sim.now(), SimTime::seconds(3));
+}
+
+TEST(SimulatorTest, CancelledEventDoesNotRun)
+{
+    Simulator sim;
+    bool fired = false;
+    const EventId id = sim.schedule(SimTime::millis(1), [&] { fired = true; });
+    EXPECT_TRUE(sim.cancel(id));
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime)
+{
+    Simulator sim;
+    SimTime seen = SimTime::max();
+    sim.schedule(SimTime::millis(2), [&] {
+        sim.schedule(SimTime::zero(), [&] { seen = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(seen, SimTime::millis(2));
+}
+
+TEST(SimulatorTest, ProcessedEventsCounter)
+{
+    Simulator sim;
+    for (int i = 0; i < 7; ++i)
+        sim.schedule(SimTime::millis(i + 1), [] {});
+    sim.run();
+    EXPECT_EQ(sim.processedEvents(), 7u);
+}
+
+TEST(SimulatorDeathTest, NegativeDelayPanics)
+{
+    Simulator sim;
+    EXPECT_DEATH(sim.schedule(SimTime::millis(-1), [] {}), "negative delay");
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastPanics)
+{
+    Simulator sim;
+    sim.schedule(SimTime::millis(5), [] {});
+    sim.run();
+    EXPECT_DEATH(sim.scheduleAt(SimTime::millis(1), [] {}), "in the past");
+}
+
+// Property sweep: random schedules always pop in nondecreasing time order.
+class EventOrderPropertyTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(EventOrderPropertyTest, NondecreasingPopOrder)
+{
+    Rng rng(GetParam());
+    EventQueue q;
+    for (int i = 0; i < 500; ++i)
+        q.schedule(SimTime::micros(rng.uniformInt(0, 10000)), [] {});
+    SimTime prev = SimTime::zero();
+    SimTime when;
+    std::function<void()> fn;
+    while (q.pop(when, fn)) {
+        EXPECT_GE(when, prev);
+        prev = when;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventOrderPropertyTest,
+                         ::testing::Values(1, 7, 42, 99, 1234));
+
+}  // namespace
+}  // namespace faasflow::sim

@@ -1,0 +1,314 @@
+/** @file Tests for the Workflow Definition Language parser. */
+#include <gtest/gtest.h>
+
+#include "workflow/analysis.h"
+#include "workflow/wdl.h"
+
+namespace faasflow::workflow {
+namespace {
+
+WdlResult
+mustParse(const std::string& yaml)
+{
+    WdlResult r = parseWdlYaml(yaml);
+    EXPECT_TRUE(r.ok()) << r.error;
+    return r;
+}
+
+TEST(WdlTest, SimpleSequence)
+{
+    const WdlResult r = mustParse(
+        "name: seq\n"
+        "steps:\n"
+        "  - task: a\n"
+        "    output_mb: 2\n"
+        "  - task: b\n");
+    EXPECT_EQ(r.dag.name(), "seq");
+    EXPECT_EQ(r.dag.nodeCount(), 2u);
+    EXPECT_EQ(r.dag.edgeCount(), 1u);
+    const DagEdge& e = r.dag.edge(0);
+    EXPECT_EQ(e.dataBytes(), 2000000);
+    EXPECT_EQ(e.payload[0].origin, r.dag.findByName("a"));
+    EXPECT_TRUE(validate(r.dag).ok);
+}
+
+TEST(WdlTest, FunctionDeclarationsParsed)
+{
+    const WdlResult r = mustParse(
+        "name: f\n"
+        "functions:\n"
+        "  - name: a\n"
+        "    exec_ms: 250\n"
+        "    mem_mb: 512\n"
+        "    peak_mb: 300\n"
+        "    sigma: 0.05\n"
+        "steps:\n"
+        "  - task: a\n");
+    ASSERT_EQ(r.functions.size(), 1u);
+    const auto& spec = r.functions[0];
+    EXPECT_EQ(spec.name, "a");
+    EXPECT_EQ(spec.exec_mean, SimTime::millis(250));
+    EXPECT_EQ(spec.mem_provisioned, 512000000);
+    EXPECT_EQ(spec.mem_peak, 300000000);
+    EXPECT_DOUBLE_EQ(spec.exec_sigma, 0.05);
+    // The exec estimate flows onto the DAG node.
+    EXPECT_EQ(r.dag.node(0).exec_estimate, SimTime::millis(250));
+}
+
+TEST(WdlTest, ParallelCreatesVirtualFences)
+{
+    const WdlResult r = mustParse(
+        "name: p\n"
+        "steps:\n"
+        "  - task: pre\n"
+        "    output_mb: 1\n"
+        "  - parallel:\n"
+        "      branches:\n"
+        "        - steps:\n"
+        "            - task: x\n"
+        "              output_mb: 1\n"
+        "        - steps:\n"
+        "            - task: y\n"
+        "              output_mb: 2\n"
+        "  - task: post\n");
+    // pre, x, y, post + start/end fences = 6 nodes.
+    EXPECT_EQ(r.dag.nodeCount(), 6u);
+    EXPECT_EQ(r.dag.taskCount(), 4u);
+
+    const NodeId start = r.dag.findByName("parallel.start");
+    const NodeId end = r.dag.findByName("parallel.end");
+    ASSERT_NE(start, -1);
+    ASSERT_NE(end, -1);
+    EXPECT_EQ(r.dag.node(start).kind, StepKind::VirtualStart);
+    EXPECT_EQ(r.dag.node(end).kind, StepKind::VirtualEnd);
+
+    // Data routing: pre's payload rides the fence edges to x and y.
+    const NodeId pre = r.dag.findByName("pre");
+    const NodeId x = r.dag.findByName("x");
+    for (const size_t e : r.dag.inEdges(x)) {
+        const DagEdge& edge = r.dag.edge(e);
+        ASSERT_EQ(edge.payload.size(), 1u);
+        EXPECT_EQ(edge.payload[0].origin, pre);
+        EXPECT_EQ(edge.payload[0].bytes, 1000000);
+    }
+    // post fetches both branch outputs through the end fence.
+    const NodeId post = r.dag.findByName("post");
+    ASSERT_EQ(r.dag.inEdges(post).size(), 1u);
+    const DagEdge& join = r.dag.edge(r.dag.inEdges(post)[0]);
+    EXPECT_EQ(join.payload.size(), 2u);
+    EXPECT_EQ(join.dataBytes(), 3000000);
+    EXPECT_TRUE(validate(r.dag).ok);
+}
+
+TEST(WdlTest, BranchesAsNestedLists)
+{
+    // Branches may be plain step lists (`- - task: x`) instead of
+    // `- steps:` mappings.
+    const WdlResult r = mustParse(
+        "name: nested-list\n"
+        "steps:\n"
+        "  - task: pre\n"
+        "    output_mb: 1\n"
+        "  - parallel:\n"
+        "      branches:\n"
+        "        - - task: x\n"
+        "          - task: y\n"
+        "        - - task: z\n"
+        "  - task: post\n");
+    EXPECT_EQ(r.dag.taskCount(), 5u);
+    EXPECT_TRUE(validate(r.dag).ok);
+    // x -> y is a chain inside branch 0.
+    const NodeId x = r.dag.findByName("x");
+    const NodeId y = r.dag.findByName("y");
+    EXPECT_EQ(r.dag.successors(x), (std::vector<NodeId>{y}));
+}
+
+TEST(WdlTest, ForeachSetsWidth)
+{
+    const WdlResult r = mustParse(
+        "name: fe\n"
+        "steps:\n"
+        "  - task: src\n"
+        "    output_mb: 4\n"
+        "  - foreach:\n"
+        "      width: 6\n"
+        "      steps:\n"
+        "        - task: body\n"
+        "          output_mb: 2\n"
+        "  - task: sink\n");
+    const NodeId body = r.dag.findByName("body");
+    ASSERT_NE(body, -1);
+    EXPECT_EQ(r.dag.node(body).foreach_width, 6);
+    EXPECT_EQ(r.dag.node(r.dag.findByName("src")).foreach_width, 1);
+    EXPECT_TRUE(validate(r.dag).ok);
+}
+
+TEST(WdlTest, SwitchMarksBranches)
+{
+    const WdlResult r = mustParse(
+        "name: sw\n"
+        "steps:\n"
+        "  - task: pre\n"
+        "  - switch:\n"
+        "      branches:\n"
+        "        - steps:\n"
+        "            - task: yes_path\n"
+        "        - steps:\n"
+        "            - task: no_path\n"
+        "  - task: post\n");
+    const auto& yes = r.dag.node(r.dag.findByName("yes_path"));
+    const auto& no = r.dag.node(r.dag.findByName("no_path"));
+    EXPECT_EQ(yes.switch_id, no.switch_id);
+    EXPECT_GE(yes.switch_id, 0);
+    EXPECT_EQ(yes.switch_branch, 0);
+    EXPECT_EQ(no.switch_branch, 1);
+    // The switch's start fence carries the switch id for branch choice.
+    const NodeId start = r.dag.findByName("switch.start");
+    EXPECT_EQ(r.dag.node(start).switch_id, yes.switch_id);
+    EXPECT_EQ(r.dag.node(start).switch_branch, -1);
+}
+
+TEST(WdlTest, ParallelInsideSwitchInheritsBranch)
+{
+    const WdlResult r = mustParse(
+        "name: nested\n"
+        "steps:\n"
+        "  - task: pre\n"
+        "  - switch:\n"
+        "      branches:\n"
+        "        - steps:\n"
+        "            - parallel:\n"
+        "                branches:\n"
+        "                  - steps:\n"
+        "                      - task: inner_a\n"
+        "                  - steps:\n"
+        "                      - task: inner_b\n"
+        "        - steps:\n"
+        "            - task: other\n"
+        "  - task: post\n");
+    const auto& ia = r.dag.node(r.dag.findByName("inner_a"));
+    const auto& ib = r.dag.node(r.dag.findByName("inner_b"));
+    const auto& other = r.dag.node(r.dag.findByName("other"));
+    EXPECT_EQ(ia.switch_branch, 0);
+    EXPECT_EQ(ib.switch_branch, 0);
+    EXPECT_EQ(other.switch_branch, 1);
+    EXPECT_EQ(ia.switch_id, other.switch_id);
+}
+
+TEST(WdlTest, RepeatedFunctionGetsUniqueNodeNames)
+{
+    const WdlResult r = mustParse(
+        "name: rep\n"
+        "steps:\n"
+        "  - task: f\n"
+        "  - task: f\n"
+        "  - task: f\n");
+    EXPECT_EQ(r.dag.nodeCount(), 3u);
+    EXPECT_NE(r.dag.findByName("f"), -1);
+}
+
+TEST(WdlTest, NestedSequenceStep)
+{
+    const WdlResult r = mustParse(
+        "name: ns\n"
+        "steps:\n"
+        "  - task: a\n"
+        "  - sequence:\n"
+        "      steps:\n"
+        "        - task: b\n"
+        "        - task: c\n"
+        "  - task: d\n");
+    EXPECT_EQ(r.dag.nodeCount(), 4u);
+    EXPECT_EQ(r.dag.edgeCount(), 3u);
+    EXPECT_TRUE(validate(r.dag).ok);
+}
+
+TEST(WdlTest, OutputUnits)
+{
+    const WdlResult r = mustParse(
+        "name: u\n"
+        "steps:\n"
+        "  - task: a\n"
+        "    output_bytes: 123\n"
+        "  - task: b\n"
+        "    output_kb: 10\n"
+        "  - task: c\n"
+        "    output_mb: 1.5\n"
+        "  - task: d\n");
+    EXPECT_EQ(r.dag.edge(0).dataBytes(), 123);
+    EXPECT_EQ(r.dag.edge(1).dataBytes(), 10000);
+    EXPECT_EQ(r.dag.edge(2).dataBytes(), 1500000);
+}
+
+TEST(WdlTest, EdgeWeightSeededFromBandwidthEstimate)
+{
+    const WdlResult r = mustParse(
+        "name: w\n"
+        "steps:\n"
+        "  - task: a\n"
+        "    output_mb: 50\n"
+        "  - task: b\n");
+    // 50 MB at the 50 MB/s initial estimate = 1 s.
+    EXPECT_NEAR(r.dag.edge(0).weight.secondsF(), 1.0, 1e-6);
+}
+
+struct BadWdl
+{
+    const char* yaml;
+    const char* expect_error;
+};
+
+class WdlErrorTest : public ::testing::TestWithParam<BadWdl>
+{
+};
+
+TEST_P(WdlErrorTest, RejectsInvalidDefinitions)
+{
+    const WdlResult r = parseWdlYaml(GetParam().yaml);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find(GetParam().expect_error), std::string::npos)
+        << "got: " << r.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, WdlErrorTest,
+    ::testing::Values(
+        BadWdl{"name: x\n", "steps"},
+        BadWdl{"name: x\nsteps: []\n", "non-empty"},
+        BadWdl{"name: x\nsteps:\n  - bogus: y\n", "unknown step"},
+        BadWdl{"name: x\nsteps:\n  - task: a\n    output_mb: -1\n",
+               "negative"},
+        BadWdl{"name: x\nsteps:\n  - parallel:\n      branches: []\n",
+               "non-empty"},
+        BadWdl{"name: x\nsteps:\n  - foreach:\n      width: 0\n"
+               "      steps:\n        - task: a\n",
+               "width"},
+        BadWdl{"name: x\nsteps:\n  - switch:\n      branches:\n"
+               "        - steps:\n"
+               "            - switch:\n"
+               "                branches:\n"
+               "                  - steps:\n"
+               "                      - task: a\n"
+               "        - steps:\n"
+               "            - task: b\n",
+               "nested switch"},
+        BadWdl{"- 1\n- 2\n", "mapping"}));
+
+TEST(WdlTest, ForeachInsideForeachRejected)
+{
+    const WdlResult r = parseWdlYaml(
+        "name: x\n"
+        "steps:\n"
+        "  - foreach:\n"
+        "      width: 2\n"
+        "      steps:\n"
+        "        - foreach:\n"
+        "            width: 2\n"
+        "            steps:\n"
+        "              - task: a\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("nested foreach"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace faasflow::workflow

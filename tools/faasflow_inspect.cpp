@@ -1,0 +1,117 @@
+/**
+ * @file
+ * `faasflow_inspect`: parse and lint a workflow.yaml without executing
+ * it — print structural statistics, the parsed node/edge table, and
+ * optionally the Graphviz DOT or serialised JSON form.
+ *
+ *   faasflow_inspect wf.yaml
+ *   faasflow_inspect --dot wf.dot --json wf.json wf.yaml
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "scheduler/visualize.h"
+#include "workflow/analysis.h"
+#include "workflow/serialize.h"
+#include "workflow/wdl.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace faasflow;
+
+    FlagParser flags;
+    flags.addString("dot", "", "write Graphviz DOT to this file");
+    flags.addString("json", "", "write the parsed DAG as JSON here");
+    flags.addBool("edges", false, "print the full edge table");
+
+    if (!flags.parse(argc, argv)) {
+        std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
+                     flags.usage("faasflow_inspect").c_str());
+        return 2;
+    }
+    if (flags.helpRequested() || flags.positional().size() != 1) {
+        std::fprintf(stderr, "%s", flags.usage("faasflow_inspect").c_str());
+        return flags.helpRequested() ? 0 : 2;
+    }
+
+    std::ifstream in(flags.positional()[0]);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot open '%s'\n",
+                     flags.positional()[0].c_str());
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    const workflow::WdlResult wdl =
+        workflow::parseWdlYaml(buffer.str());
+    if (!wdl.ok()) {
+        std::fprintf(stderr, "workflow error: %s\n", wdl.error.c_str());
+        return 1;
+    }
+    const auto check = workflow::validate(wdl.dag);
+    if (!check.ok) {
+        std::fprintf(stderr, "invalid workflow: %s\n", check.error.c_str());
+        return 1;
+    }
+
+    const workflow::DagStats stats = workflow::computeStats(wdl.dag);
+    std::printf("workflow '%s': %s\n\n", wdl.dag.name().c_str(),
+                stats.str().c_str());
+
+    TextTable nodes;
+    nodes.setHeader({"id", "name", "kind", "function", "width", "switch"});
+    for (const auto& node : wdl.dag.nodes()) {
+        std::string kind = "task";
+        if (node.kind == workflow::StepKind::VirtualStart)
+            kind = "v-start";
+        if (node.kind == workflow::StepKind::VirtualEnd)
+            kind = "v-end";
+        nodes.addRow({strFormat("%d", node.id), node.name, kind,
+                      node.function,
+                      node.foreach_width > 1
+                          ? strFormat("%d", node.foreach_width)
+                          : "",
+                      node.switch_branch >= 0
+                          ? strFormat("%d/%d", node.switch_id,
+                                      node.switch_branch)
+                          : ""});
+    }
+    std::printf("%s\n", nodes.str().c_str());
+
+    if (flags.getBool("edges")) {
+        TextTable edges;
+        edges.setHeader({"from", "to", "payload", "weight"});
+        for (const auto& edge : wdl.dag.edges()) {
+            std::string payload;
+            for (const auto& item : edge.payload) {
+                payload += strFormat(
+                    " %s:%s", wdl.dag.node(item.origin).name.c_str(),
+                    formatBytes(item.bytes).c_str());
+            }
+            edges.addRow({wdl.dag.node(edge.from).name,
+                          wdl.dag.node(edge.to).name,
+                          payload.empty() ? "(control)" : payload,
+                          edge.weight.str()});
+        }
+        std::printf("%s\n", edges.str().c_str());
+    }
+
+    if (!flags.getString("dot").empty()) {
+        std::ofstream out(flags.getString("dot"));
+        out << scheduler::toDot(wdl.dag);
+        std::printf("DOT written to %s\n", flags.getString("dot").c_str());
+    }
+    if (!flags.getString("json").empty()) {
+        std::ofstream out(flags.getString("json"));
+        out << workflow::dagToJsonText(wdl.dag);
+        std::printf("JSON written to %s\n", flags.getString("json").c_str());
+    }
+    return 0;
+}

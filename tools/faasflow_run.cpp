@@ -1,0 +1,182 @@
+/**
+ * @file
+ * `faasflow_run`: load a workflow.yaml from disk and execute it on the
+ * simulated cluster — the artifact's run.py equivalent.
+ *
+ *   faasflow_run my-workflow.yaml
+ *   faasflow_run --control master --data db --invocations 100 wf.yaml
+ *   faasflow_run --trace out.trace.json wf.yaml   # chrome://tracing
+ *
+ * Flags select CONTROL_MODE/DATA_MODE, load pattern (closed or open
+ * loop), storage bandwidth, and whether to run a feedback partition
+ * iteration before measuring.
+ */
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "faasflow/client.h"
+#include "faasflow/system.h"
+#include "scheduler/visualize.h"
+#include "workflow/wdl.h"
+
+namespace {
+
+std::string
+readFile(const std::string& path, std::string& error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open '" + path + "'";
+        return {};
+    }
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace faasflow;
+
+    FlagParser flags;
+    flags.addString("control", "worker",
+                    "scheduling pattern: worker (FaaSFlow) or master "
+                    "(HyperFlow-serverless)");
+    flags.addString("data", "faastore",
+                    "data path: faastore (hybrid) or db (remote only)");
+    flags.addInt("invocations", 50, "measured invocations");
+    flags.addInt("warmup", 10, "warm-up invocations before repartition");
+    flags.addDouble("rate", 0.0,
+                    "open-loop arrivals per minute (0 = closed loop)");
+    flags.addDouble("bandwidth-mbps", 50.0, "storage-node NIC, MB/s");
+    flags.addInt("workers", 7, "worker node count");
+    flags.addInt("seed", 1, "simulation seed");
+    flags.addBool("repartition", true,
+                  "run one Algorithm-1 iteration after warm-up");
+    flags.addString("trace", "", "write a Chrome trace to this file");
+    flags.addString("dot", "",
+                    "write the placed workflow as Graphviz DOT here");
+
+    if (!flags.parse(argc, argv)) {
+        std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
+                     flags.usage("faasflow_run").c_str());
+        return 2;
+    }
+    if (flags.helpRequested() || flags.positional().size() != 1) {
+        std::fprintf(stderr, "%s", flags.usage("faasflow_run").c_str());
+        return flags.helpRequested() ? 0 : 2;
+    }
+
+    std::string error;
+    const std::string yaml = readFile(flags.positional()[0], error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    workflow::WdlResult wdl = workflow::parseWdlYaml(yaml);
+    if (!wdl.ok()) {
+        std::fprintf(stderr, "workflow error: %s\n", wdl.error.c_str());
+        return 1;
+    }
+
+    SystemConfig config;
+    if (flags.getString("control") == "master") {
+        config.control_mode = engine::ControlMode::MasterSP;
+    } else if (flags.getString("control") != "worker") {
+        std::fprintf(stderr, "error: --control must be worker|master\n");
+        return 2;
+    }
+    if (flags.getString("data") == "db") {
+        config.data_mode = engine::DataMode::RemoteOnly;
+    } else if (flags.getString("data") != "faastore") {
+        std::fprintf(stderr, "error: --data must be faastore|db\n");
+        return 2;
+    }
+    config.cluster.worker_count = static_cast<int>(flags.getInt("workers"));
+    config.cluster.storage_bandwidth =
+        flags.getDouble("bandwidth-mbps") * 1e6;
+    config.seed = static_cast<uint64_t>(flags.getInt("seed"));
+
+    System system(config);
+    if (!flags.getString("trace").empty())
+        system.trace().enable();
+    system.registerFunctions(wdl.functions);
+    const size_t tasks = wdl.dag.taskCount();
+    const std::string name = system.deploy(std::move(wdl.dag));
+
+    const auto warmup = static_cast<size_t>(flags.getInt("warmup"));
+    if (warmup > 0) {
+        ClosedLoopClient client(system, name, warmup);
+        client.start();
+        system.run();
+        if (flags.getBool("repartition"))
+            system.repartition(name);
+        system.metrics().clear();
+        system.trace().clear();
+    }
+
+    const auto n = static_cast<size_t>(flags.getInt("invocations"));
+    const double rate = flags.getDouble("rate");
+    std::unique_ptr<ClosedLoopClient> closed;
+    std::unique_ptr<OpenLoopClient> open;
+    if (rate > 0.0) {
+        open = std::make_unique<OpenLoopClient>(system, name, rate, n,
+                                                Rng(config.seed + 1));
+        open->start();
+    } else {
+        closed = std::make_unique<ClosedLoopClient>(system, name, n);
+        closed->start();
+    }
+    system.run();
+
+    const auto& m = system.metrics();
+    TextTable table;
+    table.setHeader({"metric", "value"});
+    table.addRow({"workflow", name});
+    table.addRow({"function nodes", strFormat("%zu", tasks)});
+    table.addRow({"invocations", strFormat("%zu", m.count(name))});
+    table.addRow({"mean e2e", strFormat("%.1f ms", m.e2e(name).mean())});
+    table.addRow({"p99 e2e", strFormat("%.1f ms", m.e2e(name).p99())});
+    table.addRow({"mean sched overhead",
+                  strFormat("%.1f ms", m.schedOverhead(name).mean())});
+    table.addRow({"mean data latency",
+                  strFormat("%.3f s", m.dataLatency(name).mean())});
+    table.addRow({"bytes local /inv",
+                  formatBytes(static_cast<int64_t>(m.meanBytesLocal(name)))});
+    table.addRow(
+        {"bytes remote /inv",
+         formatBytes(static_cast<int64_t>(m.meanBytesRemote(name)))});
+    table.addRow({"mean exec total",
+                  strFormat("%.1f ms", m.meanExecTotal(name))});
+    table.addRow({"mean container wait",
+                  strFormat("%.1f ms", m.meanContainerWait(name))});
+    table.addRow({"timeouts", strFormat("%llu",
+                                        static_cast<unsigned long long>(
+                                            m.timeouts(name)))});
+    std::printf("%s", table.str().c_str());
+
+    if (!flags.getString("trace").empty()) {
+        std::ofstream out(flags.getString("trace"));
+        out << system.trace().toChromeTraceText();
+        std::printf("\ntrace written to %s (open in chrome://tracing)\n",
+                    flags.getString("trace").c_str());
+    }
+    if (!flags.getString("dot").empty()) {
+        std::ofstream out(flags.getString("dot"));
+        out << scheduler::toDot(system.deployed(name).dag,
+                                *system.deployed(name).placement);
+        std::printf("placement graph written to %s (render with "
+                    "`dot -Tsvg`)\n",
+                    flags.getString("dot").c_str());
+    }
+    return 0;
+}
