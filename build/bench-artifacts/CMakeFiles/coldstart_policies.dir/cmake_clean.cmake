@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/coldstart_policies"
+  "../bench/coldstart_policies.pdb"
+  "CMakeFiles/coldstart_policies.dir/coldstart_policies.cpp.o"
+  "CMakeFiles/coldstart_policies.dir/coldstart_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coldstart_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_mastersp_overhead"
+  "../bench/fig04_mastersp_overhead.pdb"
+  "CMakeFiles/fig04_mastersp_overhead.dir/fig04_mastersp_overhead.cpp.o"
+  "CMakeFiles/fig04_mastersp_overhead.dir/fig04_mastersp_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_mastersp_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

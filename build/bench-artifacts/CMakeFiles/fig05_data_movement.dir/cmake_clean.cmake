@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_data_movement"
+  "../bench/fig05_data_movement.pdb"
+  "CMakeFiles/fig05_data_movement.dir/fig05_data_movement.cpp.o"
+  "CMakeFiles/fig05_data_movement.dir/fig05_data_movement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_data_movement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

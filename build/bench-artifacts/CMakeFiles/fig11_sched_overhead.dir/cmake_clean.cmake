@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_sched_overhead"
+  "../bench/fig11_sched_overhead.pdb"
+  "CMakeFiles/fig11_sched_overhead.dir/fig11_sched_overhead.cpp.o"
+  "CMakeFiles/fig11_sched_overhead.dir/fig11_sched_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sched_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

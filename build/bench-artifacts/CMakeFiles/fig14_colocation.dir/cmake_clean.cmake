@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_colocation"
+  "../bench/fig14_colocation.pdb"
+  "CMakeFiles/fig14_colocation.dir/fig14_colocation.cpp.o"
+  "CMakeFiles/fig14_colocation.dir/fig14_colocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_scheduler_scalability"
+  "../bench/fig16_scheduler_scalability.pdb"
+  "CMakeFiles/fig16_scheduler_scalability.dir/fig16_scheduler_scalability.cpp.o"
+  "CMakeFiles/fig16_scheduler_scalability.dir/fig16_scheduler_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_scheduler_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec57_component_overhead"
+  "../bench/sec57_component_overhead.pdb"
+  "CMakeFiles/sec57_component_overhead.dir/sec57_component_overhead.cpp.o"
+  "CMakeFiles/sec57_component_overhead.dir/sec57_component_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec57_component_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_vendor_quotas"
+  "../bench/table2_vendor_quotas.pdb"
+  "CMakeFiles/table2_vendor_quotas.dir/table2_vendor_quotas.cpp.o"
+  "CMakeFiles/table2_vendor_quotas.dir/table2_vendor_quotas.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_vendor_quotas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

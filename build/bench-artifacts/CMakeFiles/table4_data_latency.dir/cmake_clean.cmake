@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_data_latency"
+  "../bench/table4_data_latency.pdb"
+  "CMakeFiles/table4_data_latency.dir/table4_data_latency.cpp.o"
+  "CMakeFiles/table4_data_latency.dir/table4_data_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_data_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/resilient_pipeline.cpp" "examples/CMakeFiles/resilient_pipeline.dir/resilient_pipeline.cpp.o" "gcc" "examples/CMakeFiles/resilient_pipeline.dir/resilient_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faasflow/CMakeFiles/faasflow_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/CMakeFiles/faasflow_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/faasflow_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/faasflow_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/faasflow_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/faasflow_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/yamllite/CMakeFiles/faasflow_yaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/faasflow_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/faasflow_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/faasflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/faasflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faasflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

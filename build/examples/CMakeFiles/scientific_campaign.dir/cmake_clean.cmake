@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scientific_campaign.dir/scientific_campaign.cpp.o"
+  "CMakeFiles/scientific_campaign.dir/scientific_campaign.cpp.o.d"
+  "scientific_campaign"
+  "scientific_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scientific_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdl_tour.dir/wdl_tour.cpp.o"
+  "CMakeFiles/wdl_tour.dir/wdl_tour.cpp.o.d"
+  "wdl_tour"
+  "wdl_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdl_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchmarks/specs.cc" "src/benchmarks/CMakeFiles/faasflow_benchmarks.dir/specs.cc.o" "gcc" "src/benchmarks/CMakeFiles/faasflow_benchmarks.dir/specs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workflow/CMakeFiles/faasflow_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/faasflow_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faasflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/faasflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/faasflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/yamllite/CMakeFiles/faasflow_yaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/faasflow_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasflow_benchmarks.dir/specs.cc.o"
+  "CMakeFiles/faasflow_benchmarks.dir/specs.cc.o.d"
+  "libfaasflow_benchmarks.a"
+  "libfaasflow_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasflow_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/faasflow_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/faasflow_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/container_pool.cc" "src/cluster/CMakeFiles/faasflow_cluster.dir/container_pool.cc.o" "gcc" "src/cluster/CMakeFiles/faasflow_cluster.dir/container_pool.cc.o.d"
+  "/root/repo/src/cluster/function.cc" "src/cluster/CMakeFiles/faasflow_cluster.dir/function.cc.o" "gcc" "src/cluster/CMakeFiles/faasflow_cluster.dir/function.cc.o.d"
+  "/root/repo/src/cluster/node.cc" "src/cluster/CMakeFiles/faasflow_cluster.dir/node.cc.o" "gcc" "src/cluster/CMakeFiles/faasflow_cluster.dir/node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/faasflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/faasflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faasflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasflow_cluster.dir/cluster.cc.o"
+  "CMakeFiles/faasflow_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/faasflow_cluster.dir/container_pool.cc.o"
+  "CMakeFiles/faasflow_cluster.dir/container_pool.cc.o.d"
+  "CMakeFiles/faasflow_cluster.dir/function.cc.o"
+  "CMakeFiles/faasflow_cluster.dir/function.cc.o.d"
+  "CMakeFiles/faasflow_cluster.dir/node.cc.o"
+  "CMakeFiles/faasflow_cluster.dir/node.cc.o.d"
+  "libfaasflow_cluster.a"
+  "libfaasflow_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasflow_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

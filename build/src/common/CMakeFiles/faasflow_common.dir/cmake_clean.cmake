@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasflow_common.dir/flags.cc.o"
+  "CMakeFiles/faasflow_common.dir/flags.cc.o.d"
+  "CMakeFiles/faasflow_common.dir/logging.cc.o"
+  "CMakeFiles/faasflow_common.dir/logging.cc.o.d"
+  "CMakeFiles/faasflow_common.dir/rng.cc.o"
+  "CMakeFiles/faasflow_common.dir/rng.cc.o.d"
+  "CMakeFiles/faasflow_common.dir/sim_time.cc.o"
+  "CMakeFiles/faasflow_common.dir/sim_time.cc.o.d"
+  "CMakeFiles/faasflow_common.dir/stats.cc.o"
+  "CMakeFiles/faasflow_common.dir/stats.cc.o.d"
+  "CMakeFiles/faasflow_common.dir/string_util.cc.o"
+  "CMakeFiles/faasflow_common.dir/string_util.cc.o.d"
+  "CMakeFiles/faasflow_common.dir/table.cc.o"
+  "CMakeFiles/faasflow_common.dir/table.cc.o.d"
+  "CMakeFiles/faasflow_common.dir/units.cc.o"
+  "CMakeFiles/faasflow_common.dir/units.cc.o.d"
+  "libfaasflow_common.a"
+  "libfaasflow_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasflow_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/master_engine.cc" "src/engine/CMakeFiles/faasflow_engine.dir/master_engine.cc.o" "gcc" "src/engine/CMakeFiles/faasflow_engine.dir/master_engine.cc.o.d"
+  "/root/repo/src/engine/metrics.cc" "src/engine/CMakeFiles/faasflow_engine.dir/metrics.cc.o" "gcc" "src/engine/CMakeFiles/faasflow_engine.dir/metrics.cc.o.d"
+  "/root/repo/src/engine/service_queue.cc" "src/engine/CMakeFiles/faasflow_engine.dir/service_queue.cc.o" "gcc" "src/engine/CMakeFiles/faasflow_engine.dir/service_queue.cc.o.d"
+  "/root/repo/src/engine/task_executor.cc" "src/engine/CMakeFiles/faasflow_engine.dir/task_executor.cc.o" "gcc" "src/engine/CMakeFiles/faasflow_engine.dir/task_executor.cc.o.d"
+  "/root/repo/src/engine/trace.cc" "src/engine/CMakeFiles/faasflow_engine.dir/trace.cc.o" "gcc" "src/engine/CMakeFiles/faasflow_engine.dir/trace.cc.o.d"
+  "/root/repo/src/engine/worker_engine.cc" "src/engine/CMakeFiles/faasflow_engine.dir/worker_engine.cc.o" "gcc" "src/engine/CMakeFiles/faasflow_engine.dir/worker_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scheduler/CMakeFiles/faasflow_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/faasflow_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/faasflow_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/faasflow_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faasflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/yamllite/CMakeFiles/faasflow_yaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/faasflow_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/faasflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/faasflow_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasflow_engine.dir/master_engine.cc.o"
+  "CMakeFiles/faasflow_engine.dir/master_engine.cc.o.d"
+  "CMakeFiles/faasflow_engine.dir/metrics.cc.o"
+  "CMakeFiles/faasflow_engine.dir/metrics.cc.o.d"
+  "CMakeFiles/faasflow_engine.dir/service_queue.cc.o"
+  "CMakeFiles/faasflow_engine.dir/service_queue.cc.o.d"
+  "CMakeFiles/faasflow_engine.dir/task_executor.cc.o"
+  "CMakeFiles/faasflow_engine.dir/task_executor.cc.o.d"
+  "CMakeFiles/faasflow_engine.dir/trace.cc.o"
+  "CMakeFiles/faasflow_engine.dir/trace.cc.o.d"
+  "CMakeFiles/faasflow_engine.dir/worker_engine.cc.o"
+  "CMakeFiles/faasflow_engine.dir/worker_engine.cc.o.d"
+  "libfaasflow_engine.a"
+  "libfaasflow_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasflow_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasflow_system.dir/client.cc.o"
+  "CMakeFiles/faasflow_system.dir/client.cc.o.d"
+  "CMakeFiles/faasflow_system.dir/system.cc.o"
+  "CMakeFiles/faasflow_system.dir/system.cc.o.d"
+  "libfaasflow_system.a"
+  "libfaasflow_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasflow_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

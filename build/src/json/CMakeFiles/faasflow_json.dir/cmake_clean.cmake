@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasflow_json.dir/json.cc.o"
+  "CMakeFiles/faasflow_json.dir/json.cc.o.d"
+  "libfaasflow_json.a"
+  "libfaasflow_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasflow_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

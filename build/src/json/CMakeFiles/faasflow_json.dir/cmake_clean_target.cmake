@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfaasflow_json.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasflow_net.dir/network.cc.o"
+  "CMakeFiles/faasflow_net.dir/network.cc.o.d"
+  "libfaasflow_net.a"
+  "libfaasflow_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasflow_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasflow_scheduler.dir/feedback.cc.o"
+  "CMakeFiles/faasflow_scheduler.dir/feedback.cc.o.d"
+  "CMakeFiles/faasflow_scheduler.dir/graph_scheduler.cc.o"
+  "CMakeFiles/faasflow_scheduler.dir/graph_scheduler.cc.o.d"
+  "CMakeFiles/faasflow_scheduler.dir/partition.cc.o"
+  "CMakeFiles/faasflow_scheduler.dir/partition.cc.o.d"
+  "CMakeFiles/faasflow_scheduler.dir/placement.cc.o"
+  "CMakeFiles/faasflow_scheduler.dir/placement.cc.o.d"
+  "CMakeFiles/faasflow_scheduler.dir/visualize.cc.o"
+  "CMakeFiles/faasflow_scheduler.dir/visualize.cc.o.d"
+  "libfaasflow_scheduler.a"
+  "libfaasflow_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasflow_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

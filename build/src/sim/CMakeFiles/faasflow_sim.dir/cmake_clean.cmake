@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasflow_sim.dir/event_queue.cc.o"
+  "CMakeFiles/faasflow_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/faasflow_sim.dir/simulator.cc.o"
+  "CMakeFiles/faasflow_sim.dir/simulator.cc.o.d"
+  "libfaasflow_sim.a"
+  "libfaasflow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasflow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

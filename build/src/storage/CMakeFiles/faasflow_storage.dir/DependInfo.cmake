@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/faastore.cc" "src/storage/CMakeFiles/faasflow_storage.dir/faastore.cc.o" "gcc" "src/storage/CMakeFiles/faasflow_storage.dir/faastore.cc.o.d"
+  "/root/repo/src/storage/mem_store.cc" "src/storage/CMakeFiles/faasflow_storage.dir/mem_store.cc.o" "gcc" "src/storage/CMakeFiles/faasflow_storage.dir/mem_store.cc.o.d"
+  "/root/repo/src/storage/remote_store.cc" "src/storage/CMakeFiles/faasflow_storage.dir/remote_store.cc.o" "gcc" "src/storage/CMakeFiles/faasflow_storage.dir/remote_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/faasflow_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/faasflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/faasflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faasflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasflow_storage.dir/faastore.cc.o"
+  "CMakeFiles/faasflow_storage.dir/faastore.cc.o.d"
+  "CMakeFiles/faasflow_storage.dir/mem_store.cc.o"
+  "CMakeFiles/faasflow_storage.dir/mem_store.cc.o.d"
+  "CMakeFiles/faasflow_storage.dir/remote_store.cc.o"
+  "CMakeFiles/faasflow_storage.dir/remote_store.cc.o.d"
+  "libfaasflow_storage.a"
+  "libfaasflow_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasflow_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/analysis.cc" "src/workflow/CMakeFiles/faasflow_workflow.dir/analysis.cc.o" "gcc" "src/workflow/CMakeFiles/faasflow_workflow.dir/analysis.cc.o.d"
+  "/root/repo/src/workflow/builder.cc" "src/workflow/CMakeFiles/faasflow_workflow.dir/builder.cc.o" "gcc" "src/workflow/CMakeFiles/faasflow_workflow.dir/builder.cc.o.d"
+  "/root/repo/src/workflow/dag.cc" "src/workflow/CMakeFiles/faasflow_workflow.dir/dag.cc.o" "gcc" "src/workflow/CMakeFiles/faasflow_workflow.dir/dag.cc.o.d"
+  "/root/repo/src/workflow/serialize.cc" "src/workflow/CMakeFiles/faasflow_workflow.dir/serialize.cc.o" "gcc" "src/workflow/CMakeFiles/faasflow_workflow.dir/serialize.cc.o.d"
+  "/root/repo/src/workflow/wdl.cc" "src/workflow/CMakeFiles/faasflow_workflow.dir/wdl.cc.o" "gcc" "src/workflow/CMakeFiles/faasflow_workflow.dir/wdl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/faasflow_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/yamllite/CMakeFiles/faasflow_yaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/faasflow_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faasflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/faasflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/faasflow_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

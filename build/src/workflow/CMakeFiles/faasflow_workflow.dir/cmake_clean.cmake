@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasflow_workflow.dir/analysis.cc.o"
+  "CMakeFiles/faasflow_workflow.dir/analysis.cc.o.d"
+  "CMakeFiles/faasflow_workflow.dir/builder.cc.o"
+  "CMakeFiles/faasflow_workflow.dir/builder.cc.o.d"
+  "CMakeFiles/faasflow_workflow.dir/dag.cc.o"
+  "CMakeFiles/faasflow_workflow.dir/dag.cc.o.d"
+  "CMakeFiles/faasflow_workflow.dir/serialize.cc.o"
+  "CMakeFiles/faasflow_workflow.dir/serialize.cc.o.d"
+  "CMakeFiles/faasflow_workflow.dir/wdl.cc.o"
+  "CMakeFiles/faasflow_workflow.dir/wdl.cc.o.d"
+  "libfaasflow_workflow.a"
+  "libfaasflow_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasflow_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

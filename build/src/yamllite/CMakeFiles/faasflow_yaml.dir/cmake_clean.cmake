@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasflow_yaml.dir/yaml.cc.o"
+  "CMakeFiles/faasflow_yaml.dir/yaml.cc.o.d"
+  "libfaasflow_yaml.a"
+  "libfaasflow_yaml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasflow_yaml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_fuzz.dir/test_storage_fuzz.cpp.o"
+  "CMakeFiles/test_storage_fuzz.dir/test_storage_fuzz.cpp.o.d"
+  "test_storage_fuzz"
+  "test_storage_fuzz.pdb"
+  "test_storage_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wdl.dir/test_wdl.cpp.o"
+  "CMakeFiles/test_wdl.dir/test_wdl.cpp.o.d"
+  "test_wdl"
+  "test_wdl.pdb"
+  "test_wdl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

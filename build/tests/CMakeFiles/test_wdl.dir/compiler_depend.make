@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_wdl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_wdl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasflow_inspect.dir/faasflow_inspect.cpp.o"
+  "CMakeFiles/faasflow_inspect.dir/faasflow_inspect.cpp.o.d"
+  "faasflow_inspect"
+  "faasflow_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasflow_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

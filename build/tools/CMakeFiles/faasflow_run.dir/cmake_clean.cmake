@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasflow_run.dir/faasflow_run.cpp.o"
+  "CMakeFiles/faasflow_run.dir/faasflow_run.cpp.o.d"
+  "faasflow_run"
+  "faasflow_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasflow_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
