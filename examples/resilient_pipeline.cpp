@@ -123,6 +123,48 @@ main()
     }
     std::printf("%s\n", table.str().c_str());
 
+    // Node-level faults, beyond per-attempt crashes: a seeded random
+    // schedule of worker crashes and link outages. A crash loses the
+    // worker's containers, local FaaStore memory, and engine state; the
+    // heartbeat monitor re-dispatches the lost sub-graph to a survivor.
+    {
+        auto fault_wdl = buildPipeline(0.0);
+        System system(SystemConfig::faasflowFaastore());
+        system.registerFunctions(fault_wdl.functions);
+        const std::string name = system.deploy(std::move(fault_wdl.dag));
+
+        sim::RandomFaultParams params;
+        params.crash_rate_per_min = 4.0;
+        params.link_rate_per_min = 2.0;
+        const auto faults = sim::FaultSchedule::random(
+            13, system.config().cluster.worker_count, SimTime::seconds(60),
+            params);
+        system.installFaults(faults);
+
+        size_t done = 0;
+        const size_t n = 40;
+        std::function<void()> next = [&] {
+            system.invoke(name, [&](const engine::InvocationRecord&) {
+                if (++done < n)
+                    next();
+            });
+        };
+        next();
+        system.run();
+
+        std::printf(
+            "\nUnder a seeded random fault schedule (%zu events: worker "
+            "crashes + link outages over 60 s):\nmean e2e %.0f ms, p99 "
+            "%.0f ms, %llu recoveries, %llu timeouts — every workflow "
+            "still completed.\n",
+            faults.size(), system.metrics().e2e(name).mean(),
+            system.metrics().e2e(name).p99(),
+            static_cast<unsigned long long>(
+                system.metrics().recoveries(name)),
+            static_cast<unsigned long long>(
+                system.metrics().timeouts(name)));
+    }
+
     // DAG vs forced sequence (§2.1): what a sequence-only vendor loses.
     auto wdl = buildPipeline(0.0);
     const workflow::Dag seq = workflow::linearize(wdl.dag);

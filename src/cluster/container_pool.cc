@@ -138,8 +138,14 @@ ContainerPool::tryCreate(const std::string& function,
     }
     const SimTime queue_delay = sim_.now() - queued_since;
     const uint64_t id = raw->id();
-    sim_.schedule(cold, [this, id, function, queue_delay,
+    const uint64_t epoch = crash_epoch_;
+    sim_.schedule(cold, [this, id, function, queue_delay, epoch,
                          cb = std::move(on_ready)]() mutable {
+        if (epoch != crash_epoch_) {
+            // The node crashed while this container was starting. Drop
+            // the waiter: its executor abandons via the same epoch.
+            return;
+        }
         const auto it = containers_.find(id);
         if (it == containers_.end()) {
             // Recycled by a red-black switch mid-start: the waiter must
@@ -154,6 +160,20 @@ ContainerPool::tryCreate(const std::string& function,
         cb(AcquireResult{c, true, queue_delay});
     });
     return true;
+}
+
+void
+ContainerPool::crash()
+{
+    ++crash_epoch_;
+    for (auto& [id, c] : containers_) {
+        if (c->state() == ContainerState::Busy)
+            noteBusyChange(c->function(), -1);
+        release_memory_(c->mem_limit_);
+        c->state_ = ContainerState::Destroyed;
+    }
+    containers_.clear();
+    wait_queue_.clear();
 }
 
 void

@@ -78,6 +78,15 @@ class ContainerPool
     void acquire(const std::string& function,
                  std::function<void(AcquireResult)> on_ready);
 
+    /**
+     * Node crash: every container (idle, starting or busy) is destroyed,
+     * its memory returned, and queued acquisitions are dropped — their
+     * executors abandon via the owning node's crash epoch. Cold-start
+     * completions already scheduled before the crash are invalidated so
+     * they cannot resurrect containers on the dead node.
+     */
+    void crash();
+
     /** Returns a Busy container to Idle; serves the wait queue. */
     void release(Container* container);
 
@@ -153,6 +162,7 @@ class ContainerPool
     std::deque<Waiter> wait_queue_;
     std::map<std::string, FunctionStats> stats_;
     uint64_t next_id_ = 1;
+    uint64_t crash_epoch_ = 0;
     int deployment_version_ = 0;
     uint64_t cold_starts_ = 0;
     uint64_t warm_hits_ = 0;

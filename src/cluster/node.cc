@@ -20,6 +20,17 @@ WorkerNode::WorkerNode(sim::Simulator& sim, const FunctionRegistry& registry,
 }
 
 void
+WorkerNode::crash()
+{
+    ++crash_epoch_;
+    alive_ = false;
+    core_waiters_.clear();
+    if (cores_in_use_ > 0)
+        noteCpuChange(-cores_in_use_);
+    pool_->crash();
+}
+
+void
 WorkerNode::acquireCore(std::function<void()> granted)
 {
     if (cores_in_use_ < config_.cores) {

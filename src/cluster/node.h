@@ -49,6 +49,19 @@ class WorkerNode
     ContainerPool& pool() { return *pool_; }
     const ContainerPool& pool() const { return *pool_; }
 
+    /**
+     * Power-loss crash: every container and queued core grant is lost
+     * and the crash epoch advances, so asynchronous completions that
+     * were in flight for this node abandon themselves on resume.
+     * Memory held by containers returns to the ledger; FaaStore pool
+     * reservations stay (the recovered node re-attaches to the same
+     * partition plan). The caller flips `setAlive(true)` on recovery.
+     */
+    void crash();
+    void setAlive(bool alive) { alive_ = alive; }
+    bool alive() const { return alive_; }
+    uint64_t crashEpoch() const { return crash_epoch_; }
+
     /** Grants one core to `granted`, FIFO when all cores are busy. */
     void acquireCore(std::function<void()> granted);
 
@@ -85,6 +98,8 @@ class WorkerNode
     Config config_;
     std::unique_ptr<ContainerPool> pool_;
 
+    bool alive_ = true;
+    uint64_t crash_epoch_ = 0;
     int cores_in_use_ = 0;
     std::deque<std::function<void()>> core_waiters_;
     int64_t memory_used_ = 0;

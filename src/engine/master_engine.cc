@@ -50,6 +50,13 @@ ExecutorAgent::execute(Invocation& inv, workflow::NodeId node,
 {
     // Dispatch costs one event on the worker-side proxy.
     queue_.submit([this, &inv, node, on_result = std::move(on_result)] {
+        // The worker may have died between assignment delivery and this
+        // dispatch; the node is then in the recovery re-run set.
+        if (inv.finished ||
+            !ctx_.cluster.worker(static_cast<size_t>(worker_index_))
+                 .alive()) {
+            return;
+        }
         executor_.runNode(inv, node, ctx_.data_mode, inv.wf->feedback,
                           [on_result](TaskExecutor::NodeRunResult result) {
                               on_result(result.max_exec);
@@ -89,6 +96,8 @@ MasterEngine::invoke(Invocation& inv)
 void
 MasterEngine::deliver(Invocation& inv, workflow::NodeId target)
 {
+    if (inv.finished || inv.node_done[static_cast<size_t>(target)])
+        return;
     const int needed = static_cast<int>(inv.wf->dag.inEdges(target).size());
     int& done = state_[inv.id][target];
     ++done;
@@ -99,9 +108,18 @@ MasterEngine::deliver(Invocation& inv, workflow::NodeId target)
 void
 MasterEngine::trigger(Invocation& inv, workflow::NodeId node_id)
 {
+    const size_t idx = static_cast<size_t>(node_id);
+    if (inv.finished || inv.node_done[idx] || inv.node_triggered[idx])
+        return;
+    inv.node_triggered[idx] = 1;
+    const uint32_t drive = inv.node_drive_epoch[idx];
     // Every trigger condition check serialises through the central
     // engine's processor.
-    queue_.submit([this, &inv, node_id] {
+    queue_.submit([this, &inv, node_id, drive] {
+        if (inv.finished ||
+            drive != inv.node_drive_epoch[static_cast<size_t>(node_id)]) {
+            return;  // superseded by a recovery pass while queued
+        }
         const auto& node = inv.wf->dag.node(node_id);
         if (ctx_.trace) {
             ctx_.trace->instant("trigger", node.name,
@@ -120,12 +138,12 @@ MasterEngine::trigger(Invocation& inv, workflow::NodeId node_id)
         }
 
         if (node.isVirtual()) {
-            completeNode(inv, node_id, SimTime::zero());
+            completeNode(inv, node_id, SimTime::zero(), drive);
             return;
         }
         if (isSkipped(inv, node)) {
             inv.node_skipped[static_cast<size_t>(node_id)] = true;
-            completeNode(inv, node_id, SimTime::zero());
+            completeNode(inv, node_id, SimTime::zero(), drive);
             return;
         }
 
@@ -138,18 +156,27 @@ MasterEngine::trigger(Invocation& inv, workflow::NodeId node_id)
             ctx_.cluster.worker(static_cast<size_t>(worker)).netId();
         ctx_.network.sendMessage(
             master, worker_nid, ctx_.config.assign_msg_bytes,
-            [this, agent, &inv, node_id, master, worker_nid] {
+            [this, agent, &inv, node_id, drive, master, worker_nid] {
+                // An assignment that crossed a dead link arrives late;
+                // by then the node was re-driven elsewhere (or the
+                // invocation finished) and this copy must not run.
+                if (inv.finished ||
+                    drive !=
+                        inv.node_drive_epoch[static_cast<size_t>(node_id)]) {
+                    return;
+                }
                 agent->execute(
-                    inv, node_id, [this, &inv, node_id, master,
+                    inv, node_id, [this, &inv, node_id, drive, master,
                                    worker_nid](SimTime exec_time) {
                         // Stage 3: return the execution state to the
                         // master engine.
                         ctx_.network.sendMessage(
                             worker_nid, master, ctx_.config.result_msg_bytes,
-                            [this, &inv, node_id, exec_time] {
-                                queue_.submit([this, &inv, node_id,
+                            [this, &inv, node_id, drive, exec_time] {
+                                queue_.submit([this, &inv, node_id, drive,
                                                exec_time] {
-                                    completeNode(inv, node_id, exec_time);
+                                    completeNode(inv, node_id, exec_time,
+                                                 drive);
                                 });
                             });
                     });
@@ -159,9 +186,15 @@ MasterEngine::trigger(Invocation& inv, workflow::NodeId node_id)
 
 void
 MasterEngine::completeNode(Invocation& inv, workflow::NodeId node_id,
-                           SimTime exec_time)
+                           SimTime exec_time, uint32_t drive)
 {
-    inv.node_exec[static_cast<size_t>(node_id)] = exec_time;
+    const size_t idx = static_cast<size_t>(node_id);
+    if (inv.finished || drive != inv.node_drive_epoch[idx] ||
+        inv.node_done[idx]) {
+        return;  // stale result from a run superseded by recovery
+    }
+    inv.node_done[idx] = 1;
+    inv.node_exec[idx] = exec_time;
     const auto& dag = inv.wf->dag;
     const auto& out = dag.outEdges(node_id);
     if (out.empty()) {
@@ -175,9 +208,37 @@ MasterEngine::completeNode(Invocation& inv, workflow::NodeId node_id,
 }
 
 void
+MasterEngine::restoreInvocation(Invocation& inv)
+{
+    state_.erase(inv.id);
+    const auto& dag = inv.wf->dag;
+    for (const auto& node : dag.nodes()) {
+        if (inv.node_done[static_cast<size_t>(node.id)])
+            continue;
+        const auto& in = dag.inEdges(node.id);
+        int done_preds = 0;
+        for (const size_t e : in) {
+            if (inv.node_done[static_cast<size_t>(dag.edge(e).from)])
+                ++done_preds;
+        }
+        if (done_preds > 0)
+            state_[inv.id][node.id] = done_preds;
+        if (done_preds == static_cast<int>(in.size()))
+            trigger(inv, node.id);
+    }
+}
+
+void
 MasterEngine::cleanup(uint64_t invocation_id)
 {
     state_.erase(invocation_id);
+}
+
+size_t
+MasterEngine::stateCount(uint64_t invocation_id) const
+{
+    const auto it = state_.find(invocation_id);
+    return it == state_.end() ? 0 : it->second.size();
 }
 
 }  // namespace faasflow::engine

@@ -63,8 +63,21 @@ class MasterEngine
      *  storage node, as in the paper's testbed). */
     void invoke(Invocation& inv);
 
+    /**
+     * Worker-failure recovery: rebuilds the central trigger counters of
+     * one invocation from its durable node_done facts (the master itself
+     * never crashes here — it shares the storage node) and re-assigns
+     * nodes whose predecessors are already satisfied under the remapped
+     * placement. Results still in flight from surviving workers keep
+     * their drive epoch and land normally afterwards.
+     */
+    void restoreInvocation(Invocation& inv);
+
     /** Releases a finished invocation's state. */
     void cleanup(uint64_t invocation_id);
+
+    /** Live State counters held for one invocation (leak checks). */
+    size_t stateCount(uint64_t invocation_id) const;
 
     ServiceQueue& queue() { return queue_; }
 
@@ -80,8 +93,11 @@ class MasterEngine
 
     void deliver(Invocation& inv, workflow::NodeId target);
     void trigger(Invocation& inv, workflow::NodeId node);
+
+    /** `drive` is the node's drive epoch at dispatch; a result stamped
+     *  with an older epoch belongs to a superseded run and is dropped. */
     void completeNode(Invocation& inv, workflow::NodeId node,
-                      SimTime exec_time);
+                      SimTime exec_time, uint32_t drive);
 };
 
 }  // namespace faasflow::engine

@@ -38,6 +38,7 @@ MetricsCollector::add(const InvocationRecord& record)
     if (record.timed_out)
         ++pw.timeouts;
     pw.cold_starts += record.cold_starts;
+    pw.recoveries += record.recoveries;
 }
 
 const MetricsCollector::PerWorkflow&
@@ -111,6 +112,12 @@ uint64_t
 MetricsCollector::coldStarts(const std::string& workflow) const
 {
     return get(workflow).cold_starts;
+}
+
+uint64_t
+MetricsCollector::recoveries(const std::string& workflow) const
+{
+    return get(workflow).recoveries;
 }
 
 std::vector<std::string>

@@ -51,6 +51,9 @@ class MetricsCollector
     uint64_t timeouts(const std::string& workflow) const;
     uint64_t coldStarts(const std::string& workflow) const;
 
+    /** Fault-recovery passes absorbed by this workflow's invocations. */
+    uint64_t recoveries(const std::string& workflow) const;
+
     std::vector<std::string> workflows() const;
 
     void clear();
@@ -68,6 +71,7 @@ class MetricsCollector
         Summary container_wait_ms;
         uint64_t timeouts = 0;
         uint64_t cold_starts = 0;
+        uint64_t recoveries = 0;
     };
 
     std::map<std::string, PerWorkflow> per_workflow_;

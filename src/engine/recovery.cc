@@ -1,0 +1,83 @@
+#include "engine/recovery.h"
+
+#include "common/logging.h"
+
+namespace faasflow::engine {
+
+std::vector<uint8_t>
+lostNodeSet(const Invocation& inv, int crashed_worker)
+{
+    const auto& dag = inv.wf->dag;
+    std::vector<uint8_t> rerun(dag.nodeCount(), 0);
+
+    // Fixpoint: seed with unfinished nodes on the dead worker, then pull
+    // in done producers whose (lost) local output some re-run or not-done
+    // consumer still has to read. Adding a producer clears its done flag
+    // conceptually, which can make its own producers needed — iterate.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto& node : dag.nodes()) {
+            const size_t idx = static_cast<size_t>(node.id);
+            if (rerun[idx] ||
+                inv.placement->workerOf(node.id) != crashed_worker) {
+                continue;
+            }
+            if (!inv.node_done[idx]) {
+                rerun[idx] = 1;
+                changed = true;
+                continue;
+            }
+            if (inv.node_output_worker[idx] != crashed_worker)
+                continue;  // output in the remote store (or none): safe
+            bool needed = false;
+            for (const auto& edge : dag.edges()) {
+                for (const auto& item : edge.payload) {
+                    const size_t to = static_cast<size_t>(edge.to);
+                    if (item.origin == node.id &&
+                        (rerun[to] || !inv.node_done[to])) {
+                        needed = true;
+                    }
+                }
+            }
+            if (needed) {
+                rerun[idx] = 1;
+                changed = true;
+            }
+        }
+    }
+    return rerun;
+}
+
+std::shared_ptr<const scheduler::Placement>
+remapPlacement(const scheduler::Placement& placement, int from_worker,
+               int to_worker)
+{
+    auto next = std::make_shared<scheduler::Placement>(placement);
+    for (int& w : next->worker_of) {
+        if (w == from_worker)
+            w = to_worker;
+    }
+    for (int& w : next->group_worker) {
+        if (w == from_worker)
+            w = to_worker;
+    }
+    return next;
+}
+
+void
+resetLostNodes(Invocation& inv, const std::vector<uint8_t>& rerun)
+{
+    for (size_t idx = 0; idx < rerun.size(); ++idx) {
+        if (!rerun[idx])
+            continue;
+        inv.node_done[idx] = 0;
+        inv.node_triggered[idx] = 0;
+        inv.node_exec[idx] = SimTime::zero();
+        inv.node_output_worker[idx] = -1;
+        ++inv.node_drive_epoch[idx];
+    }
+    ++inv.recovery_epoch;
+}
+
+}  // namespace faasflow::engine

@@ -39,7 +39,19 @@ struct TaskExecutor::RunState
     size_t pending = 0;  ///< outstanding async sub-operations in a phase
     NodeRunResult result;
     SimTime started;     ///< when runNode was entered (trace span begin)
+
+    /** Worker crash epoch captured at runNode entry. Every asynchronous
+     *  resume compares it against the node's current epoch and abandons
+     *  the run if the worker crashed in between — crucially *before*
+     *  touching the core ledger or a (freed) Container pointer. */
+    uint64_t node_epoch = 0;
 };
+
+bool
+TaskExecutor::abandoned(const std::shared_ptr<RunState>& rs) const
+{
+    return rs->node_epoch != node_.crashEpoch();
+}
 
 void
 TaskExecutor::runNode(Invocation& inv, workflow::NodeId node_id,
@@ -59,6 +71,7 @@ TaskExecutor::runNode(Invocation& inv, workflow::NodeId node_id,
     rs->spec = &registry_.get(node.function);
     rs->width = node.foreach_width;
     rs->started = sim_.now();
+    rs->node_epoch = node_.crashEpoch();
 
     if (rs->width > 1 && feedback)
         feedback->recordMap(node.name, static_cast<double>(rs->width));
@@ -111,6 +124,8 @@ TaskExecutor::fetchInputs(std::shared_ptr<RunState> rs)
         const bool local = store_.hasLocal(key);
         auto on_got = [this, rs, f, local, edge_latency](SimTime elapsed,
                                                          int64_t bytes) {
+            if (abandoned(rs))
+                return;
             if (trace_) {
                 trace_->span("fetch",
                              rs->inv->wf->dag.node(f.origin).name, track_,
@@ -153,6 +168,8 @@ TaskExecutor::executeInstances(std::shared_ptr<RunState> rs)
         node_.pool().acquire(
             node.function,
             [this, rs, requested](cluster::AcquireResult acquired) {
+                if (abandoned(rs))
+                    return;  // never touch the (freed) container
                 rs->inv->record.container_wait += sim_.now() - requested;
                 if (acquired.cold_start) {
                     ++rs->result.cold_starts;
@@ -175,12 +192,16 @@ TaskExecutor::runInstanceAttempt(std::shared_ptr<RunState> rs,
                                  cluster::Container* container)
 {
     node_.acquireCore([this, rs, container] {
+        if (abandoned(rs))
+            return;  // crash reset the core ledger; nothing to release
         const SimTime exec = rs->spec->sampleExecTime(rng_);
         const bool failed = rs->spec->failure_rate > 0.0 &&
                             rng_.uniform() < rs->spec->failure_rate;
         rs->result.max_exec = std::max(rs->result.max_exec, exec);
         rs->inv->record.exec_total += exec;
         sim_.schedule(exec, [this, rs, container, failed] {
+            if (abandoned(rs))
+                return;
             node_.releaseCore();
             if (failed) {
                 // The attempt crashed: the container is torn down (a
@@ -199,6 +220,8 @@ TaskExecutor::runInstanceAttempt(std::shared_ptr<RunState> rs,
                     node.function,
                     [this, rs, retry_requested](
                         cluster::AcquireResult again) {
+                        if (abandoned(rs))
+                            return;
                         rs->inv->record.container_wait +=
                             sim_.now() - retry_requested;
                         if (again.cold_start) {
@@ -246,6 +269,14 @@ TaskExecutor::saveOutput(std::shared_ptr<RunState> rs)
     const std::string key = dataKey(*rs->inv, rs->node_id);
     store_.save(rs->inv->wf->name, key, output_bytes, prefer_local,
                 [this, rs, output_bytes](SimTime elapsed, bool local) {
+                    if (abandoned(rs))
+                        return;  // the saved object died with the node
+                    // Remember where the object landed: recovery must
+                    // re-run this producer if that local copy is lost.
+                    rs->inv->node_output_worker[static_cast<size_t>(
+                        rs->node_id)] =
+                        local ? rs->inv->placement->workerOf(rs->node_id)
+                              : -1;
                     if (trace_) {
                         trace_->span(
                             "save",

@@ -72,6 +72,10 @@ class TaskExecutor
 
     struct RunState;
 
+    /** True when the worker crashed after this run started; the run's
+     *  async callbacks then silently stop resuming it. */
+    bool abandoned(const std::shared_ptr<RunState>& rs) const;
+
     void fetchInputs(std::shared_ptr<RunState> rs);
     void executeInstances(std::shared_ptr<RunState> rs);
 

@@ -45,6 +45,9 @@ struct InvocationRecord
     /** Failed execution attempts that were retried transparently. */
     uint64_t retries = 0;
 
+    /** Worker-failure recovery passes that touched this invocation. */
+    uint64_t recoveries = 0;
+
     /** Decomposition aids: total pure execution time across all function
      *  instances, and total time instances spent waiting for a container
      *  (cold starts and slot queueing). Sums over parallel work, so they
@@ -102,6 +105,35 @@ struct Invocation
 
     /** switch construct id -> taken branch. */
     std::map<int, int> switch_choice;
+
+    /**
+     * Durable per-node completion facts — the ground truth worker-failure
+     * recovery rebuilds engine `State` counters from. In a real
+     * deployment these live in the remote database alongside the data;
+     * here they ride on the invocation, which the master node owns.
+     */
+    std::vector<uint8_t> node_done;
+
+    /** Idempotence guard: a node's trigger fires at most once per drive
+     *  epoch (re-drives after recovery clear it first). */
+    std::vector<uint8_t> node_triggered;
+
+    /**
+     * Per-node drive epoch, bumped when recovery re-dispatches the node.
+     * Queued trigger decisions and returning results stamped with an
+     * older epoch are stale and are dropped; results from nodes the
+     * recovery did not touch keep flowing untouched.
+     */
+    std::vector<uint32_t> node_drive_epoch;
+
+    /** Worker whose local FaaStore holds the node's output; -1 when the
+     *  output went to the remote store (or the node has none). */
+    std::vector<int> node_output_worker;
+
+    /** Bumped once per recovery pass; WorkerSP state-update signals carry
+     *  the epoch they were sent under and stale ones are ignored (their
+     *  senders are already counted by the counter rebuild). */
+    uint32_t recovery_epoch = 0;
 
     size_t sinks_remaining = 0;
     bool finished = false;

@@ -72,8 +72,13 @@ WorkerEngine::startSource(Invocation& inv, workflow::NodeId source)
 }
 
 void
-WorkerEngine::deliverStateUpdate(Invocation& inv, workflow::NodeId target)
+WorkerEngine::deliverStateUpdate(Invocation& inv, workflow::NodeId target,
+                                 uint32_t epoch)
 {
+    if (inv.finished || epoch != inv.recovery_epoch)
+        return;  // late signal for a finished or recovered invocation
+    if (inv.node_done[static_cast<size_t>(target)])
+        return;  // re-run producer signalling an already-done consumer
     const int needed =
         static_cast<int>(inv.wf->dag.inEdges(target).size());
     int& done = state_[inv.id][target];
@@ -85,8 +90,21 @@ WorkerEngine::deliverStateUpdate(Invocation& inv, workflow::NodeId target)
 void
 WorkerEngine::trigger(Invocation& inv, workflow::NodeId node_id)
 {
+    const size_t idx = static_cast<size_t>(node_id);
+    if (inv.finished || inv.node_done[idx] || inv.node_triggered[idx])
+        return;
+    inv.node_triggered[idx] = 1;
+    // The decision queued below dies if a recovery pass re-drives the
+    // node first, or if this worker is down when it surfaces (its nodes
+    // are then in the recovery's re-run set anyway).
+    const uint32_t drive = inv.node_drive_epoch[idx];
     // Each trigger decision is one event for this engine's processor.
-    queue_.submit([this, &inv, node_id] {
+    queue_.submit([this, &inv, node_id, drive] {
+        const size_t idx = static_cast<size_t>(node_id);
+        if (inv.finished || drive != inv.node_drive_epoch[idx])
+            return;
+        if (!ctx_.cluster.worker(static_cast<size_t>(worker_index_)).alive())
+            return;
         const auto& node = inv.wf->dag.node(node_id);
         if (ctx_.trace) {
             ctx_.trace->instant("trigger", node.name,
@@ -127,7 +145,11 @@ void
 WorkerEngine::completeNode(Invocation& inv, workflow::NodeId node_id,
                            SimTime exec_time)
 {
-    inv.node_exec[static_cast<size_t>(node_id)] = exec_time;
+    const size_t idx = static_cast<size_t>(node_id);
+    if (inv.finished || inv.node_done[idx])
+        return;
+    inv.node_done[idx] = 1;
+    inv.node_exec[idx] = exec_time;
     propagate(inv, node_id);
 }
 
@@ -136,6 +158,11 @@ WorkerEngine::propagate(Invocation& inv, workflow::NodeId node_id)
 {
     const auto& dag = inv.wf->dag;
     const auto& out = dag.outEdges(node_id);
+    // Signals carry the recovery epoch they were sent under; if a
+    // recovery pass rebuilds the counters while they are in flight, the
+    // rebuild already counted this (done) sender and the late delivery
+    // must not count it twice.
+    const uint32_t epoch = inv.recovery_epoch;
     if (out.empty()) {
         // Sink: report the execution state back to the client side.
         ctx_.network.sendMessage(
@@ -153,8 +180,8 @@ WorkerEngine::propagate(Invocation& inv, workflow::NodeId node_id)
         if (target_worker == worker_index_) {
             // Inner RPC on the same node (§3.1).
             ctx_.sim.schedule(ctx_.config.local_trigger_latency,
-                              [this, &inv, target] {
-                                  deliverStateUpdate(inv, target);
+                              [this, &inv, target, epoch] {
+                                  deliverStateUpdate(inv, target, epoch);
                               });
         } else {
             // Cross-worker state transfer over TCP — the only kind of
@@ -165,10 +192,33 @@ WorkerEngine::propagate(Invocation& inv, workflow::NodeId node_id)
                     .netId(),
                 ctx_.cluster.worker(static_cast<size_t>(target_worker))
                     .netId(),
-                ctx_.config.state_msg_bytes, [peer, &inv, target] {
-                    peer->deliverStateUpdate(inv, target);
+                ctx_.config.state_msg_bytes, [peer, &inv, target, epoch] {
+                    peer->deliverStateUpdate(inv, target, epoch);
                 });
         }
+    }
+}
+
+void
+WorkerEngine::restoreInvocation(Invocation& inv)
+{
+    state_.erase(inv.id);
+    const auto& dag = inv.wf->dag;
+    for (const auto& node : dag.nodes()) {
+        if (inv.placement->workerOf(node.id) != worker_index_)
+            continue;
+        if (inv.node_done[static_cast<size_t>(node.id)])
+            continue;
+        const auto& in = dag.inEdges(node.id);
+        int done_preds = 0;
+        for (const size_t e : in) {
+            if (inv.node_done[static_cast<size_t>(dag.edge(e).from)])
+                ++done_preds;
+        }
+        if (done_preds > 0)
+            state_[inv.id][node.id] = done_preds;
+        if (done_preds == static_cast<int>(in.size()))
+            trigger(inv, node.id);
     }
 }
 
@@ -176,6 +226,13 @@ void
 WorkerEngine::cleanup(uint64_t invocation_id)
 {
     state_.erase(invocation_id);
+}
+
+size_t
+WorkerEngine::stateCount(uint64_t invocation_id) const
+{
+    const auto it = state_.find(invocation_id);
+    return it == state_.end() ? 0 : it->second.size();
 }
 
 int64_t

@@ -42,12 +42,29 @@ class WorkerEngine
     /**
      * Receives one predecessor-done signal for a local node, either from
      * a remote engine's TCP update or a local trigger; triggers the node
-     * when all its predecessors reported.
+     * when all its predecessors reported. `epoch` is the sender's view of
+     * the invocation's recovery epoch: signals stamped before a recovery
+     * pass are dropped, because the counter rebuild already accounted for
+     * their (necessarily done) senders.
      */
-    void deliverStateUpdate(Invocation& inv, workflow::NodeId target);
+    void deliverStateUpdate(Invocation& inv, workflow::NodeId target,
+                            uint32_t epoch);
+
+    /**
+     * Worker-failure recovery: forgets this engine's counters for the
+     * invocation, recounts them from the invocation's durable node_done
+     * facts for the local sub-graph under the (possibly remapped)
+     * placement, and re-triggers nodes whose predecessors are already
+     * satisfied. Must run on every engine after resetLostNodes, so state
+     * for nodes remapped away is wiped too.
+     */
+    void restoreInvocation(Invocation& inv);
 
     /** Releases the State structures of a finished invocation (§4.2.1). */
     void cleanup(uint64_t invocation_id);
+
+    /** Live State counters held for one invocation (leak checks). */
+    size_t stateCount(uint64_t invocation_id) const;
 
     int workerIndex() const { return worker_index_; }
     ServiceQueue& queue() { return queue_; }

@@ -5,6 +5,7 @@
 
 #include "cluster/cluster.h"
 #include "engine/modes.h"
+#include "engine/recovery.h"
 #include "engine/runtime_context.h"
 #include "net/network.h"
 #include "scheduler/graph_scheduler.h"
@@ -28,6 +29,9 @@ struct SystemConfig
     storage::FaaStore::Config faastore;
     engine::EngineConfig engine;
     scheduler::GraphScheduler::Config scheduler;
+
+    /** Heartbeat-based worker failure detection (fault injection). */
+    engine::RecoveryConfig recovery;
 
     /** CONTROL_MODE: who triggers functions. */
     engine::ControlMode control_mode = engine::ControlMode::WorkerSP;

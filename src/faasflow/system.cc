@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "engine/recovery.h"
 #include "workflow/analysis.h"
 
 namespace faasflow {
@@ -217,12 +218,30 @@ System::invoke(const std::string& workflow,
     ref.placement = state.wf.placement;
     ref.node_exec.assign(dag.nodeCount(), SimTime::zero());
     ref.node_skipped.assign(dag.nodeCount(), false);
+    ref.node_done.assign(dag.nodeCount(), 0);
+    ref.node_triggered.assign(dag.nodeCount(), 0);
+    ref.node_drive_epoch.assign(dag.nodeCount(), 0);
+    ref.node_output_worker.assign(dag.nodeCount(), -1);
     ref.sinks_remaining = workflow::sinkNodes(dag).size();
     ref.record.invocation_id = ref.id;
     ref.record.workflow = workflow;
     ref.record.submit = sim_->now();
     ref.on_complete = std::move(on_result);
     invocations_.emplace(ref.id, std::move(inv));
+
+    // Workers already known dead cannot be dispatched to; remap this
+    // invocation's sub-graph away at submission time (the detection
+    // sweep only covers invocations that existed when it ran, and a
+    // crash before detection is caught by that pending sweep).
+    for (size_t w = 0; w < detected_down_.size(); ++w) {
+        if (!detected_down_[w])
+            continue;
+        const int repl = pickReplacement(w);
+        if (repl >= 0 && static_cast<size_t>(repl) != w) {
+            ref.placement = engine::remapPlacement(
+                *ref.placement, static_cast<int>(w), repl);
+        }
+    }
 
     // Timeout watchdog (§5.4): when the deadline passes first, deliver a
     // clamped record; the invocation itself drains silently afterwards.
@@ -304,7 +323,14 @@ System::finalize(engine::Invocation& inv)
     for (auto& eng : worker_engines_)
         eng->cleanup(inv.id);
     master_engine_->cleanup(inv.id);
-    invocations_.erase(inv.id);
+    const auto it = invocations_.find(inv.id);
+    if (faults_installed_) {
+        // Keep the shell alive: a sink/state message backed off across a
+        // link outage may still dereference it on late delivery (the
+        // `finished` flag makes every such delivery a no-op).
+        retired_.push_back(std::move(it->second));
+    }
+    invocations_.erase(it);
 }
 
 void
@@ -317,6 +343,163 @@ void
 System::runFor(SimTime span)
 {
     sim_->runUntil(sim_->now() + span);
+}
+
+void
+System::installFaults(const sim::FaultSchedule& schedule)
+{
+    faults_installed_ = true;
+    for (const auto& event : schedule.events()) {
+        switch (event.kind) {
+        case sim::FaultKind::WorkerCrash: {
+            if (event.worker < 0 ||
+                static_cast<size_t>(event.worker) >=
+                    cluster_->workerCount()) {
+                fatal("fault schedule: worker %d out of range", event.worker);
+            }
+            const size_t w = static_cast<size_t>(event.worker);
+            sim_->scheduleAt(event.at, [this, w] { crashWorker(w); });
+            sim_->scheduleAt(event.at + event.duration,
+                             [this, w] { restoreWorker(w); });
+            // The master notices the failure after the heartbeat timeout
+            // — or at the reboot announcement when the outage is shorter
+            // than the timeout — and re-dispatches the lost sub-graphs.
+            const SimTime detect =
+                std::min(config_.recovery.detectionDelay(), event.duration);
+            sim_->scheduleAt(event.at + detect,
+                             [this, w] { onWorkerFailureDetected(w); });
+            break;
+        }
+        case sim::FaultKind::LinkDown: {
+            const net::NodeId nid =
+                event.worker < 0
+                    ? cluster_->storageNodeId()
+                    : cluster_->worker(static_cast<size_t>(event.worker))
+                          .netId();
+            sim_->scheduleAt(event.at, [this, nid] {
+                network_->setLinkUp(nid, false);
+            });
+            sim_->scheduleAt(event.at + event.duration, [this, nid] {
+                network_->setLinkUp(nid, true);
+            });
+            break;
+        }
+        case sim::FaultKind::StorageBrownout: {
+            const double severity = event.severity;
+            sim_->scheduleAt(event.at, [this, severity] {
+                remote_->setDegradeFactor(severity);
+            });
+            sim_->scheduleAt(event.at + event.duration, [this] {
+                remote_->setDegradeFactor(1.0);
+            });
+            break;
+        }
+        }
+    }
+}
+
+void
+System::crashWorker(size_t worker)
+{
+    faults_installed_ = true;
+    cluster::WorkerNode& node = cluster_->worker(worker);
+    if (!node.alive())
+        return;
+    node.crash();
+    stores_[worker]->onNodeCrash();
+    network_->setLinkUp(node.netId(), false);
+}
+
+void
+System::restoreWorker(size_t worker)
+{
+    cluster::WorkerNode& node = cluster_->worker(worker);
+    if (node.alive())
+        return;
+    node.setAlive(true);
+    network_->setLinkUp(node.netId(), true);
+    if (worker < detected_down_.size())
+        detected_down_[worker] = 0;
+}
+
+bool
+System::workerAlive(size_t worker) const
+{
+    return cluster_->worker(worker).alive();
+}
+
+size_t
+System::engineStateEntries(uint64_t invocation_id) const
+{
+    size_t total = 0;
+    for (const auto& eng : worker_engines_)
+        total += eng->stateCount(invocation_id);
+    if (master_engine_)
+        total += master_engine_->stateCount(invocation_id);
+    return total;
+}
+
+int
+System::pickReplacement(size_t crashed) const
+{
+    // First alive worker scanning upward from the crashed index; the
+    // crashed worker itself is considered last (it may have rebooted
+    // before detection, in which case it recovers its own sub-graph).
+    const size_t n = cluster_->workerCount();
+    for (size_t i = 1; i <= n; ++i) {
+        const size_t w = (crashed + i) % n;
+        if (cluster_->worker(w).alive())
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+void
+System::onWorkerFailureDetected(size_t worker)
+{
+    if (detected_down_.size() < cluster_->workerCount())
+        detected_down_.resize(cluster_->workerCount(), 0);
+    detected_down_[worker] = cluster_->worker(worker).alive() ? 0 : 1;
+    const int replacement = pickReplacement(worker);
+    if (replacement < 0) {
+        // Every worker is down; re-check after another heartbeat period.
+        sim_->schedule(config_.recovery.heartbeat_interval,
+                       [this, worker] { onWorkerFailureDetected(worker); });
+        return;
+    }
+    for (auto& [id, inv] : invocations_) {
+        if (!inv->finished)
+            recoverInvocation(*inv, worker, replacement);
+    }
+}
+
+void
+System::recoverInvocation(engine::Invocation& inv, size_t crashed,
+                          int replacement)
+{
+    const int crashed_w = static_cast<int>(crashed);
+    const auto rerun = engine::lostNodeSet(inv, crashed_w);
+    if (std::none_of(rerun.begin(), rerun.end(),
+                     [](uint8_t flag) { return flag != 0; })) {
+        return;  // this invocation lost nothing on the dead worker
+    }
+
+    ++recoveries_;
+    ++inv.record.recoveries;
+
+    // Move the dead worker's whole sub-graph onto the replacement (which
+    // preserves the all-consumers-local invariant), invalidate the lost
+    // nodes, then let the engines recount their State structures from
+    // the surviving done facts and re-drive whatever became ready.
+    inv.placement =
+        engine::remapPlacement(*inv.placement, crashed_w, replacement);
+    engine::resetLostNodes(inv, rerun);
+    if (config_.control_mode == engine::ControlMode::MasterSP) {
+        master_engine_->restoreInvocation(inv);
+    } else {
+        for (auto& eng : worker_engines_)
+            eng->restoreInvocation(inv);
+    }
 }
 
 double

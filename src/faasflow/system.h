@@ -13,6 +13,7 @@
 #include "engine/types.h"
 #include "engine/worker_engine.h"
 #include "faasflow/config.h"
+#include "sim/fault_schedule.h"
 #include "workflow/wdl.h"
 
 namespace faasflow {
@@ -74,6 +75,44 @@ class System
     /** Drives the simulation for a fixed span of simulated time. */
     void runFor(SimTime span);
 
+    /**
+     * Schedules every event of a fault schedule on the simulator: worker
+     * crashes (with heartbeat-delay failure detection and sub-graph
+     * re-dispatch), link outages, and storage brown-outs. Call before
+     * run(); two Systems built with the same config/seed and the same
+     * schedule replay identically.
+     */
+    void installFaults(const sim::FaultSchedule& schedule);
+
+    /**
+     * Fault primitive: kills a worker now. Containers, queued core
+     * grants and the node-local FaaStore memory are lost and the node's
+     * link drops. Recovery starts when the failure is *detected* — after
+     * the heartbeat timeout, or at reboot, whichever comes first —
+     * which installFaults schedules; direct callers drive detection via
+     * onWorkerFailureDetected or simply restoreWorker.
+     */
+    void crashWorker(size_t worker);
+
+    /** Fault primitive: boots a crashed worker back up (cold pools). */
+    void restoreWorker(size_t worker);
+
+    /**
+     * The master noticed a dead worker: remaps every live invocation's
+     * lost sub-graph onto a surviving worker and re-drives it. Safe to
+     * call when nothing was lost (no-op per unaffected invocation).
+     */
+    void onWorkerFailureDetected(size_t worker);
+
+    bool workerAlive(size_t worker) const;
+
+    /** Invocation-recovery passes performed since construction. */
+    uint64_t recoveriesPerformed() const { return recoveries_; }
+
+    /** Live State entries an invocation still holds across all engines
+     *  (leak checks: must be 0 once the invocation finished). */
+    size_t engineStateEntries(uint64_t invocation_id) const;
+
     sim::Simulator& simulator() { return *sim_; }
     net::Network& network() { return *network_; }
     cluster::Cluster& cluster() { return *cluster_; }
@@ -128,6 +167,19 @@ class System
     Rng rng_;
     uint64_t next_invocation_id_ = 1;
 
+    /** Set once faults are possible; finished invocations then retire to
+     *  `retired_` instead of being freed, so control messages that were
+     *  backed off across an outage still find their Invocation alive. */
+    bool faults_installed_ = false;
+    std::vector<std::unique_ptr<engine::Invocation>> retired_;
+    uint64_t recoveries_ = 0;
+    /** Workers the master currently believes dead (set at detection,
+     *  cleared at reboot); new invocations are routed around them. */
+    std::vector<uint8_t> detected_down_;
+
+    int pickReplacement(size_t crashed) const;
+    void recoverInvocation(engine::Invocation& inv, size_t crashed,
+                           int replacement);
     void allocateStorePools(WorkflowState& state);
     void onSinkComplete(engine::Invocation& inv);
     void finalize(engine::Invocation& inv);

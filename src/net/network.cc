@@ -61,6 +61,28 @@ Network::setNicBandwidth(NodeId id, double egress_bw, double ingress_bw)
 }
 
 void
+Network::setLinkUp(NodeId id, bool up)
+{
+    checkNode(id);
+    Node& node = nodes_[static_cast<size_t>(id)];
+    if (node.link_up == up)
+        return;
+    // Re-allocate before flipping so stalled time is charged at the old
+    // rates (zero while down), then wake/stall the affected flows.
+    advanceProgress();
+    node.link_up = up;
+    recomputeRates();
+    completeAndReschedule();
+}
+
+bool
+Network::linkUp(NodeId id) const
+{
+    checkNode(id);
+    return nodes_[static_cast<size_t>(id)].link_up;
+}
+
+void
 Network::sendMessage(NodeId src, NodeId dst, int64_t bytes,
                      std::function<void()> on_delivered)
 {
@@ -70,7 +92,29 @@ Network::sendMessage(NodeId src, NodeId dst, int64_t bytes,
     sn.stats.messages_sent++;
     sn.stats.bytes_sent += bytes;
     nodes_[static_cast<size_t>(dst)].stats.bytes_received += bytes;
+    attemptSend(src, dst, bytes, std::move(on_delivered), 0);
+}
 
+void
+Network::attemptSend(NodeId src, NodeId dst, int64_t bytes,
+                     std::function<void()> on_delivered, int attempt)
+{
+    Node& sn = nodes_[static_cast<size_t>(src)];
+    Node& dn = nodes_[static_cast<size_t>(dst)];
+    if (src != dst && (!sn.link_up || !dn.link_up)) {
+        // The sender only learns of the loss from its retransmission
+        // timer: wait one (exponentially backed-off) timeout, try again.
+        sn.stats.messages_resent++;
+        SimTime wait = config_.resend_timeout;
+        for (int i = 0; i < attempt && wait < config_.resend_cap; ++i)
+            wait = wait * config_.resend_backoff;
+        wait = std::min(wait, config_.resend_cap);
+        sim_.schedule(wait, [this, src, dst, bytes, attempt,
+                             cb = std::move(on_delivered)]() mutable {
+            attemptSend(src, dst, bytes, std::move(cb), attempt + 1);
+        });
+        return;
+    }
     const SimTime base =
         (src == dst) ? config_.loopback_latency : config_.hop_latency;
     const SimTime serialisation =
@@ -154,6 +198,13 @@ Network::recomputeRates()
     unfrozen.reserve(flows_.size());
     for (auto& [id, flow] : flows_) {
         flow.rate = 0.0;
+        // A flow with a dead endpoint stalls at rate zero and takes no
+        // part in the fair-share allocation (its NIC slots free up for
+        // the surviving traffic).
+        if (!nodes_[static_cast<size_t>(flow.src)].link_up ||
+            !nodes_[static_cast<size_t>(flow.dst)].link_up) {
+            continue;
+        }
         unfrozen.push_back(&flow);
         egress_flows[static_cast<size_t>(flow.src)]++;
         ingress_flows[static_cast<size_t>(flow.dst)]++;

@@ -30,6 +30,8 @@ struct NicStats
     int64_t bytes_received = 0;
     uint64_t messages_sent = 0;
     uint64_t flows_started = 0;
+    /** Send attempts deferred because a link on the path was down. */
+    uint64_t messages_resent = 0;
 };
 
 /**
@@ -57,6 +59,15 @@ class Network
         SimTime loopback_latency = SimTime::micros(30);
         /** Serialisation bandwidth applied to control messages. */
         double message_bandwidth = 1e9;  // bytes/s
+
+        /** TCP-style retransmission of control messages across a dead
+         *  link: the first retry fires after `resend_timeout`, each
+         *  further one backs off by `resend_backoff` up to `resend_cap`.
+         *  Messages are never dropped — the engines rely on exactly-once
+         *  eventual delivery (duplicates are handled by epoch checks). */
+        SimTime resend_timeout = SimTime::millis(200);
+        double resend_backoff = 2.0;
+        SimTime resend_cap = SimTime::seconds(2);
     };
 
     explicit Network(sim::Simulator& sim);
@@ -76,6 +87,16 @@ class Network
     /** Re-points a node's NIC capacities (wondershaper stand-in). Active
      *  flows are re-allocated immediately. */
     void setNicBandwidth(NodeId id, double egress_bw, double ingress_bw);
+
+    /**
+     * Takes a node's link down (or back up) — the fault-injection
+     * primitive. While down, bulk flows crossing the node stall at rate
+     * zero (they resume where they left off when the link heals) and
+     * control messages to/from the node are retried with timeout/backoff
+     * until the link is up again.
+     */
+    void setLinkUp(NodeId id, bool up);
+    bool linkUp(NodeId id) const;
 
     /**
      * Sends a small control message; `on_delivered` fires after the hop
@@ -108,6 +129,7 @@ class Network
         double egress_bw;
         double ingress_bw;
         NicStats stats;
+        bool link_up = true;
     };
 
     struct Flow
@@ -130,6 +152,10 @@ class Network
     sim::EventId completion_event_;
 
     void checkNode(NodeId id) const;
+
+    /** One send attempt; defers with backoff while a link is down. */
+    void attemptSend(NodeId src, NodeId dst, int64_t bytes,
+                     std::function<void()> on_delivered, int attempt);
 
     /** Charges elapsed time against every flow's remaining bytes. */
     void advanceProgress();

@@ -1,0 +1,144 @@
+#include "sim/fault_schedule.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace faasflow::sim {
+
+namespace {
+
+const char*
+kindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::WorkerCrash:
+        return "worker-crash";
+    case FaultKind::LinkDown:
+        return "link-down";
+    case FaultKind::StorageBrownout:
+        return "storage-brownout";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void
+FaultSchedule::insertSorted(FaultEvent event)
+{
+    if (event.at < SimTime::zero())
+        fatal("fault schedule: negative injection time");
+    if (event.duration <= SimTime::zero())
+        fatal("fault schedule: fault duration must be positive");
+    const auto pos = std::upper_bound(
+        events_.begin(), events_.end(), event,
+        [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+    events_.insert(pos, event);
+}
+
+FaultSchedule&
+FaultSchedule::addWorkerCrash(int worker, SimTime at, SimTime down_for)
+{
+    if (worker < 0)
+        fatal("fault schedule: worker crash needs a worker index");
+    insertSorted(FaultEvent{FaultKind::WorkerCrash, worker, at, down_for, 1.0});
+    return *this;
+}
+
+FaultSchedule&
+FaultSchedule::addLinkDown(int worker, SimTime at, SimTime down_for)
+{
+    insertSorted(FaultEvent{FaultKind::LinkDown, worker, at, down_for, 1.0});
+    return *this;
+}
+
+FaultSchedule&
+FaultSchedule::addStorageBrownout(SimTime at, SimTime duration,
+                                  double severity)
+{
+    if (severity < 1.0)
+        fatal("fault schedule: brown-out severity must be >= 1");
+    insertSorted(
+        FaultEvent{FaultKind::StorageBrownout, -1, at, duration, severity});
+    return *this;
+}
+
+FaultSchedule
+FaultSchedule::random(uint64_t seed, int worker_count, SimTime horizon,
+                      const RandomFaultParams& params)
+{
+    if (worker_count <= 0)
+        fatal("fault schedule: random needs a positive worker count");
+    FaultSchedule schedule;
+    Rng rng(seed);
+
+    // Each kind is an independent Poisson process drawn from its own
+    // split stream, so tweaking one rate leaves the others' event times
+    // untouched (useful for ablations).
+    struct Process
+    {
+        FaultKind kind;
+        double rate_per_min;
+        SimTime mean_duration;
+    };
+    const Process processes[] = {
+        {FaultKind::WorkerCrash, params.crash_rate_per_min,
+         params.mean_crash_downtime},
+        {FaultKind::LinkDown, params.link_rate_per_min,
+         params.mean_link_outage},
+        {FaultKind::StorageBrownout, params.brownout_rate_per_min,
+         params.mean_brownout},
+    };
+    for (const Process& p : processes) {
+        Rng stream = rng.split();
+        if (p.rate_per_min <= 0.0)
+            continue;
+        const double mean_gap_s = 60.0 / p.rate_per_min;
+        SimTime t = SimTime::seconds(stream.exponential(mean_gap_s));
+        while (t < horizon) {
+            const SimTime duration = SimTime::micros(std::max<int64_t>(
+                1, static_cast<int64_t>(stream.exponential(
+                       static_cast<double>(p.mean_duration.micros())))));
+            int worker = -1;
+            if (p.kind != FaultKind::StorageBrownout) {
+                worker = static_cast<int>(
+                    stream.uniformInt(0, worker_count - 1));
+            }
+            schedule.insertSorted(FaultEvent{p.kind, worker, t, duration,
+                                             p.kind ==
+                                                     FaultKind::StorageBrownout
+                                                 ? params.brownout_severity
+                                                 : 1.0});
+            t += SimTime::seconds(stream.exponential(mean_gap_s));
+        }
+    }
+    return schedule;
+}
+
+SimTime
+FaultSchedule::horizon() const
+{
+    SimTime end = SimTime::zero();
+    for (const FaultEvent& event : events_)
+        end = std::max(end, event.at + event.duration);
+    return end;
+}
+
+std::string
+FaultSchedule::summary() const
+{
+    std::string out;
+    for (const FaultEvent& event : events_) {
+        out += strFormat("%s target=%d at=%s for=%s", kindName(event.kind),
+                         event.worker, event.at.str().c_str(),
+                         event.duration.str().c_str());
+        if (event.kind == FaultKind::StorageBrownout)
+            out += strFormat(" x%.1f", event.severity);
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace faasflow::sim

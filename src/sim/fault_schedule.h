@@ -1,0 +1,96 @@
+#ifndef FAASFLOW_SIM_FAULT_SCHEDULE_H_
+#define FAASFLOW_SIM_FAULT_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace faasflow::sim {
+
+/** What breaks when a fault event fires. */
+enum class FaultKind {
+    WorkerCrash,     ///< node loses containers, engine state, local memory
+    LinkDown,        ///< one NIC unreachable; traffic stalls / backs off
+    StorageBrownout  ///< remote store serves requests `severity`x slower
+};
+
+/**
+ * One timed fault: the target breaks at `at` and heals at
+ * `at + duration`. `worker` is a worker index; -1 addresses the
+ * storage node (meaningful for LinkDown and implied for brown-outs).
+ */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::WorkerCrash;
+    int worker = -1;
+    SimTime at;
+    SimTime duration;
+    /** Brown-out op-latency multiplier (>= 1). */
+    double severity = 1.0;
+};
+
+/** Knobs for FaultSchedule::random (Poisson arrivals per fault kind). */
+struct RandomFaultParams
+{
+    double crash_rate_per_min = 1.0;
+    double link_rate_per_min = 1.0;
+    double brownout_rate_per_min = 0.0;
+    SimTime mean_crash_downtime = SimTime::seconds(2);
+    SimTime mean_link_outage = SimTime::millis(500);
+    SimTime mean_brownout = SimTime::seconds(1);
+    double brownout_severity = 4.0;
+};
+
+/**
+ * A deterministic script of fault events, kept sorted by injection time.
+ *
+ * The schedule is pure data: it knows nothing about the cluster. The
+ * System facade walks it once at installation and schedules the
+ * break/heal callbacks on the simulator, so two runs configured with
+ * the same schedule (and the same system seed) replay event-for-event.
+ * Schedules come from an explicit script (the builder methods below, or
+ * a WDL `faults:` block) or from a seeded generator (`random`).
+ */
+class FaultSchedule
+{
+  public:
+    FaultSchedule& addWorkerCrash(int worker, SimTime at, SimTime down_for);
+
+    /** `worker` = -1 takes the storage node's link down instead. */
+    FaultSchedule& addLinkDown(int worker, SimTime at, SimTime down_for);
+
+    FaultSchedule& addStorageBrownout(SimTime at, SimTime duration,
+                                      double severity);
+
+    /**
+     * Draws a schedule from a seeded RNG: per-kind Poisson arrivals over
+     * [0, horizon) with exponential outage durations. Identical inputs
+     * yield identical schedules.
+     */
+    static FaultSchedule random(uint64_t seed, int worker_count,
+                                SimTime horizon,
+                                const RandomFaultParams& params = {});
+
+    /** Events sorted by `at` (ties keep insertion order). */
+    const std::vector<FaultEvent>& events() const { return events_; }
+
+    bool empty() const { return events_.empty(); }
+    size_t size() const { return events_.size(); }
+
+    /** Instant the last fault has healed; zero for an empty schedule. */
+    SimTime horizon() const;
+
+    /** One line per event, for logs and replay digests. */
+    std::string summary() const;
+
+  private:
+    std::vector<FaultEvent> events_;
+
+    void insertSorted(FaultEvent event);
+};
+
+}  // namespace faasflow::sim
+
+#endif  // FAASFLOW_SIM_FAULT_SCHEDULE_H_

@@ -167,6 +167,15 @@ FaaStore::drop(const std::string& workflow, const std::string& key)
 }
 
 void
+FaaStore::onNodeCrash()
+{
+    mem_->clear();
+    key_workflow_.clear();
+    for (auto& [name, pool] : pools_)
+        pool.used = 0;
+}
+
+void
 FaaStore::reclaimContainerMemory(cluster::ContainerPool& pool,
                                  cluster::Container* container,
                                  const cluster::FunctionSpec& spec) const

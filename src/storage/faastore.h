@@ -111,6 +111,16 @@ class FaaStore
     void drop(const std::string& workflow, const std::string& key);
 
     /**
+     * The owning node crashed: all local objects are lost (each pool's
+     * `used` resets to zero) but quota reservations persist on the node
+     * ledger — they encode the partitioner's plan, which the recovered
+     * node re-attaches to. Objects that lived only here must be
+     * re-produced by the recovery machinery; fetches fall back to the
+     * remote store automatically.
+     */
+    void onNodeCrash();
+
+    /**
      * Applies the simulated cgroup shrink of §4.3.2 to a container:
      * its limit drops to peak + headroom, releasing the over-provisioned
      * memory back to the node (where allocatePool can pick it up).

@@ -24,6 +24,14 @@ MemStore::tryReserve(int64_t bytes)
 }
 
 void
+MemStore::clear()
+{
+    objects_.clear();
+    used_ = 0;
+    reserved_ = 0;
+}
+
+void
 MemStore::put(const std::string& key, int64_t bytes, int from_node,
               PutCallback on_done)
 {

@@ -41,6 +41,10 @@ class MemStore : public KvStore
     int64_t capacity() const { return capacity_; }
     int64_t usedBytes() const { return used_; }
 
+    /** Drops every object and outstanding reservation (node crash: the
+     *  DRAM contents are simply gone). Capacity is left untouched. */
+    void clear();
+
     void put(const std::string& key, int64_t bytes, int from_node,
              PutCallback on_done) override;
     void get(const std::string& key, int to_node,

@@ -18,6 +18,23 @@ RemoteStore::RemoteStore(sim::Simulator& sim, net::Network& network,
 }
 
 void
+RemoteStore::setDegradeFactor(double factor)
+{
+    if (factor < 1.0)
+        panic("remote store: degrade factor must be >= 1");
+    degrade_factor_ = factor;
+}
+
+SimTime
+RemoteStore::opLatency() const
+{
+    if (degrade_factor_ == 1.0)
+        return config_.op_latency;
+    return SimTime::micros(static_cast<int64_t>(
+        static_cast<double>(config_.op_latency.micros()) * degrade_factor_));
+}
+
+void
 RemoteStore::put(const std::string& key, int64_t bytes, int from_node,
                  PutCallback on_done)
 {
@@ -29,7 +46,7 @@ RemoteStore::put(const std::string& key, int64_t bytes, int from_node,
     if (from_node == storage_node_ || bytes == 0) {
         // Loopback write (master-side client) or a zero-size marker: only
         // the operation latency applies.
-        sim_.schedule(config_.op_latency,
+        sim_.schedule(opLatency(),
                       [this, start, cb = std::move(on_done)] {
                           if (cb)
                               cb(sim_.now() - start);
@@ -39,7 +56,7 @@ RemoteStore::put(const std::string& key, int64_t bytes, int from_node,
     network_.startFlow(
         from_node, storage_node_, bytes,
         [this, start, cb = std::move(on_done)](SimTime) {
-            sim_.schedule(config_.op_latency, [this, start, cb] {
+            sim_.schedule(opLatency(), [this, start, cb] {
                 if (cb)
                     cb(sim_.now() - start);
             });
@@ -58,7 +75,7 @@ RemoteStore::get(const std::string& key, int to_node, GetCallback on_done)
 
     const SimTime start = sim_.now();
     if (to_node == storage_node_ || bytes == 0) {
-        sim_.schedule(config_.op_latency,
+        sim_.schedule(opLatency(),
                       [this, start, bytes, cb = std::move(on_done)] {
                           if (cb)
             cb(sim_.now() - start, bytes);
@@ -66,7 +83,7 @@ RemoteStore::get(const std::string& key, int to_node, GetCallback on_done)
         return;
     }
     // Operation latency first (lookup), then the transfer back.
-    sim_.schedule(config_.op_latency, [this, to_node, bytes, start,
+    sim_.schedule(opLatency(), [this, to_node, bytes, start,
                                        cb = std::move(on_done)]() mutable {
         network_.startFlow(storage_node_, to_node, bytes,
                            [this, start, bytes, cb = std::move(cb)](SimTime) {

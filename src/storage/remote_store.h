@@ -43,13 +43,21 @@ class RemoteStore : public KvStore
     size_t objectCount() const { return objects_.size(); }
     int64_t storedBytes() const;
 
+    /** Brown-out injection: multiplies the per-operation latency while a
+     *  storage fault window is open. Must be >= 1; 1 restores health. */
+    void setDegradeFactor(double factor);
+    double degradeFactor() const { return degrade_factor_; }
+
   private:
     sim::Simulator& sim_;
     net::Network& network_;
     net::NodeId storage_node_;
     Config config_;
+    double degrade_factor_ = 1.0;
     std::map<std::string, int64_t> objects_;
     StoreStats stats_;
+
+    SimTime opLatency() const;
 };
 
 }  // namespace faasflow::storage

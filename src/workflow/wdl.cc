@@ -59,6 +59,7 @@ class WdlParser
 
     std::string uniqueName(const std::string& base);
     bool parseFunctions(const Value* funcs);
+    bool parseFaults(const Value* faults);
     bool parseSteps(const Value& steps, const SwitchContext& ctx,
                     int foreach_width, Segment& out);
     bool parseStep(const Value& step, const SwitchContext& ctx,
@@ -188,6 +189,82 @@ WdlParser::parseFunctions(const Value* funcs)
         result_.functions.push_back(std::move(spec));
     }
     return true;
+}
+
+bool
+WdlParser::parseFaults(const Value* faults)
+{
+    if (!faults)
+        return true;
+    if (!faults->isObject())
+        return fail("'faults' must be a mapping");
+
+    if (const Value* events = faults->find("events")) {
+        if (!events->isArray())
+            return fail("'faults.events' must be a list");
+        for (const Value& e : events->asArray()) {
+            if (!e.isObject())
+                return fail("each fault event must be a mapping");
+            const std::string kind = e.getOr("kind", std::string());
+            const SimTime at = SimTime::millis(e.getOr("at_ms", 0.0));
+            const SimTime down = SimTime::millis(e.getOr("down_ms", 0.0));
+            const int worker =
+                static_cast<int>(e.getOr("worker", int64_t{-1}));
+            if (at < SimTime::zero())
+                return fail("fault event 'at_ms' must be >= 0");
+            if (down <= SimTime::zero())
+                return fail("fault event needs a positive 'down_ms'");
+            if (kind == "worker_crash") {
+                if (worker < 0)
+                    return fail("worker_crash needs a worker index");
+                result_.faults.addWorkerCrash(worker, at, down);
+            } else if (kind == "link_down") {
+                result_.faults.addLinkDown(worker, at, down);
+            } else if (kind == "storage_brownout") {
+                const double factor = e.getOr("factor", 4.0);
+                if (factor < 1.0)
+                    return fail("storage_brownout 'factor' must be >= 1");
+                result_.faults.addStorageBrownout(at, down, factor);
+            } else {
+                return fail("unknown fault kind '" + kind +
+                            "' (expected worker_crash/link_down/"
+                            "storage_brownout)");
+            }
+        }
+        result_.has_faults = true;
+        return true;
+    }
+
+    if (const Value* seed = faults->find("seed")) {
+        if (!seed->isNumber())
+            return fail("'faults.seed' must be a number");
+        const double horizon_ms = faults->getOr("horizon_ms", 10000.0);
+        const int workers =
+            static_cast<int>(faults->getOr("workers", int64_t{7}));
+        if (horizon_ms <= 0.0)
+            return fail("'faults.horizon_ms' must be positive");
+        if (workers < 1)
+            return fail("'faults.workers' must be >= 1");
+        sim::RandomFaultParams params;
+        params.crash_rate_per_min =
+            faults->getOr("crash_rate_per_min", params.crash_rate_per_min);
+        params.link_rate_per_min =
+            faults->getOr("link_rate_per_min", params.link_rate_per_min);
+        params.brownout_rate_per_min = faults->getOr(
+            "brownout_rate_per_min", params.brownout_rate_per_min);
+        if (params.crash_rate_per_min < 0.0 ||
+            params.link_rate_per_min < 0.0 ||
+            params.brownout_rate_per_min < 0.0) {
+            return fail("fault rates must be >= 0");
+        }
+        result_.faults = sim::FaultSchedule::random(
+            static_cast<uint64_t>(seed->asDouble()), workers,
+            SimTime::millis(horizon_ms), params);
+        result_.has_faults = true;
+        return true;
+    }
+
+    return fail("'faults' needs an 'events' list or a 'seed'");
 }
 
 bool
@@ -407,6 +484,8 @@ WdlParser::run()
     result_.dag = Dag(doc_.getOr("name", std::string("workflow")));
 
     if (!parseFunctions(doc_.find("functions")))
+        return std::move(result_);
+    if (!parseFaults(doc_.find("faults")))
         return std::move(result_);
 
     const Value* steps = doc_.find("steps");

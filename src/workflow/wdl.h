@@ -7,6 +7,7 @@
 
 #include "cluster/function.h"
 #include "json/json.h"
+#include "sim/fault_schedule.h"
 #include "workflow/dag.h"
 
 namespace faasflow::workflow {
@@ -20,6 +21,11 @@ struct WdlResult
 {
     Dag dag;
     std::vector<cluster::FunctionSpec> functions;
+
+    /** Parsed `faults:` block (pass to System::installFaults). */
+    sim::FaultSchedule faults;
+    bool has_faults = false;
+
     std::string error;  ///< empty on success
 
     bool ok() const { return error.empty(); }
@@ -59,6 +65,34 @@ struct WdlResult
  * Parallel/switch/foreach constructs are fenced by virtual start/end
  * nodes that keep them atomic during graph partition. Payload sizes may
  * be given as output_bytes, output_kb, or output_mb.
+ *
+ * A document may also carry a top-level `faults:` block describing a
+ * fault-injection schedule — either an explicit event script:
+ *
+ *   faults:
+ *     events:
+ *       - kind: worker_crash    # containers + local store lost
+ *         worker: 1
+ *         at_ms: 120
+ *         down_ms: 400
+ *       - kind: link_down       # worker: -1 (or omitted) = storage node
+ *         worker: 0
+ *         at_ms: 50
+ *         down_ms: 100
+ *       - kind: storage_brownout
+ *         at_ms: 200
+ *         down_ms: 1000
+ *         factor: 4.0           # remote-store op latency multiplier
+ *
+ * or a seeded random schedule (Poisson arrivals, see RandomFaultParams):
+ *
+ *   faults:
+ *     seed: 7
+ *     horizon_ms: 10000
+ *     workers: 7                # index range faults are drawn from
+ *     crash_rate_per_min: 1.0
+ *     link_rate_per_min: 1.0
+ *     brownout_rate_per_min: 0.0
  */
 WdlResult parseWdl(const json::Value& doc);
 

@@ -159,6 +159,88 @@ TEST(NetworkTest, FlowRateVisibleWhileActive)
     EXPECT_EQ(f.net.activeFlows(), 0u);
 }
 
+TEST(NetworkTest, MessageAcrossDownLinkRetriesUntilRestore)
+{
+    Fixture f;
+    const NodeId a = f.net.addNode("a", 100e6, 100e6);
+    const NodeId b = f.net.addNode("b", 100e6, 100e6);
+    f.net.setLinkUp(b, false);
+
+    bool delivered = false;
+    SimTime delivered_at;
+    f.net.sendMessage(a, b, 1024, [&] {
+        delivered = true;
+        delivered_at = f.sim.now();
+    });
+    // While the link is down the send keeps backing off, never drops.
+    f.sim.runUntil(SimTime::millis(900));
+    EXPECT_FALSE(delivered);
+    EXPECT_GE(f.net.stats(a).messages_resent, 2u);
+
+    f.sim.scheduleAt(SimTime::seconds(1),
+                     [&] { f.net.setLinkUp(b, true); });
+    f.sim.run();
+    EXPECT_TRUE(delivered);
+    // Delivery happens at the first retry after the link heals.
+    EXPECT_GE(delivered_at, SimTime::seconds(1));
+    EXPECT_LT(delivered_at, SimTime::seconds(4));
+}
+
+TEST(NetworkTest, FlowStallsDuringOutageAndResumes)
+{
+    Fixture f;
+    const NodeId a = f.net.addNode("a", 100e6, 100e6);
+    const NodeId b = f.net.addNode("b", 100e6, 100e6);
+    SimTime elapsed;
+    f.net.startFlow(a, b, 50 * kMB, [&](SimTime t) { elapsed = t; });
+    // Nominal completion at 0.5 s; a 1 s outage in the middle stalls the
+    // flow at rate 0 and it resumes where it left off.
+    f.sim.scheduleAt(SimTime::millis(250),
+                     [&] { f.net.setLinkUp(b, false); });
+    f.sim.scheduleAt(SimTime::millis(1250),
+                     [&] { f.net.setLinkUp(b, true); });
+    f.sim.run();
+    EXPECT_NEAR(elapsed.secondsF(), 1.5, 1e-6);
+    EXPECT_EQ(f.net.stats(b).bytes_received, 50 * kMB);
+}
+
+TEST(NetworkTest, FlowStartedDuringOutageWaitsForRestore)
+{
+    Fixture f;
+    const NodeId a = f.net.addNode("a", 100e6, 100e6);
+    const NodeId b = f.net.addNode("b", 100e6, 100e6);
+    f.net.setLinkUp(b, false);
+    SimTime elapsed;
+    const FlowId id =
+        f.net.startFlow(a, b, 50 * kMB, [&](SimTime t) { elapsed = t; });
+    f.sim.runUntil(SimTime::millis(600));
+    EXPECT_EQ(f.net.activeFlows(), 1u);
+    EXPECT_NEAR(f.net.flowRate(id), 0.0, 1e-9);
+
+    f.sim.scheduleAt(SimTime::millis(700),
+                     [&] { f.net.setLinkUp(b, true); });
+    f.sim.run();
+    // 0.7 s stalled + 0.5 s of transfer at the full 100 MB/s.
+    EXPECT_NEAR(elapsed.secondsF(), 1.2, 1e-6);
+}
+
+TEST(NetworkTest, OutageDoesNotStallUnrelatedFlows)
+{
+    Fixture f;
+    const NodeId a = f.net.addNode("a", 100e6, 100e6);
+    const NodeId b = f.net.addNode("b", 100e6, 100e6);
+    const NodeId c = f.net.addNode("c", 100e6, 100e6);
+    const NodeId d = f.net.addNode("d", 100e6, 100e6);
+    f.net.setLinkUp(d, false);
+    SimTime t_ok, t_stalled;
+    f.net.startFlow(a, b, 50 * kMB, [&](SimTime t) { t_ok = t; });
+    f.net.startFlow(c, d, 50 * kMB, [&](SimTime t) { t_stalled = t; });
+    f.sim.scheduleAt(SimTime::seconds(2), [&] { f.net.setLinkUp(d, true); });
+    f.sim.run();
+    EXPECT_NEAR(t_ok.secondsF(), 0.5, 1e-6);
+    EXPECT_NEAR(t_stalled.secondsF(), 2.5, 1e-6);
+}
+
 TEST(NetworkDeathTest, SameNodeFlowPanics)
 {
     Fixture f;

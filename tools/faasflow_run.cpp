@@ -112,6 +112,12 @@ main(int argc, char** argv)
     system.registerFunctions(wdl.functions);
     const size_t tasks = wdl.dag.taskCount();
     const std::string name = system.deploy(std::move(wdl.dag));
+    if (wdl.has_faults) {
+        // Fault times are absolute simulated time, so they land relative
+        // to the very first invocation (including warm-up traffic).
+        std::printf("fault schedule:\n%s", wdl.faults.summary().c_str());
+        system.installFaults(wdl.faults);
+    }
 
     const auto warmup = static_cast<size_t>(flags.getInt("warmup"));
     if (warmup > 0) {
@@ -162,6 +168,11 @@ main(int argc, char** argv)
     table.addRow({"timeouts", strFormat("%llu",
                                         static_cast<unsigned long long>(
                                             m.timeouts(name)))});
+    if (wdl.has_faults) {
+        table.addRow({"recoveries",
+                      strFormat("%llu", static_cast<unsigned long long>(
+                                            m.recoveries(name)))});
+    }
     std::printf("%s", table.str().c_str());
 
     if (!flags.getString("trace").empty()) {
