@@ -10,7 +10,10 @@
  * HyperFlow-serverless).
  */
 #include <cstdio>
+#include <functional>
+#include <vector>
 
+#include "campaign.h"
 #include "harness.h"
 
 namespace {
@@ -43,12 +46,27 @@ main()
     TextTable table;
     table.setHeader({"benchmark", "HyperFlow p99 (s)",
                      "FaaSFlow-FaaStore p99 (s)", "reduction"});
+
+    // Each (benchmark, config) cell is an independent run — fan them out
+    // through the campaign pool (FAASFLOW_CAMPAIGN_THREADS wide).
+    std::vector<std::function<double()>> jobs;
+    for (const auto& bench : benchmarks::allBenchmarks()) {
+        jobs.push_back(
+            [bench] { return p99For(SystemConfig::hyperflowServerless(),
+                                    bench); });
+        jobs.push_back(
+            [bench] { return p99For(SystemConfig::faasflowFaastore(),
+                                    bench); });
+    }
+    const std::vector<double> p99s =
+        bench::runCampaign(jobs, bench::campaignThreads());
+
     double heavy_reduction = 0.0;
     double light_reduction = 0.0;
+    size_t job = 0;
     for (const auto& bench : benchmarks::allBenchmarks()) {
-        const double master =
-            p99For(SystemConfig::hyperflowServerless(), bench);
-        const double faas = p99For(SystemConfig::faasflowFaastore(), bench);
+        const double master = p99s[job++];
+        const double faas = p99s[job++];
         const double reduction = 1.0 - faas / master;
         if (bench.name == "Cyc" || bench.name == "Gen") {
             heavy_reduction += reduction / 2.0;

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Simulator hot-path microbenchmarks. Unlike the figure benches (which
+ * reproduce paper results), this one measures the *simulator itself*:
+ *
+ *   1. event-queue throughput, shallow and deep (20k backlog) mixes
+ *   2. network flow churn through the incremental fair-share allocator
+ *   3. wall time of a reduced Fig. 12-style end-to-end sweep
+ *   4. campaign scaling: the same job set at 1 thread vs N threads,
+ *      with a bit-identity check across the two executions
+ *
+ * Results land in BENCH_hotpaths.json (current directory). All workload
+ * randomness is precomputed outside the timed regions from fixed seeds,
+ * so the work done is identical run to run and machine to machine.
+ *
+ * `--smoke` shrinks every section for CI; numbers from a smoke run are
+ * not comparable with full runs.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "campaign.h"
+#include "common/logging.h"
+#include "harness.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace faasflow;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+// ---------------------------------------------------------------------
+// 1. Event queue: schedule/cancel/pop churn.
+
+struct EvqMix
+{
+    std::vector<int64_t> offsets;  ///< per-schedule time offset, µs
+    std::vector<uint8_t> cancels;  ///< 1 = cancel this scheduled event
+};
+
+EvqMix
+makeEvqMix(size_t events, uint64_t seed)
+{
+    EvqMix mix;
+    mix.offsets.resize(events);
+    mix.cancels.resize(events);
+    std::mt19937_64 rng(seed);
+    for (size_t i = 0; i < events; ++i) {
+        // 1-in-8 schedules land on a nearly-shared timestamp (fan-out
+        // bursts); the rest spread over a 1 ms sliding window. 1-in-4
+        // events are cancelled, like retimed timeouts and ETA updates.
+        const uint64_t r = rng();
+        mix.offsets[i] = (r % 8 == 0) ? static_cast<int64_t>((r >> 8) % 16)
+                                      : static_cast<int64_t>((r >> 8) % 1000);
+        mix.cancels[i] = (r % 4 == 1) ? 1 : 0;
+    }
+    return mix;
+}
+
+/**
+ * Runs the churn loop against a queue pre-filled with `backlog` events.
+ * backlog = 0 keeps the heap shallow (queue-depth ~ tens); a large
+ * backlog measures the steady state of a busy simulation where thousands
+ * of timers and flow ETAs are in flight.
+ */
+double
+evqEventsPerSec(size_t events, size_t backlog)
+{
+    const EvqMix mix = makeEvqMix(events + backlog, 42);
+    sim::EventQueue q;
+    std::vector<sim::EventId> cancel_batch;
+    cancel_batch.reserve(64);
+    size_t fired = 0;
+    int64_t now = 0;
+    size_t i = 0;
+    for (; i < backlog; ++i) {
+        q.schedule(SimTime::micros(now + 100 * mix.offsets[i]),
+                   [&fired] { ++fired; });
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    size_t scheduled = 0;
+    while (scheduled < events) {
+        for (int b = 0; b < 8 && scheduled < events; ++b, ++i) {
+            const sim::EventId id =
+                q.schedule(SimTime::micros(now + 100 * mix.offsets[i]),
+                           [&fired] { ++fired; });
+            ++scheduled;
+            if (mix.cancels[i])
+                cancel_batch.push_back(id);
+        }
+        for (const sim::EventId id : cancel_batch)
+            q.cancel(id);
+        cancel_batch.clear();
+        SimTime when;
+        sim::EventQueue::Callback fn;
+        for (int b = 0; b < 6 && q.pop(when, fn); ++b) {
+            now = when.micros();
+            fn();
+        }
+    }
+    SimTime when;
+    sim::EventQueue::Callback fn;
+    while (q.pop(when, fn))
+        fn();
+    return static_cast<double>(scheduled) / secondsSince(t0);
+}
+
+// ---------------------------------------------------------------------
+// 2. Network: flow churn through the fair-share allocator.
+
+/**
+ * Star topology (one storage hub, `workers` workers) with a sustained
+ * window of concurrent flows: every completion starts the next transfer
+ * from a precomputed list, so ~`window` flows contend at all times —
+ * the shape the incremental allocator is built for.
+ */
+double
+netFlowsPerSec(size_t flows, size_t workers, size_t window)
+{
+    struct FlowPlan
+    {
+        net::NodeId src;
+        net::NodeId dst;
+        int64_t bytes;
+    };
+    sim::Simulator sim;
+    net::Network network(sim);
+    const net::NodeId storage = network.addNode("storage", 100e6, 100e6);
+    std::vector<net::NodeId> nodes;
+    for (size_t w = 0; w < workers; ++w) {
+        nodes.push_back(
+            network.addNode(strFormat("w%zu", w), 1e9, 1e9));
+    }
+    std::vector<FlowPlan> plan(flows);
+    std::mt19937_64 rng(7);
+    for (FlowPlan& p : plan) {
+        const uint64_t r = rng();
+        const net::NodeId worker = nodes[r % workers];
+        // Mix of saves (worker -> storage), fetches (storage -> worker)
+        // and direct worker-to-worker transfers.
+        switch ((r >> 8) % 3) {
+        case 0: p.src = worker; p.dst = storage; break;
+        case 1: p.src = storage; p.dst = worker; break;
+        default:
+            p.src = worker;
+            p.dst = nodes[(r % workers + 1 + (r >> 16) % (workers - 1)) %
+                          workers];
+            if (p.dst == p.src)
+                p.dst = storage;
+            break;
+        }
+        p.bytes = static_cast<int64_t>(4096 + (r >> 24) % (512 * 1024));
+    }
+    size_t next = 0;
+    size_t completed = 0;
+    std::function<void()> start_next = [&] {
+        if (next >= plan.size())
+            return;
+        const FlowPlan& p = plan[next++];
+        network.startFlow(p.src, p.dst, p.bytes, [&](SimTime) {
+            ++completed;
+            start_next();
+        });
+    };
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t w = 0; w < window && w < plan.size(); ++w)
+        start_next();
+    sim.run();
+    const double elapsed = secondsSince(t0);
+    if (completed != flows)
+        panic("perf_hotpaths: %zu of %zu flows completed", completed, flows);
+    return static_cast<double>(completed) / elapsed;
+}
+
+// ---------------------------------------------------------------------
+// 3 + 4. End-to-end sweep and campaign scaling.
+
+double
+sweepPointP99(double bandwidth, size_t invocations)
+{
+    SystemConfig config = SystemConfig::faasflowFaastore();
+    config.cluster.storage_bandwidth = bandwidth;
+    System system(config);
+    const std::string name =
+        bench::deployBenchmark(system, benchmarks::videoFfmpeg());
+    bench::runOpenLoop(system, name, 6.0, invocations);
+    return system.metrics().e2e(name).p99();
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    const size_t evq_events = smoke ? 200'000 : 2'000'000;
+    const size_t evq_backlog = smoke ? 5'000 : 20'000;
+    const size_t net_flows = smoke ? 20'000 : 200'000;
+    const size_t sweep_invocations = smoke ? 40 : 200;
+    const size_t campaign_jobs = smoke ? 2 : 4;
+
+    std::printf("perf_hotpaths%s\n", smoke ? " (smoke)" : "");
+
+    const double evq_shallow = evqEventsPerSec(evq_events, 0);
+    std::printf("event queue, shallow mix: %.0f events/sec\n", evq_shallow);
+    const double evq_deep = evqEventsPerSec(evq_events, evq_backlog);
+    std::printf("event queue, deep mix (%zu backlog): %.0f events/sec\n",
+                evq_backlog, evq_deep);
+
+    const double flows_per_sec = netFlowsPerSec(net_flows, 8, 64);
+    std::printf("network fair-share churn: %.0f flows/sec\n", flows_per_sec);
+
+    const auto sweep_t0 = std::chrono::steady_clock::now();
+    for (const double bw : {25e6, 100e6})
+        sweepPointP99(bw, sweep_invocations);
+    const double sweep_ms = secondsSince(sweep_t0) * 1000.0;
+    std::printf("fig12-style sweep (2 points x %zu invocations): %.0f ms\n",
+                sweep_invocations, sweep_ms);
+
+    // Campaign scaling: same jobs, 1 thread vs campaignThreads(). On a
+    // single-core host the two walls are expected to match; the p99
+    // bit-identity check is meaningful regardless.
+    std::vector<std::function<double()>> jobs;
+    for (size_t j = 0; j < campaign_jobs; ++j) {
+        jobs.push_back(
+            [sweep_invocations] { return sweepPointP99(50e6,
+                                                       sweep_invocations); });
+    }
+    const auto seq_t0 = std::chrono::steady_clock::now();
+    const std::vector<double> seq = bench::runCampaign(jobs, 1);
+    const double seq_ms = secondsSince(seq_t0) * 1000.0;
+    const unsigned threads = bench::campaignThreads();
+    const auto par_t0 = std::chrono::steady_clock::now();
+    const std::vector<double> par = bench::runCampaign(jobs, threads);
+    const double par_ms = secondsSince(par_t0) * 1000.0;
+    bool identical = true;
+    for (size_t j = 0; j < jobs.size(); ++j)
+        identical = identical && std::memcmp(&seq[j], &par[j],
+                                             sizeof(double)) == 0;
+    std::printf("campaign (%zu jobs): %.0f ms @ 1 thread, %.0f ms @ %u "
+                "threads, results %s\n",
+                campaign_jobs, seq_ms, par_ms, threads,
+                identical ? "bit-identical" : "MISMATCH");
+
+    FILE* out = std::fopen("BENCH_hotpaths.json", "w");
+    if (out) {
+        std::fprintf(
+            out,
+            "{\n"
+            "  \"smoke\": %s,\n"
+            "  \"events_per_sec_shallow\": %.0f,\n"
+            "  \"events_per_sec_deep\": %.0f,\n"
+            "  \"flows_per_sec\": %.0f,\n"
+            "  \"fig12_sweep_wall_ms\": %.1f,\n"
+            "  \"campaign_jobs\": %zu,\n"
+            "  \"campaign_wall_ms_1_thread\": %.1f,\n"
+            "  \"campaign_wall_ms_n_threads\": %.1f,\n"
+            "  \"campaign_threads\": %u,\n"
+            "  \"campaign_bit_identical\": %s\n"
+            "}\n",
+            smoke ? "true" : "false", evq_shallow, evq_deep, flows_per_sec,
+            sweep_ms, campaign_jobs, seq_ms, par_ms, threads,
+            identical ? "true" : "false");
+        std::fclose(out);
+        std::printf("wrote BENCH_hotpaths.json\n");
+    }
+    return identical ? 0 : 1;
+}

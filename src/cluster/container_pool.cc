@@ -29,16 +29,38 @@ Container*
 ContainerPool::findIdle(const std::string& function)
 {
     // Most-recently-used reuse keeps warm containers warm and lets the
-    // lifetime check evict the cold tail.
+    // lifetime check evict the cold tail. Ties (same last-used instant)
+    // break towards the lowest container id, matching a scan of the
+    // id-ordered container map.
+    const auto it = fn_index_.find(function);
+    if (it == fn_index_.end())
+        return nullptr;
     Container* best = nullptr;
-    for (auto& [id, c] : containers_) {
-        if (c->state() == ContainerState::Idle && c->function() == function &&
-            c->deploymentVersion() == deployment_version_) {
-            if (!best || c->lastUsed() > best->lastUsed())
-                best = c.get();
-        }
+    for (Container* c : it->second.idle) {
+        if (c->deploymentVersion() != deployment_version_)
+            continue;
+        if (!best || c->lastUsed() > best->lastUsed() ||
+            (c->lastUsed() == best->lastUsed() && c->id() < best->id()))
+            best = c;
     }
     return best;
+}
+
+void
+ContainerPool::addIdle(Container* container)
+{
+    fn_index_[container->function()].idle.push_back(container);
+}
+
+void
+ContainerPool::removeIdle(Container* container)
+{
+    auto& idle = fn_index_[container->function()].idle;
+    const auto it = std::find(idle.begin(), idle.end(), container);
+    if (it != idle.end()) {
+        *it = idle.back();
+        idle.pop_back();
+    }
 }
 
 void
@@ -60,6 +82,7 @@ ContainerPool::acquire(const std::string& function,
                        std::function<void(AcquireResult)> on_ready)
 {
     if (Container* warm = findIdle(function)) {
+        removeIdle(warm);
         warm->state_ = ContainerState::Busy;
         warm->use_count_++;
         ++warm_hits_;
@@ -130,6 +153,7 @@ ContainerPool::tryCreate(const std::string& function,
         next_id_++, function, spec.mem_provisioned, deployment_version_);
     Container* raw = container.get();
     containers_.emplace(raw->id(), std::move(container));
+    ++fn_index_[function].count;
 
     SimTime cold = config_.cold_start_mean;
     if (config_.cold_start_sigma > 0.0) {
@@ -174,6 +198,7 @@ ContainerPool::crash()
     }
     containers_.clear();
     wait_queue_.clear();
+    fn_index_.clear();
 }
 
 void
@@ -192,6 +217,7 @@ ContainerPool::release(Container* container)
     } else {
         container->state_ = ContainerState::Idle;
         container->last_used_ = sim_.now();
+        addIdle(container);
         if (config_.keep_alive == KeepAlivePolicy::FixedLifetime)
             scheduleLifetimeCheck(container);
     }
@@ -259,6 +285,9 @@ ContainerPool::recycleFunction(const std::string& function)
 void
 ContainerPool::destroy(Container* container)
 {
+    if (container->state() == ContainerState::Idle)
+        removeIdle(container);
+    --fn_index_[container->function()].count;
     release_memory_(container->mem_limit_);
     container->state_ = ContainerState::Destroyed;
     containers_.erase(container->id());
@@ -290,6 +319,7 @@ ContainerPool::serveWaiters()
         progress = false;
         for (auto it = wait_queue_.begin(); it != wait_queue_.end(); ++it) {
             if (Container* warm = findIdle(it->function)) {
+                removeIdle(warm);
                 warm->state_ = ContainerState::Busy;
                 warm->use_count_++;
                 ++warm_hits_;
@@ -314,12 +344,8 @@ ContainerPool::serveWaiters()
 int
 ContainerPool::containerCount(const std::string& function) const
 {
-    int n = 0;
-    for (const auto& [id, c] : containers_) {
-        if (c->function() == function)
-            ++n;
-    }
-    return n;
+    const auto it = fn_index_.find(function);
+    return it == fn_index_.end() ? 0 : it->second.count;
 }
 
 int

@@ -7,12 +7,14 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/container.h"
 #include "cluster/function.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
+#include "common/string_util.h"
 #include "sim/simulator.h"
 
 namespace faasflow::cluster {
@@ -151,6 +153,16 @@ class ContainerPool
         SimTime last_change;
     };
 
+    /** Per-function view of the pool so the acquire path never scans
+     *  unrelated containers: `idle` holds exactly the Idle containers of
+     *  the function (unordered; selection applies its own tie-break) and
+     *  `count` tracks the per-function limit. */
+    struct FnIndex
+    {
+        std::vector<Container*> idle;
+        int count = 0;
+    };
+
     sim::Simulator& sim_;
     const FunctionRegistry& registry_;
     Config config_;
@@ -160,7 +172,11 @@ class ContainerPool
 
     std::map<uint64_t, std::unique_ptr<Container>> containers_;
     std::deque<Waiter> wait_queue_;
-    std::map<std::string, FunctionStats> stats_;
+    std::unordered_map<std::string, FunctionStats, StringHash,
+                       std::equal_to<>>
+        stats_;
+    std::unordered_map<std::string, FnIndex, StringHash, std::equal_to<>>
+        fn_index_;
     uint64_t next_id_ = 1;
     uint64_t crash_epoch_ = 0;
     int deployment_version_ = 0;
@@ -170,6 +186,9 @@ class ContainerPool
     SimTime stats_epoch_;
 
     Container* findIdle(const std::string& function);
+
+    void addIdle(Container* container);
+    void removeIdle(Container* container);
 
     /**
      * GreedyDual: frees memory by evicting the idle container with the

@@ -1,0 +1,173 @@
+#ifndef FAASFLOW_COMMON_INLINE_FN_H_
+#define FAASFLOW_COMMON_INLINE_FN_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace faasflow {
+
+/**
+ * Move-only callable wrapper with small-buffer optimisation.
+ *
+ * The simulator's hot path creates and destroys millions of short-lived
+ * callbacks (network completions, executor finishes); wrapping each in a
+ * `std::function` costs a heap allocation whenever the capture exceeds
+ * the library's tiny internal buffer. `InlineFunction` stores any
+ * nothrow-movable callable of up to `Cap` bytes inline and only falls
+ * back to the heap beyond that. Unlike `std::function` it accepts
+ * move-only callables (captured `unique_ptr`s, other InlineFunctions).
+ *
+ * The wrapper is intentionally minimal: move-only, no target_type/
+ * target introspection, no allocator support. Invoking an empty
+ * InlineFunction is undefined (the event queue never stores empty ones).
+ */
+template <typename Signature, size_t Cap = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, size_t Cap>
+class InlineFunction<R(Args...), Cap>
+{
+  public:
+    InlineFunction() = default;
+    InlineFunction(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+    InlineFunction(F&& f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= Cap &&
+                      std::is_trivially_copyable_v<Fn> &&
+                      std::is_trivially_destructible_v<Fn>) {
+            // The dominant case (lambdas capturing a pointer and a couple
+            // of scalars): moves become a plain buffer copy and
+            // destruction a no-op — no indirect calls besides invoke.
+            target_ = new (buf_) Fn(std::forward<F>(f));
+            ops_ = &trivialOps<Fn>;
+        } else if constexpr (sizeof(Fn) <= Cap &&
+                             alignof(Fn) <= alignof(std::max_align_t) &&
+                             std::is_nothrow_move_constructible_v<Fn>) {
+            target_ = new (buf_) Fn(std::forward<F>(f));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            target_ = new Fn(std::forward<F>(f));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    InlineFunction(InlineFunction&& o) noexcept { moveFrom(o); }
+
+    InlineFunction&
+    operator=(InlineFunction&& o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    InlineFunction& operator=(std::nullptr_t)
+    {
+        reset();
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction&) = delete;
+    InlineFunction& operator=(const InlineFunction&) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    R
+    operator()(Args... args) const
+    {
+        return ops_->invoke(target_, std::forward<Args>(args)...);
+    }
+
+  private:
+    struct Ops
+    {
+        R (*invoke)(void*, Args&&...);
+        /** Move-constructs into `dst` and destroys `src` (inline mode);
+         *  nullptr when a raw buffer copy relocates the target. */
+        void (*relocate)(void* dst, void* src);
+        /** nullptr when destruction is a no-op. */
+        void (*destroy)(void*);
+    };
+
+    template <typename Fn>
+    static constexpr Ops trivialOps = {
+        [](void* t, Args&&... args) -> R {
+            return (*static_cast<Fn*>(t))(std::forward<Args>(args)...);
+        },
+        nullptr,
+        nullptr,
+    };
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void* t, Args&&... args) -> R {
+            return (*static_cast<Fn*>(t))(std::forward<Args>(args)...);
+        },
+        [](void* dst, void* src) {
+            new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+            static_cast<Fn*>(src)->~Fn();
+        },
+        [](void* t) { static_cast<Fn*>(t)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void* t, Args&&... args) -> R {
+            return (*static_cast<Fn*>(t))(std::forward<Args>(args)...);
+        },
+        nullptr,  // heap targets move by pointer-steal
+        [](void* t) { delete static_cast<Fn*>(t); },
+    };
+
+    bool inlineStored() const { return target_ == static_cast<const void*>(buf_); }
+
+    void
+    moveFrom(InlineFunction& o) noexcept
+    {
+        ops_ = o.ops_;
+        if (!ops_) return;
+        if (o.inlineStored()) {
+            if (o.ops_->relocate != nullptr)
+                ops_->relocate(buf_, o.target_);
+            else
+                std::memcpy(buf_, o.buf_, Cap);
+            target_ = buf_;
+        } else {
+            target_ = o.target_;
+        }
+        o.ops_ = nullptr;
+        o.target_ = nullptr;
+    }
+
+    void
+    reset()
+    {
+        if (ops_) {
+            if (ops_->destroy != nullptr)
+                ops_->destroy(target_);
+            ops_ = nullptr;
+            target_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[Cap];
+    void* target_ = nullptr;
+    const Ops* ops_ = nullptr;
+};
+
+}  // namespace faasflow
+
+#endif  // FAASFLOW_COMMON_INLINE_FN_H_

@@ -1,0 +1,41 @@
+#ifndef FAASFLOW_COMMON_PAYLOAD_H_
+#define FAASFLOW_COMMON_PAYLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace faasflow {
+
+/**
+ * Refcounted immutable data blob.
+ *
+ * Simulated byte counts remain the billing unit everywhere — a Payload
+ * is the optional *host-side body* of an object travelling through the
+ * engines and stores (workflow inputs fed by tools, intermediate data a
+ * driver wants to inspect). Passing a Payload by handle means a save,
+ * a local→remote fallback, or a fetch never copies the body: ownership
+ * is shared, the bytes are written once and read in place.
+ *
+ * A null Payload is the common case for pure simulations (objects are
+ * modelled by size only).
+ */
+using Payload = std::shared_ptr<const std::string>;
+
+/** Wraps a string body into a shared immutable blob (the only copy). */
+inline Payload
+makePayload(std::string body)
+{
+    return std::make_shared<const std::string>(std::move(body));
+}
+
+/** Size of a payload body; 0 for the size-only (null) case. */
+inline int64_t
+payloadBytes(const Payload& p)
+{
+    return p ? static_cast<int64_t>(p->size()) : 0;
+}
+
+}  // namespace faasflow
+
+#endif  // FAASFLOW_COMMON_PAYLOAD_H_

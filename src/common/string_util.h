@@ -30,6 +30,21 @@ std::string join(const std::vector<std::string>& items, std::string_view sep);
  */
 uint64_t fnv1a(std::string_view s);
 
+/**
+ * Heterogeneous string hash for unordered containers: lets
+ * `unordered_map<std::string, V, StringHash, std::equal_to<>>` be probed
+ * with a `std::string_view` or `const char*` without materialising a
+ * temporary `std::string` per lookup (the storage save/fetch hot path).
+ */
+struct StringHash
+{
+    using is_transparent = void;
+
+    size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
+    size_t operator()(const std::string& s) const { return std::hash<std::string_view>{}(s); }
+    size_t operator()(const char* s) const { return std::hash<std::string_view>{}(s); }
+};
+
 }  // namespace faasflow
 
 #endif  // FAASFLOW_COMMON_STRING_UTIL_H_

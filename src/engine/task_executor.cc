@@ -1,6 +1,7 @@
 #include "engine/task_executor.h"
 
 #include <algorithm>
+#include <charconv>
 #include <vector>
 
 #include "common/logging.h"
@@ -11,9 +12,22 @@ namespace faasflow::engine {
 std::string
 dataKey(const Invocation& inv, workflow::NodeId node)
 {
-    return strFormat("%s/%llu/%s", inv.wf->name.c_str(),
-                     static_cast<unsigned long long>(inv.id),
-                     inv.wf->dag.node(node).name.c_str());
+    // Built on the per-fetch hot path: direct concatenation, one
+    // allocation, no printf machinery.
+    const std::string& wf = inv.wf->name;
+    const std::string& name = inv.wf->dag.node(node).name;
+    char id_buf[20];
+    const auto conv =
+        std::to_chars(id_buf, id_buf + sizeof(id_buf), inv.id);
+    std::string key;
+    key.reserve(wf.size() + name.size() +
+                static_cast<size_t>(conv.ptr - id_buf) + 2);
+    key += wf;
+    key += '/';
+    key.append(id_buf, conv.ptr);
+    key += '/';
+    key += name;
+    return key;
 }
 
 TaskExecutor::TaskExecutor(sim::Simulator& sim, cluster::WorkerNode& node,
@@ -122,10 +136,16 @@ TaskExecutor::fetchInputs(std::shared_ptr<RunState> rs)
     for (const Fetch& f : instance_fetches) {
         const std::string key = dataKey(*rs->inv, f.origin);
         const bool local = store_.hasLocal(key);
-        auto on_got = [this, rs, f, local, edge_latency](SimTime elapsed,
-                                                         int64_t bytes) {
+        auto on_got = [this, rs, f, local, edge_latency](
+                          SimTime elapsed, int64_t bytes,
+                          const Payload& body) {
             if (abandoned(rs))
                 return;
+            if (body) {
+                // Cache the producer's body handle on the invocation so
+                // downstream consumers see the same blob (zero-copy).
+                rs->inv->node_payload[static_cast<size_t>(f.origin)] = body;
+            }
             if (trace_) {
                 trace_->span("fetch",
                              rs->inv->wf->dag.node(f.origin).name, track_,
@@ -267,7 +287,9 @@ TaskExecutor::saveOutput(std::shared_ptr<RunState> rs)
         rs->mode == DataMode::FaaStore &&
         rs->inv->placement->allConsumersLocal(dag, rs->node_id);
     const std::string key = dataKey(*rs->inv, rs->node_id);
-    store_.save(rs->inv->wf->name, key, output_bytes, prefer_local,
+    store_.save(rs->inv->wf->name, key, output_bytes,
+                rs->inv->node_payload[static_cast<size_t>(rs->node_id)],
+                prefer_local,
                 [this, rs, output_bytes](SimTime elapsed, bool local) {
                     if (abandoned(rs))
                         return;  // the saved object died with the node

@@ -222,6 +222,7 @@ System::invoke(const std::string& workflow,
     ref.node_triggered.assign(dag.nodeCount(), 0);
     ref.node_drive_epoch.assign(dag.nodeCount(), 0);
     ref.node_output_worker.assign(dag.nodeCount(), -1);
+    ref.node_payload.assign(dag.nodeCount(), Payload{});
     ref.sinks_remaining = workflow::sinkNodes(dag).size();
     ref.record.invocation_id = ref.id;
     ref.record.workflow = workflow;

@@ -17,6 +17,19 @@ constexpr double kDrainEpsilon = 0.5;
 
 }  // namespace
 
+/**
+ * The flow's absolute ETA in µs given `remaining` materialised at
+ * `now_us`. Rounded *up* to the next microsecond: truncation would leave
+ * a sub-epsilon residue and respawn a zero-delay wakeup forever.
+ */
+static int64_t
+etaUsOf(const double remaining, const double rate, const int64_t now_us)
+{
+    if (remaining <= kDrainEpsilon)
+        return now_us;
+    return now_us + static_cast<int64_t>(std::ceil(remaining / rate * 1e6));
+}
+
 Network::Network(sim::Simulator& sim) : Network(sim, Config{}) {}
 
 Network::Network(sim::Simulator& sim, Config config)
@@ -29,7 +42,11 @@ Network::addNode(std::string name, double egress_bw, double ingress_bw)
 {
     if (egress_bw <= 0.0 || ingress_bw <= 0.0)
         fatal("net: node '%s' needs positive NIC bandwidth", name.c_str());
-    nodes_.push_back(Node{std::move(name), egress_bw, ingress_bw, {}});
+    Node node;
+    node.name = std::move(name);
+    node.egress_bw = egress_bw;
+    node.ingress_bw = ingress_bw;
+    nodes_.push_back(std::move(node));
     return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -53,11 +70,11 @@ Network::setNicBandwidth(NodeId id, double egress_bw, double ingress_bw)
     checkNode(id);
     if (egress_bw <= 0.0 || ingress_bw <= 0.0)
         fatal("net: NIC bandwidth must stay positive");
-    advanceProgress();
-    nodes_[static_cast<size_t>(id)].egress_bw = egress_bw;
-    nodes_[static_cast<size_t>(id)].ingress_bw = ingress_bw;
-    recomputeRates();
-    completeAndReschedule();
+    Node& node = nodes_[static_cast<size_t>(id)];
+    node.egress_bw = egress_bw;
+    node.ingress_bw = ingress_bw;
+    // Only the components touching this node's NICs can change.
+    recomputeAffected(egressNic(id), ingressNic(id));
 }
 
 void
@@ -67,12 +84,56 @@ Network::setLinkUp(NodeId id, bool up)
     Node& node = nodes_[static_cast<size_t>(id)];
     if (node.link_up == up)
         return;
-    // Re-allocate before flipping so stalled time is charged at the old
-    // rates (zero while down), then wake/stall the affected flows.
-    advanceProgress();
     node.link_up = up;
-    recomputeRates();
-    completeAndReschedule();
+    const SimTime now = sim_.now();
+
+    if (!up) {
+        // Stall every active flow crossing the node: charge progress at
+        // the old rate first, then pin to zero. The surviving flows in
+        // the stalled flows' components inherit the freed bandwidth.
+        std::vector<int> seeds;
+        const auto stallList = [&](std::vector<Flow*>& list) {
+            for (Flow* flow : list) {
+                if (flow->stalled)
+                    continue;
+                advanceFlow(*flow, now);
+                flow->rate = 0.0;
+                flow->stalled = true;
+                if (flow->eta.valid()) {
+                    sim_.cancel(flow->eta);
+                    flow->eta = {};
+                }
+                seeds.push_back(egressNic(flow->src));
+                seeds.push_back(ingressNic(flow->dst));
+            }
+        };
+        stallList(node.out_flows);
+        stallList(node.in_flows);
+        ++mark_epoch_;
+        for (const int seed : seeds) {
+            if (nicMark(seed) != mark_epoch_)
+                recomputeComponentFrom(seed);
+        }
+        maybeVerify();
+        return;
+    }
+
+    // Link healed: revive flows whose *both* endpoints are up again; they
+    // resume where they left off.
+    const auto reviveList = [&](std::vector<Flow*>& list) {
+        for (Flow* flow : list) {
+            if (!flow->stalled)
+                continue;
+            if (nodes_[static_cast<size_t>(flow->src)].link_up &&
+                nodes_[static_cast<size_t>(flow->dst)].link_up) {
+                flow->stalled = false;
+                flow->last_touch = now;
+            }
+        }
+    };
+    reviveList(node.out_flows);
+    reviveList(node.in_flows);
+    recomputeAffected(egressNic(id), ingressNic(id));
 }
 
 bool
@@ -104,11 +165,23 @@ Network::attemptSend(NodeId src, NodeId dst, int64_t bytes,
     if (src != dst && (!sn.link_up || !dn.link_up)) {
         // The sender only learns of the loss from its retransmission
         // timer: wait one (exponentially backed-off) timeout, try again.
+        // Closed form timeout * backoff^attempt, saturating at the cap
+        // (ldexp is the exact bit-shift path for the default 2x backoff).
         sn.stats.messages_resent++;
         SimTime wait = config_.resend_timeout;
-        for (int i = 0; i < attempt && wait < config_.resend_cap; ++i)
-            wait = wait * config_.resend_backoff;
-        wait = std::min(wait, config_.resend_cap);
+        if (attempt > 0) {
+            const double base = static_cast<double>(wait.micros());
+            const double cap =
+                static_cast<double>(config_.resend_cap.micros());
+            const double scaled =
+                config_.resend_backoff == 2.0
+                    ? std::ldexp(base, attempt)
+                    : base * std::pow(config_.resend_backoff,
+                                      static_cast<double>(attempt));
+            wait = scaled >= cap
+                       ? config_.resend_cap
+                       : SimTime::micros(static_cast<int64_t>(scaled));
+        }
         sim_.schedule(wait, [this, src, dst, bytes, attempt,
                              cb = std::move(on_delivered)]() mutable {
             attemptSend(src, dst, bytes, std::move(cb), attempt + 1);
@@ -133,31 +206,103 @@ Network::startFlow(NodeId src, NodeId dst, int64_t bytes,
     if (bytes < 0)
         panic("net: negative flow size");
 
-    auto& sn = nodes_[static_cast<size_t>(src)];
+    Node& sn = nodes_[static_cast<size_t>(src)];
+    Node& dn = nodes_[static_cast<size_t>(dst)];
     sn.stats.flows_started++;
     sn.stats.bytes_sent += bytes;
-    nodes_[static_cast<size_t>(dst)].stats.bytes_received += bytes;
+    dn.stats.bytes_received += bytes;
 
-    const FlowId id{next_flow_id_++};
-    advanceProgress();
-    Flow flow;
-    flow.id = id;
+    uint32_t slot;
+    if (!flow_free_.empty()) {
+        slot = flow_free_.back();
+        flow_free_.pop_back();
+    } else {
+        if (flow_slot_count_ ==
+            flow_chunks_.size() * static_cast<size_t>(kFlowChunkSize)) {
+            flow_chunks_.push_back(std::make_unique<Flow[]>(kFlowChunkSize));
+        }
+        slot = flow_slot_count_++;
+    }
+    const SimTime now = sim_.now();
+    Flow& flow = flowAt(slot);
+    flow.id = FlowId{(static_cast<uint64_t>(slot) << 32) | flow.gen};
+    flow.seq = next_flow_seq_++;
     flow.src = src;
     flow.dst = dst;
     flow.remaining = static_cast<double>(bytes);
-    flow.start = sim_.now();
+    flow.rate = 0.0;
+    flow.start = now;
+    flow.last_touch = now;
+    flow.stalled = false;
+    flow.active = true;
+    flow.mark = 0;
+    flow.eta = {};
+    flow.eta_when_us = 0;
     flow.on_complete = std::move(on_complete);
-    flows_.emplace(id.value, std::move(flow));
-    recomputeRates();
-    completeAndReschedule();
+    ++active_flow_count_;
+    linkFlow(&flow);
+    const FlowId id = flow.id;
+
+    if (!sn.link_up || !dn.link_up) {
+        // Born stalled: takes no share, so no other rate can change.
+        flow.stalled = true;
+        maybeVerify();
+        return id;
+    }
+
+    if (sn.out_flows.size() == 1 && dn.in_flows.size() == 1) {
+        // Fast path: an uncontended egress/ingress NIC pair forms its
+        // own component — every other allocation is untouched by
+        // construction.
+        flow.rate = std::min(sn.egress_bw, dn.ingress_bw);
+        flow.eta_when_us = etaUsOf(flow.remaining, flow.rate, now.micros());
+        flow.eta = sim_.scheduleAt(SimTime::micros(flow.eta_when_us),
+                                   [this, fid = id.value] { onFlowEta(fid); });
+        maybeVerify();
+        return id;
+    }
+
+    // The new flow joins its src-egress and dst-ingress NICs into one
+    // component, so a single seed covers it.
+    recomputeAffected(egressNic(src));
     return id;
+}
+
+Network::Flow*
+Network::findFlow(uint64_t packed)
+{
+    const uint32_t slot = static_cast<uint32_t>(packed >> 32);
+    const uint32_t gen = static_cast<uint32_t>(packed);
+    if (slot >= flow_slot_count_)
+        return nullptr;
+    Flow& flow = flowAt(slot);
+    if (!flow.active || flow.gen != gen)
+        return nullptr;
+    return &flow;
+}
+
+const Network::Flow*
+Network::findFlow(uint64_t packed) const
+{
+    return const_cast<Network*>(this)->findFlow(packed);
+}
+
+void
+Network::releaseFlow(Flow* flow)
+{
+    flow->on_complete = nullptr;
+    flow->active = false;
+    if (++flow->gen == 0)  // keep FlowId 0 invalid across wraparound
+        flow->gen = 1;
+    flow_free_.push_back(static_cast<uint32_t>(flow->id.value >> 32));
+    --active_flow_count_;
 }
 
 double
 Network::flowRate(FlowId id) const
 {
-    const auto it = flows_.find(id.value);
-    return it == flows_.end() ? 0.0 : it->second.rate;
+    const Flow* flow = findFlow(id.value);
+    return flow == nullptr ? 0.0 : flow->rate;
 }
 
 const NicStats&
@@ -168,151 +313,434 @@ Network::stats(NodeId id) const
 }
 
 void
-Network::advanceProgress()
+Network::linkFlow(Flow* flow)
 {
-    const SimTime now = sim_.now();
-    const double elapsed = (now - last_update_).secondsF();
-    if (elapsed > 0.0) {
-        for (auto& [id, flow] : flows_) {
+    Node& sn = nodes_[static_cast<size_t>(flow->src)];
+    flow->src_pos = static_cast<uint32_t>(sn.out_flows.size());
+    sn.out_flows.push_back(flow);
+    Node& dn = nodes_[static_cast<size_t>(flow->dst)];
+    flow->dst_pos = static_cast<uint32_t>(dn.in_flows.size());
+    dn.in_flows.push_back(flow);
+}
+
+void
+Network::unlinkFlow(Flow* flow)
+{
+    // Swap-remove from both NIC lists, fixing the moved flow's
+    // back-pointer (an out list only holds flows sourced at the node,
+    // so the moved flow's position field is unambiguous).
+    {
+        auto& list = nodes_[static_cast<size_t>(flow->src)].out_flows;
+        Flow* moved = list.back();
+        list[flow->src_pos] = moved;
+        list.pop_back();
+        if (flow->src_pos < list.size())
+            moved->src_pos = flow->src_pos;
+    }
+    {
+        auto& list = nodes_[static_cast<size_t>(flow->dst)].in_flows;
+        Flow* moved = list.back();
+        list[flow->dst_pos] = moved;
+        list.pop_back();
+        if (flow->dst_pos < list.size())
+            moved->dst_pos = flow->dst_pos;
+    }
+}
+
+void
+Network::advanceFlow(Flow& flow, SimTime now)
+{
+    if (flow.rate > 0.0) {
+        const double elapsed = (now - flow.last_touch).secondsF();
+        if (elapsed > 0.0) {
             flow.remaining =
                 std::max(0.0, flow.remaining - flow.rate * elapsed);
         }
     }
-    last_update_ = now;
+    flow.last_touch = now;
 }
 
 void
-Network::recomputeRates()
+Network::collectComponent(int seed, std::vector<Flow*>& out)
 {
-    // Progressive filling: repeatedly saturate the NIC capacity whose fair
-    // share is smallest, freezing its flows at that rate.
-    const size_t n = nodes_.size();
-    std::vector<double> egress_left(n), ingress_left(n);
-    std::vector<int> egress_flows(n, 0), ingress_flows(n, 0);
+    uint64_t& seed_mark = nicMark(seed);
+    if (seed_mark == mark_epoch_)
+        return;
+    seed_mark = mark_epoch_;
+    bfs_stack_.clear();
+    bfs_stack_.push_back(seed);
+    while (!bfs_stack_.empty()) {
+        const int nic = bfs_stack_.back();
+        bfs_stack_.pop_back();
+        Node& node = nodes_[static_cast<size_t>(nic >> 1)];
+        const bool ingress = (nic & 1) != 0;
+        for (Flow* flow : ingress ? node.in_flows : node.out_flows) {
+            if (flow->stalled || flow->mark == mark_epoch_)
+                continue;
+            flow->mark = mark_epoch_;
+            out.push_back(flow);
+            // Each flow joins exactly two directional NICs: its source's
+            // egress and its destination's ingress.
+            const int peer =
+                ingress ? egressNic(flow->src) : ingressNic(flow->dst);
+            uint64_t& peer_mark = nicMark(peer);
+            if (peer_mark != mark_epoch_) {
+                peer_mark = mark_epoch_;
+                bfs_stack_.push_back(peer);
+            }
+        }
+    }
+    // No canonical sort needed: waterFillRates is order-independent by
+    // construction (see the round subtraction there), so any discovery
+    // order yields bit-identical rates — the determinism half of the
+    // incremental scheme.
+}
+
+void
+Network::waterFillRates(const std::vector<Flow*>& flows,
+                        std::vector<double>& rates)
+{
+    // Progressive filling: repeatedly saturate the NIC capacity whose
+    // fair share is smallest, freezing its flows at that rate. Restricted
+    // to one component, whose allocation is independent of the rest of
+    // the network by construction.
+    const size_t n = flows.size();
+    rates.assign(n, 0.0);
+
+    // Gather the component's NICs into the dense scratch table (wf_nodes_)
+    // and translate each flow's endpoints to slot indices once up front:
+    // the filling rounds below then touch only small contiguous arrays,
+    // never the fat Node records.
+    ++scratch_epoch_;
+    wf_nodes_.clear();
+    wf_src_slot_.resize(n);
+    wf_dst_slot_.resize(n);
+    const auto slotOf = [this](NodeId id) -> uint32_t {
+        Node& node = nodes_[static_cast<size_t>(id)];
+        if (node.scratch_mark != scratch_epoch_) {
+            node.scratch_mark = scratch_epoch_;
+            node.scratch_slot = static_cast<uint32_t>(wf_nodes_.size());
+            wf_nodes_.push_back(WfNode{node.egress_bw, node.ingress_bw});
+        }
+        return node.scratch_slot;
+    };
     for (size_t i = 0; i < n; ++i) {
-        egress_left[i] = nodes_[i].egress_bw;
-        ingress_left[i] = nodes_[i].ingress_bw;
+        const uint32_t ss = slotOf(flows[i]->src);
+        const uint32_t ds = slotOf(flows[i]->dst);
+        wf_src_slot_[i] = ss;
+        wf_dst_slot_[i] = ds;
+        wf_nodes_[ss].eg_cnt++;
+        wf_nodes_[ds].in_cnt++;
     }
 
-    std::vector<Flow*> unfrozen;
-    unfrozen.reserve(flows_.size());
-    for (auto& [id, flow] : flows_) {
-        flow.rate = 0.0;
-        // A flow with a dead endpoint stalls at rate zero and takes no
-        // part in the fair-share allocation (its NIC slots free up for
-        // the surviving traffic).
-        if (!nodes_[static_cast<size_t>(flow.src)].link_up ||
-            !nodes_[static_cast<size_t>(flow.dst)].link_up) {
-            continue;
-        }
-        unfrozen.push_back(&flow);
-        egress_flows[static_cast<size_t>(flow.src)]++;
-        ingress_flows[static_cast<size_t>(flow.dst)]++;
-    }
+    // Indices into flows/rates still unfrozen (member buffers: the
+    // water-fill runs on every flow event, so no per-call allocation).
+    auto& unfrozen = wf_unfrozen_;
+    auto& still = wf_still_;
+    auto& frozen_now = wf_frozen_;
+    unfrozen.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        unfrozen[i] = i;
 
     while (!unfrozen.empty()) {
-        // Find the bottleneck capacity: the smallest per-flow fair share.
+        // Compute each NIC's fair share once per round (one division per
+        // NIC, reused for every flow below) and take the global minimum.
         double best_share = std::numeric_limits<double>::infinity();
-        for (size_t i = 0; i < n; ++i) {
-            if (egress_flows[i] > 0) {
-                best_share = std::min(best_share,
-                                      egress_left[i] / egress_flows[i]);
+        for (WfNode& wn : wf_nodes_) {
+            if (wn.eg_cnt > 0) {
+                wn.eg_share = wn.eg_left / wn.eg_cnt;
+                best_share = std::min(best_share, wn.eg_share);
             }
-            if (ingress_flows[i] > 0) {
-                best_share = std::min(best_share,
-                                      ingress_left[i] / ingress_flows[i]);
+            if (wn.in_cnt > 0) {
+                wn.in_share = wn.in_left / wn.in_cnt;
+                best_share = std::min(best_share, wn.in_share);
             }
         }
         assert(best_share < std::numeric_limits<double>::infinity());
 
-        // Freeze every flow crossing a capacity that is now saturated at
-        // `best_share` per flow, then charge the frozen rates against both
-        // endpoint capacities.
-        std::vector<Flow*> still_unfrozen;
-        std::vector<Flow*> frozen_now;
-        still_unfrozen.reserve(unfrozen.size());
-        for (Flow* flow : unfrozen) {
-            const size_t s = static_cast<size_t>(flow->src);
-            const size_t d = static_cast<size_t>(flow->dst);
-            const double egress_share = egress_left[s] / egress_flows[s];
-            const double ingress_share = ingress_left[d] / ingress_flows[d];
-            // A small tolerance keeps ties (equal shares) in one round.
-            const double tol = best_share * 1e-12 + 1e-9;
-            if (egress_share <= best_share + tol ||
-                ingress_share <= best_share + tol) {
-                flow->rate = best_share;
-                frozen_now.push_back(flow);
+        still.clear();
+        frozen_now.clear();
+        // A small tolerance keeps ties (equal shares) in one round.
+        const double freeze_below = best_share + (best_share * 1e-12 + 1e-9);
+        for (const size_t i : unfrozen) {
+            if (wf_nodes_[wf_src_slot_[i]].eg_share <= freeze_below ||
+                wf_nodes_[wf_dst_slot_[i]].in_share <= freeze_below) {
+                rates[i] = best_share;
+                frozen_now.push_back(i);
             } else {
-                still_unfrozen.push_back(flow);
+                still.push_back(i);
             }
         }
-        for (Flow* flow : frozen_now) {
-            const size_t s = static_cast<size_t>(flow->src);
-            const size_t d = static_cast<size_t>(flow->dst);
-            egress_left[s] = std::max(0.0, egress_left[s] - flow->rate);
-            ingress_left[d] = std::max(0.0, ingress_left[d] - flow->rate);
-            egress_flows[s]--;
-            ingress_flows[d]--;
+        // Every flow frozen this round freezes at the same best_share, so
+        // each node's capacity drops by count*best_share — a single
+        // multiply instead of a chain of subtractions. This makes the
+        // whole fill independent of flow iteration order (min, division
+        // and integer counts are all order-free), which is what lets the
+        // incremental recompute skip any canonical sorting and still
+        // bit-match the full-recompute oracle.
+        for (const size_t i : frozen_now) {
+            wf_nodes_[wf_src_slot_[i]].eg_froze++;
+            wf_nodes_[wf_dst_slot_[i]].in_froze++;
+        }
+        for (const size_t i : frozen_now) {
+            WfNode& sn = wf_nodes_[wf_src_slot_[i]];
+            WfNode& dn = wf_nodes_[wf_dst_slot_[i]];
+            if (sn.eg_froze > 0) {
+                sn.eg_left =
+                    std::max(0.0, sn.eg_left - sn.eg_froze * best_share);
+                sn.eg_cnt -= sn.eg_froze;
+                sn.eg_froze = 0;
+            }
+            if (dn.in_froze > 0) {
+                dn.in_left =
+                    std::max(0.0, dn.in_left - dn.in_froze * best_share);
+                dn.in_cnt -= dn.in_froze;
+                dn.in_froze = 0;
+            }
         }
         if (frozen_now.empty())
             panic("net: progressive filling failed to converge");
-        unfrozen.swap(still_unfrozen);
+        unfrozen.swap(still);
     }
 }
 
 void
-Network::completeAndReschedule()
+Network::recomputeComponentFrom(int seed)
 {
-    // Collect drained flows, remove them, then fire callbacks. Callbacks
-    // may start new flows reentrantly, which re-runs the allocator.
-    std::vector<Flow> done;
-    for (auto it = flows_.begin(); it != flows_.end();) {
-        if (it->second.remaining <= kDrainEpsilon) {
-            done.push_back(std::move(it->second));
-            it = flows_.erase(it);
-        } else {
-            ++it;
-        }
-    }
-    if (!done.empty())
-        recomputeRates();
+    comp_.clear();
+    collectComponent(seed, comp_);
+    applyRates(comp_);
+}
 
-    // Schedule the next completion wakeup.
-    if (completion_event_.valid()) {
-        sim_.cancel(completion_event_);
-        completion_event_ = {};
-    }
-    SimTime next = SimTime::max();
-    for (const auto& [id, flow] : flows_) {
-        if (flow.rate > 0.0) {
-            // Round the ETA *up* to the next microsecond: truncation
-            // would leave a sub-epsilon residue and respawn a zero-delay
-            // completion event forever.
-            const double eta_s = flow.remaining / flow.rate;
-            const SimTime eta =
-                sim_.now() +
-                SimTime::micros(static_cast<int64_t>(std::ceil(eta_s * 1e6)));
-            next = std::min(next, eta);
-        }
-    }
-    if (next != SimTime::max()) {
-        completion_event_ =
-            sim_.scheduleAt(next, [this] { onCompletionEvent(); });
-    }
-
+void
+Network::applyRates(std::vector<Flow*>& comp)
+{
+    if (comp.empty())
+        return;
+    waterFillRates(comp, comp_rates_);
     const SimTime now = sim_.now();
-    for (Flow& flow : done) {
-        if (flow.on_complete)
-            flow.on_complete(now - flow.start);
+    const int64_t now_us = now.micros();
+
+    // Apply the allocation and re-arm the component's sentinel: one
+    // wakeup event at the earliest flow ETA serves the whole component,
+    // so a recompute costs at most one cancel+schedule — not one per
+    // flow. `owner` is whichever flow carried the previous sentinel
+    // (two can appear transiently when components merge).
+    Flow* sentinel = nullptr;
+    Flow* owner = nullptr;
+    int64_t owner_when = 0;
+    for (size_t i = 0; i < comp.size(); ++i) {
+        Flow& flow = *comp[i];
+        if (flow.eta.valid()) {
+            if (owner == nullptr) {
+                owner = &flow;
+                owner_when = flow.eta_when_us;
+            } else {
+                sim_.cancel(flow.eta);
+                flow.eta = {};
+            }
+        }
+        if (flow.rate != comp_rates_[i]) {
+            // Rate changed: charge progress at the *old* rate, then the
+            // stored ETA is stale — recompute it. An unchanged rate means
+            // an unchanged trajectory; the flow needs no touch at all.
+            advanceFlow(flow, now);
+            flow.rate = comp_rates_[i];
+            flow.eta_when_us = etaUsOf(flow.remaining, flow.rate, now_us);
+        }
+        if (sentinel == nullptr ||
+            flow.eta_when_us < sentinel->eta_when_us) {
+            sentinel = &flow;
+        }
     }
+
+    const int64_t when = sentinel->eta_when_us;
+    if (owner != nullptr) {
+        if (owner_when == when)
+            return;  // the pending wakeup already fires at the right time
+        sim_.cancel(owner->eta);
+        owner->eta = {};
+    }
+    sentinel->eta =
+        sim_.scheduleAt(SimTime::micros(when),
+                        [this, fid = sentinel->id.value] { onFlowEta(fid); });
 }
 
 void
-Network::onCompletionEvent()
+Network::recomputeAffected(int nic_a, int nic_b)
 {
-    completion_event_ = {};
-    advanceProgress();
-    completeAndReschedule();
+    ++mark_epoch_;
+    recomputeComponentFrom(nic_a);
+    if (nic_b >= 0 && nicMark(nic_b) != mark_epoch_)
+        recomputeComponentFrom(nic_b);
+    maybeVerify();
+}
+
+void
+Network::onFlowEta(uint64_t id)
+{
+    Flow* fired = findFlow(id);
+    if (fired == nullptr)
+        return;
+    Flow& flow = *fired;
+    flow.eta = {};  // this event was the component's sentinel
+    const SimTime now = sim_.now();
+    const int64_t now_us = now.micros();
+
+    // The sentinel woke the whole component: advance every flow and
+    // split off the drained ones. Batching the drain is what makes a
+    // fan-out of equal flows complete in O(component), not O(component²).
+    ++mark_epoch_;
+    comp_.clear();
+    // The flow's src-egress NIC always carries it, so seeding there
+    // collects its whole component, `flow` included.
+    collectComponent(egressNic(flow.src), comp_);
+
+    struct Done
+    {
+        Flow* flow;
+        uint64_t seq;
+        NodeId src;
+        NodeId dst;
+        SimTime elapsed;
+        std::function<void(SimTime)> cb;
+    };
+    std::vector<Done> done;
+    remaining_.clear();
+    for (Flow* f : comp_) {
+        advanceFlow(*f, now);
+        if (f->remaining > kDrainEpsilon) {
+            remaining_.push_back(f);
+            continue;
+        }
+        if (f->eta.valid()) {
+            sim_.cancel(f->eta);
+            f->eta = {};
+        }
+        done.push_back(Done{f, f->seq, f->src, f->dst, now - f->start,
+                            std::move(f->on_complete)});
+    }
+
+    if (done.empty()) {
+        // Woken early (floating-point ceil residue, or a sentinel kept
+        // from before a rate change): nothing drained, rates are still
+        // valid — just re-arm at the true earliest ETA. Stale stored
+        // ETAs (<= now) are recomputed from the freshly advanced
+        // remaining, so the new wakeup is strictly in the future.
+        Flow* sentinel = nullptr;
+        for (Flow* f : remaining_) {
+            if (f->eta_when_us <= now_us)
+                f->eta_when_us = etaUsOf(f->remaining, f->rate, now_us);
+            if (sentinel == nullptr ||
+                f->eta_when_us < sentinel->eta_when_us) {
+                sentinel = f;
+            }
+        }
+        sentinel->eta = sim_.scheduleAt(
+            SimTime::micros(sentinel->eta_when_us),
+            [this, fid = sentinel->id.value] { onFlowEta(fid); });
+        return;
+    }
+
+    // Canonical completion order: ascending start order (batches are
+    // small, and slab slot reuse makes raw ids non-monotone).
+    std::sort(done.begin(), done.end(),
+              [](const Done& a, const Done& b) { return a.seq < b.seq; });
+    for (const Done& d : done) {
+        unlinkFlow(d.flow);
+        releaseFlow(d.flow);
+    }
+
+    if (!remaining_.empty()) {
+        // Star fast path: if every surviving flow shares one *directed*
+        // NIC — the same source egress or the same destination ingress —
+        // they are still a single component, so reuse the collected set
+        // instead of re-walking the graph. This is the common shape
+        // (many workers fetching from, or saving to, one storage hub).
+        // A node that merely appears as src of some flows and dst of
+        // others does NOT qualify: its egress and ingress are separate
+        // vertices and the two flow sets are separate components.
+        NodeId all_src = remaining_[0]->src;
+        NodeId all_dst = remaining_[0]->dst;
+        for (const Flow* f : remaining_) {
+            if (all_src >= 0 && f->src != all_src)
+                all_src = -1;
+            if (all_dst >= 0 && f->dst != all_dst)
+                all_dst = -1;
+            if (all_src < 0 && all_dst < 0)
+                break;
+        }
+        if (all_src >= 0 || all_dst >= 0) {
+            applyRates(remaining_);
+        } else {
+            // The drained flows may have split the component; re-seed
+            // from every touched NIC that still carries flows.
+            ++mark_epoch_;
+            for (const Done& d : done) {
+                Node& sn = nodes_[static_cast<size_t>(d.src)];
+                if (sn.mark_eg != mark_epoch_ && !sn.out_flows.empty())
+                    recomputeComponentFrom(egressNic(d.src));
+                Node& dn = nodes_[static_cast<size_t>(d.dst)];
+                if (dn.mark_in != mark_epoch_ && !dn.in_flows.empty())
+                    recomputeComponentFrom(ingressNic(d.dst));
+            }
+        }
+    }
+    maybeVerify();
+
+    // Fire last, in flow-id order: callbacks may start new flows
+    // reentrantly.
+    for (Done& d : done) {
+        if (d.cb)
+            d.cb(d.elapsed);
+    }
+}
+
+bool
+Network::ratesMatchFullRecompute()
+{
+    // Oracle: rebuild every component from scratch, water-fill it, and
+    // compare bitwise against the incrementally maintained rates.
+    std::vector<Flow*> all;
+    all.reserve(active_flow_count_);
+    for (uint32_t slot = 0; slot < flow_slot_count_; ++slot) {
+        Flow& flow = flowAt(slot);
+        if (flow.active)
+            all.push_back(&flow);
+    }
+    std::sort(all.begin(), all.end(), [](const Flow* a, const Flow* b) {
+        return a->seq < b->seq;
+    });
+
+    ++mark_epoch_;
+    std::vector<Flow*> comp;
+    std::vector<double> rates;
+    for (Flow* flow : all) {
+        if (flow->stalled) {
+            if (flow->rate != 0.0)
+                return false;
+            continue;
+        }
+        if (flow->mark == mark_epoch_)
+            continue;
+        comp.clear();
+        collectComponent(egressNic(flow->src), comp);
+        waterFillRates(comp, rates);
+        for (size_t i = 0; i < comp.size(); ++i) {
+            if (comp[i]->rate != rates[i])
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+Network::maybeVerify()
+{
+    if (!config_.verify_rates)
+        return;
+    if (!ratesMatchFullRecompute())
+        panic("net: incremental rates diverged from full max-min recompute");
 }
 
 }  // namespace faasflow::net

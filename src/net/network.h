@@ -3,7 +3,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,7 +15,8 @@ namespace faasflow::net {
 /** Index of a node attached to the network. */
 using NodeId = int;
 
-/** Handle for an in-flight bulk transfer. */
+/** Handle for an in-flight bulk transfer. Opaque: internally packs a
+ *  slab slot and a generation, like sim::EventId. */
 struct FlowId
 {
     uint64_t value = 0;
@@ -39,9 +40,22 @@ struct NicStats
  *
  * Each node has an ingress and an egress NIC capacity; every bulk Flow is
  * allocated a rate by progressive filling (max-min fairness) across all
- * NIC capacities it traverses. Rates are recomputed whenever the set of
- * active flows or any NIC capacity changes, so transfer latencies react
- * to contention exactly as the paper's wondershaper experiments do.
+ * NIC capacities it traverses, so transfer latencies react to contention
+ * exactly as the paper's wondershaper experiments do.
+ *
+ * The allocator is *incremental*: flows connected through shared NIC
+ * capacities form components, and a flow add/complete/link flip only
+ * re-runs water-filling over the affected component(s) — flows in other
+ * components keep their frozen rates untouched. Components are built
+ * over *directional* NICs (a node's egress and ingress are separate
+ * capacities, so an outbound and an inbound flow at the same node do not
+ * contend and land in separate components — e.g. saves and fetches
+ * against a storage hub). Each component is an independent max-min
+ * problem, so the result is bit-identical to a full recompute (a
+ * debug-mode cross-check proves it on every update; see
+ * Config::verify_rates). Flow progress is tracked lazily per flow and
+ * completions fire from per-flow ETA events, so an event touches O(its
+ * component), not O(all flows).
  *
  * Small control-plane messages (task assignments, state updates) are
  * modelled with a fixed per-hop latency plus an unshared serialisation
@@ -68,6 +82,19 @@ class Network
         SimTime resend_timeout = SimTime::millis(200);
         double resend_backoff = 2.0;
         SimTime resend_cap = SimTime::seconds(2);
+
+        /**
+         * Cross-checks every incremental rate update against a full
+         * max-min recompute over all flows and panics on divergence.
+         * Defaults on in assert-enabled (Debug/Sanitize) builds so the
+         * whole test suite doubles as an oracle; keep off in Release.
+         */
+        bool verify_rates =
+#ifndef NDEBUG
+            true;
+#else
+            false;
+#endif
     };
 
     explicit Network(sim::Simulator& sim);
@@ -115,14 +142,55 @@ class Network
                      std::function<void(SimTime elapsed)> on_complete);
 
     /** Number of currently active bulk flows. */
-    size_t activeFlows() const { return flows_.size(); }
+    size_t activeFlows() const { return active_flow_count_; }
 
     /** Current allocated rate of a flow in bytes/s; 0 if finished. */
     double flowRate(FlowId id) const;
 
     const NicStats& stats(NodeId id) const;
 
+    /**
+     * Test/debug oracle: recomputes every component's max-min allocation
+     * from scratch and compares it bitwise against the incrementally
+     * maintained rates. True when they match exactly.
+     */
+    bool ratesMatchFullRecompute();
+
   private:
+    /** Slab-resident flow record. The first 64 bytes are exactly the
+     *  fields the component walk and rate-apply loops touch, so the hot
+     *  path reads one cache line per flow (alignas pins the tiling). */
+    struct alignas(64) Flow
+    {
+        // --- hot line: component BFS + water-fill apply -------------
+        NodeId src;
+        NodeId dst;
+        double remaining;   ///< bytes left at time `last_touch`
+        double rate = 0.0;  ///< bytes/s allocated by the last recompute
+        SimTime last_touch;       ///< when `remaining` was materialised
+        /** This flow's own absolute ETA in µs; exact while `rate` is
+         *  unchanged (recomputed whenever the rate moves). */
+        int64_t eta_when_us = 0;
+        /** Pending wakeup event. Exactly one flow per component carries
+         *  one — the sentinel — scheduled at the component's earliest
+         *  ETA; the handler advances and drains the whole component, so
+         *  rate changes cost O(1) event-queue traffic per component, not
+         *  O(flows). */
+        sim::EventId eta;
+        uint64_t mark = 0;        ///< component-BFS visit epoch
+        uint32_t gen = 1;         ///< bumped on retire; packed into FlowId
+        bool stalled = false;     ///< a dead endpoint pins the rate to 0
+        bool active = false;      ///< slab slot currently holds a flow
+        // --- cold remainder ------------------------------------------
+        FlowId id;
+        uint64_t seq = 0;         ///< monotone start order (canonical
+                                  ///< completion-callback ordering)
+        SimTime start;
+        uint32_t src_pos = 0;     ///< index in the src node's flow list
+        uint32_t dst_pos = 0;     ///< index in the dst node's flow list
+        std::function<void(SimTime)> on_complete;
+    };
+
     struct Node
     {
         std::string name;
@@ -130,26 +198,62 @@ class Network
         double ingress_bw;
         NicStats stats;
         bool link_up = true;
+        std::vector<Flow*> out_flows;  ///< flows sourced here (egress NIC)
+        std::vector<Flow*> in_flows;   ///< flows sinking here (ingress NIC)
+        uint64_t mark_eg = 0;      ///< egress-NIC component-BFS epoch
+        uint64_t mark_in = 0;      ///< ingress-NIC component-BFS epoch
+        uint64_t scratch_mark = 0; ///< water-filling scratch epoch
+        uint32_t scratch_slot = 0; ///< index into wf_nodes_ while current
     };
 
-    struct Flow
+    /** Directional NIC handle: a component-graph vertex. */
+    static int egressNic(NodeId id) { return id << 1; }
+    static int ingressNic(NodeId id) { return (id << 1) | 1; }
+
+    /** Dense per-component water-filling scratch: one cache line per
+     *  touched node instead of pointer-chasing the fat Node records. */
+    struct WfNode
     {
-        FlowId id;
-        NodeId src;
-        NodeId dst;
-        double remaining;  ///< bytes left at time `last_update_`
-        double rate = 0.0; ///< bytes/s allocated by the last recompute
-        SimTime start;
-        std::function<void(SimTime)> on_complete;
+        double eg_left;
+        double in_left;
+        double eg_share = 0.0;  ///< per-round cached left/cnt
+        double in_share = 0.0;
+        int eg_cnt = 0;
+        int in_cnt = 0;
+        int eg_froze = 0;  ///< flows frozen at this NIC this round
+        int in_froze = 0;
     };
 
     sim::Simulator& sim_;
     Config config_;
     std::vector<Node> nodes_;
-    std::map<uint64_t, Flow> flows_;
-    uint64_t next_flow_id_ = 1;
-    SimTime last_update_;
-    sim::EventId completion_event_;
+
+    /** Flow slab: slots are reused via a free list and invalidated by a
+     *  generation bump, so starting/completing a flow never allocates or
+     *  hashes once the slab is warm. Fixed-size chunks keep Flow*
+     *  stable across growth and flows densely packed for the BFS. */
+    static constexpr uint32_t kFlowChunkShift = 9;  // 512 flows/chunk
+    static constexpr uint32_t kFlowChunkSize = 1u << kFlowChunkShift;
+    std::vector<std::unique_ptr<Flow[]>> flow_chunks_;
+    uint32_t flow_slot_count_ = 0;  ///< slots handed out so far
+    std::vector<uint32_t> flow_free_;
+    size_t active_flow_count_ = 0;
+    uint64_t next_flow_seq_ = 1;
+    uint64_t mark_epoch_ = 0;
+    uint64_t scratch_epoch_ = 0;
+
+    // Reused buffers for the hot component walk (no per-event allocation
+    // once warm).
+    std::vector<Flow*> comp_;
+    std::vector<Flow*> remaining_;
+    std::vector<double> comp_rates_;
+    std::vector<int> bfs_stack_;  ///< of directional NIC handles
+    std::vector<WfNode> wf_nodes_;
+    std::vector<uint32_t> wf_src_slot_;
+    std::vector<uint32_t> wf_dst_slot_;
+    std::vector<size_t> wf_unfrozen_;
+    std::vector<size_t> wf_still_;
+    std::vector<size_t> wf_frozen_;
 
     void checkNode(NodeId id) const;
 
@@ -157,16 +261,62 @@ class Network
     void attemptSend(NodeId src, NodeId dst, int64_t bytes,
                      std::function<void()> on_delivered, int attempt);
 
-    /** Charges elapsed time against every flow's remaining bytes. */
-    void advanceProgress();
+    void linkFlow(Flow* flow);
+    void unlinkFlow(Flow* flow);
 
-    /** Progressive-filling (max-min fair) rate allocation. */
-    void recomputeRates();
+    Flow&
+    flowAt(uint32_t slot)
+    {
+        return flow_chunks_[slot >> kFlowChunkShift]
+                           [slot & (kFlowChunkSize - 1)];
+    }
 
-    /** Completes flows that have drained and reschedules the next wakeup. */
-    void completeAndReschedule();
+    /** Looks up a live flow by packed id; nullptr if retired/stale. */
+    Flow* findFlow(uint64_t packed);
+    const Flow* findFlow(uint64_t packed) const;
 
-    void onCompletionEvent();
+    /** Returns the flow's slot to the free list and stales its id. */
+    void releaseFlow(Flow* flow);
+
+    /** Charges elapsed time since `last_touch` against the flow. */
+    void advanceFlow(Flow& flow, SimTime now);
+
+    uint64_t&
+    nicMark(int nic)
+    {
+        Node& node = nodes_[static_cast<size_t>(nic >> 1)];
+        return (nic & 1) ? node.mark_in : node.mark_eg;
+    }
+
+    /**
+     * Collects the connected component of active flows reachable from
+     * the directional NIC `seed` into `out` (discovery order —
+     * water-filling is order-independent), under the current
+     * mark_epoch_. No-op for NICs already visited this epoch.
+     */
+    void collectComponent(int seed, std::vector<Flow*>& out);
+
+    /**
+     * Pure progressive filling (max-min) over one component. Writes the
+     * allocation into `rates`, aligned with `flows`. Mutates only node
+     * scratch fields.
+     */
+    void waterFillRates(const std::vector<Flow*>& flows,
+                        std::vector<double>& rates);
+
+    /** Re-runs water-filling over the component(s) of the seed NICs and
+     *  applies the new rates (advancing progress, rescheduling ETAs). */
+    void recomputeAffected(int nic_a, int nic_b = -1);
+    void recomputeComponentFrom(int seed);
+
+    /** Water-fills `comp` (one connected component), applies the new
+     *  rates and re-arms the component's single sentinel event at the
+     *  earliest flow ETA. */
+    void applyRates(std::vector<Flow*>& comp);
+
+    void onFlowEta(uint64_t id);
+
+    void maybeVerify();
 };
 
 }  // namespace faasflow::net

@@ -5,7 +5,7 @@
 namespace faasflow::sim {
 
 EventId
-Simulator::schedule(SimTime delay, std::function<void()> fn)
+Simulator::schedule(SimTime delay, Callback fn)
 {
     if (delay < SimTime::zero())
         panic("Simulator::schedule with negative delay %s", delay.str().c_str());
@@ -13,7 +13,7 @@ Simulator::schedule(SimTime delay, std::function<void()> fn)
 }
 
 EventId
-Simulator::scheduleAt(SimTime when, std::function<void()> fn)
+Simulator::scheduleAt(SimTime when, Callback fn)
 {
     if (when < now_)
         panic("Simulator::scheduleAt in the past (%s < now %s)",
@@ -39,7 +39,7 @@ Simulator::runUntil(SimTime horizon)
     uint64_t count = 0;
     while (queue_.nextTime() <= horizon) {
         SimTime when;
-        std::function<void()> fn;
+        Callback fn;
         if (!queue_.pop(when, fn))
             break;
         now_ = when;

@@ -1,8 +1,6 @@
 #ifndef FAASFLOW_SIM_SIMULATOR_H_
 #define FAASFLOW_SIM_SIMULATOR_H_
 
-#include <functional>
-
 #include "common/sim_time.h"
 #include "sim/event_queue.h"
 
@@ -21,11 +19,15 @@ class Simulator
     /** Current simulated time. */
     SimTime now() const { return now_; }
 
+    /** Event callback: small-buffer optimised, accepts any callable
+     *  (including move-only ones); see common/inline_fn.h. */
+    using Callback = EventQueue::Callback;
+
     /** Schedules `fn` to run `delay` after now(); delay must be >= 0. */
-    EventId schedule(SimTime delay, std::function<void()> fn);
+    EventId schedule(SimTime delay, Callback fn);
 
     /** Schedules `fn` at an absolute timestamp (>= now()). */
-    EventId scheduleAt(SimTime when, std::function<void()> fn);
+    EventId scheduleAt(SimTime when, Callback fn);
 
     /** Cancels a pending event; see EventQueue::cancel. */
     bool cancel(EventId id);

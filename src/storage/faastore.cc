@@ -101,6 +101,14 @@ FaaStore::save(const std::string& workflow, const std::string& key,
                int64_t bytes, bool prefer_local,
                std::function<void(SimTime, bool)> on_done)
 {
+    save(workflow, key, bytes, Payload{}, prefer_local, std::move(on_done));
+}
+
+void
+FaaStore::save(const std::string& workflow, const std::string& key,
+               int64_t bytes, Payload body, bool prefer_local,
+               std::function<void(SimTime, bool)> on_done)
+{
     if (prefer_local) {
         const auto it = pools_.find(workflow);
         const bool quota_ok =
@@ -109,7 +117,7 @@ FaaStore::save(const std::string& workflow, const std::string& key,
             it->second.used += bytes;
             key_workflow_[key] = workflow;
             ++local_saves_;
-            mem_->put(key, bytes, node_.netId(),
+            mem_->put(key, bytes, std::move(body), node_.netId(),
                       [cb = std::move(on_done)](SimTime elapsed) {
                           if (cb)
                               cb(elapsed, true);
@@ -119,7 +127,9 @@ FaaStore::save(const std::string& workflow, const std::string& key,
         ++quota_rejections_;
     }
     ++remote_saves_;
-    remote_.put(key, bytes, node_.netId(),
+    // Local placement refused: the same body handle falls through to the
+    // remote store — the blob itself is never duplicated.
+    remote_.put(key, bytes, std::move(body), node_.netId(),
                 [cb = std::move(on_done)](SimTime elapsed) {
                     if (cb)
                         cb(elapsed, false);
@@ -130,6 +140,14 @@ bool
 FaaStore::hasLocal(const std::string& key) const
 {
     return mem_->contains(key);
+}
+
+Payload
+FaaStore::payloadOf(const std::string& key) const
+{
+    if (Payload local = mem_->payloadOf(key))
+        return local;
+    return remote_.payloadOf(key);
 }
 
 void

@@ -1,9 +1,9 @@
 #ifndef FAASFLOW_STORAGE_FAASTORE_H_
 #define FAASFLOW_STORAGE_FAASTORE_H_
 
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "cluster/container_pool.h"
 #include "cluster/node.h"
@@ -100,8 +100,19 @@ class FaaStore
               int64_t bytes, bool prefer_local,
               std::function<void(SimTime, bool local)> on_done);
 
+    /** As above, with a host-side body riding along by handle: whether
+     *  the object lands locally or falls back to the remote store, the
+     *  bytes are never copied — ownership of the one blob is shared. */
+    void save(const std::string& workflow, const std::string& key,
+              int64_t bytes, Payload body, bool prefer_local,
+              std::function<void(SimTime, bool local)> on_done);
+
     /** True when `key` lives in this node's MemStore. */
     bool hasLocal(const std::string& key) const;
+
+    /** Body of an object reachable from this node (local store first,
+     *  then remote); null when absent or size-only. Zero-copy peek. */
+    Payload payloadOf(const std::string& key) const;
 
     /** Reads an object from wherever it lives (local first). */
     void fetch(const std::string& workflow, const std::string& key,
@@ -149,8 +160,12 @@ class FaaStore
     RemoteStore& remote_;
     Config config_;
     std::unique_ptr<MemStore> mem_;
-    std::map<std::string, Pool> pools_;
-    std::map<std::string, std::string> key_workflow_;  ///< local keys only
+    std::unordered_map<std::string, Pool, StringHash, std::equal_to<>>
+        pools_;
+    /** Owning workflow of each locally stored key. */
+    std::unordered_map<std::string, std::string, StringHash,
+                       std::equal_to<>>
+        key_workflow_;
     uint64_t local_saves_ = 0;
     uint64_t remote_saves_ = 0;
     uint64_t quota_rejections_ = 0;

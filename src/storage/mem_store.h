@@ -1,9 +1,10 @@
 #ifndef FAASFLOW_STORAGE_MEM_STORE_H_
 #define FAASFLOW_STORAGE_MEM_STORE_H_
 
-#include <map>
 #include <string>
+#include <unordered_map>
 
+#include "common/string_util.h"
 #include "sim/simulator.h"
 #include "storage/kv_store.h"
 
@@ -45,23 +46,32 @@ class MemStore : public KvStore
      *  DRAM contents are simply gone). Capacity is left untouched. */
     void clear();
 
-    void put(const std::string& key, int64_t bytes, int from_node,
-             PutCallback on_done) override;
+    using KvStore::put;
+    void put(const std::string& key, int64_t bytes, Payload body,
+             int from_node, PutCallback on_done) override;
     void get(const std::string& key, int to_node,
              GetCallback on_done) override;
     bool contains(const std::string& key) const override;
+    Payload payloadOf(const std::string& key) const override;
     void erase(const std::string& key) override;
     const StoreStats& stats() const override { return stats_; }
 
     size_t objectCount() const { return objects_.size(); }
 
   private:
+    struct Object
+    {
+        int64_t bytes = 0;  ///< simulated size (capacity + billing unit)
+        Payload body;       ///< optional host-side blob, shared not copied
+    };
+
     sim::Simulator& sim_;
     int64_t capacity_;
     Config config_;
     int64_t used_ = 0;
     int64_t reserved_ = 0;  ///< reserved but not yet written
-    std::map<std::string, int64_t> objects_;
+    std::unordered_map<std::string, Object, StringHash, std::equal_to<>>
+        objects_;
     StoreStats stats_;
 };
 

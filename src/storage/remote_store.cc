@@ -35,12 +35,12 @@ RemoteStore::opLatency() const
 }
 
 void
-RemoteStore::put(const std::string& key, int64_t bytes, int from_node,
-                 PutCallback on_done)
+RemoteStore::put(const std::string& key, int64_t bytes, Payload body,
+                 int from_node, PutCallback on_done)
 {
     stats_.puts++;
     stats_.bytes_written += bytes;
-    objects_[key] = bytes;
+    objects_[key] = Object{bytes, std::move(body)};
 
     const SimTime start = sim_.now();
     if (from_node == storage_node_ || bytes == 0) {
@@ -69,26 +69,31 @@ RemoteStore::get(const std::string& key, int to_node, GetCallback on_done)
     const auto it = objects_.find(key);
     if (it == objects_.end())
         panic("remote store: get of missing key '%s'", key.c_str());
-    const int64_t bytes = it->second;
+    const int64_t bytes = it->second.bytes;
     stats_.gets++;
     stats_.bytes_read += bytes;
 
     const SimTime start = sim_.now();
     if (to_node == storage_node_ || bytes == 0) {
-        sim_.schedule(opLatency(),
-                      [this, start, bytes, cb = std::move(on_done)] {
-                          if (cb)
-            cb(sim_.now() - start, bytes);
-                      });
+        sim_.schedule(opLatency(), [this, start, bytes,
+                                    body = it->second.body,
+                                    cb = std::move(on_done)] {
+            if (cb)
+                cb(sim_.now() - start, bytes, body);
+        });
         return;
     }
-    // Operation latency first (lookup), then the transfer back.
+    // Operation latency first (lookup), then the transfer back. The body
+    // handle rides along with the callback — simulated transfer time is
+    // billed on `bytes`, never on the host-side blob.
     sim_.schedule(opLatency(), [this, to_node, bytes, start,
-                                       cb = std::move(on_done)]() mutable {
+                                body = it->second.body,
+                                cb = std::move(on_done)]() mutable {
         network_.startFlow(storage_node_, to_node, bytes,
-                           [this, start, bytes, cb = std::move(cb)](SimTime) {
+                           [this, start, bytes, body = std::move(body),
+                            cb = std::move(cb)](SimTime) {
                                if (cb)
-            cb(sim_.now() - start, bytes);
+                                   cb(sim_.now() - start, bytes, body);
                            });
     });
 }
@@ -97,6 +102,13 @@ bool
 RemoteStore::contains(const std::string& key) const
 {
     return objects_.count(key) > 0;
+}
+
+Payload
+RemoteStore::payloadOf(const std::string& key) const
+{
+    const auto it = objects_.find(key);
+    return it == objects_.end() ? Payload{} : it->second.body;
 }
 
 void
@@ -109,8 +121,8 @@ int64_t
 RemoteStore::storedBytes() const
 {
     int64_t total = 0;
-    for (const auto& [key, bytes] : objects_)
-        total += bytes;
+    for (const auto& [key, object] : objects_)
+        total += object.bytes;
     return total;
 }
 

@@ -1,9 +1,10 @@
 #ifndef FAASFLOW_STORAGE_REMOTE_STORE_H_
 #define FAASFLOW_STORAGE_REMOTE_STORE_H_
 
-#include <map>
 #include <string>
+#include <unordered_map>
 
+#include "common/string_util.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "storage/kv_store.h"
@@ -31,11 +32,13 @@ class RemoteStore : public KvStore
     RemoteStore(sim::Simulator& sim, net::Network& network,
                 net::NodeId storage_node);
 
-    void put(const std::string& key, int64_t bytes, int from_node,
-             PutCallback on_done) override;
+    using KvStore::put;
+    void put(const std::string& key, int64_t bytes, Payload body,
+             int from_node, PutCallback on_done) override;
     void get(const std::string& key, int to_node,
              GetCallback on_done) override;
     bool contains(const std::string& key) const override;
+    Payload payloadOf(const std::string& key) const override;
     void erase(const std::string& key) override;
     const StoreStats& stats() const override { return stats_; }
 
@@ -53,8 +56,15 @@ class RemoteStore : public KvStore
     net::Network& network_;
     net::NodeId storage_node_;
     Config config_;
+    struct Object
+    {
+        int64_t bytes = 0;  ///< simulated size (transfer billing unit)
+        Payload body;       ///< optional host-side blob, shared not copied
+    };
+
     double degrade_factor_ = 1.0;
-    std::map<std::string, int64_t> objects_;
+    std::unordered_map<std::string, Object, StringHash, std::equal_to<>>
+        objects_;
     StoreStats stats_;
 
     SimTime opLatency() const;

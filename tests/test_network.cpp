@@ -303,5 +303,106 @@ TEST_P(NetworkPropertyTest, AllFlowsCompleteAndConserveBytes)
 INSTANTIATE_TEST_SUITE_P(Seeds, NetworkPropertyTest,
                          ::testing::Values(3, 14, 159, 2653, 58979));
 
+/**
+ * Regression: with directional NICs, a component can hold a node as
+ * *source* of one flow and *destination* of another only through a
+ * connecting third flow — a->b and c->a are joined by c->b (which shares
+ * in(b) with the first and eg(c) with the second). When that connector
+ * drains, the survivors split into two components even though node `a`
+ * touches both. The drain-time star fast path used to accept "one node
+ * is an endpoint of every survivor" as proof of a single component and
+ * armed one shared wakeup sentinel — stranding the other component, so
+ * its flow never completed (and a later recompute could try to schedule
+ * its long-expired ETA in the past).
+ */
+TEST(NetworkTest, TriangleDrainSplitsMixedDirectionComponent)
+{
+    Fixture f;
+    const NodeId a = f.net.addNode("a", 100e6, 100e6);
+    const NodeId b = f.net.addNode("b", 100e6, 100e6);
+    const NodeId c = f.net.addNode("c", 100e6, 100e6);
+    int completed = 0;
+    // All three rates water-fill to 50 MB/s, so the 5 MB connector
+    // drains first at t=0.1s with both survivors mid-flight.
+    f.net.startFlow(a, b, 12 * kMB, [&](SimTime) { ++completed; });
+    f.net.startFlow(c, b, 5 * kMB, [&](SimTime) { ++completed; });
+    f.net.startFlow(c, a, 10 * kMB, [&](SimTime) { ++completed; });
+    f.sim.run();
+    EXPECT_EQ(completed, 3);
+    EXPECT_EQ(f.net.activeFlows(), 0u);
+    EXPECT_TRUE(f.net.ratesMatchFullRecompute());
+}
+
+/**
+ * Property: across randomized churn — flow starts/drains, NIC bandwidth
+ * changes, link outages and heals — the incrementally maintained rates
+ * must match a from-scratch max-min recomputation bitwise at every
+ * checkpoint. This is the oracle the incremental allocator is sold on.
+ */
+class NetworkOracleTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(NetworkOracleTest, IncrementalRatesMatchFullRecomputeUnderChurn)
+{
+    Rng rng(GetParam());
+    sim::Simulator sim;
+    Network::Config config;
+    config.verify_rates = false;  // checked explicitly at checkpoints
+    Network net(sim, config);
+    const int nodes = 5 + static_cast<int>(rng.uniformInt(0, 3));
+    for (int i = 0; i < nodes; ++i) {
+        net.addNode("n" + std::to_string(i), rng.uniform(20e6, 200e6),
+                    rng.uniform(20e6, 200e6));
+    }
+    int completed = 0;
+    int flows = 0;
+    for (int i = 0; i < 60; ++i) {
+        const NodeId src = static_cast<NodeId>(rng.uniformInt(0, nodes - 1));
+        NodeId dst;
+        do {
+            dst = static_cast<NodeId>(rng.uniformInt(0, nodes - 1));
+        } while (dst == src);
+        const int64_t bytes = rng.uniformInt(64, 8 * 1024) * 1024;
+        const SimTime start = SimTime::seconds(rng.uniform(0.0, 2.0));
+        sim.scheduleAt(start, [&net, &completed, src, dst, bytes] {
+            net.startFlow(src, dst, bytes, [&](SimTime) { ++completed; });
+        });
+        ++flows;
+    }
+    // Mid-flight NIC reshaping.
+    for (int i = 0; i < 8; ++i) {
+        const NodeId node = static_cast<NodeId>(rng.uniformInt(0, nodes - 1));
+        const double eg = rng.uniform(20e6, 200e6);
+        const double in = rng.uniform(20e6, 200e6);
+        sim.scheduleAt(SimTime::seconds(rng.uniform(0.1, 2.0)),
+                       [&net, node, eg, in] {
+                           net.setNicBandwidth(node, eg, in);
+                       });
+    }
+    // Link outages that heal before the horizon.
+    for (int i = 0; i < 3; ++i) {
+        const NodeId node = static_cast<NodeId>(rng.uniformInt(0, nodes - 1));
+        const double down_at = rng.uniform(0.2, 1.5);
+        const double up_at = down_at + rng.uniform(0.05, 0.5);
+        sim.scheduleAt(SimTime::seconds(down_at),
+                       [&net, node] { net.setLinkUp(node, false); });
+        sim.scheduleAt(SimTime::seconds(up_at),
+                       [&net, node] { net.setLinkUp(node, true); });
+    }
+    // Oracle checkpoints sprinkled through the busy window.
+    for (int i = 0; i < 40; ++i) {
+        sim.scheduleAt(SimTime::seconds(rng.uniform(0.0, 2.5)), [&net] {
+            EXPECT_TRUE(net.ratesMatchFullRecompute());
+        });
+    }
+    sim.run();
+    EXPECT_EQ(completed, flows);
+    EXPECT_TRUE(net.ratesMatchFullRecompute());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkOracleTest,
+                         ::testing::Values(7, 42, 1337, 31415, 271828));
+
 }  // namespace
 }  // namespace faasflow::net

@@ -19,7 +19,7 @@ TEST(EventQueueTest, PopsInTimestampOrder)
     q.schedule(SimTime::millis(2), [&] { fired.push_back(2); });
 
     SimTime when;
-    std::function<void()> fn;
+    EventQueue::Callback fn;
     while (q.pop(when, fn))
         fn();
     EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
@@ -32,7 +32,7 @@ TEST(EventQueueTest, EqualTimestampsAreFifo)
     for (int i = 0; i < 10; ++i)
         q.schedule(SimTime::millis(5), [&fired, i] { fired.push_back(i); });
     SimTime when;
-    std::function<void()> fn;
+    EventQueue::Callback fn;
     while (q.pop(when, fn))
         fn();
     for (int i = 0; i < 10; ++i)
@@ -47,7 +47,7 @@ TEST(EventQueueTest, CancelPreventsExecution)
     EXPECT_TRUE(q.cancel(id));
     EXPECT_FALSE(q.cancel(id));  // double-cancel is a no-op
     SimTime when;
-    std::function<void()> fn;
+    EventQueue::Callback fn;
     EXPECT_FALSE(q.pop(when, fn));
     EXPECT_FALSE(fired);
     EXPECT_TRUE(q.empty());
@@ -58,7 +58,7 @@ TEST(EventQueueTest, CancelAfterFireReturnsFalse)
     EventQueue q;
     const EventId id = q.schedule(SimTime::zero(), [] {});
     SimTime when;
-    std::function<void()> fn;
+    EventQueue::Callback fn;
     ASSERT_TRUE(q.pop(when, fn));
     EXPECT_FALSE(q.cancel(id));
 }
@@ -185,7 +185,7 @@ TEST_P(EventOrderPropertyTest, NondecreasingPopOrder)
         q.schedule(SimTime::micros(rng.uniformInt(0, 10000)), [] {});
     SimTime prev = SimTime::zero();
     SimTime when;
-    std::function<void()> fn;
+    EventQueue::Callback fn;
     while (q.pop(when, fn)) {
         EXPECT_GE(when, prev);
         prev = when;

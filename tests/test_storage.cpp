@@ -61,7 +61,7 @@ TEST(RemoteStoreTest, GetTransfersBack)
     f.sim.run();
     SimTime elapsed;
     int64_t got = 0;
-    f.remote->get("k", f.worker_nid, [&](SimTime t, int64_t bytes) {
+    f.remote->get("k", f.worker_nid, [&](SimTime t, int64_t bytes, const Payload&) {
         elapsed = t;
         got = bytes;
     });
@@ -124,7 +124,7 @@ TEST(MemStoreTest, CopyLatencyModel)
     SimTime put_t, get_t;
     mem.put("a", 10 * kMB, 0, [&](SimTime t) { put_t = t; });
     sim.run();
-    mem.get("a", 0, [&](SimTime t, int64_t) { get_t = t; });
+    mem.get("a", 0, [&](SimTime t, int64_t, const Payload&) { get_t = t; });
     sim.run();
     // 10 MB at 1 GB/s = 10 ms + 0.1 ms op.
     EXPECT_NEAR(put_t.millisF(), 10.1, 1e-6);
@@ -246,7 +246,7 @@ TEST(FaaStoreTest, FetchPrefersLocal)
     f.store->save("wf", "k", 10 * kMB, true, nullptr);
     f.sim.run();
     SimTime local_t;
-    f.store->fetch("wf", "k", [&](SimTime t, int64_t) { local_t = t; });
+    f.store->fetch("wf", "k", [&](SimTime t, int64_t, const Payload&) { local_t = t; });
     f.sim.run();
     // Local memory copy is far below any network transfer time.
     EXPECT_LT(local_t, SimTime::millis(50));
@@ -258,7 +258,7 @@ TEST(FaaStoreTest, FetchFallsThroughToRemote)
     f.remote->put("k", 10 * kMB, f.worker_nid, nullptr);
     f.sim.run();
     int64_t got = 0;
-    f.store->fetch("wf", "k", [&](SimTime, int64_t b) { got = b; });
+    f.store->fetch("wf", "k", [&](SimTime, int64_t b, const Payload&) { got = b; });
     f.sim.run();
     EXPECT_EQ(got, 10 * kMB);
 }
@@ -335,6 +335,70 @@ TEST(FaaStoreTest, MultiplePoolsShareMemStore)
                   [&](SimTime, bool l) { local2 = l; });
     f.sim.run();
     EXPECT_TRUE(local2);
+}
+
+// ------------------------------------------------- zero-copy payloads
+
+TEST(PayloadTest, LocalSaveAndFetchShareOneBlob)
+{
+    Fixture f;
+    ASSERT_TRUE(f.store->allocatePool("wf", 10 * kMB));
+    const Payload body = makePayload("the actual bytes");
+    f.store->save("wf", "k", 5 * kMB, body, true, nullptr);
+    f.sim.run();
+    ASSERT_TRUE(f.store->hasLocal("k"));
+    // The store holds the same allocation, not a copy.
+    EXPECT_EQ(f.store->payloadOf("k").get(), body.get());
+    Payload fetched;
+    f.store->fetch("wf", "k",
+                   [&](SimTime, int64_t, const Payload& b) { fetched = b; });
+    f.sim.run();
+    EXPECT_EQ(fetched.get(), body.get());
+    // Simulated size stays the billing unit: the pool charged 5 MB, not
+    // the blob's host-side length.
+    EXPECT_EQ(f.store->poolUsed("wf"), 5 * kMB);
+}
+
+TEST(PayloadTest, RemoteFallbackForwardsTheSameHandle)
+{
+    Fixture f;
+    // No pool: a prefer-local save must fall back to the remote store
+    // with the identical blob handle.
+    const Payload body = makePayload("falls through untouched");
+    f.store->save("wf", "k", 5 * kMB, body, true, nullptr);
+    f.sim.run();
+    EXPECT_FALSE(f.store->hasLocal("k"));
+    EXPECT_EQ(f.remote->payloadOf("k").get(), body.get());
+    Payload fetched;
+    f.store->fetch("wf", "k",
+                   [&](SimTime, int64_t, const Payload& b) { fetched = b; });
+    f.sim.run();
+    EXPECT_EQ(fetched.get(), body.get());
+}
+
+TEST(PayloadTest, SizeOnlyObjectsStayNull)
+{
+    Fixture f;
+    f.remote->put("k", 1 * kMB, f.worker_nid, nullptr);
+    f.sim.run();
+    EXPECT_EQ(f.remote->payloadOf("k"), nullptr);
+    Payload fetched = makePayload("sentinel");
+    f.remote->get("k", f.worker_nid,
+                  [&](SimTime, int64_t, const Payload& b) { fetched = b; });
+    f.sim.run();
+    EXPECT_EQ(fetched, nullptr);
+}
+
+TEST(PayloadTest, OverwriteReplacesBody)
+{
+    Fixture f;
+    const Payload first = makePayload("v1");
+    const Payload second = makePayload("v2");
+    f.remote->put("k", 1 * kMB, first, f.worker_nid, nullptr);
+    f.remote->put("k", 2 * kMB, second, f.worker_nid, nullptr);
+    f.sim.run();
+    EXPECT_EQ(f.remote->payloadOf("k").get(), second.get());
+    EXPECT_EQ(f.remote->storedBytes(), 2 * kMB);
 }
 
 }  // namespace

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Parallel campaign driver: runs N independent replicas of one paper
+ * benchmark (each with its own System instance and arrival seed) across
+ * a worker-thread pool, then reports per-run and aggregate latency.
+ *
+ * A replica is a complete single-threaded simulation; replicas share
+ * nothing, so the campaign parallelises embarrassingly and every run's
+ * result is bit-identical no matter the thread count or interleaving.
+ * To make that property checkable rather than asserted, the tool re-runs
+ * the first seed a second time and compares a digest over the raw e2e
+ * sample bits; `--selftest` additionally replays the whole campaign
+ * sequentially and requires every digest to match.
+ *
+ * Usage:
+ *   faasflow_campaign [--bench Gen] [--runs 8] [--threads N]
+ *                     [--config faastore|hyperflow] [--rate 6]
+ *                     [--invocations 200] [--seed 1000] [--selftest]
+ */
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign.h"
+#include "harness.h"
+
+namespace {
+
+using namespace faasflow;
+
+struct Options
+{
+    std::string bench = "Gen";
+    size_t runs = 8;
+    unsigned threads = 0;  // 0 -> campaignThreads()
+    bool faastore = true;
+    double rate_per_minute = 6.0;
+    size_t invocations = 200;
+    uint64_t seed = 1000;
+    bool selftest = false;
+};
+
+struct RunResult
+{
+    uint64_t seed = 0;
+    size_t count = 0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double mean_ms = 0.0;
+    uint64_t cold_starts = 0;
+    uint64_t digest = 0;  ///< FNV-1a over the raw e2e sample bits
+};
+
+uint64_t
+digestSamples(const std::vector<double>& samples)
+{
+    uint64_t h = 14695981039346656037ull;
+    for (const double s : samples) {
+        uint64_t bits;
+        std::memcpy(&bits, &s, sizeof(bits));
+        for (int i = 0; i < 8; ++i) {
+            h ^= (bits >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+RunResult
+runReplica(const Options& opt, const benchmarks::Benchmark& bench,
+           uint64_t seed)
+{
+    const SystemConfig config = opt.faastore
+                                    ? SystemConfig::faasflowFaastore()
+                                    : SystemConfig::hyperflowServerless();
+    System system(config);
+    const std::string name = bench::deployBenchmark(system, bench);
+    bench::runOpenLoop(system, name, opt.rate_per_minute, opt.invocations,
+                       seed);
+    const Percentiles& e2e = system.metrics().e2e(name);
+    RunResult r;
+    r.seed = seed;
+    r.count = e2e.count();
+    r.p50_ms = e2e.p50();
+    r.p99_ms = e2e.p99();
+    r.mean_ms = e2e.mean();
+    r.cold_starts = system.metrics().coldStarts(name);
+    r.digest = digestSamples(e2e.samples());
+    return r;
+}
+
+const benchmarks::Benchmark*
+findBenchmark(const std::vector<benchmarks::Benchmark>& all,
+              const std::string& name)
+{
+    for (const auto& b : all) {
+        if (b.name == name)
+            return &b;
+    }
+    return nullptr;
+}
+
+void
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--bench NAME] [--runs N] [--threads T]\n"
+        "          [--config faastore|hyperflow] [--rate R/min]\n"
+        "          [--invocations N] [--seed S] [--selftest]\n"
+        "benchmarks: Cyc Epi Gen Soy Vid IR FP WC\n",
+        argv0);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--bench") {
+            opt.bench = next();
+        } else if (arg == "--runs") {
+            opt.runs = static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+        } else if (arg == "--threads") {
+            opt.threads =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--config") {
+            const std::string mode = next();
+            if (mode == "faastore") {
+                opt.faastore = true;
+            } else if (mode == "hyperflow") {
+                opt.faastore = false;
+            } else {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--rate") {
+            opt.rate_per_minute = std::strtod(next(), nullptr);
+        } else if (arg == "--invocations") {
+            opt.invocations =
+                static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--selftest") {
+            opt.selftest = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (opt.runs == 0) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    const auto all = benchmarks::allBenchmarks();
+    const benchmarks::Benchmark* bench = findBenchmark(all, opt.bench);
+    if (!bench) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n", opt.bench.c_str());
+        usage(argv[0]);
+        return 2;
+    }
+
+    const unsigned threads =
+        opt.threads ? opt.threads : bench::campaignThreads();
+    std::printf("campaign: %s / %s, %zu runs x %zu invocations @ %.1f "
+                "inv/min, seeds %llu.., %u threads\n",
+                bench->name.c_str(),
+                opt.faastore ? "FaaSFlow-FaaStore" : "HyperFlow-serverless",
+                opt.runs, opt.invocations, opt.rate_per_minute,
+                static_cast<unsigned long long>(opt.seed), threads);
+
+    // Job list: one replica per seed, plus a repeat of the first seed
+    // appended at the end as the determinism probe.
+    std::vector<std::function<RunResult()>> jobs;
+    jobs.reserve(opt.runs + 1);
+    for (size_t r = 0; r < opt.runs; ++r) {
+        const uint64_t seed = opt.seed + r;
+        jobs.push_back([&opt, bench, seed] {
+            return runReplica(opt, *bench, seed);
+        });
+    }
+    jobs.push_back([&opt, bench] {
+        return runReplica(opt, *bench, opt.seed);
+    });
+
+    const std::vector<RunResult> results = bench::runCampaign(jobs, threads);
+
+    TextTable table;
+    table.setHeader({"seed", "done", "p50 (ms)", "p99 (ms)", "mean (ms)",
+                     "cold", "digest"});
+    Percentiles p99s;
+    for (size_t r = 0; r < opt.runs; ++r) {
+        const RunResult& run = results[r];
+        p99s.add(run.p99_ms);
+        table.addRow({strFormat("%llu",
+                                static_cast<unsigned long long>(run.seed)),
+                      strFormat("%zu", run.count),
+                      strFormat("%.1f", run.p50_ms),
+                      strFormat("%.1f", run.p99_ms),
+                      strFormat("%.1f", run.mean_ms),
+                      strFormat("%llu",
+                                static_cast<unsigned long long>(
+                                    run.cold_starts)),
+                      strFormat("%016llx",
+                                static_cast<unsigned long long>(
+                                    run.digest))});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("across seeds: p99 min %.1f / median %.1f / max %.1f ms\n",
+                p99s.min(), p99s.p50(), p99s.max());
+
+    // Determinism probe: the appended duplicate of seed[0] must match the
+    // original bit for bit, whatever thread ran either of them.
+    const RunResult& first = results[0];
+    const RunResult& repeat = results[opt.runs];
+    const bool deterministic = first.digest == repeat.digest &&
+                               first.count == repeat.count;
+    std::printf("determinism (seed %llu run twice): %s\n",
+                static_cast<unsigned long long>(opt.seed),
+                deterministic ? "bit-identical" : "MISMATCH");
+    if (!deterministic)
+        return 1;
+
+    if (opt.selftest) {
+        // Replay the whole campaign sequentially and require identical
+        // digests — proves thread count cannot leak into results.
+        const std::vector<RunResult> sequential =
+            bench::runCampaign(jobs, 1);
+        for (size_t r = 0; r < results.size(); ++r) {
+            if (results[r].digest != sequential[r].digest) {
+                std::printf("selftest: run %zu diverged between %u-thread "
+                            "and sequential execution\n",
+                            r, threads);
+                return 1;
+            }
+        }
+        std::printf("selftest: %zu runs bit-identical between %u-thread "
+                    "and sequential execution\n",
+                    results.size(), threads);
+    }
+    return 0;
+}
