@@ -1,8 +1,10 @@
 #include "engine/master_engine.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
+#include "storage/progress_log.h"
 
 namespace faasflow::engine {
 
@@ -45,18 +47,24 @@ ExecutorAgent::ExecutorAgent(RuntimeContext& ctx, int worker_index, Rng rng)
 }
 
 void
-ExecutorAgent::execute(Invocation& inv, workflow::NodeId node,
+ExecutorAgent::execute(Invocation& inv, workflow::NodeId node, uint32_t drive,
                        std::function<void(SimTime)> on_result)
 {
     // Dispatch costs one event on the worker-side proxy.
-    queue_.submit([this, &inv, node, on_result = std::move(on_result)] {
+    queue_.submit([this, &inv, node, drive,
+                   on_result = std::move(on_result)] {
         // The worker may have died between assignment delivery and this
-        // dispatch; the node is then in the recovery re-run set.
+        // dispatch; the node is then in the recovery re-run set. A
+        // stale drive epoch means a recovery already re-assigned the
+        // node elsewhere — running this copy too would break the
+        // once-per-epoch execution invariant.
         if (inv.finished ||
+            drive != inv.node_drive_epoch[static_cast<size_t>(node)] ||
             !ctx_.cluster.worker(static_cast<size_t>(worker_index_))
                  .alive()) {
             return;
         }
+        noteExecution(inv, node, drive);
         executor_.runNode(inv, node, ctx_.data_mode, inv.wf->feedback,
                           [on_result](TaskExecutor::NodeRunResult result) {
                               on_result(result.max_exec);
@@ -66,7 +74,6 @@ ExecutorAgent::execute(Invocation& inv, workflow::NodeId node,
 
 MasterEngine::MasterEngine(RuntimeContext& ctx, Rng rng)
     : ctx_(ctx),
-      rng_(rng),
       queue_(ctx.sim, ctx.config.master_service_mean,
              ctx.config.master_service_sigma, rng.split())
 {
@@ -116,9 +123,9 @@ MasterEngine::trigger(Invocation& inv, workflow::NodeId node_id)
     // Every trigger condition check serialises through the central
     // engine's processor.
     queue_.submit([this, &inv, node_id, drive] {
-        if (inv.finished ||
+        if (inv.finished || !alive_ ||
             drive != inv.node_drive_epoch[static_cast<size_t>(node_id)]) {
-            return;  // superseded by a recovery pass while queued
+            return;  // superseded by a recovery pass or a master crash
         }
         const auto& node = inv.wf->dag.node(node_id);
         if (ctx_.trace) {
@@ -132,8 +139,18 @@ MasterEngine::trigger(Invocation& inv, workflow::NodeId node_id)
             const int branches =
                 switchBranchCount(inv.wf->dag, node.switch_id);
             if (branches > 0 && !inv.switch_choice.count(node.switch_id)) {
-                inv.switch_choice[node.switch_id] = static_cast<int>(
-                    rng_.uniformInt(0, branches - 1));
+                const int branch =
+                    chooseSwitchBranch(inv, node.switch_id, branches);
+                inv.switch_choice[node.switch_id] = branch;
+                if (ctx_.progress_log) {
+                    storage::LogRecord rec;
+                    rec.kind = storage::LogRecordKind::StateSignal;
+                    rec.invocation = inv.id;
+                    rec.switch_id = node.switch_id;
+                    rec.switch_branch = branch;
+                    ctx_.progress_log->append(ctx_.cluster.storageNodeId(),
+                                              std::move(rec));
+                }
             }
         }
 
@@ -148,7 +165,12 @@ MasterEngine::trigger(Invocation& inv, workflow::NodeId node_id)
         }
 
         // Stage 1 of a MasterSP invocation (§2.3): assign the task to
-        // its worker over TCP.
+        // its worker over TCP. The dispatch is stamped with the master
+        // incarnation: a result crossing a master crash lands at a
+        // process with no memory of the dispatch (its TCP connection
+        // died with it) and must be dropped — the restart replay (or
+        // the timeout, without a log) owns the node from here.
+        const uint32_t inc = incarnation_;
         const int worker = inv.placement->workerOf(node_id);
         ExecutorAgent* agent = agents_[static_cast<size_t>(worker)];
         const net::NodeId master = ctx_.cluster.storageNodeId();
@@ -156,7 +178,7 @@ MasterEngine::trigger(Invocation& inv, workflow::NodeId node_id)
             ctx_.cluster.worker(static_cast<size_t>(worker)).netId();
         ctx_.network.sendMessage(
             master, worker_nid, ctx_.config.assign_msg_bytes,
-            [this, agent, &inv, node_id, drive, master, worker_nid] {
+            [this, agent, &inv, node_id, drive, inc, master, worker_nid] {
                 // An assignment that crossed a dead link arrives late;
                 // by then the node was re-driven elsewhere (or the
                 // invocation finished) and this copy must not run.
@@ -166,15 +188,18 @@ MasterEngine::trigger(Invocation& inv, workflow::NodeId node_id)
                     return;
                 }
                 agent->execute(
-                    inv, node_id, [this, &inv, node_id, drive, master,
-                                   worker_nid](SimTime exec_time) {
+                    inv, node_id, drive,
+                    [this, &inv, node_id, drive, inc, master,
+                     worker_nid](SimTime exec_time) {
                         // Stage 3: return the execution state to the
                         // master engine.
                         ctx_.network.sendMessage(
                             worker_nid, master, ctx_.config.result_msg_bytes,
-                            [this, &inv, node_id, drive, exec_time] {
+                            [this, &inv, node_id, drive, inc, exec_time] {
                                 queue_.submit([this, &inv, node_id, drive,
-                                               exec_time] {
+                                               inc, exec_time] {
+                                    if (inc != incarnation_)
+                                        return;
                                     completeNode(inv, node_id, exec_time,
                                                  drive);
                                 });
@@ -189,12 +214,49 @@ MasterEngine::completeNode(Invocation& inv, workflow::NodeId node_id,
                            SimTime exec_time, uint32_t drive)
 {
     const size_t idx = static_cast<size_t>(node_id);
-    if (inv.finished || drive != inv.node_drive_epoch[idx] ||
+    if (inv.finished || !alive_ || drive != inv.node_drive_epoch[idx] ||
         inv.node_done[idx]) {
         return;  // stale result from a run superseded by recovery
     }
     inv.node_done[idx] = 1;
     inv.node_exec[idx] = exec_time;
+    if (ctx_.progress_log) {
+        // Write-ahead discipline: the master shares the storage node,
+        // so the completion fact commits at issue (in-memory state and
+        // log agree at every instant — the replay-equality invariant)
+        // and successor delivery waits for the durability ack. A crash
+        // in between is safe: the fact is already in the log, the ack
+        // continuation dies on the incarnation guard, and the restart
+        // replay re-delivers.
+        storage::LogRecord rec;
+        rec.kind = storage::LogRecordKind::NodeDone;
+        rec.invocation = inv.id;
+        rec.node = node_id;
+        rec.exec_micros = exec_time.micros();
+        rec.output_worker = inv.node_output_worker[idx];
+        rec.skipped = inv.node_skipped[idx] ? 1 : 0;
+        const uint32_t inc = incarnation_;
+        ctx_.progress_log->append(
+            ctx_.cluster.storageNodeId(), std::move(rec),
+            [this, &inv, node_id, drive, inc](SimTime) {
+                const size_t i = static_cast<size_t>(node_id);
+                // A worker-crash recovery may have re-driven even a
+                // done node (lost local output) while the ack was in
+                // flight; the epoch check keeps this fan-out stale.
+                if (inv.finished || inc != incarnation_ ||
+                    drive != inv.node_drive_epoch[i] || !inv.node_done[i]) {
+                    return;
+                }
+                deliverSuccessors(inv, node_id);
+            });
+        return;
+    }
+    deliverSuccessors(inv, node_id);
+}
+
+void
+MasterEngine::deliverSuccessors(Invocation& inv, workflow::NodeId node_id)
+{
     const auto& dag = inv.wf->dag;
     const auto& out = dag.outEdges(node_id);
     if (out.empty()) {
@@ -205,6 +267,20 @@ MasterEngine::completeNode(Invocation& inv, workflow::NodeId node_id,
     }
     for (const size_t e : out)
         deliver(inv, dag.edge(e).to);
+}
+
+void
+MasterEngine::onMasterCrash()
+{
+    alive_ = false;
+    ++incarnation_;
+    state_.clear();
+}
+
+void
+MasterEngine::onMasterRestart()
+{
+    alive_ = true;
 }
 
 void

@@ -27,8 +27,11 @@ class ExecutorAgent
     /**
      * Runs one assigned node; `on_result` fires on the worker when the
      * function finished (the caller ships the state back to the master).
+     * `drive` is the node's drive epoch at assignment: a dispatch whose
+     * epoch is stale by the time it surfaces belongs to a superseded run
+     * and is dropped.
      */
-    void execute(Invocation& inv, workflow::NodeId node,
+    void execute(Invocation& inv, workflow::NodeId node, uint32_t drive,
                  std::function<void(SimTime exec_time)> on_result);
 
     int workerIndex() const { return worker_index_; }
@@ -79,14 +82,32 @@ class MasterEngine
     /** Live State counters held for one invocation (leak checks). */
     size_t stateCount(uint64_t invocation_id) const;
 
+    /**
+     * Master failover, step 1: the engine process dies. All central
+     * trigger counters are lost, the incarnation counter advances (so
+     * continuations captured before the crash — durability acks, queued
+     * events — become no-ops), and no new work is accepted until
+     * onMasterRestart.
+     */
+    void onMasterCrash();
+
+    /** Master failover, step 2: the process is back. The caller (the
+     *  System facade) replays the progress log and then re-drives every
+     *  live invocation via restoreInvocation. */
+    void onMasterRestart();
+
+    bool alive() const { return alive_; }
+    uint32_t incarnation() const { return incarnation_; }
+
     ServiceQueue& queue() { return queue_; }
 
   private:
     RuntimeContext& ctx_;
-    Rng rng_;
     ServiceQueue queue_;
     std::vector<ExecutorAgent*> agents_;
     std::function<void(Invocation&)> sink_notifier_;
+    bool alive_ = true;
+    uint32_t incarnation_ = 0;
 
     /** Central state: invocation -> (node -> predecessors done). */
     std::map<uint64_t, std::map<workflow::NodeId, int>> state_;
@@ -98,6 +119,11 @@ class MasterEngine
      *  with an older epoch belongs to a superseded run and is dropped. */
     void completeNode(Invocation& inv, workflow::NodeId node,
                       SimTime exec_time, uint32_t drive);
+
+    /** Fans a durable completion fact out to its successors (or the
+     *  sink notifier). Runs after the write-ahead append commits when a
+     *  progress log is attached. */
+    void deliverSuccessors(Invocation& inv, workflow::NodeId node);
 };
 
 }  // namespace faasflow::engine

@@ -39,6 +39,58 @@ MetricsCollector::add(const InvocationRecord& record)
         ++pw.timeouts;
     pw.cold_starts += record.cold_starts;
     pw.recoveries += record.recoveries;
+    pw.retries += record.retries;
+    pw.redriven_nodes += record.redriven_nodes;
+    pw.master_recoveries += record.master_recoveries;
+    pw.duplicate_executions += record.duplicate_executions;
+}
+
+uint64_t
+invocationOutputDigest(const Invocation& inv)
+{
+    uint64_t h = 14695981039346656037ull;
+    const auto byte = [&h](uint8_t b) {
+        h ^= b;
+        h *= 1099511628211ull;
+    };
+    const auto word = [&byte](uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+    };
+
+    const auto& dag = inv.wf->dag;
+    for (const auto& node : dag.nodes()) {
+        const size_t i = static_cast<size_t>(node.id);
+        word(static_cast<uint64_t>(node.id));
+        byte(inv.node_done[i] ? 1 : 0);
+        byte(inv.node_skipped[i] ? 1 : 0);
+        // The static output size consumers read (edge payload items this
+        // node originated); zero when the node produced nothing.
+        int64_t out_bytes = 0;
+        for (const size_t e : dag.outEdges(node.id)) {
+            for (const auto& item : dag.edge(e).payload) {
+                if (item.origin == node.id) {
+                    out_bytes = item.bytes;
+                    break;
+                }
+            }
+            if (out_bytes != 0)
+                break;
+        }
+        word(inv.node_done[i] && !inv.node_skipped[i]
+                 ? static_cast<uint64_t>(out_bytes)
+                 : 0);
+        // Actual blob contents, when bodies are attached.
+        if (inv.node_payload[i]) {
+            for (const char c : *inv.node_payload[i])
+                byte(static_cast<uint8_t>(c));
+        }
+    }
+    for (const auto& [sw, branch] : inv.switch_choice) {
+        word(static_cast<uint64_t>(static_cast<uint32_t>(sw)));
+        word(static_cast<uint64_t>(static_cast<uint32_t>(branch)));
+    }
+    return h;
 }
 
 const MetricsCollector::PerWorkflow&
@@ -118,6 +170,30 @@ uint64_t
 MetricsCollector::recoveries(const std::string& workflow) const
 {
     return get(workflow).recoveries;
+}
+
+uint64_t
+MetricsCollector::retries(const std::string& workflow) const
+{
+    return get(workflow).retries;
+}
+
+uint64_t
+MetricsCollector::redrivenNodes(const std::string& workflow) const
+{
+    return get(workflow).redriven_nodes;
+}
+
+uint64_t
+MetricsCollector::masterRecoveries(const std::string& workflow) const
+{
+    return get(workflow).master_recoveries;
+}
+
+uint64_t
+MetricsCollector::duplicateExecutions(const std::string& workflow) const
+{
+    return get(workflow).duplicate_executions;
 }
 
 std::vector<std::string>

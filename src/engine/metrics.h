@@ -21,6 +21,17 @@ SimTime actualCriticalExec(const workflow::Dag& dag,
                            const std::vector<SimTime>& node_exec);
 
 /**
+ * Order-independent FNV-1a digest over an invocation's observable
+ * outputs: per-node done/skip flags, the static output sizes consumers
+ * read, actual payload bodies when present, and the switch choices.
+ * Timing (exec durations, latencies) and at-least-once artifacts
+ * (functions_executed, retries) are deliberately excluded, so a run
+ * that absorbed faults digests equal to its fault-free golden twin iff
+ * it produced byte-identical final outputs.
+ */
+uint64_t invocationOutputDigest(const Invocation& inv);
+
+/**
  * Aggregates InvocationRecords per workflow for the evaluation harness:
  * e2e/overhead/data-latency distributions and byte counters.
  */
@@ -54,6 +65,18 @@ class MetricsCollector
     /** Fault-recovery passes absorbed by this workflow's invocations. */
     uint64_t recoveries(const std::string& workflow) const;
 
+    /** Transparent execution retries across all invocations. */
+    uint64_t retries(const std::string& workflow) const;
+
+    /** Nodes re-driven by recovery or master-failover replay. */
+    uint64_t redrivenNodes(const std::string& workflow) const;
+
+    /** Master-failover log replays absorbed by this workflow. */
+    uint64_t masterRecoveries(const std::string& workflow) const;
+
+    /** Same-drive-epoch double executions (invariant: 0). */
+    uint64_t duplicateExecutions(const std::string& workflow) const;
+
     std::vector<std::string> workflows() const;
 
     void clear();
@@ -72,6 +95,10 @@ class MetricsCollector
         uint64_t timeouts = 0;
         uint64_t cold_starts = 0;
         uint64_t recoveries = 0;
+        uint64_t retries = 0;
+        uint64_t redriven_nodes = 0;
+        uint64_t master_recoveries = 0;
+        uint64_t duplicate_executions = 0;
     };
 
     std::map<std::string, PerWorkflow> per_workflow_;

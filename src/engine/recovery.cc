@@ -45,6 +45,28 @@ lostNodeSet(const Invocation& inv, int crashed_worker)
                 changed = true;
             }
         }
+
+        // Done virtual fences gating a re-run node must re-run too:
+        // payload rides through fences (a consumer's trigger gate is the
+        // fence, not the payload's origin), so leaving the fence done
+        // would let the consumer fire before the re-run producer has
+        // regenerated its output. Re-running a fence is free (virtual,
+        // no data) and the wave then flows producer -> fence -> consumer
+        // in dependency order. Fences have successors by construction,
+        // so completed sinks are never pulled in (their client-side
+        // completion already counted).
+        for (const auto& node : dag.nodes()) {
+            const size_t idx = static_cast<size_t>(node.id);
+            if (rerun[idx] || !node.isVirtual() || !inv.node_done[idx])
+                continue;
+            for (const size_t e : dag.outEdges(node.id)) {
+                if (rerun[static_cast<size_t>(dag.edge(e).to)]) {
+                    rerun[idx] = 1;
+                    changed = true;
+                    break;
+                }
+            }
+        }
     }
     return rerun;
 }
@@ -65,9 +87,10 @@ remapPlacement(const scheduler::Placement& placement, int from_worker,
     return next;
 }
 
-void
+size_t
 resetLostNodes(Invocation& inv, const std::vector<uint8_t>& rerun)
 {
+    size_t redriven = 0;
     for (size_t idx = 0; idx < rerun.size(); ++idx) {
         if (!rerun[idx])
             continue;
@@ -76,8 +99,10 @@ resetLostNodes(Invocation& inv, const std::vector<uint8_t>& rerun)
         inv.node_exec[idx] = SimTime::zero();
         inv.node_output_worker[idx] = -1;
         ++inv.node_drive_epoch[idx];
+        ++redriven;
     }
     ++inv.recovery_epoch;
+    return redriven;
 }
 
 }  // namespace faasflow::engine

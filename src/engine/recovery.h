@@ -36,11 +36,15 @@ struct RecoveryConfig
  * Computes the re-run set of one invocation after `crashed_worker`
  * failed: every unfinished node placed there, closed over done
  * producers whose output lived only in that worker's local memory and
- * is still needed by a not-done (or re-run) consumer. The FaaStore
+ * is still needed by a not-done (or re-run) consumer, plus any done
+ * virtual fence gating a node in the set (payload rides *through*
+ * fences, so the re-drive wave must flow producer -> fence -> consumer
+ * in dependency order — see lostNodeSet's gate rule). The FaaStore
  * placement invariant — an object is saved locally only when all its
- * consumers are co-located — keeps this closure inside the crashed
- * worker's own sub-graph, so surviving workers never re-execute
- * anything.
+ * consumers are co-located — keeps the producer closure inside the
+ * crashed worker's own sub-graph, so surviving workers never
+ * re-execute a *task*; only zero-cost virtual fences may be re-driven
+ * elsewhere.
  *
  * Returns one flag per DAG node; all-zero when the invocation lost
  * nothing (no recovery needed).
@@ -61,8 +65,9 @@ remapPlacement(const scheduler::Placement& placement, int from_worker,
  * epoch (stale queued triggers and in-flight results die), then bumps
  * the invocation's recovery epoch (stale WorkerSP state updates die).
  * Engines rebuild their counters afterwards via restoreInvocation.
+ * Returns the number of nodes re-driven (the recovery metrics feed).
  */
-void resetLostNodes(Invocation& inv, const std::vector<uint8_t>& rerun);
+size_t resetLostNodes(Invocation& inv, const std::vector<uint8_t>& rerun);
 
 }  // namespace faasflow::engine
 

@@ -12,6 +12,10 @@
 #include "storage/faastore.h"
 #include "storage/remote_store.h"
 
+namespace faasflow::storage {
+class ProgressLog;
+}
+
 namespace faasflow::engine {
 
 /**
@@ -60,6 +64,10 @@ struct RuntimeContext
 
     /** Optional activity recorder (disabled by default). */
     TraceRecorder* trace = nullptr;
+
+    /** Durable progress log on the storage node; null when the
+     *  deployment runs without durability (the default). */
+    storage::ProgressLog* progress_log = nullptr;
 };
 
 /** Trace lane for worker `w` (see TraceTrack). */

@@ -49,6 +49,22 @@ struct InvocationRecord
     /** Worker-failure recovery passes that touched this invocation. */
     uint64_t recoveries = 0;
 
+    /** Nodes re-driven (drive epoch bumped) by worker-failure recovery
+     *  or master-failover replay. */
+    uint64_t redriven_nodes = 0;
+
+    /** Master-failover log replays that rebuilt this invocation. */
+    uint64_t master_recoveries = 0;
+
+    /** Same-epoch double executions observed; must stay 0 — the chaos
+     *  campaign's exactly-once-per-drive-epoch invariant. */
+    uint64_t duplicate_executions = 0;
+
+    /** Order-independent digest over final per-node outputs, skip flags
+     *  and switch choices; a faulty run byte-matches its fault-free
+     *  golden twin iff the digests are equal. */
+    uint64_t output_digest = 0;
+
     /** Decomposition aids: total pure execution time across all function
      *  instances, and total time instances spent waiting for a container
      *  (cold starts and slot queueing). Sums over parallel work, so they
@@ -93,6 +109,11 @@ struct Invocation
 {
     uint64_t id = 0;
     DeployedWorkflow* wf = nullptr;
+
+    /** Deterministic control seed (a hash of system seed + invocation
+     *  id): switch choices are a pure function of it, so re-drives and
+     *  post-failover replays re-derive identical branches. */
+    uint64_t ctl_seed = 0;
 
     /** Placement snapshot taken at submission (red-black isolation). */
     std::shared_ptr<const scheduler::Placement> placement;
@@ -140,6 +161,16 @@ struct Invocation
      */
     std::vector<Payload> node_payload;
 
+    /**
+     * Double-execution sentinels: whether the node ever started a real
+     * execution, and the drive epoch it last started under. Recovery
+     * legitimately re-runs a node under a *bumped* epoch; two starts
+     * under the same epoch are an exactly-once violation and are
+     * counted in record.duplicate_executions.
+     */
+    std::vector<uint8_t> node_ran;
+    std::vector<uint32_t> node_run_epoch;
+
     /** Bumped once per recovery pass; WorkerSP state-update signals carry
      *  the epoch they were sent under and stale ones are ignored (their
      *  senders are already counted by the counter rebuild). */
@@ -155,6 +186,42 @@ struct Invocation
     InvocationRecord record;
     std::function<void(const InvocationRecord&)> on_complete;
 };
+
+/**
+ * Deterministic switch-branch draw: a pure function of the invocation's
+ * control seed and the switch id (splitmix64 finalizer), so any engine
+ * — or a master replaying the progress log after a failover — derives
+ * the same branch without coordination.
+ */
+inline int
+chooseSwitchBranch(const Invocation& inv, int switch_id, int branches)
+{
+    uint64_t x = inv.ctl_seed ^
+                 (0x9e3779b97f4a7c15ull *
+                  (static_cast<uint64_t>(static_cast<uint32_t>(switch_id)) +
+                   1));
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<int>(x % static_cast<uint64_t>(branches));
+}
+
+/**
+ * Marks the start of a real execution of `node` under `drive`,
+ * flagging a same-epoch double start (must never happen; the chaos
+ * campaign fails the run if it does).
+ */
+inline void
+noteExecution(Invocation& inv, workflow::NodeId node, uint32_t drive)
+{
+    const size_t idx = static_cast<size_t>(node);
+    if (inv.node_ran[idx] && inv.node_run_epoch[idx] == drive)
+        ++inv.record.duplicate_executions;
+    inv.node_ran[idx] = 1;
+    inv.node_run_epoch[idx] = drive;
+}
 
 }  // namespace faasflow::engine
 

@@ -1,9 +1,11 @@
 #include "engine/worker_engine.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "storage/progress_log.h"
 
 namespace faasflow::engine {
 
@@ -44,7 +46,6 @@ switchBranchCount(const workflow::Dag& dag, int switch_id)
 WorkerEngine::WorkerEngine(RuntimeContext& ctx, int worker_index, Rng rng)
     : ctx_(ctx),
       worker_index_(worker_index),
-      rng_(rng),
       queue_(ctx.sim, ctx.config.worker_service_mean,
              ctx.config.worker_service_sigma, rng.split()),
       executor_(ctx.sim, ctx.cluster.worker(static_cast<size_t>(worker_index)),
@@ -112,15 +113,30 @@ WorkerEngine::trigger(Invocation& inv, workflow::NodeId node_id)
         }
 
         // A switch start picks the taken branch; the choice travels with
-        // the state-update protocol to every involved engine.
+        // the state-update protocol to every involved engine. The draw
+        // is a pure function of the invocation's control seed, so any
+        // engine (or a post-failover replay) derives the same branch.
         if (node.kind == workflow::StepKind::VirtualStart &&
             node.switch_id >= 0) {
             const int branches =
                 switchBranchCount(inv.wf->dag, node.switch_id);
             if (branches > 0 &&
                 !inv.switch_choice.count(node.switch_id)) {
-                inv.switch_choice[node.switch_id] = static_cast<int>(
-                    rng_.uniformInt(0, branches - 1));
+                const int branch =
+                    chooseSwitchBranch(inv, node.switch_id, branches);
+                inv.switch_choice[node.switch_id] = branch;
+                if (ctx_.progress_log) {
+                    storage::LogRecord rec;
+                    rec.kind = storage::LogRecordKind::StateSignal;
+                    rec.invocation = inv.id;
+                    rec.switch_id = node.switch_id;
+                    rec.switch_branch = branch;
+                    ctx_.progress_log->append(
+                        ctx_.cluster
+                            .worker(static_cast<size_t>(worker_index_))
+                            .netId(),
+                        std::move(rec));
+                }
             }
         }
 
@@ -133,6 +149,7 @@ WorkerEngine::trigger(Invocation& inv, workflow::NodeId node_id)
             completeNode(inv, node_id, SimTime::zero());
             return;
         }
+        noteExecution(inv, node_id, drive);
         executor_.runNode(inv, node_id, ctx_.data_mode, inv.wf->feedback,
                           [this, &inv, node_id](
                               TaskExecutor::NodeRunResult result) {
@@ -150,6 +167,23 @@ WorkerEngine::completeNode(Invocation& inv, workflow::NodeId node_id,
         return;
     inv.node_done[idx] = 1;
     inv.node_exec[idx] = exec_time;
+    if (ctx_.progress_log) {
+        // WorkerSP durability is asynchronous: the completion fact rides
+        // to the storage node in the background and gates nothing — the
+        // decentralized engines themselves survive a master crash, so
+        // only observability (and a future worker-state replay) needs
+        // the record.
+        storage::LogRecord rec;
+        rec.kind = storage::LogRecordKind::NodeDone;
+        rec.invocation = inv.id;
+        rec.node = node_id;
+        rec.exec_micros = exec_time.micros();
+        rec.output_worker = inv.node_output_worker[idx];
+        rec.skipped = inv.node_skipped[idx] ? 1 : 0;
+        ctx_.progress_log->append(
+            ctx_.cluster.worker(static_cast<size_t>(worker_index_)).netId(),
+            std::move(rec));
+    }
     propagate(inv, node_id);
 }
 

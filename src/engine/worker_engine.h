@@ -91,7 +91,6 @@ class WorkerEngine
   private:
     RuntimeContext& ctx_;
     int worker_index_;
-    Rng rng_;
     ServiceQueue queue_;
     TaskExecutor executor_;
     std::vector<WorkerEngine*> peers_;

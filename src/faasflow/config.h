@@ -10,6 +10,7 @@
 #include "net/network.h"
 #include "scheduler/graph_scheduler.h"
 #include "storage/faastore.h"
+#include "storage/progress_log.h"
 #include "storage/remote_store.h"
 
 namespace faasflow {
@@ -41,6 +42,16 @@ struct SystemConfig
 
     /** Open-loop execution timeout (§5.4): latency is clamped here. */
     SimTime invocation_timeout = SimTime::seconds(60);
+
+    /**
+     * Durable progress log on the storage node (DESIGN.md §8). Off by
+     * default: appends cost simulated time, so durability is an opt-in
+     * overhead the chaos campaign and the failover tests measure. With
+     * it on, a MasterCrash fault is survivable — the master rebuilds
+     * all invocation state by log replay at restart.
+     */
+    bool durable_log = false;
+    storage::ProgressLog::Config progress_log;
 
     /** Root seed; every stochastic component derives from it. */
     uint64_t seed = 1;

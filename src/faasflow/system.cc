@@ -9,6 +9,26 @@
 
 namespace faasflow {
 
+namespace {
+
+/** SplitMix64 finalizer over (seed, id): gives every invocation an
+ *  independent control-flow seed for chooseSwitchBranch — deterministic
+ *  in the system seed and the invocation id alone, so a replayed or
+ *  re-driven switch re-derives the same branch. */
+uint64_t
+mixSeed(uint64_t seed, uint64_t id)
+{
+    uint64_t x = seed + 0x9e3779b97f4a7c15ull * (id + 1);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+}  // namespace
+
 System::System(SystemConfig config)
     : config_(config), rng_(config.seed)
 {
@@ -24,12 +44,19 @@ System::System(SystemConfig config)
             *sim_, cluster_->worker(w), *remote_, config_.faastore));
     }
 
+    if (config_.durable_log) {
+        progress_log_ = std::make_unique<storage::ProgressLog>(
+            *sim_, *network_, cluster_->storageNodeId(),
+            config_.progress_log);
+    }
+
     std::vector<storage::FaaStore*> store_ptrs;
     for (auto& s : stores_)
         store_ptrs.push_back(s.get());
     ctx_ = std::make_unique<engine::RuntimeContext>(engine::RuntimeContext{
         *sim_, *network_, *cluster_, std::move(store_ptrs), *remote_,
-        registry_, config_.engine, config_.data_mode, &trace_});
+        registry_, config_.engine, config_.data_mode, &trace_,
+        progress_log_.get()});
 
     // Both engine stacks are constructed; control_mode selects which one
     // invocations flow through, so ablations can flip modes per System.
@@ -208,6 +235,24 @@ uint64_t
 System::invoke(const std::string& workflow,
                std::function<void(const engine::InvocationRecord&)> on_result)
 {
+    return invoke(workflow, std::string(), std::move(on_result));
+}
+
+uint64_t
+System::invoke(const std::string& workflow,
+               const std::string& idempotency_key,
+               std::function<void(const engine::InvocationRecord&)> on_result)
+{
+    // Exactly-once submission: a key the log already holds belongs to a
+    // run that is (or was) in progress — a client retrying a submit
+    // that raced a master crash must not double-run the workflow.
+    if (progress_log_ && !idempotency_key.empty()) {
+        if (const uint64_t prior = progress_log_->submissionFor(
+                idempotency_key)) {
+            return prior;
+        }
+    }
+
     WorkflowState& state = stateOf(workflow);
     const auto& dag = state.wf.dag;
 
@@ -216,6 +261,7 @@ System::invoke(const std::string& workflow,
     ref.id = next_invocation_id_++;
     ref.wf = &state.wf;
     ref.placement = state.wf.placement;
+    ref.ctl_seed = mixSeed(config_.seed, ref.id);
     ref.node_exec.assign(dag.nodeCount(), SimTime::zero());
     ref.node_skipped.assign(dag.nodeCount(), false);
     ref.node_done.assign(dag.nodeCount(), 0);
@@ -223,12 +269,23 @@ System::invoke(const std::string& workflow,
     ref.node_drive_epoch.assign(dag.nodeCount(), 0);
     ref.node_output_worker.assign(dag.nodeCount(), -1);
     ref.node_payload.assign(dag.nodeCount(), Payload{});
+    ref.node_ran.assign(dag.nodeCount(), 0);
+    ref.node_run_epoch.assign(dag.nodeCount(), 0);
     ref.sinks_remaining = workflow::sinkNodes(dag).size();
     ref.record.invocation_id = ref.id;
     ref.record.workflow = workflow;
     ref.record.submit = sim_->now();
     ref.on_complete = std::move(on_result);
     invocations_.emplace(ref.id, std::move(inv));
+
+    if (progress_log_) {
+        storage::LogRecord rec;
+        rec.kind = storage::LogRecordKind::InvocationSubmitted;
+        rec.invocation = ref.id;
+        rec.workflow = workflow;
+        rec.idempotency_key = idempotency_key;
+        progress_log_->append(cluster_->storageNodeId(), std::move(rec));
+    }
 
     // Workers already known dead cannot be dispatched to; remap this
     // invocation's sub-graph away at submission time (the detection
@@ -254,6 +311,22 @@ System::invoke(const std::string& workflow,
         deliverRecord(*it->second, true);
     });
 
+    if (master_down_) {
+        // The submission is accepted (and durable when a log is on) but
+        // nothing drives it until the master returns; restoreMaster
+        // flushes these. Triggering is idempotent (node_triggered), so
+        // a replay covering the same invocation is harmless.
+        deferred_starts_.push_back(id);
+        return id;
+    }
+    startInvocation(ref);
+    return id;
+}
+
+void
+System::startInvocation(engine::Invocation& ref)
+{
+    const auto& dag = ref.wf->dag;
     if (config_.control_mode == engine::ControlMode::MasterSP) {
         master_engine_->invoke(ref);
     } else {
@@ -269,12 +342,18 @@ System::invoke(const std::string& workflow,
                 [eng, &ref, source] { eng->startSource(ref, source); });
         }
     }
-    return id;
 }
 
 void
 System::onSinkComplete(engine::Invocation& inv)
 {
+    if (master_down_) {
+        // The completion facts are durable (or at least worker-held);
+        // the client-facing acknowledgement waits for the master to
+        // return and is flushed at restoreMaster.
+        deferred_sinks_.push_back(inv.id);
+        return;
+    }
     if (inv.sinks_remaining == 0)
         panic("sink completion underflow for invocation %llu",
               static_cast<unsigned long long>(inv.id));
@@ -296,6 +375,7 @@ System::deliverRecord(engine::Invocation& inv, bool timed_out)
                             : sim_->now();
     inv.record.critical_exec =
         engine::actualCriticalExec(inv.wf->dag, inv.node_exec);
+    inv.record.output_digest = engine::invocationOutputDigest(inv);
     trace_.span("invocation",
                 strFormat("%s#%llu", inv.record.workflow.c_str(),
                           static_cast<unsigned long long>(inv.id)),
@@ -311,6 +391,13 @@ void
 System::finalize(engine::Invocation& inv)
 {
     deliverRecord(inv, false);
+
+    if (progress_log_) {
+        storage::LogRecord rec;
+        rec.kind = storage::LogRecordKind::InvocationFinished;
+        rec.invocation = inv.id;
+        progress_log_->append(cluster_->storageNodeId(), std::move(rec));
+    }
 
     // Drop intermediate objects and engine state (§4.2.1).
     const auto& dag = inv.wf->dag;
@@ -386,13 +473,25 @@ System::installFaults(const sim::FaultSchedule& schedule)
             break;
         }
         case sim::FaultKind::StorageBrownout: {
+            // The progress log shares the storage node, so a brown-out
+            // stretches its commit latency by the same factor.
             const double severity = event.severity;
             sim_->scheduleAt(event.at, [this, severity] {
                 remote_->setDegradeFactor(severity);
+                if (progress_log_)
+                    progress_log_->setDegradeFactor(severity);
             });
             sim_->scheduleAt(event.at + event.duration, [this] {
                 remote_->setDegradeFactor(1.0);
+                if (progress_log_)
+                    progress_log_->setDegradeFactor(1.0);
             });
+            break;
+        }
+        case sim::FaultKind::MasterCrash: {
+            sim_->scheduleAt(event.at, [this] { crashMaster(); });
+            sim_->scheduleAt(event.at + event.duration,
+                             [this] { restoreMaster(); });
             break;
         }
         }
@@ -409,6 +508,12 @@ System::crashWorker(size_t worker)
     node.crash();
     stores_[worker]->onNodeCrash();
     network_->setLinkUp(node.netId(), false);
+    if (crash_time_.size() < cluster_->workerCount()) {
+        crash_time_.resize(cluster_->workerCount());
+        detect_pending_.resize(cluster_->workerCount(), 0);
+    }
+    crash_time_[worker] = sim_->now();
+    detect_pending_[worker] = 1;
 }
 
 void
@@ -461,6 +566,11 @@ System::onWorkerFailureDetected(size_t worker)
     if (detected_down_.size() < cluster_->workerCount())
         detected_down_.resize(cluster_->workerCount(), 0);
     detected_down_[worker] = cluster_->worker(worker).alive() ? 0 : 1;
+    if (worker < detect_pending_.size() && detect_pending_[worker]) {
+        detect_pending_[worker] = 0;
+        rstats_.detection_ms.add(
+            (sim_->now() - crash_time_[worker]).millisF());
+    }
     const int replacement = pickReplacement(worker);
     if (replacement < 0) {
         // Every worker is down; re-check after another heartbeat period.
@@ -485,7 +595,7 @@ System::recoverInvocation(engine::Invocation& inv, size_t crashed,
         return;  // this invocation lost nothing on the dead worker
     }
 
-    ++recoveries_;
+    ++rstats_.recoveries;
     ++inv.record.recoveries;
 
     // Move the dead worker's whole sub-graph onto the replacement (which
@@ -494,13 +604,159 @@ System::recoverInvocation(engine::Invocation& inv, size_t crashed,
     // the surviving done facts and re-drive whatever became ready.
     inv.placement =
         engine::remapPlacement(*inv.placement, crashed_w, replacement);
-    engine::resetLostNodes(inv, rerun);
+    inv.record.redriven_nodes += engine::resetLostNodes(inv, rerun);
     if (config_.control_mode == engine::ControlMode::MasterSP) {
         master_engine_->restoreInvocation(inv);
     } else {
         for (auto& eng : worker_engines_)
             eng->restoreInvocation(inv);
     }
+}
+
+void
+System::crashMaster()
+{
+    if (master_down_)
+        return;
+    faults_installed_ = true;
+    master_down_ = true;
+    ++rstats_.master_crashes;
+    master_engine_->onMasterCrash();
+    if (config_.control_mode != engine::ControlMode::MasterSP)
+        return;
+
+    // The master process held every live invocation's control state in
+    // memory and it dies with the process. Snapshot the facts first
+    // (only so restoreMaster can verify replay equality), then wipe.
+    for (auto& [id, inv] : invocations_) {
+        if (inv->finished)
+            continue;
+        if (progress_log_) {
+            InvocationSnapshot snap;
+            snap.node_done = inv->node_done;
+            snap.switch_choice = inv->switch_choice;
+            master_snapshots_[id] = std::move(snap);
+        }
+        const size_t n = inv->wf->dag.nodeCount();
+        inv->node_done.assign(n, 0);
+        inv->node_triggered.assign(n, 0);
+        inv->node_exec.assign(n, SimTime::zero());
+        inv->node_skipped.assign(n, false);
+        inv->node_output_worker.assign(n, -1);
+        inv->switch_choice.clear();
+        inv->sinks_remaining = workflow::sinkNodes(inv->wf->dag).size();
+        // node_ran / node_run_epoch survive deliberately: they are the
+        // double-execution sentinels, not master state.
+    }
+}
+
+void
+System::restoreMaster()
+{
+    if (!master_down_)
+        return;
+    master_down_ = false;
+    master_engine_->onMasterRestart();
+
+    if (config_.control_mode == engine::ControlMode::MasterSP &&
+        progress_log_) {
+        // Rebuild every live invocation from the durable log, then let
+        // the engine re-drive whatever is not done. Iterate over a
+        // snapshot of ids: a fully-done invocation finishes (and
+        // retires) from inside its own replay.
+        std::vector<uint64_t> live;
+        for (const auto& [id, inv] : invocations_) {
+            if (!inv->finished)
+                live.push_back(id);
+        }
+        for (const uint64_t id : live) {
+            const auto it = invocations_.find(id);
+            if (it == invocations_.end() || it->second->finished)
+                continue;
+            replayInvocation(*it->second);
+        }
+    }
+    master_snapshots_.clear();
+
+    // Flush work that queued up during the outage. Starting an already
+    // replay-restored invocation again is safe: triggering is
+    // idempotent under node_triggered.
+    std::vector<uint64_t> starts;
+    std::vector<uint64_t> sinks;
+    starts.swap(deferred_starts_);
+    sinks.swap(deferred_sinks_);
+    for (const uint64_t id : starts) {
+        const auto it = invocations_.find(id);
+        if (it != invocations_.end() && !it->second->finished)
+            startInvocation(*it->second);
+    }
+    for (const uint64_t id : sinks) {
+        const auto it = invocations_.find(id);
+        if (it != invocations_.end() && !it->second->finished)
+            onSinkComplete(*it->second);
+    }
+}
+
+void
+System::replayInvocation(engine::Invocation& inv)
+{
+    const auto& dag = inv.wf->dag;
+    const size_t n = dag.nodeCount();
+    const storage::ReplayState rs = progress_log_->replay(inv.id, n);
+    ++rstats_.master_replays;
+    ++inv.record.master_recoveries;
+
+    // Replay-equality invariant: commit-at-issue means the log can never
+    // lag the master's in-memory facts, so the replayed state must cover
+    // the pre-crash snapshot exactly.
+    const auto snap_it = master_snapshots_.find(inv.id);
+    if (snap_it != master_snapshots_.end()) {
+        const InvocationSnapshot& snap = snap_it->second;
+        for (size_t i = 0; i < n && i < snap.node_done.size(); ++i) {
+            if (snap.node_done[i] && !rs.node_done[i])
+                ++rstats_.replay_mismatches;
+        }
+        for (const auto& [sw, branch] : snap.switch_choice) {
+            const auto rit = rs.switch_choice.find(sw);
+            if (rit == rs.switch_choice.end() || rit->second != branch)
+                ++rstats_.replay_mismatches;
+        }
+        master_snapshots_.erase(snap_it);
+    }
+
+    size_t redriven = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (rs.node_done[i]) {
+            inv.node_done[i] = 1;
+            inv.node_triggered[i] = 1;
+            inv.node_exec[i] = rs.node_exec[i];
+            inv.node_skipped[i] = rs.node_skipped[i] != 0;
+            inv.node_output_worker[i] = rs.node_output_worker[i];
+        } else {
+            inv.node_done[i] = 0;
+            inv.node_triggered[i] = 0;
+            // A pre-crash in-flight execution of this node may still
+            // land; the epoch bump turns its completion into a stale
+            // no-op and the re-drive below runs it afresh.
+            ++inv.node_drive_epoch[i];
+            if (inv.node_ran[i])
+                ++redriven;  // work was genuinely lost, not just pending
+        }
+    }
+    inv.record.redriven_nodes += redriven;
+    inv.switch_choice = rs.switch_choice;
+    ++inv.recovery_epoch;
+
+    const auto sinks = workflow::sinkNodes(dag);
+    inv.sinks_remaining = sinks.size();
+    size_t done_sinks = 0;
+    for (const workflow::NodeId s : sinks) {
+        if (inv.node_done[static_cast<size_t>(s)])
+            ++done_sinks;
+    }
+    master_engine_->restoreInvocation(inv);
+    for (size_t k = 0; k < done_sinks && !inv.finished; ++k)
+        onSinkComplete(inv);
 }
 
 double

@@ -69,6 +69,17 @@ class System
                     std::function<void(const engine::InvocationRecord&)>
                         on_result = nullptr);
 
+    /**
+     * Submits with a client idempotency key. With a durable progress
+     * log, a retried submit under a key that was already logged returns
+     * the original invocation id without starting a second run — the
+     * exactly-once submission contract a client retry loop relies on.
+     */
+    uint64_t invoke(const std::string& workflow,
+                    const std::string& idempotency_key,
+                    std::function<void(const engine::InvocationRecord&)>
+                        on_result = nullptr);
+
     /** Drives the simulation until no events remain. */
     void run();
 
@@ -98,6 +109,23 @@ class System
     void restoreWorker(size_t worker);
 
     /**
+     * Fault primitive: the master engine process dies. In MasterSP mode
+     * every live invocation's volatile state (completion facts, trigger
+     * counters, switch choices) is lost with it; with a durable
+     * progress log the state is rebuilt by replay at restoreMaster,
+     * without one the invocations hang until their timeout. WorkerSP
+     * loses only undelivered sink notifications, which are deferred and
+     * flushed at restart — the paper's decentralization argument.
+     */
+    void crashMaster();
+
+    /** Fault primitive: restarts the master engine; replays the log
+     *  (MasterSP + durable log) and flushes deferred work. */
+    void restoreMaster();
+
+    bool masterAlive() const { return !master_down_; }
+
+    /**
      * The master noticed a dead worker: remaps every live invocation's
      * lost sub-graph onto a surviving worker and re-drives it. Safe to
      * call when nothing was lost (no-op per unaffected invocation).
@@ -106,8 +134,29 @@ class System
 
     bool workerAlive(size_t worker) const;
 
+    /** Recovery/durability observability (faasflow_run --stats and the
+     *  chaos campaign's invariants). */
+    struct RecoveryStats
+    {
+        /** Worker-failure recovery passes that touched an invocation. */
+        uint64_t recoveries = 0;
+        uint64_t master_crashes = 0;
+        /** Per-invocation log replays performed at master restarts. */
+        uint64_t master_replays = 0;
+        /** Replayed-log state diverging from the pre-crash in-memory
+         *  state (invariant: 0 — commit-at-issue makes them equal). */
+        uint64_t replay_mismatches = 0;
+        /** Worker-crash detection-to-recovery latency (ms). */
+        Summary detection_ms;
+    };
+
+    const RecoveryStats& recoveryStats() const { return rstats_; }
+
+    /** The durable progress log; null unless config.durable_log. */
+    storage::ProgressLog* progressLog() { return progress_log_.get(); }
+
     /** Invocation-recovery passes performed since construction. */
-    uint64_t recoveriesPerformed() const { return recoveries_; }
+    uint64_t recoveriesPerformed() const { return rstats_.recoveries; }
 
     /** Live State entries an invocation still holds across all engines
      *  (leak checks: must be 0 once the invocation finished). */
@@ -151,6 +200,7 @@ class System
     std::unique_ptr<cluster::Cluster> cluster_;
     std::unique_ptr<storage::RemoteStore> remote_;
     std::vector<std::unique_ptr<storage::FaaStore>> stores_;
+    std::unique_ptr<storage::ProgressLog> progress_log_;
     std::unique_ptr<engine::RuntimeContext> ctx_;
 
     // WorkerSP components.
@@ -172,10 +222,30 @@ class System
      *  backed off across an outage still find their Invocation alive. */
     bool faults_installed_ = false;
     std::vector<std::unique_ptr<engine::Invocation>> retired_;
-    uint64_t recoveries_ = 0;
+    RecoveryStats rstats_;
     /** Workers the master currently believes dead (set at detection,
      *  cleared at reboot); new invocations are routed around them. */
     std::vector<uint8_t> detected_down_;
+
+    /** Master-failover state. */
+    bool master_down_ = false;
+    /** Crash instants + pending-detection flags per worker (feeds the
+     *  detection-to-recovery latency summary). */
+    std::vector<SimTime> crash_time_;
+    std::vector<uint8_t> detect_pending_;
+    /** Work that arrived while the master was down, flushed at
+     *  restoreMaster: submissions to start and sink completions to
+     *  acknowledge (WorkerSP keeps executing through the outage). */
+    std::vector<uint64_t> deferred_starts_;
+    std::vector<uint64_t> deferred_sinks_;
+    /** Pre-crash in-memory facts, kept only to verify the replayed-log
+     *  state equals them (the chaos campaign's replay invariant). */
+    struct InvocationSnapshot
+    {
+        std::vector<uint8_t> node_done;
+        std::map<int, int> switch_choice;
+    };
+    std::map<uint64_t, InvocationSnapshot> master_snapshots_;
 
     int pickReplacement(size_t crashed) const;
     void recoverInvocation(engine::Invocation& inv, size_t crashed,
@@ -184,6 +254,8 @@ class System
     void onSinkComplete(engine::Invocation& inv);
     void finalize(engine::Invocation& inv);
     void deliverRecord(engine::Invocation& inv, bool timed_out);
+    void startInvocation(engine::Invocation& inv);
+    void replayInvocation(engine::Invocation& inv);
     std::vector<int> workerCapacities() const;
     WorkflowState& stateOf(const std::string& workflow);
 };

@@ -19,11 +19,71 @@ kindName(FaultKind kind)
         return "link-down";
     case FaultKind::StorageBrownout:
         return "storage-brownout";
+    case FaultKind::MasterCrash:
+        return "master-crash";
     }
     return "?";
 }
 
 }  // namespace
+
+RandomFaultParams
+RandomFaultParams::light()
+{
+    RandomFaultParams p;
+    p.crash_rate_per_min = 0.5;
+    p.link_rate_per_min = 0.5;
+    p.brownout_rate_per_min = 0.25;
+    p.master_crash_rate_per_min = 0.1;
+    p.brownout_severity = 2.0;
+    return p;
+}
+
+RandomFaultParams
+RandomFaultParams::heavy()
+{
+    RandomFaultParams p;
+    p.crash_rate_per_min = 2.0;
+    p.link_rate_per_min = 2.0;
+    p.brownout_rate_per_min = 1.0;
+    p.master_crash_rate_per_min = 0.5;
+    p.mean_crash_downtime = SimTime::seconds(3);
+    p.mean_link_outage = SimTime::millis(800);
+    p.mean_brownout = SimTime::seconds(2);
+    p.mean_master_downtime = SimTime::seconds(1);
+    p.brownout_severity = 6.0;
+    p.link_may_hit_storage = true;
+    return p;
+}
+
+RandomFaultParams
+RandomFaultParams::storageHostile()
+{
+    RandomFaultParams p;
+    p.crash_rate_per_min = 0.25;
+    p.link_rate_per_min = 1.0;
+    p.brownout_rate_per_min = 3.0;
+    p.master_crash_rate_per_min = 0.25;
+    p.mean_brownout = SimTime::seconds(3);
+    p.brownout_severity = 8.0;
+    p.link_may_hit_storage = true;
+    return p;
+}
+
+bool
+RandomFaultParams::preset(const std::string& name, RandomFaultParams& out)
+{
+    if (name == "light") {
+        out = light();
+    } else if (name == "heavy") {
+        out = heavy();
+    } else if (name == "storage-hostile") {
+        out = storageHostile();
+    } else {
+        return false;
+    }
+    return true;
+}
 
 void
 FaultSchedule::insertSorted(FaultEvent event)
@@ -65,6 +125,13 @@ FaultSchedule::addStorageBrownout(SimTime at, SimTime duration,
     return *this;
 }
 
+FaultSchedule&
+FaultSchedule::addMasterCrash(SimTime at, SimTime down_for)
+{
+    insertSorted(FaultEvent{FaultKind::MasterCrash, -1, at, down_for, 1.0});
+    return *this;
+}
+
 FaultSchedule
 FaultSchedule::random(uint64_t seed, int worker_count, SimTime horizon,
                       const RandomFaultParams& params)
@@ -83,6 +150,9 @@ FaultSchedule::random(uint64_t seed, int worker_count, SimTime horizon,
         double rate_per_min;
         SimTime mean_duration;
     };
+    // MasterCrash is appended after the original three so schedules
+    // seeded before it existed stay byte-identical (split order is the
+    // determinism contract).
     const Process processes[] = {
         {FaultKind::WorkerCrash, params.crash_rate_per_min,
          params.mean_crash_downtime},
@@ -90,6 +160,8 @@ FaultSchedule::random(uint64_t seed, int worker_count, SimTime horizon,
          params.mean_link_outage},
         {FaultKind::StorageBrownout, params.brownout_rate_per_min,
          params.mean_brownout},
+        {FaultKind::MasterCrash, params.master_crash_rate_per_min,
+         params.mean_master_downtime},
     };
     for (const Process& p : processes) {
         Rng stream = rng.split();
@@ -102,9 +174,18 @@ FaultSchedule::random(uint64_t seed, int worker_count, SimTime horizon,
                 1, static_cast<int64_t>(stream.exponential(
                        static_cast<double>(p.mean_duration.micros())))));
             int worker = -1;
-            if (p.kind != FaultKind::StorageBrownout) {
+            if (p.kind == FaultKind::WorkerCrash) {
                 worker = static_cast<int>(
                     stream.uniformInt(0, worker_count - 1));
+            } else if (p.kind == FaultKind::LinkDown) {
+                // Optionally include the storage node's link (-1) in
+                // the target range; off keeps legacy draws identical.
+                const int hi = params.link_may_hit_storage
+                                   ? worker_count
+                                   : worker_count - 1;
+                const int pick =
+                    static_cast<int>(stream.uniformInt(0, hi));
+                worker = pick == worker_count ? -1 : pick;
             }
             schedule.insertSorted(FaultEvent{p.kind, worker, t, duration,
                                              p.kind ==

@@ -11,9 +11,10 @@ namespace faasflow::sim {
 
 /** What breaks when a fault event fires. */
 enum class FaultKind {
-    WorkerCrash,     ///< node loses containers, engine state, local memory
-    LinkDown,        ///< one NIC unreachable; traffic stalls / backs off
-    StorageBrownout  ///< remote store serves requests `severity`x slower
+    WorkerCrash,      ///< node loses containers, engine state, local memory
+    LinkDown,         ///< one NIC unreachable; traffic stalls / backs off
+    StorageBrownout,  ///< remote store serves requests `severity`x slower
+    MasterCrash       ///< central engine loses all volatile invocation state
 };
 
 /**
@@ -37,10 +38,31 @@ struct RandomFaultParams
     double crash_rate_per_min = 1.0;
     double link_rate_per_min = 1.0;
     double brownout_rate_per_min = 0.0;
+    double master_crash_rate_per_min = 0.0;
     SimTime mean_crash_downtime = SimTime::seconds(2);
     SimTime mean_link_outage = SimTime::millis(500);
     SimTime mean_brownout = SimTime::seconds(1);
+    SimTime mean_master_downtime = SimTime::millis(800);
     double brownout_severity = 4.0;
+
+    /** Link outages may also hit the storage node (worker = -1),
+     *  taking the remote store and the progress log off the network. */
+    bool link_may_hit_storage = false;
+
+    /** Gentle background noise: every fault class on at low rates. */
+    static RandomFaultParams light();
+
+    /** Aggressive chaos: every fault class on, compounding outages. */
+    static RandomFaultParams heavy();
+
+    /** Storage under siege: frequent deep brown-outs, storage-link
+     *  outages, and occasional master crashes (the master shares the
+     *  storage node). */
+    static RandomFaultParams storageHostile();
+
+    /** Preset by scenario name (light/heavy/storage-hostile); false
+     *  when the name is unknown. */
+    static bool preset(const std::string& name, RandomFaultParams& out);
 };
 
 /**
@@ -63,6 +85,10 @@ class FaultSchedule
 
     FaultSchedule& addStorageBrownout(SimTime at, SimTime duration,
                                       double severity);
+
+    /** The central (MasterSP) engine process dies and restarts after
+     *  `down_for`; its volatile invocation state is lost. */
+    FaultSchedule& addMasterCrash(SimTime at, SimTime down_for);
 
     /**
      * Draws a schedule from a seeded RNG: per-kind Poisson arrivals over

@@ -225,10 +225,12 @@ WdlParser::parseFaults(const Value* faults)
                 if (factor < 1.0)
                     return fail("storage_brownout 'factor' must be >= 1");
                 result_.faults.addStorageBrownout(at, down, factor);
+            } else if (kind == "master_crash") {
+                result_.faults.addMasterCrash(at, down);
             } else {
                 return fail("unknown fault kind '" + kind +
                             "' (expected worker_crash/link_down/"
-                            "storage_brownout)");
+                            "storage_brownout/master_crash)");
             }
         }
         result_.has_faults = true;
@@ -246,15 +248,26 @@ WdlParser::parseFaults(const Value* faults)
         if (workers < 1)
             return fail("'faults.workers' must be >= 1");
         sim::RandomFaultParams params;
+        if (const Value* profile = faults->find("profile")) {
+            if (!profile->isString() ||
+                !sim::RandomFaultParams::preset(profile->asString(),
+                                                params)) {
+                return fail("unknown fault profile (expected light/heavy/"
+                            "storage-hostile)");
+            }
+        }
         params.crash_rate_per_min =
             faults->getOr("crash_rate_per_min", params.crash_rate_per_min);
         params.link_rate_per_min =
             faults->getOr("link_rate_per_min", params.link_rate_per_min);
         params.brownout_rate_per_min = faults->getOr(
             "brownout_rate_per_min", params.brownout_rate_per_min);
+        params.master_crash_rate_per_min = faults->getOr(
+            "master_crash_rate_per_min", params.master_crash_rate_per_min);
         if (params.crash_rate_per_min < 0.0 ||
             params.link_rate_per_min < 0.0 ||
-            params.brownout_rate_per_min < 0.0) {
+            params.brownout_rate_per_min < 0.0 ||
+            params.master_crash_rate_per_min < 0.0) {
             return fail("fault rates must be >= 0");
         }
         result_.faults = sim::FaultSchedule::random(

@@ -83,16 +83,21 @@ struct WdlResult
  *         at_ms: 200
  *         down_ms: 1000
  *         factor: 4.0           # remote-store op latency multiplier
+ *       - kind: master_crash    # master engine dies; needs durable_log
+ *         at_ms: 300            # to survive in MasterSP mode
+ *         down_ms: 500
  *
  * or a seeded random schedule (Poisson arrivals, see RandomFaultParams):
  *
  *   faults:
  *     seed: 7
+ *     profile: heavy            # optional light/heavy/storage-hostile base
  *     horizon_ms: 10000
  *     workers: 7                # index range faults are drawn from
- *     crash_rate_per_min: 1.0
+ *     crash_rate_per_min: 1.0   # explicit rates override the profile
  *     link_rate_per_min: 1.0
  *     brownout_rate_per_min: 0.0
+ *     master_crash_rate_per_min: 0.0
  */
 WdlResult parseWdl(const json::Value& doc);
 

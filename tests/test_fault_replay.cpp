@@ -238,6 +238,109 @@ faults:
     EXPECT_EQ(wdl.faults.summary(), expect.summary());
 }
 
+TEST(FaultReplayTest, HeavyPresetExercisesEveryFaultKind)
+{
+    // The chaos campaign's default profile must be able to produce
+    // every fault class, or whole recovery paths go untested.
+    const auto params = sim::RandomFaultParams::heavy();
+    const auto s = sim::FaultSchedule::random(5, 7, SimTime::seconds(600),
+                                             params);
+    bool crash = false, link = false, brownout = false, master = false;
+    for (const auto& e : s.events()) {
+        crash |= e.kind == sim::FaultKind::WorkerCrash;
+        link |= e.kind == sim::FaultKind::LinkDown;
+        brownout |= e.kind == sim::FaultKind::StorageBrownout;
+        master |= e.kind == sim::FaultKind::MasterCrash;
+    }
+    EXPECT_TRUE(crash);
+    EXPECT_TRUE(link);
+    EXPECT_TRUE(brownout);
+    EXPECT_TRUE(master);
+}
+
+TEST(FaultReplayTest, PresetLookupCoversTheScenarioNames)
+{
+    sim::RandomFaultParams p;
+    EXPECT_TRUE(sim::RandomFaultParams::preset("light", p));
+    EXPECT_GT(p.crash_rate_per_min, 0.0);
+    EXPECT_TRUE(sim::RandomFaultParams::preset("heavy", p));
+    EXPECT_TRUE(sim::RandomFaultParams::preset("storage-hostile", p));
+    // Storage under siege: the storage node's own link is fair game.
+    EXPECT_TRUE(p.link_may_hit_storage);
+    EXPECT_GT(p.brownout_rate_per_min, 0.0);
+    EXPECT_FALSE(sim::RandomFaultParams::preset("meteor", p));
+}
+
+TEST(FaultReplayTest, StorageHostileLinkEventsCanTargetTheStorageNode)
+{
+    const auto params = sim::RandomFaultParams::storageHostile();
+    const auto s = sim::FaultSchedule::random(3, 5, SimTime::seconds(900),
+                                              params);
+    bool storage_link = false;
+    for (const auto& e : s.events()) {
+        if (e.kind == sim::FaultKind::LinkDown && e.worker == -1)
+            storage_link = true;
+    }
+    EXPECT_TRUE(storage_link);
+}
+
+TEST(FaultReplayTest, WdlMasterCrashEventParses)
+{
+    const auto wdl = workflow::parseWdlYaml(R"yaml(
+name: f
+functions:
+  - name: a
+steps:
+  - task: a
+faults:
+  events:
+    - kind: master_crash
+      at_ms: 300
+      down_ms: 500
+)yaml");
+    ASSERT_TRUE(wdl.ok()) << wdl.error;
+    ASSERT_TRUE(wdl.has_faults);
+    sim::FaultSchedule expect;
+    expect.addMasterCrash(SimTime::millis(300), SimTime::millis(500));
+    EXPECT_EQ(wdl.faults.summary(), expect.summary());
+}
+
+TEST(FaultReplayTest, WdlProfileKeySeedsTheGeneratorPreset)
+{
+    const auto wdl = workflow::parseWdlYaml(R"yaml(
+name: f
+functions:
+  - name: a
+steps:
+  - task: a
+faults:
+  seed: 11
+  profile: storage-hostile
+  horizon_ms: 30000
+  workers: 4
+)yaml");
+    ASSERT_TRUE(wdl.ok()) << wdl.error;
+    ASSERT_TRUE(wdl.has_faults);
+    sim::RandomFaultParams params;
+    ASSERT_TRUE(sim::RandomFaultParams::preset("storage-hostile", params));
+    const auto expect =
+        sim::FaultSchedule::random(11, 4, SimTime::seconds(30), params);
+    EXPECT_EQ(wdl.faults.summary(), expect.summary());
+
+    const auto bad = workflow::parseWdlYaml(R"yaml(
+name: f
+functions:
+  - name: a
+steps:
+  - task: a
+faults:
+  seed: 11
+  profile: meteor
+  horizon_ms: 30000
+)yaml");
+    EXPECT_FALSE(bad.ok());
+}
+
 TEST(FaultReplayTest, WdlFaultBlockRejectsNonsense)
 {
     const char* bad[] = {

@@ -4,8 +4,12 @@
  *  engine State behind, and never be slower than physically necessary. */
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "engine/recovery.h"
 #include "faasflow/system.h"
 #include "sim/fault_schedule.h"
 #include "workflow/wdl.h"
@@ -321,6 +325,287 @@ TEST(RecoveryTest, CrashWithNoLiveInvocationsIsHarmless)
     for (size_t w = 0; w < system.cluster().workerCount(); ++w)
         EXPECT_TRUE(system.workerAlive(w));
 }
+
+TEST(RecoveryTest, BrownoutOverlappingCrashRecoveryStillMatchesGolden)
+{
+    // Compound fault: the remote store browns out exactly while a
+    // worker-crash recovery re-fetches inputs and re-saves outputs.
+    // Recovery traffic is slower but must stay correct — byte-identical
+    // outputs vs. the fault-free twin.
+    auto runOnce = [](bool faulted) {
+        SystemConfig config = SystemConfig::faasflowFaastore();
+        config.seed = 7;
+        auto wdl = workflow::parseWdlYaml(kForeachYaml);
+        EXPECT_TRUE(wdl.ok()) << wdl.error;
+        System system(config);
+        system.registerFunctions(wdl.functions);
+        const std::string name = system.deploy(std::move(wdl.dag));
+        if (faulted) {
+            const auto& dag = system.deployed(name).dag;
+            const int victim = system.deployed(name).placement->workerOf(
+                dag.findByName("body"));
+            sim::FaultSchedule faults;
+            faults.addWorkerCrash(victim, SimTime::millis(150),
+                                  SimTime::millis(400));
+            faults.addStorageBrownout(SimTime::millis(100),
+                                      SimTime::seconds(2), 5.0);
+            system.installFaults(faults);
+        }
+        InvocationRecord record;
+        bool completed = false;
+        system.invoke(name, [&](const InvocationRecord& r) {
+            record = r;
+            completed = true;
+        });
+        system.run();
+        EXPECT_TRUE(completed);
+        return record;
+    };
+
+    const InvocationRecord golden = runOnce(false);
+    const InvocationRecord r = runOnce(true);
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_GE(r.recoveries, 1u);
+    EXPECT_EQ(r.output_digest, golden.output_digest);
+    EXPECT_EQ(r.duplicate_executions, 0u);
+}
+
+TEST(RecoveryTest, LinkOutageDuringRedispatchStillMatchesGolden)
+{
+    // Compound fault: while the crashed worker's sub-graph is being
+    // re-dispatched, links go down (a sibling worker's and the storage
+    // node's). Control messages back off and retransmit; the recovery
+    // must converge to the same bytes regardless.
+    auto runOnce = [](bool faulted) {
+        SystemConfig config = SystemConfig::faasflowFaastore();
+        config.seed = 7;
+        auto wdl = workflow::parseWdlYaml(kDiamondYaml);
+        EXPECT_TRUE(wdl.ok()) << wdl.error;
+        System system(config);
+        system.registerFunctions(wdl.functions);
+        const std::string name = system.deploy(std::move(wdl.dag));
+        if (faulted) {
+            const auto& dag = system.deployed(name).dag;
+            const int victim = system.deployed(name).placement->workerOf(
+                dag.findByName("left"));
+            sim::FaultSchedule faults;
+            faults.addWorkerCrash(victim, SimTime::millis(150),
+                                  SimTime::seconds(2));
+            // Detection fires ~300 ms after the crash; both outages
+            // bracket the re-dispatch window that follows it.
+            const int sibling =
+                (victim + 1) %
+                static_cast<int>(config.cluster.worker_count);
+            faults.addLinkDown(sibling, SimTime::millis(400),
+                               SimTime::millis(300));
+            faults.addLinkDown(-1, SimTime::millis(450),
+                               SimTime::millis(200));
+            system.installFaults(faults);
+        }
+        InvocationRecord record;
+        bool completed = false;
+        system.invoke(name, [&](const InvocationRecord& r) {
+            record = r;
+            completed = true;
+        });
+        system.run();
+        EXPECT_TRUE(completed);
+        return record;
+    };
+
+    const InvocationRecord golden = runOnce(false);
+    const InvocationRecord r = runOnce(true);
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_GE(r.recoveries, 1u);
+    EXPECT_EQ(r.output_digest, golden.output_digest);
+    EXPECT_EQ(r.duplicate_executions, 0u);
+}
+
+/** Random nested workflow for the lostNodeSet property test: enough
+ *  construct variety to produce payload-through-fence shapes. */
+std::string
+randomRecoveryYaml(Rng& rng, const std::string& name)
+{
+    std::string yaml = "name: " + name + "\n";
+    std::string functions = "functions:\n";
+    std::string steps = "steps:\n";
+    int fn_counter = 0;
+    auto new_fn = [&] {
+        const std::string fn = strFormat("%s_f%d", name.c_str(),
+                                         fn_counter++);
+        functions += strFormat(
+            "  - name: %s\n    exec_ms: %d\n    sigma: 0\n    peak_mb: %d\n",
+            fn.c_str(), static_cast<int>(rng.uniformInt(10, 100)),
+            static_cast<int>(rng.uniformInt(80, 160)));
+        return fn;
+    };
+    auto task_step = [&](int indent) {
+        std::string pad(static_cast<size_t>(indent), ' ');
+        std::string s = pad + "- task: " + new_fn() + "\n";
+        if (rng.uniform() < 0.8) {
+            s += pad +
+                 strFormat("  output_mb: %.1f", rng.uniform(0.1, 3.0)) +
+                 "\n";
+        }
+        return s;
+    };
+    const int top_steps = 2 + static_cast<int>(rng.uniformInt(0, 3));
+    for (int i = 0; i < top_steps; ++i) {
+        const double dice = rng.uniform();
+        if (dice < 0.4) {
+            steps += task_step(2);
+        } else if (dice < 0.6) {
+            const int branches = 2 + static_cast<int>(rng.uniformInt(0, 2));
+            steps += "  - parallel:\n      branches:\n";
+            for (int b = 0; b < branches; ++b) {
+                steps += "        - steps:\n";
+                steps += task_step(12);
+                if (rng.uniform() < 0.4)
+                    steps += task_step(12);
+            }
+        } else if (dice < 0.8) {
+            steps += "  - switch:\n      branches:\n";
+            for (int b = 0; b < 2; ++b) {
+                steps += "        - steps:\n";
+                steps += task_step(12);
+            }
+        } else {
+            steps += strFormat(
+                "  - foreach:\n      width: %d\n      steps:\n",
+                2 + static_cast<int>(rng.uniformInt(0, 3)));
+            steps += task_step(8);
+        }
+    }
+    return yaml + functions + steps;
+}
+
+class LostNodeSetPropertyTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(LostNodeSetPropertyTest, ClosureIsSoundCompleteAndMinimal)
+{
+    Rng rng(GetParam());
+    auto wdl = workflow::parseWdlYaml(randomRecoveryYaml(rng, "prop"));
+    ASSERT_TRUE(wdl.ok()) << wdl.error;
+    const workflow::Dag& dag = wdl.dag;
+    constexpr int kWorkers = 4;
+
+    for (int round = 0; round < 16; ++round) {
+        // Random placement, then a random downward-closed done set (a
+        // node can only be done when all its predecessors are), with
+        // outputs kept local only where the FaaStore invariant allows.
+        scheduler::Placement pl;
+        pl.worker_of.resize(dag.nodeCount());
+        for (int& w : pl.worker_of)
+            w = static_cast<int>(rng.uniformInt(0, kWorkers - 1));
+
+        engine::DeployedWorkflow wf;
+        wf.name = "prop";
+        wf.dag = dag;
+        wf.placement =
+            std::make_shared<const scheduler::Placement>(std::move(pl));
+
+        engine::Invocation inv;
+        inv.wf = &wf;
+        inv.placement = wf.placement;
+        const size_t n = dag.nodeCount();
+        inv.node_done.assign(n, 0);
+        inv.node_triggered.assign(n, 0);
+        inv.node_exec.assign(n, SimTime::zero());
+        inv.node_skipped.assign(n, false);
+        inv.node_drive_epoch.assign(n, 0);
+        inv.node_output_worker.assign(n, -1);
+        inv.node_ran.assign(n, 0);
+        inv.node_run_epoch.assign(n, 0);
+
+        for (const auto& node : dag.nodes()) {
+            bool preds_done = true;
+            for (const size_t e : dag.inEdges(node.id)) {
+                if (!inv.node_done[static_cast<size_t>(dag.edge(e).from)])
+                    preds_done = false;
+            }
+            const size_t i = static_cast<size_t>(node.id);
+            if (preds_done && rng.uniform() < 0.7) {
+                inv.node_done[i] = 1;
+                if (node.isTask() &&
+                    wf.placement->allConsumersLocal(dag, node.id) &&
+                    rng.uniform() < 0.6) {
+                    inv.node_output_worker[i] =
+                        wf.placement->workerOf(node.id);
+                }
+            }
+        }
+
+        const int crashed = static_cast<int>(rng.uniformInt(0, kWorkers - 1));
+        const auto rerun = engine::lostNodeSet(inv, crashed);
+
+        for (const auto& node : dag.nodes()) {
+            const size_t i = static_cast<size_t>(node.id);
+            const bool on_crashed =
+                wf.placement->workerOf(node.id) == crashed;
+
+            // Sound: every unfinished node on the dead worker re-runs.
+            if (on_crashed && !inv.node_done[i])
+                EXPECT_TRUE(rerun[i]) << node.name;
+
+            // Surviving-worker *tasks* are never re-executed — only
+            // zero-cost virtual fences may be re-driven elsewhere.
+            if (!on_crashed && node.isTask())
+                EXPECT_FALSE(rerun[i]) << node.name;
+
+            // A done output that made it to the remote store is safe.
+            if (node.isTask() && inv.node_done[i] &&
+                inv.node_output_worker[i] != crashed) {
+                EXPECT_FALSE(rerun[i]) << node.name;
+            }
+
+            // Gate closure: a done fence with any re-run successor is
+            // itself re-driven (the re-drive wave must pass through it).
+            if (node.isVirtual() && inv.node_done[i] && !rerun[i]) {
+                for (const size_t e : dag.outEdges(node.id)) {
+                    EXPECT_FALSE(
+                        rerun[static_cast<size_t>(dag.edge(e).to)])
+                        << node.name << " gates a re-run successor";
+                }
+            }
+
+            // Minimal: every re-run node is justified — it lived on the
+            // crashed worker, or it is a done fence covering one.
+            if (rerun[i] && !on_crashed) {
+                ASSERT_TRUE(node.isVirtual()) << node.name;
+                EXPECT_TRUE(inv.node_done[i]) << node.name;
+                bool covers = false;
+                for (const size_t e : dag.outEdges(node.id)) {
+                    if (rerun[static_cast<size_t>(dag.edge(e).to)])
+                        covers = true;
+                }
+                EXPECT_TRUE(covers) << node.name;
+            }
+        }
+
+        // Complete: every lost-only producer of a re-run (or pending)
+        // payload consumer is in the set.
+        for (const auto& edge : dag.edges()) {
+            for (const auto& item : edge.payload) {
+                const size_t o = static_cast<size_t>(item.origin);
+                const size_t to = static_cast<size_t>(edge.to);
+                if (inv.node_done[o] &&
+                    inv.node_output_worker[o] == crashed &&
+                    (rerun[to] || !inv.node_done[to])) {
+                    EXPECT_TRUE(rerun[o])
+                        << "lost producer "
+                        << dag.node(item.origin).name << " of consumer "
+                        << dag.node(edge.to).name;
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LostNodeSetPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u));
 
 TEST(RecoveryTest, StorageBrownoutSlowsButCompletes)
 {

@@ -12,16 +12,28 @@
  * sample bits; `--selftest` additionally replays the whole campaign
  * sequentially and requires every digest to match.
  *
+ * `--chaos` switches the campaign into fault-injection verification
+ * mode: every seed first runs fault-free (the *golden* run), then again
+ * under a randomized fault schedule drawn from a scenario profile
+ * (light/heavy/storage-hostile) with a forced master crash mid-horizon,
+ * on a durable-progress-log configuration. Each chaos run must (1)
+ * complete every invocation without timeouts, (2) produce per-invocation
+ * output digests byte-identical to its golden twin, (3) execute no node
+ * twice within one drive epoch, and (4) replay log state equal to the
+ * master's pre-crash in-memory state. Any violation fails the campaign.
+ *
  * Usage:
  *   faasflow_campaign [--bench Gen] [--runs 8] [--threads N]
  *                     [--config faastore|hyperflow] [--rate 6]
  *                     [--invocations 200] [--seed 1000] [--selftest]
+ *                     [--chaos] [--profile heavy] [--smoke]
  */
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -42,6 +54,9 @@ struct Options
     size_t invocations = 200;
     uint64_t seed = 1000;
     bool selftest = false;
+    bool chaos = false;
+    bool smoke = false;
+    std::string profile = "heavy";
 };
 
 struct RunResult
@@ -93,6 +108,188 @@ runReplica(const Options& opt, const benchmarks::Benchmark& bench,
     return r;
 }
 
+/** One golden-vs-chaos verification pass for a single seed. */
+struct ChaosResult
+{
+    uint64_t seed = 0;
+    size_t expected = 0;    ///< invocations submitted per pass
+    size_t completed = 0;   ///< chaos-pass invocations that finished
+    uint64_t timeouts = 0;
+    uint64_t fault_events = 0;
+    uint64_t recoveries = 0;
+    uint64_t master_crashes = 0;
+    uint64_t master_replays = 0;
+    uint64_t replay_mismatches = 0;
+    uint64_t duplicate_executions = 0;
+    uint64_t redriven_nodes = 0;
+    size_t in_flight = 0;      ///< invocations stuck live after drain
+    size_t digest_misses = 0;  ///< chaos digests != golden digests
+    uint64_t digest = 0;       ///< fold of (id, output digest) pairs
+    bool ok = false;
+    std::string failure;  ///< first violated invariant, empty when ok
+};
+
+/** Output digests of one measured pass, keyed by invocation id. */
+struct PassOutput
+{
+    std::map<uint64_t, uint64_t> digests;
+    uint64_t timeouts = 0;
+};
+
+/**
+ * Schedules `n` Poisson arrivals on `system` and drains them; each
+ * completed invocation records its output digest. The arrival train
+ * depends only on (seed, rate, n), so the golden and chaos passes of
+ * one replica submit identical invocation sequences.
+ */
+PassOutput
+runMeasuredPass(System& system, const std::string& name,
+                double rate_per_minute, size_t n, uint64_t seed)
+{
+    PassOutput out;
+    Rng rng(seed);
+    SimTime t = system.simulator().now();
+    for (size_t i = 0; i < n; ++i) {
+        t += SimTime::seconds(rng.exponential(60.0 / rate_per_minute));
+        system.simulator().scheduleAt(t, [&system, &out, name] {
+            system.invoke(
+                name, [&out](const engine::InvocationRecord& r) {
+                    if (r.timed_out)
+                        ++out.timeouts;
+                    out.digests[r.invocation_id] = r.output_digest;
+                });
+        });
+    }
+    system.run();
+    return out;
+}
+
+SystemConfig
+chaosConfig(const Options& opt)
+{
+    SystemConfig config = opt.faastore ? SystemConfig::faasflowFaastore()
+                                       : SystemConfig::hyperflowServerless();
+    config.durable_log = true;
+    // Recovery stretches latencies; only a stuck invocation should ever
+    // hit the watchdog (a timeout fails the run's completeness check).
+    config.invocation_timeout = SimTime::seconds(600);
+    return config;
+}
+
+ChaosResult
+runChaosReplica(const Options& opt, const benchmarks::Benchmark& bench,
+                uint64_t seed)
+{
+    ChaosResult r;
+    r.seed = seed;
+    r.expected = opt.invocations;
+
+    // Golden pass: identical deployment and arrivals, zero faults.
+    PassOutput golden;
+    {
+        System system(chaosConfig(opt));
+        const std::string name = bench::deployBenchmark(system, bench);
+        golden = runMeasuredPass(system, name, opt.rate_per_minute,
+                                 opt.invocations, seed);
+    }
+
+    // Chaos pass: same seed, plus a randomized fault schedule offset to
+    // start after warm-up, with a forced master crash mid-horizon so
+    // every run exercises failover even at low drawn rates.
+    System system(chaosConfig(opt));
+    const std::string name = bench::deployBenchmark(system, bench);
+
+    sim::RandomFaultParams params;
+    if (!sim::RandomFaultParams::preset(opt.profile, params))
+        params = sim::RandomFaultParams::heavy();
+    const SimTime horizon = SimTime::seconds(
+        static_cast<double>(opt.invocations) * 60.0 / opt.rate_per_minute);
+    const sim::FaultSchedule drawn = sim::FaultSchedule::random(
+        seed ^ 0xc4a0a51ull,
+        static_cast<int>(system.cluster().workerCount()), horizon, params);
+    const SimTime base = system.simulator().now();
+    sim::FaultSchedule shifted;
+    for (const auto& e : drawn.events()) {
+        switch (e.kind) {
+        case sim::FaultKind::WorkerCrash:
+            shifted.addWorkerCrash(e.worker, base + e.at, e.duration);
+            break;
+        case sim::FaultKind::LinkDown:
+            shifted.addLinkDown(e.worker, base + e.at, e.duration);
+            break;
+        case sim::FaultKind::StorageBrownout:
+            shifted.addStorageBrownout(base + e.at, e.duration, e.severity);
+            break;
+        case sim::FaultKind::MasterCrash:
+            shifted.addMasterCrash(base + e.at, e.duration);
+            break;
+        }
+    }
+    shifted.addMasterCrash(base + horizon * 0.5, SimTime::millis(800));
+    r.fault_events = shifted.size();
+    if (std::getenv("FAASFLOW_CHAOS_DEBUG"))
+        std::fprintf(stderr, "seed %llu schedule (base %.3fs):\n%s",
+                     static_cast<unsigned long long>(seed), base.secondsF(),
+                     shifted.summary().c_str());
+    system.installFaults(shifted);
+
+    const PassOutput chaos = runMeasuredPass(
+        system, name, opt.rate_per_minute, opt.invocations, seed);
+
+    r.completed = chaos.digests.size();
+    r.timeouts = chaos.timeouts + golden.timeouts;
+    r.in_flight = system.inFlight();
+    const auto& rs = system.recoveryStats();
+    r.recoveries = rs.recoveries;
+    r.master_crashes = rs.master_crashes;
+    r.master_replays = rs.master_replays;
+    r.replay_mismatches = rs.replay_mismatches;
+    const auto& m = system.metrics();
+    r.duplicate_executions = m.duplicateExecutions(name);
+    r.redriven_nodes = m.redrivenNodes(name);
+
+    // Byte-match against the golden twin, and fold the run digest.
+    uint64_t h = 14695981039346656037ull;
+    const auto word = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    for (const auto& [id, digest] : chaos.digests) {
+        const auto g = golden.digests.find(id);
+        if (g == golden.digests.end() || g->second != digest)
+            ++r.digest_misses;
+        word(id);
+        word(digest);
+    }
+    r.digest = h;
+
+    if (r.completed != r.expected) {
+        r.failure = strFormat("%zu/%zu invocations completed", r.completed,
+                              r.expected);
+    } else if (r.timeouts > 0) {
+        r.failure = strFormat(
+            "%llu timeouts", static_cast<unsigned long long>(r.timeouts));
+    } else if (r.in_flight > 0) {
+        r.failure = strFormat("%zu invocations stuck live", r.in_flight);
+    } else if (r.digest_misses > 0) {
+        r.failure = strFormat("%zu outputs diverged from golden run",
+                              r.digest_misses);
+    } else if (r.duplicate_executions > 0) {
+        r.failure = strFormat("%llu same-epoch double executions",
+                              static_cast<unsigned long long>(
+                                  r.duplicate_executions));
+    } else if (r.replay_mismatches > 0) {
+        r.failure = strFormat("%llu replay/state mismatches",
+                              static_cast<unsigned long long>(
+                                  r.replay_mismatches));
+    } else {
+        r.ok = true;
+    }
+    return r;
+}
+
 const benchmarks::Benchmark*
 findBenchmark(const std::vector<benchmarks::Benchmark>& all,
               const std::string& name)
@@ -112,8 +309,97 @@ usage(const char* argv0)
         "usage: %s [--bench NAME] [--runs N] [--threads T]\n"
         "          [--config faastore|hyperflow] [--rate R/min]\n"
         "          [--invocations N] [--seed S] [--selftest]\n"
+        "          [--chaos] [--profile light|heavy|storage-hostile]\n"
+        "          [--smoke]\n"
         "benchmarks: Cyc Epi Gen Soy Vid IR FP WC\n",
         argv0);
+}
+
+int
+runChaosCampaign(const Options& opt, const benchmarks::Benchmark& bench,
+                 unsigned threads)
+{
+    std::printf("chaos campaign: %s / %s, profile %s, %zu seeds x %zu "
+                "invocations @ %.1f inv/min, %u threads\n",
+                bench.name.c_str(),
+                opt.faastore ? "FaaSFlow-FaaStore" : "HyperFlow-serverless",
+                opt.profile.c_str(), opt.runs, opt.invocations,
+                opt.rate_per_minute, threads);
+
+    // One job per seed, plus a repeat of the first seed as the
+    // determinism probe (the run digest must be bit-identical whatever
+    // thread executed either copy).
+    std::vector<std::function<ChaosResult()>> jobs;
+    jobs.reserve(opt.runs + 1);
+    for (size_t r = 0; r < opt.runs; ++r) {
+        const uint64_t seed = opt.seed + r;
+        jobs.push_back([&opt, &bench, seed] {
+            return runChaosReplica(opt, bench, seed);
+        });
+    }
+    jobs.push_back(
+        [&opt, &bench] { return runChaosReplica(opt, bench, opt.seed); });
+
+    const std::vector<ChaosResult> results =
+        bench::runCampaign(jobs, threads);
+
+    const auto u64 = [](uint64_t v) {
+        return strFormat("%llu", static_cast<unsigned long long>(v));
+    };
+    TextTable table;
+    table.setHeader({"seed", "done", "faults", "recov", "crash", "replay",
+                     "redriven", "digest", "verdict"});
+    size_t failures = 0;
+    for (size_t r = 0; r < opt.runs; ++r) {
+        const ChaosResult& run = results[r];
+        if (!run.ok)
+            ++failures;
+        table.addRow({u64(run.seed),
+                      strFormat("%zu/%zu", run.completed, run.expected),
+                      u64(run.fault_events), u64(run.recoveries),
+                      u64(run.master_crashes), u64(run.master_replays),
+                      u64(run.redriven_nodes),
+                      strFormat("%016llx", static_cast<unsigned long long>(
+                                               run.digest)),
+                      run.ok ? "ok" : run.failure});
+    }
+    std::printf("%s\n", table.str().c_str());
+
+    const ChaosResult& first = results[0];
+    const ChaosResult& repeat = results[opt.runs];
+    const bool deterministic = first.digest == repeat.digest &&
+                               first.completed == repeat.completed;
+    std::printf("determinism (seed %llu run twice): %s\n",
+                static_cast<unsigned long long>(opt.seed),
+                deterministic ? "bit-identical" : "MISMATCH");
+
+    if (opt.selftest) {
+        const std::vector<ChaosResult> sequential =
+            bench::runCampaign(jobs, 1);
+        for (size_t r = 0; r < results.size(); ++r) {
+            if (results[r].digest != sequential[r].digest) {
+                std::printf("selftest: run %zu diverged between %u-thread "
+                            "and sequential execution\n",
+                            r, threads);
+                return 1;
+            }
+        }
+        std::printf("selftest: %zu runs bit-identical between %u-thread "
+                    "and sequential execution\n",
+                    results.size(), threads);
+    }
+
+    if (failures > 0) {
+        std::printf("chaos: %zu/%zu runs violated invariants\n", failures,
+                    opt.runs);
+        return 1;
+    }
+    if (!deterministic)
+        return 1;
+    std::printf("chaos: all %zu runs completed, matched their golden "
+                "outputs, and held every invariant\n",
+                opt.runs);
+    return 0;
 }
 
 }  // namespace
@@ -157,6 +443,12 @@ main(int argc, char** argv)
             opt.seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--selftest") {
             opt.selftest = true;
+        } else if (arg == "--chaos") {
+            opt.chaos = true;
+        } else if (arg == "--smoke") {
+            opt.smoke = true;
+        } else if (arg == "--profile") {
+            opt.profile = next();
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -180,6 +472,16 @@ main(int argc, char** argv)
 
     const unsigned threads =
         opt.threads ? opt.threads : bench::campaignThreads();
+
+    if (opt.smoke) {
+        // CI-sized chaos runs: short arrival trains, dense enough
+        // arrivals that fault windows overlap in-flight work.
+        opt.invocations = 10;
+        opt.rate_per_minute = 30.0;
+    }
+    if (opt.chaos)
+        return runChaosCampaign(opt, *bench, threads);
+
     std::printf("campaign: %s / %s, %zu runs x %zu invocations @ %.1f "
                 "inv/min, seeds %llu.., %u threads\n",
                 bench->name.c_str(),

@@ -62,6 +62,10 @@ main(int argc, char** argv)
     flags.addInt("seed", 1, "simulation seed");
     flags.addBool("repartition", true,
                   "run one Algorithm-1 iteration after warm-up");
+    flags.addBool("durable", false,
+                  "enable the durable progress log (master failover)");
+    flags.addBool("stats", false,
+                  "print the recovery/durability counter table");
     flags.addString("trace", "", "write a Chrome trace to this file");
     flags.addString("dot", "",
                     "write the placed workflow as Graphviz DOT here");
@@ -105,6 +109,7 @@ main(int argc, char** argv)
     config.cluster.storage_bandwidth =
         flags.getDouble("bandwidth-mbps") * 1e6;
     config.seed = static_cast<uint64_t>(flags.getInt("seed"));
+    config.durable_log = flags.getBool("durable");
 
     System system(config);
     if (!flags.getString("trace").empty())
@@ -174,6 +179,37 @@ main(int argc, char** argv)
                                             m.recoveries(name)))});
     }
     std::printf("%s", table.str().c_str());
+
+    if (flags.getBool("stats")) {
+        const auto u64 = [](uint64_t v) {
+            return strFormat("%llu", static_cast<unsigned long long>(v));
+        };
+        const auto& rs = system.recoveryStats();
+        TextTable stats;
+        stats.setHeader({"recovery/durability", "value"});
+        stats.addRow({"worker recoveries", u64(m.recoveries(name))});
+        stats.addRow({"execution retries", u64(m.retries(name))});
+        stats.addRow({"re-driven nodes", u64(m.redrivenNodes(name))});
+        stats.addRow(
+            {"duplicate executions", u64(m.duplicateExecutions(name))});
+        stats.addRow({"master crashes", u64(rs.master_crashes)});
+        stats.addRow({"master log replays", u64(rs.master_replays)});
+        stats.addRow({"replay mismatches", u64(rs.replay_mismatches)});
+        stats.addRow({"mean detection latency",
+                      rs.detection_ms.count() > 0
+                          ? strFormat("%.1f ms", rs.detection_ms.mean())
+                          : std::string("n/a")});
+        if (system.progressLog()) {
+            const auto& ls = system.progressLog()->stats();
+            stats.addRow({"log appends", u64(ls.appends)});
+            stats.addRow({"log committed bytes",
+                          formatBytes(static_cast<int64_t>(
+                              ls.committed_bytes))});
+            stats.addRow({"log compactions", u64(ls.compactions)});
+            stats.addRow({"log replays", u64(ls.replays)});
+        }
+        std::printf("\n%s", stats.str().c_str());
+    }
 
     if (!flags.getString("trace").empty()) {
         std::ofstream out(flags.getString("trace"));
