@@ -200,6 +200,25 @@ sweepPointP99(double bandwidth, size_t invocations)
     return system.metrics().e2e(name).p99();
 }
 
+// ---------------------------------------------------------------------
+// 5. Tracing overhead: the same end-to-end run with the activity
+// recorder off (the disabled check must be nearly free) and on.
+
+double
+tracedRunWallMs(size_t invocations, bool traced, size_t& spans)
+{
+    System system(SystemConfig::faasflowFaastore());
+    if (traced)
+        system.trace().enable();
+    const std::string name =
+        bench::deployBenchmark(system, benchmarks::videoFfmpeg());
+    const auto t0 = std::chrono::steady_clock::now();
+    bench::runOpenLoop(system, name, 6.0, invocations);
+    const double wall_ms = secondsSince(t0) * 1000.0;
+    spans = system.trace().eventCount();
+    return wall_ms;
+}
+
 }  // namespace
 
 int
@@ -260,6 +279,22 @@ main(int argc, char** argv)
                 campaign_jobs, seq_ms, par_ms, threads,
                 identical ? "bit-identical" : "MISMATCH");
 
+    // Trace overhead: identical simulated work with the recorder off and
+    // on. Tracing costs no *simulated* time by construction; this pins
+    // the wall-clock cost of recording (string interning + span append).
+    size_t spans_off = 0;
+    size_t spans_on = 0;
+    const double trace_off_ms =
+        tracedRunWallMs(sweep_invocations, false, spans_off);
+    const double trace_on_ms =
+        tracedRunWallMs(sweep_invocations, true, spans_on);
+    std::printf("trace overhead (%zu invocations): %.0f ms off, %.0f ms on "
+                "(%zu spans, %+.1f%%)\n",
+                sweep_invocations, trace_off_ms, trace_on_ms, spans_on,
+                trace_off_ms > 0.0
+                    ? 100.0 * (trace_on_ms - trace_off_ms) / trace_off_ms
+                    : 0.0);
+
     FILE* out = std::fopen("BENCH_hotpaths.json", "w");
     if (out) {
         std::fprintf(
@@ -274,11 +309,15 @@ main(int argc, char** argv)
             "  \"campaign_wall_ms_1_thread\": %.1f,\n"
             "  \"campaign_wall_ms_n_threads\": %.1f,\n"
             "  \"campaign_threads\": %u,\n"
-            "  \"campaign_bit_identical\": %s\n"
+            "  \"campaign_bit_identical\": %s,\n"
+            "  \"trace_off_wall_ms\": %.1f,\n"
+            "  \"trace_on_wall_ms\": %.1f,\n"
+            "  \"trace_spans\": %zu\n"
             "}\n",
             smoke ? "true" : "false", evq_shallow, evq_deep, flows_per_sec,
             sweep_ms, campaign_jobs, seq_ms, par_ms, threads,
-            identical ? "true" : "false");
+            identical ? "true" : "false", trace_off_ms, trace_on_ms,
+            spans_on);
         std::fclose(out);
         std::printf("wrote BENCH_hotpaths.json\n");
     }

@@ -124,6 +124,16 @@ class ContainerPool
     int busyContainers(const std::string& function) const;
     size_t waitQueueDepth() const { return wait_queue_.size(); }
 
+    /** Idle (warm) containers across every function — the warm half of
+     *  the telemetry warm/total container gauge pair. */
+    int idleContainers() const
+    {
+        int n = 0;
+        for (const auto& [fn, idx] : fn_index_)
+            n += static_cast<int>(idx.idle.size());
+        return n;
+    }
+
     /** Time-weighted average of busy containers for `function` since the
      *  last resetConcurrencyStats() — the paper's Scale(v) feedback. */
     double averageConcurrency(const std::string& function) const;

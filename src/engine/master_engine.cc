@@ -131,7 +131,7 @@ MasterEngine::trigger(Invocation& inv, workflow::NodeId node_id)
         if (ctx_.trace) {
             ctx_.trace->instant("trigger", node.name,
                                 static_cast<int>(TraceTrack::Master),
-                                ctx_.sim.now());
+                                ctx_.sim.now(), inv.inv_span);
         }
 
         if (node.kind == workflow::StepKind::VirtualStart &&
@@ -154,12 +154,23 @@ MasterEngine::trigger(Invocation& inv, workflow::NodeId node_id)
             }
         }
 
-        if (node.isVirtual()) {
-            completeNode(inv, node_id, SimTime::zero(), drive);
-            return;
-        }
-        if (isSkipped(inv, node)) {
-            inv.node_skipped[static_cast<size_t>(node_id)] = true;
+        if (node.isVirtual() || isSkipped(inv, node)) {
+            const bool skipped = !node.isVirtual();
+            if (skipped)
+                inv.node_skipped[static_cast<size_t>(node_id)] = true;
+            if (ctx_.trace && ctx_.trace->enabled()) {
+                // Zero-duration node span on the master lane — virtual
+                // joins and skipped branches run inside the central
+                // engine, no worker is involved.
+                const SpanId span = ctx_.trace->span(
+                    "node", node.name,
+                    static_cast<int>(TraceTrack::Master), ctx_.sim.now(),
+                    ctx_.sim.now(), skipped ? "skipped" : "virtual",
+                    inv.inv_span);
+                inv.node_span[static_cast<size_t>(node_id)] = span;
+                recordNodeSpanFlows(ctx_.trace, inv, node_id, span,
+                                    ctx_.sim.now());
+            }
             completeNode(inv, node_id, SimTime::zero(), drive);
             return;
         }

@@ -54,6 +54,11 @@ struct TaskExecutor::RunState
     NodeRunResult result;
     SimTime started;     ///< when runNode was entered (trace span begin)
 
+    /** The node's trace span, open across all phases: phase spans nest
+     *  under it, and a worker crash sweeps it closed mid-run. 0 while
+     *  tracing is disabled. */
+    SpanId span = 0;
+
     /** Worker crash epoch captured at runNode entry. Every asynchronous
      *  resume compares it against the node's current epoch and abandons
      *  the run if the worker crashed in between — crucially *before*
@@ -86,6 +91,12 @@ TaskExecutor::runNode(Invocation& inv, workflow::NodeId node_id,
     rs->width = node.foreach_width;
     rs->started = sim_.now();
     rs->node_epoch = node_.crashEpoch();
+    if (trace_ && trace_->enabled()) {
+        rs->span = trace_->openSpan("node", node.name, track_, rs->started,
+                                    inv.inv_span);
+        inv.node_span[static_cast<size_t>(node_id)] = rs->span;
+        recordNodeSpanFlows(trace_, inv, node_id, rs->span, rs->started);
+    }
 
     if (rs->width > 1 && feedback)
         feedback->recordMap(node.name, static_cast<double>(rs->width));
@@ -150,7 +161,7 @@ TaskExecutor::fetchInputs(std::shared_ptr<RunState> rs)
                 trace_->span("fetch",
                              rs->inv->wf->dag.node(f.origin).name, track_,
                              sim_.now() - elapsed, sim_.now(),
-                             local ? "local" : "remote");
+                             local ? "local" : "remote", rs->span);
             }
             rs->inv->record.data_latency += elapsed;
             if (local) {
@@ -170,11 +181,30 @@ TaskExecutor::fetchInputs(std::shared_ptr<RunState> rs)
             }
         };
         if (rs->mode == DataMode::RemoteOnly) {
-            store_.remoteStore().get(key, node_.netId(), std::move(on_got));
+            store_.remoteStore().get(key, node_.netId(), std::move(on_got),
+                                     rs->span);
         } else {
-            store_.fetch(rs->inv->wf->name, key, std::move(on_got));
+            store_.fetch(rs->inv->wf->name, key, std::move(on_got),
+                         rs->span);
         }
     }
+}
+
+void
+TaskExecutor::recordAcquire(const std::shared_ptr<RunState>& rs,
+                            SimTime requested,
+                            const cluster::AcquireResult& acquired)
+{
+    if (!trace_ || rs->span == 0)
+        return;
+    const std::string& name = rs->inv->wf->dag.node(rs->node_id).name;
+    const SimTime queued_until = requested + acquired.queue_delay;
+    if (acquired.queue_delay > SimTime::zero())
+        trace_->span("wait", name, track_, requested, queued_until, {},
+                     rs->span);
+    if (acquired.cold_start)
+        trace_->span("coldstart", name, track_, queued_until, sim_.now(),
+                     {}, rs->span);
 }
 
 void
@@ -191,6 +221,7 @@ TaskExecutor::executeInstances(std::shared_ptr<RunState> rs)
                 if (abandoned(rs))
                     return;  // never touch the (freed) container
                 rs->inv->record.container_wait += sim_.now() - requested;
+                recordAcquire(rs, requested, acquired);
                 if (acquired.cold_start) {
                     ++rs->result.cold_starts;
                     ++rs->inv->record.cold_starts;
@@ -219,10 +250,17 @@ TaskExecutor::runInstanceAttempt(std::shared_ptr<RunState> rs,
                             rng_.uniform() < rs->spec->failure_rate;
         rs->result.max_exec = std::max(rs->result.max_exec, exec);
         rs->inv->record.exec_total += exec;
-        sim_.schedule(exec, [this, rs, container, failed] {
+        sim_.schedule(exec, [this, rs, container, failed, exec] {
             if (abandoned(rs))
                 return;
             node_.releaseCore();
+            if (trace_) {
+                trace_->span("exec",
+                             rs->inv->wf->dag.node(rs->node_id).name,
+                             track_, sim_.now() - exec, sim_.now(),
+                             failed ? "crashed" : std::string_view{},
+                             rs->span);
+            }
             if (failed) {
                 // The attempt crashed: the container is torn down (a
                 // crashed sandbox is not reused) and the platform retries
@@ -231,7 +269,7 @@ TaskExecutor::runInstanceAttempt(std::shared_ptr<RunState> rs,
                 if (trace_) {
                     trace_->instant(
                         "retry", rs->inv->wf->dag.node(rs->node_id).name,
-                        track_, sim_.now());
+                        track_, sim_.now(), rs->span);
                 }
                 node_.pool().releaseCrashed(container);
                 const auto& node = rs->inv->wf->dag.node(rs->node_id);
@@ -244,6 +282,7 @@ TaskExecutor::runInstanceAttempt(std::shared_ptr<RunState> rs,
                             return;
                         rs->inv->record.container_wait +=
                             sim_.now() - retry_requested;
+                        recordAcquire(rs, retry_requested, again);
                         if (again.cold_start) {
                             ++rs->result.cold_starts;
                             ++rs->inv->record.cold_starts;
@@ -287,33 +326,32 @@ TaskExecutor::saveOutput(std::shared_ptr<RunState> rs)
         rs->mode == DataMode::FaaStore &&
         rs->inv->placement->allConsumersLocal(dag, rs->node_id);
     const std::string key = dataKey(*rs->inv, rs->node_id);
-    store_.save(rs->inv->wf->name, key, output_bytes,
-                rs->inv->node_payload[static_cast<size_t>(rs->node_id)],
-                prefer_local,
-                [this, rs, output_bytes](SimTime elapsed, bool local) {
-                    if (abandoned(rs))
-                        return;  // the saved object died with the node
-                    // Remember where the object landed: recovery must
-                    // re-run this producer if that local copy is lost.
-                    rs->inv->node_output_worker[static_cast<size_t>(
-                        rs->node_id)] =
-                        local ? rs->inv->placement->workerOf(rs->node_id)
-                              : -1;
-                    if (trace_) {
-                        trace_->span(
-                            "save",
-                            rs->inv->wf->dag.node(rs->node_id).name, track_,
-                            sim_.now() - elapsed, sim_.now(),
-                            local ? "local" : "remote");
-                    }
-                    rs->inv->record.data_latency += elapsed;
-                    if (local) {
-                        rs->inv->record.bytes_via_local += output_bytes;
-                    } else {
-                        rs->inv->record.bytes_via_remote += output_bytes;
-                    }
-                    finish(rs);
-                });
+    store_.save(
+        rs->inv->wf->name, key, output_bytes,
+        rs->inv->node_payload[static_cast<size_t>(rs->node_id)],
+        prefer_local,
+        [this, rs, output_bytes](SimTime elapsed, bool local) {
+            if (abandoned(rs))
+                return;  // the saved object died with the node
+            // Remember where the object landed: recovery must
+            // re-run this producer if that local copy is lost.
+            rs->inv->node_output_worker[static_cast<size_t>(rs->node_id)] =
+                local ? rs->inv->placement->workerOf(rs->node_id) : -1;
+            if (trace_) {
+                trace_->span("save",
+                             rs->inv->wf->dag.node(rs->node_id).name,
+                             track_, sim_.now() - elapsed, sim_.now(),
+                             local ? "local" : "remote", rs->span);
+            }
+            rs->inv->record.data_latency += elapsed;
+            if (local) {
+                rs->inv->record.bytes_via_local += output_bytes;
+            } else {
+                rs->inv->record.bytes_via_remote += output_bytes;
+            }
+            finish(rs);
+        },
+        rs->span);
 }
 
 void
@@ -336,11 +374,10 @@ TaskExecutor::finish(std::shared_ptr<RunState> rs)
         rs->feedback->recordScale(node.name, std::max(1.0, concurrency));
     }
     if (trace_) {
-        trace_->span("node", rs->inv->wf->dag.node(rs->node_id).name,
-                     track_, rs->started, sim_.now(),
-                     strFormat("width=%d cold=%llu", rs->width,
-                               static_cast<unsigned long long>(
-                                   rs->result.cold_starts)));
+        trace_->closeSpan(rs->span, sim_.now(),
+                          strFormat("width=%d cold=%llu", rs->width,
+                                    static_cast<unsigned long long>(
+                                        rs->result.cold_starts)));
     }
     rs->inv->record.functions_executed +=
         static_cast<uint64_t>(rs->width);

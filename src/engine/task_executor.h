@@ -79,6 +79,11 @@ class TaskExecutor
     void fetchInputs(std::shared_ptr<RunState> rs);
     void executeInstances(std::shared_ptr<RunState> rs);
 
+    /** Trace wait/coldstart phase spans of one container acquisition. */
+    void recordAcquire(const std::shared_ptr<RunState>& rs,
+                       SimTime requested,
+                       const cluster::AcquireResult& acquired);
+
     /** One execution attempt of one instance; failed attempts recycle
      *  the container and retry transparently. */
     void runInstanceAttempt(std::shared_ptr<RunState> rs,

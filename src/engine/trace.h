@@ -1,78 +1,17 @@
 #ifndef FAASFLOW_ENGINE_TRACE_H_
 #define FAASFLOW_ENGINE_TRACE_H_
 
-#include <cstdint>
-#include <string>
-#include <vector>
-
-#include "common/sim_time.h"
-#include "json/json.h"
+// Tracing moved to the observability layer (src/obs/) when it grew from
+// flat spans into a causal span tree. This header keeps the historical
+// engine-namespace names alive for the many call sites that predate the
+// move.
+#include "obs/trace.h"
 
 namespace faasflow::engine {
 
-/** Well-known trace tracks (Chrome-trace tid values). */
-enum class TraceTrack : int {
-    Client = 0,    ///< invocation lifecycle on the client/master side
-    Master = 1,    ///< MasterSP central engine activity
-    WorkerBase = 8  ///< worker w maps to track WorkerBase + w
-};
-
-/**
- * Records simulation activity as completed spans and exports them in the
- * Chrome trace-event format (load the output in chrome://tracing or
- * https://ui.perfetto.dev to see every invocation's timeline: triggers,
- * container waits, data fetches, executions, saves).
- *
- * Recording is off by default and costs one branch per site when
- * disabled; the simulator is single-threaded so no locking is needed.
- */
-class TraceRecorder
-{
-  public:
-    void enable() { enabled_ = true; }
-    void disable() { enabled_ = false; }
-    bool enabled() const { return enabled_; }
-
-    /**
-     * Records a completed span.
-     * @param category grouping tag ("node", "fetch", "save", "trigger")
-     * @param name human label, e.g. the DAG node name
-     * @param track lane in the viewer (use worker index + WorkerBase)
-     * @param start span begin (simulated time)
-     * @param end span end; must be >= start
-     * @param detail optional free-form annotation shown in the viewer
-     */
-    void span(const std::string& category, const std::string& name,
-              int track, SimTime start, SimTime end,
-              const std::string& detail = std::string());
-
-    /** Records a zero-duration marker. */
-    void instant(const std::string& category, const std::string& name,
-                 int track, SimTime at);
-
-    size_t eventCount() const { return events_.size(); }
-    void clear() { events_.clear(); }
-
-    /** Chrome trace-event JSON ({"traceEvents": [...]}). */
-    json::Value toChromeTrace() const;
-
-    /** Serialised Chrome trace. */
-    std::string toChromeTraceText() const;
-
-  private:
-    struct Event
-    {
-        std::string category;
-        std::string name;
-        int track;
-        int64_t start_us;
-        int64_t dur_us;  ///< -1 for instants
-        std::string detail;
-    };
-
-    bool enabled_ = false;
-    std::vector<Event> events_;
-};
+using obs::SpanId;
+using obs::TraceRecorder;
+using obs::TraceTrack;
 
 }  // namespace faasflow::engine
 

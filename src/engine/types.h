@@ -11,6 +11,7 @@
 #include "common/payload.h"
 #include "common/sim_time.h"
 #include "engine/modes.h"
+#include "engine/trace.h"
 #include "scheduler/feedback.h"
 #include "scheduler/placement.h"
 #include "workflow/dag.h"
@@ -176,6 +177,13 @@ struct Invocation
      *  senders are already counted by the counter rebuild). */
     uint32_t recovery_epoch = 0;
 
+    /** Trace span tree: the invocation's root span (client track) and
+     *  the latest span recorded for each DAG node (re-drives replace the
+     *  entry, so dep flows always point at the run that produced the
+     *  consumed output). All zero while tracing is disabled. */
+    SpanId inv_span = 0;
+    std::vector<SpanId> node_span;
+
     size_t sinks_remaining = 0;
     bool finished = false;
 
@@ -206,6 +214,31 @@ chooseSwitchBranch(const Invocation& inv, int switch_id, int branches)
     x *= 0x94d049bb133111ebull;
     x ^= x >> 31;
     return static_cast<int>(x % static_cast<uint64_t>(branches));
+}
+
+/**
+ * Records the causal "dep" flow arrows into a node's freshly-opened
+ * trace span: one from each DAG predecessor's span (the data/control
+ * dependency that released this node), or from the invocation root for
+ * source nodes. Predecessor spans are complete by the time a node
+ * fires, so the arrows never point backwards. No-op while disabled.
+ */
+inline void
+recordNodeSpanFlows(TraceRecorder* trace, const Invocation& inv,
+                    workflow::NodeId node, SpanId to, SimTime at)
+{
+    if (!trace || !trace->enabled() || to == 0)
+        return;
+    bool any = false;
+    for (const workflow::NodeId pred : inv.wf->dag.predecessors(node)) {
+        const SpanId from = inv.node_span[static_cast<size_t>(pred)];
+        if (from != 0) {
+            trace->flow("dep", from, to, at);
+            any = true;
+        }
+    }
+    if (!any)
+        trace->flow("dep", inv.inv_span, to, at);
 }
 
 /**

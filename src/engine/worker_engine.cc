@@ -109,7 +109,8 @@ WorkerEngine::trigger(Invocation& inv, workflow::NodeId node_id)
         const auto& node = inv.wf->dag.node(node_id);
         if (ctx_.trace) {
             ctx_.trace->instant("trigger", node.name,
-                                workerTrack(worker_index_), ctx_.sim.now());
+                                workerTrack(worker_index_), ctx_.sim.now(),
+                                inv.inv_span);
         }
 
         // A switch start picks the taken branch; the choice travels with
@@ -140,12 +141,21 @@ WorkerEngine::trigger(Invocation& inv, workflow::NodeId node_id)
             }
         }
 
-        if (node.isVirtual()) {
-            completeNode(inv, node_id, SimTime::zero());
-            return;
-        }
-        if (isSkipped(inv, node)) {
-            inv.node_skipped[static_cast<size_t>(node_id)] = true;
+        if (node.isVirtual() || isSkipped(inv, node)) {
+            const bool skipped = !node.isVirtual();
+            if (skipped)
+                inv.node_skipped[static_cast<size_t>(node_id)] = true;
+            if (ctx_.trace && ctx_.trace->enabled()) {
+                // Zero-duration node span: keeps the causal chain through
+                // virtual joins and non-taken branches intact.
+                const SpanId span = ctx_.trace->span(
+                    "node", node.name, workerTrack(worker_index_),
+                    ctx_.sim.now(), ctx_.sim.now(),
+                    skipped ? "skipped" : "virtual", inv.inv_span);
+                inv.node_span[idx] = span;
+                recordNodeSpanFlows(ctx_.trace, inv, node_id, span,
+                                    ctx_.sim.now());
+            }
             completeNode(inv, node_id, SimTime::zero());
             return;
         }

@@ -43,6 +43,10 @@ struct SystemConfig
     /** Open-loop execution timeout (§5.4): latency is clamped here. */
     SimTime invocation_timeout = SimTime::seconds(60);
 
+    /** Resource-telemetry sampling cadence (System::telemetry()); the
+     *  sampler itself only runs once started via startTelemetry(). */
+    SimTime telemetry_interval = SimTime::millis(10);
+
     /**
      * Durable progress log on the storage node (DESIGN.md §8). Off by
      * default: appends cost simulated time, so durability is an opt-in

@@ -34,10 +34,12 @@ System::System(SystemConfig config)
 {
     sim_ = std::make_unique<sim::Simulator>();
     network_ = std::make_unique<net::Network>(*sim_, config_.network);
+    network_->setTrace(&trace_);
     cluster_ = std::make_unique<cluster::Cluster>(
         *sim_, *network_, registry_, config_.cluster, rng_.split());
     remote_ = std::make_unique<storage::RemoteStore>(
         *sim_, *network_, cluster_->storageNodeId(), config_.remote);
+    remote_->setTrace(&trace_);
 
     for (size_t w = 0; w < cluster_->workerCount(); ++w) {
         stores_.push_back(std::make_unique<storage::FaaStore>(
@@ -85,6 +87,110 @@ System::System(SystemConfig config)
 
     graph_scheduler_ = std::make_unique<scheduler::GraphScheduler>(
         registry_, config_.scheduler);
+
+    registerTelemetryGauges();
+}
+
+void
+System::registerTelemetryGauges()
+{
+    telemetry_.setInterval(config_.telemetry_interval);
+    net::Network* net = network_.get();
+    sim::Simulator* sim = sim_.get();
+
+    // NIC egress/ingress utilisation is a windowed rate: bytes moved
+    // since the previous sample over the sample interval, normalised by
+    // the NIC capacity. The byte counters live in the network; the
+    // deltas live in the closures (reset by TelemetrySampler::clear is
+    // unnecessary — gauges are pure functions of counter differences).
+    const auto nic_util = [net, sim](net::NodeId nid, bool egress) {
+        return [net, sim, nid, egress, last_bytes = int64_t{0},
+                last_us = int64_t{0}]() mutable {
+            const net::NicStats& s = net->stats(nid);
+            const int64_t bytes = egress ? s.bytes_sent : s.bytes_received;
+            const int64_t now_us = sim->now().micros();
+            const int64_t db = bytes - last_bytes;
+            const int64_t dt = now_us - last_us;
+            last_bytes = bytes;
+            last_us = now_us;
+            const double bw = egress ? net->egressBandwidth(nid)
+                                     : net->ingressBandwidth(nid);
+            if (dt <= 0 || bw <= 0.0)
+                return 0.0;
+            return static_cast<double>(db) * 1e6 /
+                   (static_cast<double>(dt) * bw);
+        };
+    };
+
+    for (size_t w = 0; w < cluster_->workerCount(); ++w) {
+        cluster::WorkerNode* node = &cluster_->worker(w);
+        storage::FaaStore* store = stores_[w].get();
+        const std::string labels =
+            strFormat("node=\"%s\"", node->name().c_str());
+        telemetry_.registerGauge("faasflow_cores_in_use", labels, [node] {
+            return static_cast<double>(node->coresInUse());
+        });
+        telemetry_.registerGauge("faasflow_run_queue_depth", labels,
+                                 [node] {
+                                     return static_cast<double>(
+                                         node->runQueueDepth());
+                                 });
+        telemetry_.registerGauge("faasflow_memory_used_bytes", labels,
+                                 [node] {
+                                     return static_cast<double>(
+                                         node->memoryUsed());
+                                 });
+        telemetry_.registerGauge("faasflow_containers_total", labels,
+                                 [node] {
+                                     return static_cast<double>(
+                                         node->pool().totalContainers());
+                                 });
+        telemetry_.registerGauge("faasflow_containers_warm", labels,
+                                 [node] {
+                                     return static_cast<double>(
+                                         node->pool().idleContainers());
+                                 });
+        telemetry_.registerGauge("faasflow_pool_wait_queue", labels,
+                                 [node] {
+                                     return static_cast<double>(
+                                         node->pool().waitQueueDepth());
+                                 });
+        telemetry_.registerGauge("faasflow_local_store_used_bytes", labels,
+                                 [store] {
+                                     return static_cast<double>(
+                                         store->memStore().usedBytes());
+                                 });
+        telemetry_.registerGauge("faasflow_nic_egress_util", labels,
+                                 nic_util(node->netId(), true));
+        telemetry_.registerGauge("faasflow_nic_ingress_util", labels,
+                                 nic_util(node->netId(), false));
+    }
+
+    const net::NodeId sid = cluster_->storageNodeId();
+    const std::string slabels =
+        strFormat("node=\"%s\"", network_->nodeName(sid).c_str());
+    storage::RemoteStore* remote = remote_.get();
+    telemetry_.registerGauge("faasflow_storage_queue_depth", slabels,
+                             [net, sid] {
+                                 return static_cast<double>(
+                                     net->nodeActiveFlows(sid));
+                             });
+    telemetry_.registerGauge("faasflow_storage_objects", slabels, [remote] {
+        return static_cast<double>(remote->objectCount());
+    });
+    telemetry_.registerGauge("faasflow_storage_bytes", slabels, [remote] {
+        return static_cast<double>(remote->storedBytes());
+    });
+    telemetry_.registerGauge("faasflow_nic_egress_util", slabels,
+                             nic_util(sid, true));
+    telemetry_.registerGauge("faasflow_nic_ingress_util", slabels,
+                             nic_util(sid, false));
+}
+
+void
+System::startTelemetry()
+{
+    telemetry_.start(*sim_);
 }
 
 System::~System() = default;
@@ -271,7 +377,17 @@ System::invoke(const std::string& workflow,
     ref.node_payload.assign(dag.nodeCount(), Payload{});
     ref.node_ran.assign(dag.nodeCount(), 0);
     ref.node_run_epoch.assign(dag.nodeCount(), 0);
+    ref.node_span.assign(dag.nodeCount(), 0);
     ref.sinks_remaining = workflow::sinkNodes(dag).size();
+    if (trace_.enabled()) {
+        // Root of the invocation's span tree; every node span hangs off
+        // it and deliverRecord closes it at the recorded finish.
+        ref.inv_span = trace_.openSpan(
+            "invocation",
+            strFormat("%s#%llu", workflow.c_str(),
+                      static_cast<unsigned long long>(ref.id)),
+            static_cast<int>(engine::TraceTrack::Client), sim_->now());
+    }
     ref.record.invocation_id = ref.id;
     ref.record.workflow = workflow;
     ref.record.submit = sim_->now();
@@ -376,12 +492,10 @@ System::deliverRecord(engine::Invocation& inv, bool timed_out)
     inv.record.critical_exec =
         engine::actualCriticalExec(inv.wf->dag, inv.node_exec);
     inv.record.output_digest = engine::invocationOutputDigest(inv);
-    trace_.span("invocation",
-                strFormat("%s#%llu", inv.record.workflow.c_str(),
-                          static_cast<unsigned long long>(inv.id)),
-                static_cast<int>(engine::TraceTrack::Client),
-                inv.record.submit, inv.record.finish,
-                timed_out ? "timeout" : "");
+    if (inv.inv_span != 0) {
+        trace_.closeSpan(inv.inv_span, inv.record.finish,
+                         timed_out ? "timeout" : std::string_view{});
+    }
     metrics_.add(inv.record);
     if (inv.on_complete)
         inv.on_complete(inv.record);
@@ -464,11 +578,23 @@ System::installFaults(const sim::FaultSchedule& schedule)
                     ? cluster_->storageNodeId()
                     : cluster_->worker(static_cast<size_t>(event.worker))
                           .netId();
-            sim_->scheduleAt(event.at, [this, nid] {
+            // The outage window is one "fault" span on the network
+            // track; the span id crosses from the down- to the
+            // up-lambda through the shared slot.
+            auto span = std::make_shared<engine::SpanId>(0);
+            sim_->scheduleAt(event.at, [this, nid, span] {
                 network_->setLinkUp(nid, false);
+                if (trace_.enabled()) {
+                    *span = trace_.openSpan(
+                        "fault", "link-outage",
+                        static_cast<int>(engine::TraceTrack::Net),
+                        sim_->now(), 0, network_->nodeName(nid));
+                }
             });
-            sim_->scheduleAt(event.at + event.duration, [this, nid] {
+            sim_->scheduleAt(event.at + event.duration, [this, nid, span] {
                 network_->setLinkUp(nid, true);
+                if (*span != 0)
+                    trace_.closeSpan(*span, sim_->now());
             });
             break;
         }
@@ -476,15 +602,24 @@ System::installFaults(const sim::FaultSchedule& schedule)
             // The progress log shares the storage node, so a brown-out
             // stretches its commit latency by the same factor.
             const double severity = event.severity;
-            sim_->scheduleAt(event.at, [this, severity] {
+            auto span = std::make_shared<engine::SpanId>(0);
+            sim_->scheduleAt(event.at, [this, severity, span] {
                 remote_->setDegradeFactor(severity);
                 if (progress_log_)
                     progress_log_->setDegradeFactor(severity);
+                if (trace_.enabled()) {
+                    *span = trace_.openSpan(
+                        "fault", "brownout",
+                        static_cast<int>(engine::TraceTrack::Storage),
+                        sim_->now(), 0, strFormat("x%.2f", severity));
+                }
             });
-            sim_->scheduleAt(event.at + event.duration, [this] {
+            sim_->scheduleAt(event.at + event.duration, [this, span] {
                 remote_->setDegradeFactor(1.0);
                 if (progress_log_)
                     progress_log_->setDegradeFactor(1.0);
+                if (*span != 0)
+                    trace_.closeSpan(*span, sim_->now());
             });
             break;
         }
@@ -508,6 +643,17 @@ System::crashWorker(size_t worker)
     node.crash();
     stores_[worker]->onNodeCrash();
     network_->setLinkUp(node.netId(), false);
+    if (trace_.enabled()) {
+        // Sweep the worker's lane: whatever was mid-phase dies with the
+        // node (the spans close here, marked), then open the crash
+        // window so the outage is visible as a block on the same lane.
+        const int track = engine::workerTrack(static_cast<int>(worker));
+        trace_.closeOpenSpans(track, sim_->now(), "crashed");
+        if (worker_crash_span_.size() < cluster_->workerCount())
+            worker_crash_span_.resize(cluster_->workerCount(), 0);
+        worker_crash_span_[worker] =
+            trace_.openSpan("fault", "crash", track, sim_->now());
+    }
     if (crash_time_.size() < cluster_->workerCount()) {
         crash_time_.resize(cluster_->workerCount());
         detect_pending_.resize(cluster_->workerCount(), 0);
@@ -524,6 +670,11 @@ System::restoreWorker(size_t worker)
         return;
     node.setAlive(true);
     network_->setLinkUp(node.netId(), true);
+    if (worker < worker_crash_span_.size() &&
+        worker_crash_span_[worker] != 0) {
+        trace_.closeSpan(worker_crash_span_[worker], sim_->now());
+        worker_crash_span_[worker] = 0;
+    }
     if (worker < detected_down_.size())
         detected_down_[worker] = 0;
 }
@@ -571,6 +722,14 @@ System::onWorkerFailureDetected(size_t worker)
         rstats_.detection_ms.add(
             (sim_->now() - crash_time_[worker]).millisF());
     }
+    if (trace_.enabled() && !cluster_->worker(worker).alive()) {
+        // The heartbeat sweep noticed the loss; recovery starts here.
+        trace_.instant("recovery",
+                       strFormat("detect %s",
+                                 cluster_->worker(worker).name().c_str()),
+                       static_cast<int>(engine::TraceTrack::Master),
+                       sim_->now());
+    }
     const int replacement = pickReplacement(worker);
     if (replacement < 0) {
         // Every worker is down; re-check after another heartbeat period.
@@ -597,6 +756,11 @@ System::recoverInvocation(engine::Invocation& inv, size_t crashed,
 
     ++rstats_.recoveries;
     ++inv.record.recoveries;
+    if (trace_.enabled() && inv.inv_span != 0) {
+        trace_.instant("recovery", "redrive",
+                       static_cast<int>(engine::TraceTrack::Master),
+                       sim_->now(), inv.inv_span);
+    }
 
     // Move the dead worker's whole sub-graph onto the replacement (which
     // preserves the all-consumers-local invariant), invalidate the lost
@@ -622,6 +786,11 @@ System::crashMaster()
     master_down_ = true;
     ++rstats_.master_crashes;
     master_engine_->onMasterCrash();
+    if (trace_.enabled()) {
+        master_crash_span_ = trace_.openSpan(
+            "fault", "master-crash",
+            static_cast<int>(engine::TraceTrack::Master), sim_->now());
+    }
     if (config_.control_mode != engine::ControlMode::MasterSP)
         return;
 
@@ -657,6 +826,10 @@ System::restoreMaster()
         return;
     master_down_ = false;
     master_engine_->onMasterRestart();
+    if (master_crash_span_ != 0) {
+        trace_.closeSpan(master_crash_span_, sim_->now());
+        master_crash_span_ = 0;
+    }
 
     if (config_.control_mode == engine::ControlMode::MasterSP &&
         progress_log_) {
@@ -705,6 +878,11 @@ System::replayInvocation(engine::Invocation& inv)
     const storage::ReplayState rs = progress_log_->replay(inv.id, n);
     ++rstats_.master_replays;
     ++inv.record.master_recoveries;
+    if (trace_.enabled() && inv.inv_span != 0) {
+        trace_.instant("recovery", "replay",
+                       static_cast<int>(engine::TraceTrack::Master),
+                       sim_->now(), inv.inv_span);
+    }
 
     // Replay-equality invariant: commit-at-issue means the log can never
     // lag the master's in-memory facts, so the replayed state must cover

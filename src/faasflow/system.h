@@ -13,6 +13,7 @@
 #include "engine/types.h"
 #include "engine/worker_engine.h"
 #include "faasflow/config.h"
+#include "obs/telemetry.h"
 #include "sim/fault_schedule.h"
 #include "workflow/wdl.h"
 
@@ -179,6 +180,16 @@ class System
      *  collect Chrome-trace timelines of every span. */
     engine::TraceRecorder& trace() { return trace_; }
 
+    /** Resource-telemetry sampler: per-worker core/memory/container and
+     *  NIC gauges plus storage-node depth, on the configured cadence.
+     *  Gauges are registered at construction; nothing samples until
+     *  startTelemetry(). */
+    obs::TelemetrySampler& telemetry() { return telemetry_; }
+
+    /** Arms the sampler (first sample now, then every
+     *  config.telemetry_interval while events remain). */
+    void startTelemetry();
+
     /** Per-worker engine utilisation/footprint (§5.7); WorkerSP only. */
     double workerEngineUtilisation(size_t worker) const;
     int64_t workerEngineMemory(size_t worker) const;
@@ -214,6 +225,7 @@ class System
     std::map<uint64_t, std::unique_ptr<engine::Invocation>> invocations_;
     engine::MetricsCollector metrics_;
     engine::TraceRecorder trace_;
+    obs::TelemetrySampler telemetry_;
     Rng rng_;
     uint64_t next_invocation_id_ = 1;
 
@@ -226,6 +238,12 @@ class System
     /** Workers the master currently believes dead (set at detection,
      *  cleared at reboot); new invocations are routed around them. */
     std::vector<uint8_t> detected_down_;
+
+    /** Open "fault" crash-window spans, one slot per worker (0 = none);
+     *  opened at crashWorker, closed at restoreWorker. */
+    std::vector<engine::SpanId> worker_crash_span_;
+    /** Open master crash-window span (0 = none). */
+    engine::SpanId master_crash_span_ = 0;
 
     /** Master-failover state. */
     bool master_down_ = false;
@@ -258,6 +276,7 @@ class System
     void replayInvocation(engine::Invocation& inv);
     std::vector<int> workerCapacities() const;
     WorkflowState& stateOf(const std::string& workflow);
+    void registerTelemetryGauges();
 };
 
 }  // namespace faasflow

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace faasflow::net {
 
@@ -86,6 +87,10 @@ Network::setLinkUp(NodeId id, bool up)
         return;
     node.link_up = up;
     const SimTime now = sim_.now();
+    if (trace_) {
+        trace_->instant("fault", up ? "link-up" : "link-down",
+                        static_cast<int>(obs::TraceTrack::Net), now);
+    }
 
     if (!up) {
         // Stall every active flow crossing the node: charge progress at
@@ -239,6 +244,13 @@ Network::startFlow(NodeId src, NodeId dst, int64_t bytes,
     flow.eta = {};
     flow.eta_when_us = 0;
     flow.on_complete = std::move(on_complete);
+    flow.trace_span = 0;
+    if (trace_ && trace_->enabled()) {
+        flow.trace_span = trace_->openSpan(
+            "xfer", strFormat("%s->%s", sn.name.c_str(), dn.name.c_str()),
+            static_cast<int>(obs::TraceTrack::Net), now, 0,
+            strFormat("%lld B", static_cast<long long>(bytes)));
+    }
     ++active_flow_count_;
     linkFlow(&flow);
     const FlowId id = flow.id;
@@ -296,6 +308,28 @@ Network::releaseFlow(Flow* flow)
         flow->gen = 1;
     flow_free_.push_back(static_cast<uint32_t>(flow->id.value >> 32));
     --active_flow_count_;
+}
+
+size_t
+Network::nodeActiveFlows(NodeId id) const
+{
+    checkNode(id);
+    const Node& node = nodes_[static_cast<size_t>(id)];
+    return node.out_flows.size() + node.in_flows.size();
+}
+
+double
+Network::egressBandwidth(NodeId id) const
+{
+    checkNode(id);
+    return nodes_[static_cast<size_t>(id)].egress_bw;
+}
+
+double
+Network::ingressBandwidth(NodeId id) const
+{
+    checkNode(id);
+    return nodes_[static_cast<size_t>(id)].ingress_bw;
 }
 
 double
@@ -617,6 +651,8 @@ Network::onFlowEta(uint64_t id)
             sim_.cancel(f->eta);
             f->eta = {};
         }
+        if (trace_)
+            trace_->closeSpan(f->trace_span, now);
         done.push_back(Done{f, f->seq, f->src, f->dst, now - f->start,
                             std::move(f->on_complete)});
     }

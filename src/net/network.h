@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/sim_time.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace faasflow::net {
@@ -144,6 +145,17 @@ class Network
     /** Number of currently active bulk flows. */
     size_t activeFlows() const { return active_flow_count_; }
 
+    /** Active bulk flows touching `id` (either NIC) — the queue-depth
+     *  gauge of a hub node (the storage server). */
+    size_t nodeActiveFlows(NodeId id) const;
+
+    double egressBandwidth(NodeId id) const;
+    double ingressBandwidth(NodeId id) const;
+
+    /** Attaches the activity recorder: every bulk flow becomes an "xfer"
+     *  span on the network track, link flips become fault instants. */
+    void setTrace(obs::TraceRecorder* trace) { trace_ = trace; }
+
     /** Current allocated rate of a flow in bytes/s; 0 if finished. */
     double flowRate(FlowId id) const;
 
@@ -185,6 +197,7 @@ class Network
         FlowId id;
         uint64_t seq = 0;         ///< monotone start order (canonical
                                   ///< completion-callback ordering)
+        uint64_t trace_span = 0;  ///< open "xfer" span while tracing
         SimTime start;
         uint32_t src_pos = 0;     ///< index in the src node's flow list
         uint32_t dst_pos = 0;     ///< index in the dst node's flow list
@@ -227,6 +240,7 @@ class Network
     sim::Simulator& sim_;
     Config config_;
     std::vector<Node> nodes_;
+    obs::TraceRecorder* trace_ = nullptr;
 
     /** Flow slab: slots are reused via a free list and invalidated by a
      *  generation bump, so starting/completing a flow never allocates or

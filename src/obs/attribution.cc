@@ -1,0 +1,211 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace faasflow::obs {
+namespace {
+
+/**
+ * Phase priority inside a node span. When phases overlap (they should
+ * not, but clamping and retries can make them touch), the highest
+ * priority wins the overlapped time, so no instant is counted twice.
+ */
+int
+phasePriority(const std::string& category)
+{
+    if (category == "exec")
+        return 5;
+    if (category == "coldstart")
+        return 4;
+    if (category == "fetch")
+        return 3;
+    if (category == "save")
+        return 2;
+    if (category == "wait")
+        return 1;
+    return 0;
+}
+
+void
+addComponent(Attribution& attribution, int priority, int64_t us)
+{
+    switch (priority) {
+    case 5: attribution.exec_us += us; break;
+    case 4: attribution.coldstart_us += us; break;
+    case 3: attribution.fetch_us += us; break;
+    case 2: attribution.save_us += us; break;
+    // "wait" (container queue) and uncovered node-span interior (engine
+    // bookkeeping between phases) both count as queueing.
+    default: attribution.queue_us += us; break;
+    }
+}
+
+bool
+isNodeChildOf(const TraceModel& model, SpanId id, SpanId invocation)
+{
+    const SpanRec* span = model.find(id);
+    return span && span->parent == invocation && span->category == "node";
+}
+
+/**
+ * Walks backwards from the latest-ending node span along incoming "dep"
+ * flows, always taking the predecessor that finished last (ties broken
+ * by id, i.e. by record order — deterministic). Returns the chain in
+ * execution order.
+ */
+std::vector<const SpanRec*>
+criticalChain(const TraceModel& model, const SpanRec& invocation,
+              const std::vector<size_t>& node_children)
+{
+    const SpanRec* tail = nullptr;
+    for (const size_t i : node_children) {
+        const SpanRec& node = model.spans[i];
+        if (!tail || node.end_us > tail->end_us ||
+            (node.end_us == tail->end_us && node.id > tail->id))
+            tail = &node;
+    }
+    std::vector<const SpanRec*> reversed;
+    std::unordered_set<SpanId> visited;
+    const SpanRec* cursor = tail;
+    while (cursor && visited.insert(cursor->id).second) {
+        reversed.push_back(cursor);
+        const auto it = model.flows_in.find(cursor->id);
+        const SpanRec* pred = nullptr;
+        if (it != model.flows_in.end()) {
+            for (const size_t fi : it->second) {
+                const FlowRec& flow = model.flows[fi];
+                if (flow.category != "dep" ||
+                    !isNodeChildOf(model, flow.from, invocation.id))
+                    continue;
+                const SpanRec* candidate = model.find(flow.from);
+                if (!pred || candidate->end_us > pred->end_us ||
+                    (candidate->end_us == pred->end_us &&
+                     candidate->id > pred->id))
+                    pred = candidate;
+            }
+        }
+        cursor = pred;
+    }
+    std::reverse(reversed.begin(), reversed.end());
+    return reversed;
+}
+
+/**
+ * Attributes the [from_us, to_us] slice of `node`'s interior using its
+ * phase children: elementary intervals between phase boundaries each go
+ * to the highest-priority covering phase, or to queueing when nothing
+ * covers them.
+ */
+void
+sweepNodeInterior(const TraceModel& model, const SpanRec& node,
+                  int64_t from_us, int64_t to_us, Attribution& attribution)
+{
+    struct Phase
+    {
+        int64_t start;
+        int64_t end;
+        int priority;
+    };
+    std::vector<Phase> phases;
+    std::vector<int64_t> bounds{from_us, to_us};
+    const auto it = model.children.find(node.id);
+    if (it != model.children.end()) {
+        for (const size_t ci : it->second) {
+            const SpanRec& child = model.spans[ci];
+            const int priority = phasePriority(child.category);
+            if (priority == 0)
+                continue;
+            const int64_t s = std::max(child.start_us, from_us);
+            const int64_t e = std::min(child.end_us, to_us);
+            if (e <= s)
+                continue;
+            phases.push_back(Phase{s, e, priority});
+            bounds.push_back(s);
+            bounds.push_back(e);
+        }
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+        const int64_t lo = bounds[i];
+        const int64_t hi = bounds[i + 1];
+        int best = 0;
+        for (const Phase& phase : phases) {
+            if (phase.start <= lo && phase.end >= hi)
+                best = std::max(best, phase.priority);
+        }
+        addComponent(attribution, best, hi - lo);
+    }
+}
+
+}  // namespace
+
+std::vector<Attribution>
+attributeInvocations(const TraceModel& model)
+{
+    std::vector<Attribution> results;
+    for (const SpanRec& inv : model.spans) {
+        if (inv.category != "invocation" || inv.instant)
+            continue;
+        Attribution attribution;
+        attribution.invocation = inv.id;
+        attribution.name = inv.name;
+        attribution.start_us = inv.start_us;
+        attribution.end_us = inv.end_us;
+        attribution.timed_out = inv.detail == "timeout";
+
+        std::vector<size_t> node_children;
+        const auto it = model.children.find(inv.id);
+        if (it != model.children.end()) {
+            for (const size_t ci : it->second) {
+                if (model.spans[ci].category == "node")
+                    node_children.push_back(ci);
+            }
+        }
+        auto chain = criticalChain(model, inv, node_children);
+        // The walk yields causal order; sort by start so the sweep
+        // cursor is monotonic even under redrive-reordered chains.
+        std::sort(chain.begin(), chain.end(),
+                  [](const SpanRec* a, const SpanRec* b) {
+                      return a->start_us != b->start_us
+                                 ? a->start_us < b->start_us
+                                 : a->id < b->id;
+                  });
+        for (const SpanRec* node : chain) {
+            attribution.path.push_back(node->id);
+            attribution.path_names.push_back(node->name);
+        }
+
+        // Left-to-right sweep of [inv.start, inv.end]: gaps between
+        // critical-path node spans are scheduling hops; node interiors
+        // are split by phase. Everything is clamped to the invocation's
+        // bounds, so the components partition the interval exactly.
+        int64_t cursor = inv.start_us;
+        const int64_t inv_end = inv.end_us;
+        for (const SpanRec* node : chain) {
+            const int64_t ns =
+                std::min(std::max(node->start_us, cursor), inv_end);
+            if (ns > cursor) {
+                attribution.sched_us += ns - cursor;
+                cursor = ns;
+            }
+            const int64_t ne =
+                std::min(std::max(node->end_us, cursor), inv_end);
+            if (ne > cursor) {
+                sweepNodeInterior(model, *node, cursor, ne, attribution);
+                cursor = ne;
+            }
+        }
+        if (inv_end > cursor)
+            attribution.sched_us += inv_end - cursor;
+        results.push_back(std::move(attribution));
+    }
+    std::sort(results.begin(), results.end(),
+              [](const Attribution& a, const Attribution& b) {
+                  return a.invocation < b.invocation;
+              });
+    return results;
+}
+
+}  // namespace faasflow::obs

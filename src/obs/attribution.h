@@ -1,0 +1,78 @@
+#ifndef FAASFLOW_OBS_ATTRIBUTION_H_
+#define FAASFLOW_OBS_ATTRIBUTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace_model.h"
+
+namespace faasflow::obs {
+
+/**
+ * Exact latency decomposition of one invocation (the paper's Fig. 5
+ * breakdown, per invocation instead of run-aggregate).
+ *
+ * The components partition the invocation span's [start, end] interval,
+ * so sum() == e2eUs() *exactly* — not a sampled or heuristic estimate.
+ * See attributeInvocations() for the algorithm.
+ */
+struct Attribution
+{
+    SpanId invocation = 0;   ///< the invocation span's id
+    std::string name;        ///< invocation span name ("wf#3")
+    int64_t start_us = 0;
+    int64_t end_us = 0;
+    bool timed_out = false;
+
+    int64_t coldstart_us = 0;  ///< container cold starts on the path
+    int64_t queue_us = 0;      ///< waiting inside a node span (container
+                               ///< queue + uncovered interior)
+    int64_t fetch_us = 0;      ///< input data movement
+    int64_t exec_us = 0;       ///< function execution
+    int64_t save_us = 0;       ///< output persistence
+    int64_t sched_us = 0;      ///< scheduling hops: gaps between critical
+                               ///< path node spans (triggers, messages,
+                               ///< queue submit) and head/tail overhead
+
+    /** Critical-path node span ids, in execution order. */
+    std::vector<SpanId> path;
+    /** Names of the spans in `path` (same order). */
+    std::vector<std::string> path_names;
+
+    int64_t e2eUs() const { return end_us - start_us; }
+    int64_t sum() const
+    {
+        return coldstart_us + queue_us + fetch_us + exec_us + save_us +
+               sched_us;
+    }
+};
+
+/**
+ * Computes the exact latency attribution of every invocation span in the
+ * model.
+ *
+ * For each "invocation" span: its "node" children are the per-DAG-node
+ * spans; the critical path is found by walking backwards from the
+ * latest-ending node span along incoming "dep" flows (always taking the
+ * predecessor that finished last). The invocation interval is then swept
+ * once, left to right:
+ *
+ *  - time between consecutive critical-path node spans (and before the
+ *    first / after the last) is a *scheduling hop* — triggers, engine
+ *    messages, queue submission;
+ *  - inside a node span, time is assigned to the highest-priority phase
+ *    child covering it (exec > coldstart > fetch > save > wait); wait
+ *    and uncovered interior both count as *queueing*;
+ *
+ * with everything clamped to the invocation's own bounds. Because the
+ * sweep partitions the interval, the six components sum to the
+ * end-to-end latency exactly.
+ *
+ * Results are ordered by invocation span id.
+ */
+std::vector<Attribution> attributeInvocations(const TraceModel& model);
+
+}  // namespace faasflow::obs
+
+#endif  // FAASFLOW_OBS_ATTRIBUTION_H_

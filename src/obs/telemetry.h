@@ -1,0 +1,100 @@
+#ifndef FAASFLOW_OBS_TELEMETRY_H_
+#define FAASFLOW_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sim/simulator.h"
+
+namespace faasflow::obs {
+
+/**
+ * Per-node resource telemetry: named gauges sampled on a fixed
+ * simulated-time cadence.
+ *
+ * Components register gauge closures (core occupancy, memory in use,
+ * container-pool warm counts, NIC utilization, storage queue depth...);
+ * start() samples all of them immediately and then re-samples every
+ * interval() for as long as the simulation still has work queued. The
+ * sampler never keeps an otherwise-drained simulation alive: a tick
+ * whose pop leaves the event queue empty records its sample and stops.
+ *
+ * Sampling only *reads* simulation state, so enabling telemetry cannot
+ * change simulation results — identical seeds produce identical sample
+ * series (tested).
+ *
+ * Export formats: Prometheus text exposition (one gauge family per
+ * metric name, labels preserved, last-sample values with millisecond
+ * timestamps) and long-format CSV (t_us,metric,labels,value — one row
+ * per gauge per tick).
+ */
+class TelemetrySampler
+{
+  public:
+    using GaugeFn = std::function<double()>;
+
+    /**
+     * Registers a gauge. Call before start().
+     * @param name Prometheus metric name, e.g. "faasflow_cores_in_use"
+     * @param labels label set without braces, e.g. "node=\"w0\""
+     * @param fn read-only closure returning the current value
+     */
+    void registerGauge(std::string name, std::string labels, GaugeFn fn);
+
+    void setInterval(SimTime interval) { interval_ = interval; }
+    SimTime interval() const { return interval_; }
+
+    /** Starts sampling on `sim`; samples once immediately. */
+    void start(sim::Simulator& sim);
+
+    /** Stops future ticks (already-recorded samples are kept). */
+    void stop() { active_ = false; }
+    bool active() const { return active_; }
+
+    /** One tick: all gauge values in registration order. */
+    struct Sample
+    {
+        int64_t t_us;
+        std::vector<double> values;
+    };
+
+    size_t gaugeCount() const { return gauges_.size(); }
+    const std::vector<Sample>& samples() const { return samples_; }
+    const std::string& gaugeName(size_t i) const { return gauges_[i].name; }
+    const std::string& gaugeLabels(size_t i) const
+    {
+        return gauges_[i].labels;
+    }
+
+    /** Prometheus text exposition of the most recent sample. */
+    std::string toPrometheusText() const;
+
+    /** Full series as change-compressed long-format CSV: a gauge row is
+     *  emitted when its value differs from the previous sample (always
+     *  in the first sample); readers forward-fill per series. */
+    std::string toCsv() const;
+
+    void clear();
+
+  private:
+    struct Gauge
+    {
+        std::string name;
+        std::string labels;
+        GaugeFn fn;
+    };
+
+    SimTime interval_ = SimTime::millis(10);
+    bool active_ = false;
+    std::vector<Gauge> gauges_;
+    std::vector<Sample> samples_;
+
+    void tick(sim::Simulator& sim);
+};
+
+}  // namespace faasflow::obs
+
+#endif  // FAASFLOW_OBS_TELEMETRY_H_

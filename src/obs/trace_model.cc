@@ -1,0 +1,256 @@
+#include "obs/trace_model.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace faasflow::obs {
+
+const SpanRec*
+TraceModel::find(SpanId id) const
+{
+    const auto it = index.find(id);
+    return it == index.end() ? nullptr : &spans[it->second];
+}
+
+void
+TraceModel::buildIndexes()
+{
+    index.clear();
+    children.clear();
+    flows_in.clear();
+    for (size_t i = 0; i < spans.size(); ++i) {
+        index.emplace(spans[i].id, i);
+        if (spans[i].parent != 0)
+            children[spans[i].parent].push_back(i);
+    }
+    for (size_t i = 0; i < flows.size(); ++i)
+        flows_in[flows[i].to].push_back(i);
+}
+
+TraceModel
+modelFromRecorder(const TraceRecorder& recorder)
+{
+    TraceModel model;
+    const auto& events = recorder.events();
+    int64_t last_ts = 0;
+    for (const auto& event : events) {
+        last_ts = std::max(last_ts, event.start_us +
+                                        std::max<int64_t>(event.dur_us, 0));
+    }
+    model.spans.reserve(events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+        const auto& event = events[i];
+        SpanRec rec;
+        rec.id = i + 1;
+        rec.parent = event.parent;
+        rec.track = event.track;
+        rec.start_us = event.start_us;
+        rec.instant = event.dur_us == TraceRecorder::kInstant;
+        rec.unclosed = event.dur_us == TraceRecorder::kOpen;
+        rec.end_us = event.dur_us >= 0
+                         ? event.start_us + event.dur_us
+                         : (rec.unclosed ? std::max(last_ts, event.start_us)
+                                         : event.start_us);
+        rec.category = recorder.str(event.category);
+        rec.name = recorder.str(event.name);
+        rec.detail = event.detail;
+        model.spans.push_back(std::move(rec));
+    }
+    model.flows.reserve(recorder.flows().size());
+    for (const auto& flow : recorder.flows()) {
+        FlowRec rec;
+        rec.from = flow.from;
+        rec.to = flow.to;
+        rec.from_us = flow.from_us;
+        rec.to_us = flow.to_us;
+        rec.category = recorder.str(flow.category);
+        model.flows.push_back(std::move(rec));
+    }
+    model.buildIndexes();
+    return model;
+}
+
+TraceModel
+modelFromChromeTrace(const json::Value& doc, std::string* error)
+{
+    TraceModel model;
+    const auto fail = [&](const std::string& why) {
+        if (error)
+            *error = why;
+        return TraceModel{};
+    };
+    const json::Value* events = doc.find("traceEvents");
+    if (!events || !events->isArray())
+        return fail("document has no traceEvents array");
+
+    // Flow arrows arrive as matched s/f pairs sharing an id.
+    struct HalfFlow
+    {
+        SpanId from = 0;
+        SpanId to = 0;
+        int64_t from_us = 0;
+        int64_t to_us = 0;
+        std::string category;
+        bool has_start = false;
+        bool has_finish = false;
+    };
+    std::map<int64_t, HalfFlow> half_flows;
+
+    for (const json::Value& e : events->asArray()) {
+        if (!e.isObject())
+            return fail("traceEvents entry is not an object");
+        const std::string ph = e.getOr("ph", std::string());
+        if (ph == "M")
+            continue;
+        const json::Value* args = e.find("args");
+        if (ph == "s" || ph == "f") {
+            const json::Value* id = e.find("id");
+            if (!id || !args)
+                continue;
+            HalfFlow& half = half_flows[id->asInt()];
+            if (ph == "s") {
+                half.from = static_cast<SpanId>(args->getOr("from",
+                                                            int64_t{0}));
+                half.from_us = e.getOr("ts", int64_t{0});
+                half.category = e.getOr("name", std::string());
+                half.has_start = true;
+            } else {
+                half.to = static_cast<SpanId>(args->getOr("to", int64_t{0}));
+                half.to_us = e.getOr("ts", int64_t{0});
+                half.has_finish = true;
+            }
+            continue;
+        }
+        if (ph != "X" && ph != "i")
+            continue;
+        if (!args || !args->find("span"))
+            continue;  // not one of ours
+        SpanRec rec;
+        rec.id = static_cast<SpanId>(args->getOr("span", int64_t{0}));
+        if (rec.id == 0)
+            return fail("span event with zero id");
+        rec.parent = static_cast<SpanId>(args->getOr("parent", int64_t{0}));
+        rec.track = static_cast<int>(e.getOr("tid", int64_t{0}));
+        rec.start_us = e.getOr("ts", int64_t{0});
+        rec.instant = ph == "i";
+        rec.unclosed = args->getOr("unclosed", false);
+        rec.end_us = rec.instant ? rec.start_us
+                                 : rec.start_us + e.getOr("dur", int64_t{0});
+        rec.category = e.getOr("cat", std::string());
+        rec.name = e.getOr("name", std::string());
+        rec.detail = args->getOr("detail", std::string());
+        model.spans.push_back(std::move(rec));
+    }
+
+    for (const auto& [id, half] : half_flows) {
+        if (!half.has_start || !half.has_finish)
+            return fail(strFormat("flow %lld is missing its %s half",
+                                  static_cast<long long>(id),
+                                  half.has_start ? "finish" : "start"));
+        FlowRec rec;
+        rec.from = half.from;
+        rec.to = half.to;
+        rec.from_us = half.from_us;
+        rec.to_us = half.to_us;
+        rec.category = half.category;
+        model.flows.push_back(std::move(rec));
+    }
+    model.buildIndexes();
+    if (error)
+        error->clear();
+    return model;
+}
+
+std::vector<std::string>
+validateSpanTree(const TraceModel& model)
+{
+    std::vector<std::string> violations;
+    const auto violation = [&](std::string v) {
+        if (violations.size() < 64)
+            violations.push_back(std::move(v));
+    };
+
+    std::unordered_map<SpanId, size_t> seen;
+    for (size_t i = 0; i < model.spans.size(); ++i) {
+        const SpanRec& span = model.spans[i];
+        if (span.id == 0) {
+            violation(strFormat("span #%zu has id 0", i));
+            continue;
+        }
+        if (!seen.emplace(span.id, i).second) {
+            violation(strFormat("span id %llu is not unique",
+                                static_cast<unsigned long long>(span.id)));
+        }
+    }
+
+    for (const SpanRec& span : model.spans) {
+        if (span.parent == 0)
+            continue;
+        const SpanRec* parent = model.find(span.parent);
+        if (!parent) {
+            violation(strFormat(
+                "span %llu ('%s') has missing parent %llu",
+                static_cast<unsigned long long>(span.id), span.name.c_str(),
+                static_cast<unsigned long long>(span.parent)));
+            continue;
+        }
+        if (span.start_us < parent->start_us) {
+            violation(strFormat(
+                "span %llu ('%s') starts before its parent %llu",
+                static_cast<unsigned long long>(span.id), span.name.c_str(),
+                static_cast<unsigned long long>(span.parent)));
+        }
+        // Same-track parenting is containment; cross-track parenting is
+        // causal (a node span belongs to its invocation but runs on a
+        // worker lane after the client span may have closed early on a
+        // timeout), so only the start bound applies there.
+        if (parent->track == span.track && !span.unclosed &&
+            !parent->unclosed && span.end_us > parent->end_us) {
+            violation(strFormat(
+                "span %llu ('%s') ends after its parent %llu",
+                static_cast<unsigned long long>(span.id), span.name.c_str(),
+                static_cast<unsigned long long>(span.parent)));
+        }
+    }
+
+    // Parent chains must be acyclic: a chain longer than the span count
+    // can only be revisiting ids.
+    for (const SpanRec& span : model.spans) {
+        const SpanRec* cursor = &span;
+        size_t steps = 0;
+        while (cursor->parent != 0 && steps <= model.spans.size()) {
+            const SpanRec* parent = model.find(cursor->parent);
+            if (!parent)
+                break;  // reported above as a missing parent
+            cursor = parent;
+            ++steps;
+        }
+        if (steps > model.spans.size()) {
+            violation(strFormat("parent cycle through span %llu ('%s')",
+                                static_cast<unsigned long long>(span.id),
+                                span.name.c_str()));
+        }
+    }
+
+    for (size_t i = 0; i < model.flows.size(); ++i) {
+        const FlowRec& flow = model.flows[i];
+        if (!model.find(flow.from)) {
+            violation(strFormat(
+                "flow #%zu starts at missing span %llu", i,
+                static_cast<unsigned long long>(flow.from)));
+        }
+        if (!model.find(flow.to)) {
+            violation(strFormat(
+                "flow #%zu ends at missing span %llu", i,
+                static_cast<unsigned long long>(flow.to)));
+        }
+        if (flow.to_us < flow.from_us) {
+            violation(strFormat("flow #%zu points backwards in time", i));
+        }
+    }
+    return violations;
+}
+
+}  // namespace faasflow::obs

@@ -1,0 +1,84 @@
+#ifndef FAASFLOW_OBS_TRACE_MODEL_H_
+#define FAASFLOW_OBS_TRACE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "json/json.h"
+#include "obs/trace.h"
+
+namespace faasflow::obs {
+
+/**
+ * Analysis-side view of one trace: spans and flows with resolved
+ * strings, indexable by span id. Built either directly from a live
+ * TraceRecorder (tests, faasflow_run --stats) or by ingesting an
+ * exported Chrome trace file (the faasflow_trace CLI).
+ */
+struct SpanRec
+{
+    SpanId id = 0;
+    SpanId parent = 0;
+    int track = 0;
+    int64_t start_us = 0;
+    int64_t end_us = 0;  ///< == start_us for instants
+    bool instant = false;
+    bool unclosed = false;  ///< was still open at export time
+    std::string category;
+    std::string name;
+    std::string detail;
+
+    int64_t durUs() const { return end_us - start_us; }
+};
+
+struct FlowRec
+{
+    SpanId from = 0;
+    SpanId to = 0;
+    int64_t from_us = 0;
+    int64_t to_us = 0;
+    std::string category;
+};
+
+struct TraceModel
+{
+    std::vector<SpanRec> spans;
+    std::vector<FlowRec> flows;
+    std::unordered_map<SpanId, size_t> index;        ///< id -> spans[]
+    std::unordered_map<SpanId, std::vector<size_t>> children;
+    std::unordered_map<SpanId, std::vector<size_t>> flows_in;
+
+    const SpanRec* find(SpanId id) const;
+    void buildIndexes();
+};
+
+/** Builds a model from an in-process recorder (no serialisation). */
+TraceModel modelFromRecorder(const TraceRecorder& recorder);
+
+/**
+ * Ingests an exported Chrome trace document ({"traceEvents": [...]}).
+ * Only events carrying an args.span id (i.e. written by TraceRecorder)
+ * become spans; flow s/f pairs are matched by their flow id. On a
+ * malformed document `error` is set and an empty model returned.
+ */
+TraceModel modelFromChromeTrace(const json::Value& doc, std::string* error);
+
+/**
+ * Span-tree invariant checker. Verifies:
+ *  - span ids are unique and nonzero;
+ *  - every parent id names an existing span;
+ *  - parent chains are acyclic;
+ *  - a child nests inside its same-track parent's time bounds; a
+ *    cross-track child (causal parenting, e.g. node span -> invocation
+ *    span) must start no earlier than its parent;
+ *  - flow endpoints name existing spans and arrows do not point
+ *    backwards in time.
+ * Returns human-readable violations (empty = clean).
+ */
+std::vector<std::string> validateSpanTree(const TraceModel& model);
+
+}  // namespace faasflow::obs
+
+#endif  // FAASFLOW_OBS_TRACE_MODEL_H_

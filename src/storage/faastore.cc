@@ -99,15 +99,16 @@ FaaStore::poolUsed(const std::string& workflow) const
 void
 FaaStore::save(const std::string& workflow, const std::string& key,
                int64_t bytes, bool prefer_local,
-               std::function<void(SimTime, bool)> on_done)
+               std::function<void(SimTime, bool)> on_done, obs::SpanId cause)
 {
-    save(workflow, key, bytes, Payload{}, prefer_local, std::move(on_done));
+    save(workflow, key, bytes, Payload{}, prefer_local, std::move(on_done),
+         cause);
 }
 
 void
 FaaStore::save(const std::string& workflow, const std::string& key,
                int64_t bytes, Payload body, bool prefer_local,
-               std::function<void(SimTime, bool)> on_done)
+               std::function<void(SimTime, bool)> on_done, obs::SpanId cause)
 {
     if (prefer_local) {
         const auto it = pools_.find(workflow);
@@ -133,7 +134,8 @@ FaaStore::save(const std::string& workflow, const std::string& key,
                 [cb = std::move(on_done)](SimTime elapsed) {
                     if (cb)
                         cb(elapsed, false);
-                });
+                },
+                cause);
 }
 
 bool
@@ -152,13 +154,13 @@ FaaStore::payloadOf(const std::string& key) const
 
 void
 FaaStore::fetch(const std::string& workflow, const std::string& key,
-                GetCallback on_done)
+                GetCallback on_done, obs::SpanId cause)
 {
     (void)workflow;
     if (mem_->contains(key)) {
         mem_->get(key, node_.netId(), std::move(on_done));
     } else {
-        remote_.get(key, node_.netId(), std::move(on_done));
+        remote_.get(key, node_.netId(), std::move(on_done), cause);
     }
 }
 

@@ -95,17 +95,22 @@ class FaaStore
      * remote store transparently.
      * @param on_done receives elapsed time and whether the object landed
      *                in local memory
+     * @param cause trace span causing the save (remote fallbacks record
+     *              a storage span flowing from it; local hits are
+     *              in-memory and stay untraced)
      */
     void save(const std::string& workflow, const std::string& key,
               int64_t bytes, bool prefer_local,
-              std::function<void(SimTime, bool local)> on_done);
+              std::function<void(SimTime, bool local)> on_done,
+              obs::SpanId cause = 0);
 
     /** As above, with a host-side body riding along by handle: whether
      *  the object lands locally or falls back to the remote store, the
      *  bytes are never copied — ownership of the one blob is shared. */
     void save(const std::string& workflow, const std::string& key,
               int64_t bytes, Payload body, bool prefer_local,
-              std::function<void(SimTime, bool local)> on_done);
+              std::function<void(SimTime, bool local)> on_done,
+              obs::SpanId cause = 0);
 
     /** True when `key` lives in this node's MemStore. */
     bool hasLocal(const std::string& key) const;
@@ -114,9 +119,10 @@ class FaaStore
      *  then remote); null when absent or size-only. Zero-copy peek. */
     Payload payloadOf(const std::string& key) const;
 
-    /** Reads an object from wherever it lives (local first). */
+    /** Reads an object from wherever it lives (local first). Remote
+     *  reads record a storage span flowing back into `cause`. */
     void fetch(const std::string& workflow, const std::string& key,
-               GetCallback on_done);
+               GetCallback on_done, obs::SpanId cause = 0);
 
     /** Drops an object (end-of-invocation cleanup, §4.2.1). */
     void drop(const std::string& workflow, const std::string& key);

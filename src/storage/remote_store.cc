@@ -38,33 +38,55 @@ void
 RemoteStore::put(const std::string& key, int64_t bytes, Payload body,
                  int from_node, PutCallback on_done)
 {
+    put(key, bytes, std::move(body), from_node, std::move(on_done), 0);
+}
+
+void
+RemoteStore::put(const std::string& key, int64_t bytes, Payload body,
+                 int from_node, PutCallback on_done, obs::SpanId cause)
+{
     stats_.puts++;
     stats_.bytes_written += bytes;
     objects_[key] = Object{bytes, std::move(body)};
 
     const SimTime start = sim_.now();
+    obs::SpanId span = 0;
+    if (trace_ && trace_->enabled()) {
+        span = trace_->openSpan(
+            "storage", "put", static_cast<int>(obs::TraceTrack::Storage),
+            start);
+        trace_->flow("storage", cause, span, start, start);
+    }
+    const auto done = [this, start, span,
+                       key](const PutCallback& cb) {
+        if (trace_)
+            trace_->closeSpan(span, sim_.now(), key);
+        if (cb)
+            cb(sim_.now() - start);
+    };
     if (from_node == storage_node_ || bytes == 0) {
         // Loopback write (master-side client) or a zero-size marker: only
         // the operation latency applies.
         sim_.schedule(opLatency(),
-                      [this, start, cb = std::move(on_done)] {
-                          if (cb)
-                              cb(sim_.now() - start);
-                      });
+                      [done, cb = std::move(on_done)] { done(cb); });
         return;
     }
     network_.startFlow(
         from_node, storage_node_, bytes,
-        [this, start, cb = std::move(on_done)](SimTime) {
-            sim_.schedule(opLatency(), [this, start, cb] {
-                if (cb)
-                    cb(sim_.now() - start);
-            });
+        [this, done, cb = std::move(on_done)](SimTime) {
+            sim_.schedule(opLatency(), [done, cb] { done(cb); });
         });
 }
 
 void
 RemoteStore::get(const std::string& key, int to_node, GetCallback on_done)
+{
+    get(key, to_node, std::move(on_done), 0);
+}
+
+void
+RemoteStore::get(const std::string& key, int to_node, GetCallback on_done,
+                 obs::SpanId cause)
 {
     const auto it = objects_.find(key);
     if (it == objects_.end())
@@ -74,26 +96,40 @@ RemoteStore::get(const std::string& key, int to_node, GetCallback on_done)
     stats_.bytes_read += bytes;
 
     const SimTime start = sim_.now();
+    obs::SpanId span = 0;
+    if (trace_ && trace_->enabled()) {
+        span = trace_->openSpan(
+            "storage", "get", static_cast<int>(obs::TraceTrack::Storage),
+            start);
+    }
+    const auto done = [this, start, span, cause, key](
+                          const GetCallback& cb, int64_t got_bytes,
+                          const Payload& body) {
+        if (trace_) {
+            trace_->closeSpan(span, sim_.now(), key);
+            // The arrow lands when the data does — at the consumer.
+            trace_->flow("storage", span, cause, sim_.now(), sim_.now());
+        }
+        if (cb)
+            cb(sim_.now() - start, got_bytes, body);
+    };
     if (to_node == storage_node_ || bytes == 0) {
-        sim_.schedule(opLatency(), [this, start, bytes,
-                                    body = it->second.body,
+        sim_.schedule(opLatency(), [done, bytes, body = it->second.body,
                                     cb = std::move(on_done)] {
-            if (cb)
-                cb(sim_.now() - start, bytes, body);
+            done(cb, bytes, body);
         });
         return;
     }
     // Operation latency first (lookup), then the transfer back. The body
     // handle rides along with the callback — simulated transfer time is
     // billed on `bytes`, never on the host-side blob.
-    sim_.schedule(opLatency(), [this, to_node, bytes, start,
+    sim_.schedule(opLatency(), [this, to_node, bytes, done,
                                 body = it->second.body,
                                 cb = std::move(on_done)]() mutable {
         network_.startFlow(storage_node_, to_node, bytes,
-                           [this, start, bytes, body = std::move(body),
+                           [done, bytes, body = std::move(body),
                             cb = std::move(cb)](SimTime) {
-                               if (cb)
-                                   cb(sim_.now() - start, bytes, body);
+                               done(cb, bytes, body);
                            });
     });
 }

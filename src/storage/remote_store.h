@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "storage/kv_store.h"
 
@@ -37,6 +38,21 @@ class RemoteStore : public KvStore
              int from_node, PutCallback on_done) override;
     void get(const std::string& key, int to_node,
              GetCallback on_done) override;
+
+    /**
+     * As the KvStore operations, but causally traced: each records a
+     * "storage" span on the Storage track for the operation's lifetime,
+     * with a flow arrow from `cause` into the put (the producer shipping
+     * its output) and from the get back into `cause` (the data arriving
+     * at the consumer). `cause` 0 records the span without arrows.
+     */
+    void put(const std::string& key, int64_t bytes, Payload body,
+             int from_node, PutCallback on_done, obs::SpanId cause);
+    void get(const std::string& key, int to_node, GetCallback on_done,
+             obs::SpanId cause);
+
+    /** Attaches the activity recorder (see the traced put/get). */
+    void setTrace(obs::TraceRecorder* trace) { trace_ = trace; }
     bool contains(const std::string& key) const override;
     Payload payloadOf(const std::string& key) const override;
     void erase(const std::string& key) override;
@@ -63,6 +79,7 @@ class RemoteStore : public KvStore
     };
 
     double degrade_factor_ = 1.0;
+    obs::TraceRecorder* trace_ = nullptr;
     std::unordered_map<std::string, Object, StringHash, std::equal_to<>>
         objects_;
     StoreStats stats_;

@@ -95,13 +95,18 @@ TEST(TraceTest, ChromeTraceFormat)
     ASSERT_EQ(trace.eventCount(), 2u);
 
     const json::Value doc = trace.toChromeTrace();
-    const auto& events = doc.find("traceEvents")->asArray();
+    // Exported stream = pid/tid metadata ("M") + the recorded events.
+    std::vector<const json::Value*> events;
+    for (const auto& e : doc.find("traceEvents")->asArray()) {
+        if (e.getOr("ph", std::string()) != "M")
+            events.push_back(&e);
+    }
     ASSERT_EQ(events.size(), 2u);
-    EXPECT_EQ(events[0].getOr("ph", std::string()), "X");
-    EXPECT_EQ(events[0].getOr("ts", int64_t{0}), 10000);
-    EXPECT_EQ(events[0].getOr("dur", int64_t{0}), 15000);
-    EXPECT_EQ(events[0].getOr("tid", int64_t{-1}), 8);
-    EXPECT_EQ(events[1].getOr("ph", std::string()), "i");
+    EXPECT_EQ(events[0]->getOr("ph", std::string()), "X");
+    EXPECT_EQ(events[0]->getOr("ts", int64_t{0}), 10000);
+    EXPECT_EQ(events[0]->getOr("dur", int64_t{0}), 15000);
+    EXPECT_EQ(events[0]->getOr("tid", int64_t{-1}), 8);
+    EXPECT_EQ(events[1]->getOr("ph", std::string()), "i");
     // Round trip through the JSON parser.
     EXPECT_TRUE(json::parse(trace.toChromeTraceText()).ok());
 }

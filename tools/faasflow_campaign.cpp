@@ -32,6 +32,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <string>
@@ -57,6 +58,10 @@ struct Options
     bool chaos = false;
     bool smoke = false;
     std::string profile = "heavy";
+    /** When set, one extra sequential replica of the first seed runs
+     *  with the activity recorder on and its Chrome trace lands here
+     *  (the chaos twin of that seed when --chaos is on). */
+    std::string trace_path;
 };
 
 struct RunResult
@@ -176,29 +181,11 @@ chaosConfig(const Options& opt)
     return config;
 }
 
-ChaosResult
-runChaosReplica(const Options& opt, const benchmarks::Benchmark& bench,
-                uint64_t seed)
+/** The randomized fault schedule of one chaos replica, shifted past the
+ *  deployment's current time, with the forced mid-horizon master crash. */
+sim::FaultSchedule
+buildChaosSchedule(const Options& opt, System& system, uint64_t seed)
 {
-    ChaosResult r;
-    r.seed = seed;
-    r.expected = opt.invocations;
-
-    // Golden pass: identical deployment and arrivals, zero faults.
-    PassOutput golden;
-    {
-        System system(chaosConfig(opt));
-        const std::string name = bench::deployBenchmark(system, bench);
-        golden = runMeasuredPass(system, name, opt.rate_per_minute,
-                                 opt.invocations, seed);
-    }
-
-    // Chaos pass: same seed, plus a randomized fault schedule offset to
-    // start after warm-up, with a forced master crash mid-horizon so
-    // every run exercises failover even at low drawn rates.
-    System system(chaosConfig(opt));
-    const std::string name = bench::deployBenchmark(system, bench);
-
     sim::RandomFaultParams params;
     if (!sim::RandomFaultParams::preset(opt.profile, params))
         params = sim::RandomFaultParams::heavy();
@@ -226,10 +213,39 @@ runChaosReplica(const Options& opt, const benchmarks::Benchmark& bench,
         }
     }
     shifted.addMasterCrash(base + horizon * 0.5, SimTime::millis(800));
+    return shifted;
+}
+
+ChaosResult
+runChaosReplica(const Options& opt, const benchmarks::Benchmark& bench,
+                uint64_t seed)
+{
+    ChaosResult r;
+    r.seed = seed;
+    r.expected = opt.invocations;
+
+    // Golden pass: identical deployment and arrivals, zero faults.
+    PassOutput golden;
+    {
+        System system(chaosConfig(opt));
+        const std::string name = bench::deployBenchmark(system, bench);
+        golden = runMeasuredPass(system, name, opt.rate_per_minute,
+                                 opt.invocations, seed);
+    }
+
+    // Chaos pass: same seed, plus a randomized fault schedule offset to
+    // start after warm-up, with a forced master crash mid-horizon so
+    // every run exercises failover even at low drawn rates.
+    System system(chaosConfig(opt));
+    const std::string name = bench::deployBenchmark(system, bench);
+
+    const sim::FaultSchedule shifted =
+        buildChaosSchedule(opt, system, seed);
     r.fault_events = shifted.size();
     if (std::getenv("FAASFLOW_CHAOS_DEBUG"))
         std::fprintf(stderr, "seed %llu schedule (base %.3fs):\n%s",
-                     static_cast<unsigned long long>(seed), base.secondsF(),
+                     static_cast<unsigned long long>(seed),
+                     system.simulator().now().secondsF(),
                      shifted.summary().c_str());
     system.installFaults(shifted);
 
@@ -290,6 +306,39 @@ runChaosReplica(const Options& opt, const benchmarks::Benchmark& bench,
     return r;
 }
 
+/**
+ * One extra sequential replica of the first seed with the activity
+ * recorder on, written as a Chrome trace. Tracing costs no simulated
+ * time, so the traced twin reproduces the measured replica exactly —
+ * in chaos mode it carries the injected fault/recovery spans too.
+ */
+void
+writeExemplarTrace(const Options& opt, const benchmarks::Benchmark& bench)
+{
+    SystemConfig config;
+    if (opt.chaos) {
+        config = chaosConfig(opt);
+    } else {
+        config = opt.faastore ? SystemConfig::faasflowFaastore()
+                              : SystemConfig::hyperflowServerless();
+    }
+    System system(config);
+    system.trace().enable();
+    const std::string name = bench::deployBenchmark(system, bench);
+    if (opt.chaos)
+        system.installFaults(buildChaosSchedule(opt, system, opt.seed));
+    runMeasuredPass(system, name, opt.rate_per_minute, opt.invocations,
+                    opt.seed);
+    std::ofstream out(opt.trace_path);
+    out << system.trace().toChromeTraceText();
+    std::printf("traced %sreplica of seed %llu written to %s "
+                "(%zu spans, %zu flows)\n",
+                opt.chaos ? "chaos " : "",
+                static_cast<unsigned long long>(opt.seed),
+                opt.trace_path.c_str(), system.trace().eventCount(),
+                system.trace().flowCount());
+}
+
 const benchmarks::Benchmark*
 findBenchmark(const std::vector<benchmarks::Benchmark>& all,
               const std::string& name)
@@ -310,7 +359,7 @@ usage(const char* argv0)
         "          [--config faastore|hyperflow] [--rate R/min]\n"
         "          [--invocations N] [--seed S] [--selftest]\n"
         "          [--chaos] [--profile light|heavy|storage-hostile]\n"
-        "          [--smoke]\n"
+        "          [--smoke] [--trace FILE]\n"
         "benchmarks: Cyc Epi Gen Soy Vid IR FP WC\n",
         argv0);
 }
@@ -449,6 +498,8 @@ main(int argc, char** argv)
             opt.smoke = true;
         } else if (arg == "--profile") {
             opt.profile = next();
+        } else if (arg == "--trace") {
+            opt.trace_path = next();
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -479,8 +530,12 @@ main(int argc, char** argv)
         opt.invocations = 10;
         opt.rate_per_minute = 30.0;
     }
-    if (opt.chaos)
-        return runChaosCampaign(opt, *bench, threads);
+    if (opt.chaos) {
+        const int rc = runChaosCampaign(opt, *bench, threads);
+        if (!opt.trace_path.empty())
+            writeExemplarTrace(opt, *bench);
+        return rc;
+    }
 
     std::printf("campaign: %s / %s, %zu runs x %zu invocations @ %.1f "
                 "inv/min, seeds %llu.., %u threads\n",
@@ -558,5 +613,7 @@ main(int argc, char** argv)
                     "and sequential execution\n",
                     results.size(), threads);
     }
+    if (!opt.trace_path.empty())
+        writeExemplarTrace(opt, *bench);
     return 0;
 }

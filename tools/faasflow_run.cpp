@@ -22,6 +22,8 @@
 #include "common/units.h"
 #include "faasflow/client.h"
 #include "faasflow/system.h"
+#include "obs/attribution.h"
+#include "obs/trace_model.h"
 #include "scheduler/visualize.h"
 #include "workflow/wdl.h"
 
@@ -67,6 +69,10 @@ main(int argc, char** argv)
     flags.addBool("stats", false,
                   "print the recovery/durability counter table");
     flags.addString("trace", "", "write a Chrome trace to this file");
+    flags.addString("telemetry", "",
+                    "write resource telemetry to <prefix>.prom and "
+                    "<prefix>.csv");
+    flags.addDouble("sample-ms", 10.0, "telemetry sampling cadence, ms");
     flags.addString("dot", "",
                     "write the placed workflow as Graphviz DOT here");
 
@@ -110,9 +116,11 @@ main(int argc, char** argv)
         flags.getDouble("bandwidth-mbps") * 1e6;
     config.seed = static_cast<uint64_t>(flags.getInt("seed"));
     config.durable_log = flags.getBool("durable");
+    config.telemetry_interval = SimTime::millis(flags.getDouble("sample-ms"));
 
     System system(config);
-    if (!flags.getString("trace").empty())
+    // The attribution table under --stats needs the span tree too.
+    if (!flags.getString("trace").empty() || flags.getBool("stats"))
         system.trace().enable();
     system.registerFunctions(wdl.functions);
     const size_t tasks = wdl.dag.taskCount();
@@ -147,6 +155,8 @@ main(int argc, char** argv)
         closed = std::make_unique<ClosedLoopClient>(system, name, n);
         closed->start();
     }
+    if (!flags.getString("telemetry").empty())
+        system.startTelemetry();
     system.run();
 
     const auto& m = system.metrics();
@@ -209,6 +219,57 @@ main(int argc, char** argv)
             stats.addRow({"log replays", u64(ls.replays)});
         }
         std::printf("\n%s", stats.str().c_str());
+
+        // Exact per-component latency attribution (Fig. 5): the span
+        // tree of every invocation partitioned into cold-start / queue /
+        // fetch / exec / save / scheduling-hop, summing to e2e exactly.
+        obs::TraceModel model = obs::modelFromRecorder(system.trace());
+        const auto attrs = obs::attributeInvocations(model);
+        if (!attrs.empty()) {
+            const auto pct = [](int64_t part, int64_t whole) {
+                return whole > 0 ? strFormat("%5.1f%%", 100.0 * part / whole)
+                                 : std::string("n/a");
+            };
+            int64_t e2e = 0, cold = 0, queue = 0, fetch = 0, exec = 0,
+                    save = 0, sched = 0;
+            size_t exact = 0;
+            for (const auto& a : attrs) {
+                e2e += a.e2eUs();
+                cold += a.coldstart_us;
+                queue += a.queue_us;
+                fetch += a.fetch_us;
+                exec += a.exec_us;
+                save += a.save_us;
+                sched += a.sched_us;
+                if (a.sum() == a.e2eUs())
+                    ++exact;
+            }
+            const auto num = static_cast<int64_t>(attrs.size());
+            TextTable attr;
+            attr.setHeader({"latency component", "mean /inv", "share"});
+            attr.addRow({"cold start",
+                         strFormat("%.1f ms", cold / 1000.0 / num),
+                         pct(cold, e2e)});
+            attr.addRow({"container queue",
+                         strFormat("%.1f ms", queue / 1000.0 / num),
+                         pct(queue, e2e)});
+            attr.addRow({"data fetch",
+                         strFormat("%.1f ms", fetch / 1000.0 / num),
+                         pct(fetch, e2e)});
+            attr.addRow({"execution",
+                         strFormat("%.1f ms", exec / 1000.0 / num),
+                         pct(exec, e2e)});
+            attr.addRow({"data save",
+                         strFormat("%.1f ms", save / 1000.0 / num),
+                         pct(save, e2e)});
+            attr.addRow({"scheduling hops",
+                         strFormat("%.1f ms", sched / 1000.0 / num),
+                         pct(sched, e2e)});
+            attr.addRow({"end-to-end",
+                         strFormat("%.1f ms", e2e / 1000.0 / num),
+                         strFormat("exact %zu/%zu", exact, attrs.size())});
+            std::printf("\n%s", attr.str().c_str());
+        }
     }
 
     if (!flags.getString("trace").empty()) {
@@ -216,6 +277,18 @@ main(int argc, char** argv)
         out << system.trace().toChromeTraceText();
         std::printf("\ntrace written to %s (open in chrome://tracing)\n",
                     flags.getString("trace").c_str());
+    }
+    if (!flags.getString("telemetry").empty()) {
+        const std::string prefix = flags.getString("telemetry");
+        std::ofstream prom(prefix + ".prom");
+        prom << system.telemetry().toPrometheusText();
+        std::ofstream csv(prefix + ".csv");
+        csv << system.telemetry().toCsv();
+        std::printf("telemetry written to %s.prom / %s.csv (%zu samples, "
+                    "%zu gauges)\n",
+                    prefix.c_str(), prefix.c_str(),
+                    system.telemetry().samples().size(),
+                    system.telemetry().gaugeCount());
     }
     if (!flags.getString("dot").empty()) {
         std::ofstream out(flags.getString("dot"));

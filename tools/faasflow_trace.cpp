@@ -1,0 +1,249 @@
+/**
+ * @file
+ * `faasflow_trace`: offline analysis of an exported Chrome trace.
+ *
+ *   faasflow_run --trace out.trace.json wf.yaml
+ *   faasflow_trace out.trace.json              # full report
+ *   faasflow_trace --check out.trace.json      # CI invariant gate
+ *
+ * The report covers: span-tree invariant check, the exact per-invocation
+ * latency attribution (cold-start / queue / fetch / exec / save /
+ * scheduling-hop — the Fig. 5 decomposition), the critical path of the
+ * slowest invocation, per-worker busy-time utilisation, and the top-K
+ * slowest spans per category. `--check` exits non-zero when any
+ * invariant is violated or any invocation's component sum differs from
+ * its end-to-end latency.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "json/json.h"
+#include "obs/attribution.h"
+#include "obs/trace_model.h"
+
+namespace {
+
+using namespace faasflow;
+
+std::string
+readFile(const std::string& path, std::string& error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open '" + path + "'";
+        return {};
+    }
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::string
+ms(int64_t us)
+{
+    return strFormat("%.3f ms", static_cast<double>(us) / 1000.0);
+}
+
+void
+printAttribution(const std::vector<obs::Attribution>& attrs)
+{
+    TextTable table;
+    table.setHeader({"invocation", "e2e", "coldstart", "queue", "fetch",
+                     "exec", "save", "sched", "sum=e2e"});
+    int64_t tot[7] = {0, 0, 0, 0, 0, 0, 0};
+    for (const auto& a : attrs) {
+        table.addRow({a.name + (a.timed_out ? " (timeout)" : ""),
+                      ms(a.e2eUs()), ms(a.coldstart_us), ms(a.queue_us),
+                      ms(a.fetch_us), ms(a.exec_us), ms(a.save_us),
+                      ms(a.sched_us), a.sum() == a.e2eUs() ? "yes" : "NO"});
+        tot[0] += a.e2eUs();
+        tot[1] += a.coldstart_us;
+        tot[2] += a.queue_us;
+        tot[3] += a.fetch_us;
+        tot[4] += a.exec_us;
+        tot[5] += a.save_us;
+        tot[6] += a.sched_us;
+    }
+    const auto n = static_cast<int64_t>(attrs.size());
+    if (n > 1) {
+        table.addRow({"mean", ms(tot[0] / n), ms(tot[1] / n), ms(tot[2] / n),
+                      ms(tot[3] / n), ms(tot[4] / n), ms(tot[5] / n),
+                      ms(tot[6] / n), ""});
+    }
+    std::printf("latency attribution (exact, per invocation):\n%s",
+                table.str().c_str());
+}
+
+void
+printCriticalPath(const obs::TraceModel& model,
+                  const std::vector<obs::Attribution>& attrs)
+{
+    const obs::Attribution* slowest = nullptr;
+    for (const auto& a : attrs) {
+        if (!slowest || a.e2eUs() > slowest->e2eUs())
+            slowest = &a;
+    }
+    if (!slowest)
+        return;
+    TextTable table;
+    table.setHeader({"critical-path node", "start", "duration", "detail"});
+    for (const obs::SpanId id : slowest->path) {
+        const obs::SpanRec* span = model.find(id);
+        if (!span)
+            continue;
+        table.addRow({span->name, ms(span->start_us), ms(span->durUs()),
+                      span->detail});
+    }
+    std::printf("\ncritical path of the slowest invocation (%s, %s):\n%s",
+                slowest->name.c_str(), ms(slowest->e2eUs()).c_str(),
+                table.str().c_str());
+}
+
+void
+printWorkerUtilisation(const obs::TraceModel& model)
+{
+    if (model.spans.empty())
+        return;
+    int64_t t0 = model.spans.front().start_us;
+    int64_t t1 = model.spans.front().end_us;
+    for (const auto& span : model.spans) {
+        t0 = std::min(t0, span.start_us);
+        t1 = std::max(t1, span.end_us);
+    }
+    const int64_t window = std::max<int64_t>(t1 - t0, 1);
+    // Busy time = union-free sum of exec spans per worker track; exec
+    // spans occupy one core each, so this is core-seconds, normalised by
+    // the wall window (can exceed 1.0 on multi-core workers).
+    std::map<int, int64_t> busy;
+    for (const auto& span : model.spans) {
+        if (span.category == "exec")
+            busy[span.track] += span.durUs();
+    }
+    if (busy.empty())
+        return;
+    TextTable table;
+    table.setHeader({"worker", "exec busy", "cores busy (avg)"});
+    for (const auto& [track, us] : busy) {
+        table.addRow({obs::TraceRecorder::trackName(track), ms(us),
+                      strFormat("%.3f", static_cast<double>(us) /
+                                            static_cast<double>(window))});
+    }
+    std::printf("\nper-worker execution utilisation (window %s):\n%s",
+                ms(window).c_str(), table.str().c_str());
+}
+
+void
+printSlowestSpans(const obs::TraceModel& model, int top_k)
+{
+    std::map<std::string, std::vector<const obs::SpanRec*>> by_category;
+    for (const auto& span : model.spans) {
+        if (!span.instant)
+            by_category[span.category].push_back(&span);
+    }
+    TextTable table;
+    table.setHeader({"category", "span", "track", "start", "duration"});
+    for (auto& [category, spans] : by_category) {
+        std::sort(spans.begin(), spans.end(),
+                  [](const obs::SpanRec* a, const obs::SpanRec* b) {
+                      return a->durUs() > b->durUs();
+                  });
+        const size_t k =
+            std::min(spans.size(), static_cast<size_t>(top_k));
+        for (size_t i = 0; i < k; ++i) {
+            const obs::SpanRec* span = spans[i];
+            table.addRow({i == 0 ? category : "", span->name,
+                          obs::TraceRecorder::trackName(span->track),
+                          ms(span->start_us), ms(span->durUs())});
+        }
+    }
+    std::printf("\ntop-%d slowest spans per category:\n%s", top_k,
+                table.str().c_str());
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    FlagParser flags;
+    flags.addBool("check", false,
+                  "invariant gate: quiet, non-zero exit on a span-tree "
+                  "violation or an inexact attribution");
+    flags.addInt("top", 3, "slowest spans listed per category");
+
+    if (!flags.parse(argc, argv)) {
+        std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
+                     flags.usage("faasflow_trace").c_str());
+        return 2;
+    }
+    if (flags.helpRequested() || flags.positional().size() != 1) {
+        std::fprintf(stderr, "%s", flags.usage("faasflow_trace").c_str());
+        return flags.helpRequested() ? 0 : 2;
+    }
+
+    std::string error;
+    const std::string text = readFile(flags.positional()[0], error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    const json::ParseResult parsed = json::parse(text);
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "error: trace is not valid JSON: %s (line %zu)\n",
+                     parsed.error.c_str(), parsed.line);
+        return 1;
+    }
+    obs::TraceModel model = obs::modelFromChromeTrace(*parsed.value, &error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+
+    const std::vector<std::string> violations = obs::validateSpanTree(model);
+    const std::vector<obs::Attribution> attrs =
+        obs::attributeInvocations(model);
+    size_t inexact = 0;
+    for (const auto& a : attrs) {
+        if (a.sum() != a.e2eUs())
+            ++inexact;
+    }
+
+    const bool check_only = flags.getBool("check");
+    if (!violations.empty()) {
+        for (const auto& v : violations)
+            std::fprintf(stderr, "invariant violation: %s\n", v.c_str());
+    }
+    if (check_only) {
+        std::printf("%zu spans, %zu flows, %zu invocations: %s\n",
+                    model.spans.size(), model.flows.size(), attrs.size(),
+                    violations.empty() && inexact == 0
+                        ? "clean"
+                        : "VIOLATIONS FOUND");
+        if (inexact > 0) {
+            std::fprintf(stderr,
+                         "%zu invocation(s) with component sum != e2e\n",
+                         inexact);
+        }
+        return violations.empty() && inexact == 0 ? 0 : 1;
+    }
+
+    std::printf("trace: %zu spans, %zu flows, %zu invocations, "
+                "%zu invariant violation(s)\n\n",
+                model.spans.size(), model.flows.size(), attrs.size(),
+                violations.size());
+    if (!attrs.empty()) {
+        printAttribution(attrs);
+        printCriticalPath(model, attrs);
+    }
+    printWorkerUtilisation(model);
+    printSlowestSpans(model, static_cast<int>(flags.getInt("top")));
+    return violations.empty() && inexact == 0 ? 0 : 1;
+}
