@@ -1,83 +1,4 @@
-#ifndef FAASFLOW_BENCH_CAMPAIGN_H_
-#define FAASFLOW_BENCH_CAMPAIGN_H_
-
-#include <atomic>
-#include <cstdlib>
-#include <functional>
-#include <string>
-#include <thread>
-#include <vector>
-
-namespace faasflow::bench {
-
-/**
- * Parallel campaign runner for independent simulation jobs.
- *
- * A simulation run is single-threaded and deterministic by construction:
- * one Simulator, one event queue, one seeded Rng chain. A *campaign* —
- * a parameter sweep or a set of seed replicas — is many such runs, and
- * they embarrassingly parallelise as long as each job builds its own
- * System and shares nothing mutable. This runner provides exactly that:
- * jobs are handed out to a fixed pool of worker threads via an atomic
- * cursor, each job's result is written to its own slot, and results come
- * back in job order. Which thread executes a job, and in which order
- * jobs interleave, cannot affect any job's result — per-run outputs are
- * bit-identical to a sequential execution.
- */
-template <typename Result>
-std::vector<Result>
-runCampaign(const std::vector<std::function<Result()>>& jobs,
-            unsigned threads = 0)
-{
-    if (threads == 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        threads = hw == 0 ? 1 : hw;
-    }
-    if (threads > jobs.size())
-        threads = static_cast<unsigned>(jobs.size());
-    std::vector<Result> results(jobs.size());
-    if (threads <= 1) {
-        for (size_t i = 0; i < jobs.size(); ++i)
-            results[i] = jobs[i]();
-        return results;
-    }
-    std::atomic<size_t> cursor{0};
-    auto worker = [&] {
-        for (;;) {
-            const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-            if (i >= jobs.size())
-                return;
-            results[i] = jobs[i]();
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
-    for (std::thread& th : pool)
-        th.join();
-    return results;
-}
-
-/**
- * Worker-thread count for bench campaigns: the FAASFLOW_CAMPAIGN_THREADS
- * environment variable when set, otherwise the hardware concurrency.
- * Sweep binaries route their grids through runCampaign with this value,
- * so `FAASFLOW_CAMPAIGN_THREADS=4 bench/fig12_bandwidth_sweep` is all it
- * takes to fan a sweep out (and =1 forces the sequential baseline).
- */
-inline unsigned
-campaignThreads()
-{
-    if (const char* env = std::getenv("FAASFLOW_CAMPAIGN_THREADS")) {
-        const long parsed = std::strtol(env, nullptr, 10);
-        if (parsed > 0)
-            return static_cast<unsigned>(parsed);
-    }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
-}
-
-}  // namespace faasflow::bench
-
-#endif  // FAASFLOW_BENCH_CAMPAIGN_H_
+// The campaign runner moved to src/common/campaign.h so library code
+// (src/load/saturation.cc) can fan sweeps out too; this forwarder keeps
+// the bench binaries' `#include "campaign.h"` working.
+#include "common/campaign.h"

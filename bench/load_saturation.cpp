@@ -1,0 +1,70 @@
+/**
+ * Multi-tenant open-loop saturation sweep (the load subsystem's
+ * headline experiment).
+ *
+ * Three tenants — Poisson over Vid, bursty on/off over FP, a diurnal
+ * ramp over WC — drive one FaaSFlow deployment open-loop while the
+ * offered-load multiplier ramps until well past the knee, once with
+ * admission control off and once with fixed per-tenant token buckets.
+ * The autoscaler steers the warm pools in both variants.
+ *
+ * Expected shape: goodput tracks offered load up to the knee and
+ * flattens after it; past the knee the no-admission baseline's p99
+ * diverges (every queue grows for the whole horizon) while admission
+ * keeps admitted-work p99 near its pre-knee value by shedding the
+ * excess at the front door.
+ *
+ * Results land in BENCH_load.json (current directory), byte-identical
+ * across repeated runs and FAASFLOW_CAMPAIGN_THREADS settings.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/campaign.h"
+#include "load/saturation.h"
+
+using namespace faasflow;
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    bool autoscale = true;
+    for (int i = 1; i < argc; ++i) {
+        smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+        if (std::strcmp(argv[i], "--no-autoscale") == 0)
+            autoscale = false;
+    }
+
+    load::SaturationConfig cfg;
+    cfg.autoscale = autoscale;
+    if (smoke) {
+        cfg.multipliers = {0.5, 2.0};
+        cfg.horizon = SimTime::seconds(5);
+    }
+    const load::SweepResult result = load::runSaturationSweep(cfg);
+
+    std::printf("%-6s %-10s %10s %10s %12s %10s\n", "mult", "admission",
+                "offered/s", "goodput/s", "p99 ms", "shed");
+    for (const load::SweepPoint& p : result.points) {
+        uint64_t shed = 0;
+        for (const load::TenantPoint& t : p.tenants)
+            shed += t.shed;
+        std::printf("%-6.2f %-10s %10.2f %10.2f %12.1f %10llu\n",
+                    p.multiplier, p.admission ? "on" : "off",
+                    p.offered_per_s, p.goodput_per_s, p.p99_ms,
+                    static_cast<unsigned long long>(shed));
+    }
+    std::printf("knee multiplier (admission off): %.2f\n",
+                result.knee_multiplier);
+
+    const std::string json = load::sweepJson(result, cfg);
+    FILE* out = std::fopen("BENCH_load.json", "w");
+    if (out) {
+        std::fwrite(json.data(), 1, json.size(), out);
+        std::fclose(out);
+        std::printf("wrote BENCH_load.json\n");
+    }
+    return 0;
+}

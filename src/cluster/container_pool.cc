@@ -282,6 +282,85 @@ ContainerPool::recycleFunction(const std::string& function)
     serveWaiters();
 }
 
+int
+ContainerPool::prewarm(const std::string& function, int count)
+{
+    int started = 0;
+    for (; started < count; ++started) {
+        if (containerCount(function) >= config_.per_function_limit)
+            break;
+        const FunctionSpec& spec = registry_.get(function);
+        if (!reserve_memory_(spec.mem_provisioned))
+            break;
+        ++prewarm_starts_;
+        auto container = std::make_unique<Container>(
+            next_id_++, function, spec.mem_provisioned, deployment_version_);
+        Container* raw = container.get();
+        containers_.emplace(raw->id(), std::move(container));
+        ++fn_index_[function].count;
+
+        SimTime cold = config_.cold_start_mean;
+        if (config_.cold_start_sigma > 0.0) {
+            cold = SimTime::micros(static_cast<int64_t>(rng_.lognormal(
+                static_cast<double>(cold.micros()),
+                config_.cold_start_sigma)));
+        }
+        const uint64_t id = raw->id();
+        const uint64_t epoch = crash_epoch_;
+        sim_.schedule(cold, [this, id, epoch] {
+            if (epoch != crash_epoch_)
+                return;  // node crashed while the prewarm was starting
+            const auto it = containers_.find(id);
+            if (it == containers_.end())
+                return;  // recycled mid-start; no waiter to re-serve
+            Container* c = it->second.get();
+            c->state_ = ContainerState::Idle;
+            c->last_used_ = sim_.now();
+            addIdle(c);
+            if (config_.keep_alive == KeepAlivePolicy::FixedLifetime)
+                scheduleLifetimeCheck(c);
+            // A queued acquisition may be waiting for exactly this warm
+            // container.
+            serveWaiters();
+        });
+    }
+    return started;
+}
+
+int
+ContainerPool::trimIdle(const std::string& function, int keep)
+{
+    const auto it = fn_index_.find(function);
+    if (it == fn_index_.end())
+        return 0;
+    // Coldest-first: destroy the least-recently-used idle containers
+    // beyond `keep` (ties break towards the lowest id, like findIdle).
+    std::vector<Container*> idle = it->second.idle;
+    std::sort(idle.begin(), idle.end(), [](Container* a, Container* b) {
+        if (a->lastUsed() != b->lastUsed())
+            return a->lastUsed() < b->lastUsed();
+        return a->id() < b->id();
+    });
+    const int excess = static_cast<int>(idle.size()) - std::max(keep, 0);
+    for (int i = 0; i < excess; ++i) {
+        destroy(idle[i]);
+        ++idle_trims_;
+    }
+    if (excess > 0)
+        serveWaiters();  // freed memory may unblock other functions
+    return std::max(excess, 0);
+}
+
+size_t
+ContainerPool::waitersFor(const std::string& function) const
+{
+    size_t n = 0;
+    for (const Waiter& w : wait_queue_)
+        if (w.function == function)
+            ++n;
+    return n;
+}
+
 void
 ContainerPool::destroy(Container* container)
 {

@@ -119,6 +119,32 @@ class ContainerPool
     /** Current deployment version attached to newly created containers. */
     void setDeploymentVersion(int version) { deployment_version_ = version; }
 
+    /**
+     * Reactive scale-up: starts up to `count` containers for `function`
+     * ahead of demand (they cold-start now and join the idle set, so
+     * later acquisitions hit warm). Respects the per-function limit and
+     * node memory like any other creation; waiters queued for the
+     * function are served as the prewarmed containers come up. Returns
+     * how many starts were actually initiated.
+     */
+    int prewarm(const std::string& function, int count);
+
+    /**
+     * Reactive scale-down: destroys idle containers of `function` beyond
+     * `keep`, coldest (least-recently-used) first, returning their
+     * memory to the node (which may unblock waiters of other functions).
+     * Returns how many were destroyed.
+     */
+    int trimIdle(const std::string& function, int keep);
+
+    /** Waiters queued for `function` specifically. */
+    size_t waitersFor(const std::string& function) const;
+
+    /** Prewarm starts initiated / idle containers trimmed (autoscaler
+     *  observability; prewarms are not counted in coldStarts()). */
+    uint64_t prewarmStarts() const { return prewarm_starts_; }
+    uint64_t idleTrims() const { return idle_trims_; }
+
     int containerCount(const std::string& function) const;
     int totalContainers() const;
     int busyContainers(const std::string& function) const;
@@ -193,6 +219,8 @@ class ContainerPool
     uint64_t cold_starts_ = 0;
     uint64_t warm_hits_ = 0;
     uint64_t pressure_evictions_ = 0;
+    uint64_t prewarm_starts_ = 0;
+    uint64_t idle_trims_ = 0;
     SimTime stats_epoch_;
 
     Container* findIdle(const std::string& function);

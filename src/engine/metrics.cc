@@ -43,6 +43,22 @@ MetricsCollector::add(const InvocationRecord& record)
     pw.redriven_nodes += record.redriven_nodes;
     pw.master_recoveries += record.master_recoveries;
     pw.duplicate_executions += record.duplicate_executions;
+    if (!record.tenant.empty()) {
+        PerTenant& pt = per_tenant_[record.tenant];
+        pt.e2e_ms.add(record.e2e().millisF());
+        if (record.timed_out)
+            ++pt.timeouts;
+    }
+}
+
+void
+MetricsCollector::recordShed(const std::string& workflow,
+                             const std::string& tenant)
+{
+    // Shed arrivals never produce an InvocationRecord; count them here
+    // so goodput/shed-rate reporting has a single source of truth.
+    (void)per_workflow_[workflow];  // ensure the workflow appears
+    ++per_tenant_[tenant].sheds;
 }
 
 uint64_t
@@ -205,10 +221,51 @@ MetricsCollector::workflows() const
     return out;
 }
 
+const MetricsCollector::PerTenant&
+MetricsCollector::getTenant(const std::string& tenant) const
+{
+    const auto it = per_tenant_.find(tenant);
+    return it == per_tenant_.end() ? empty_tenant_ : it->second;
+}
+
+std::vector<std::string>
+MetricsCollector::tenants() const
+{
+    std::vector<std::string> out;
+    for (const auto& [name, pt] : per_tenant_)
+        out.push_back(name);
+    return out;
+}
+
+size_t
+MetricsCollector::tenantCount(const std::string& tenant) const
+{
+    return getTenant(tenant).e2e_ms.count();
+}
+
+const Percentiles&
+MetricsCollector::tenantE2e(const std::string& tenant) const
+{
+    return getTenant(tenant).e2e_ms;
+}
+
+uint64_t
+MetricsCollector::tenantSheds(const std::string& tenant) const
+{
+    return getTenant(tenant).sheds;
+}
+
+uint64_t
+MetricsCollector::tenantTimeouts(const std::string& tenant) const
+{
+    return getTenant(tenant).timeouts;
+}
+
 void
 MetricsCollector::clear()
 {
     per_workflow_.clear();
+    per_tenant_.clear();
 }
 
 }  // namespace faasflow::engine

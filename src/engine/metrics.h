@@ -33,12 +33,18 @@ uint64_t invocationOutputDigest(const Invocation& inv);
 
 /**
  * Aggregates InvocationRecords per workflow for the evaluation harness:
- * e2e/overhead/data-latency distributions and byte counters.
+ * e2e/overhead/data-latency distributions and byte counters. Records
+ * that carry a tenant (the admission path) are additionally aggregated
+ * per tenant, alongside the shed counters the admission gates report
+ * through recordShed().
  */
 class MetricsCollector
 {
   public:
     void add(const InvocationRecord& record);
+
+    /** Counts one admission-shed arrival against (workflow, tenant). */
+    void recordShed(const std::string& workflow, const std::string& tenant);
 
     size_t count(const std::string& workflow) const;
 
@@ -79,6 +85,20 @@ class MetricsCollector
 
     std::vector<std::string> workflows() const;
 
+    /** Tenants seen on the admission path, sorted by name. */
+    std::vector<std::string> tenants() const;
+
+    /** Admitted completions recorded for `tenant`. */
+    size_t tenantCount(const std::string& tenant) const;
+
+    /** Admitted-work end-to-end latency distribution for `tenant` (ms);
+     *  includes deferred-admission wait (submit is the offered time). */
+    const Percentiles& tenantE2e(const std::string& tenant) const;
+
+    uint64_t tenantSheds(const std::string& tenant) const;
+    uint64_t tenantTimeouts(const std::string& tenant) const;
+
+    /** Forgets every aggregate (measured-window start). */
     void clear();
 
   private:
@@ -101,10 +121,20 @@ class MetricsCollector
         uint64_t duplicate_executions = 0;
     };
 
+    struct PerTenant
+    {
+        Percentiles e2e_ms;
+        uint64_t sheds = 0;
+        uint64_t timeouts = 0;
+    };
+
     std::map<std::string, PerWorkflow> per_workflow_;
+    std::map<std::string, PerTenant> per_tenant_;
     PerWorkflow empty_;
+    PerTenant empty_tenant_;
 
     const PerWorkflow& get(const std::string& workflow) const;
+    const PerTenant& getTenant(const std::string& tenant) const;
 };
 
 }  // namespace faasflow::engine

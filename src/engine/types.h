@@ -26,6 +26,13 @@ struct InvocationRecord
 {
     uint64_t invocation_id = 0;
     std::string workflow;
+
+    /** Owning tenant when submitted through the admission path (empty
+     *  for direct System::invoke submissions). */
+    std::string tenant;
+
+    /** Offered time: when the client submitted, not when admission let
+     *  the invocation start — deferred admission wait counts in e2e(). */
     SimTime submit;
     SimTime finish;
     bool timed_out = false;
@@ -186,6 +193,10 @@ struct Invocation
 
     size_t sinks_remaining = 0;
     bool finished = false;
+
+    /** When the invocation actually started (== record.submit unless
+     *  admission deferred it); the timeout clamp anchors here. */
+    SimTime start_time;
 
     /** Set once the record reached metrics/the client (a timed-out
      *  invocation delivers early; its eventual completion is silent). */

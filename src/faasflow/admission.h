@@ -1,0 +1,58 @@
+#ifndef FAASFLOW_FAASFLOW_ADMISSION_H_
+#define FAASFLOW_FAASFLOW_ADMISSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+
+namespace faasflow {
+
+/**
+ * Per-tenant admission policy: a token-bucket rate limit plus a
+ * queue-depth backpressure gate over admitted-but-unfinished work.
+ * Both gates are optional (0 disables); when either rejects an arrival
+ * the tenant's policy decides between shedding it (an immediate,
+ * client-visible rejection) and deferring it (a FIFO queue drained
+ * deterministically as tokens accrue and invocations finish).
+ */
+struct TenantPolicy
+{
+    std::string tenant;
+
+    /** Token refill rate (tokens/second); 0 = no rate limit. */
+    double rate_per_s = 0.0;
+
+    /** Bucket capacity in tokens (also the initial fill); >= 1. */
+    double burst = 1.0;
+
+    /** Max admitted-but-unfinished invocations; 0 = unlimited. */
+    int max_in_flight = 0;
+
+    /** Defer gated arrivals instead of shedding them. */
+    bool defer = false;
+
+    /** Defer-queue capacity; arrivals beyond it shed even under defer. */
+    int max_deferred = 4096;
+};
+
+/** Admission-path counters for one tenant (System::admissionStats). */
+struct TenantAdmissionStats
+{
+    uint64_t offered = 0;    ///< submit() calls
+    uint64_t admitted = 0;   ///< invocations started (incl. after defer)
+    uint64_t deferred = 0;   ///< arrivals that entered the defer queue
+    uint64_t shed = 0;       ///< arrivals rejected outright
+    uint64_t shed_rate = 0;      ///< ...because the bucket was empty
+    uint64_t shed_depth = 0;     ///< ...because in-flight hit the cap
+    uint64_t shed_queue_full = 0;  ///< ...because the defer queue was full
+    uint64_t completed = 0;  ///< admitted invocations that finished
+    uint64_t timeouts = 0;   ///< admitted invocations clamped at timeout
+
+    /** Wait between offered arrival and deferred admission (ms). */
+    Summary defer_wait_ms;
+};
+
+}  // namespace faasflow
+
+#endif  // FAASFLOW_FAASFLOW_ADMISSION_H_

@@ -160,6 +160,12 @@ System::registerTelemetryGauges()
                                      return static_cast<double>(
                                          store->memStore().usedBytes());
                                  });
+        engine::WorkerEngine* weng = worker_engines_[w].get();
+        telemetry_.registerGauge("faasflow_engine_queue_depth", labels,
+                                 [weng] {
+                                     return static_cast<double>(
+                                         weng->queue().depth());
+                                 });
         telemetry_.registerGauge("faasflow_nic_egress_util", labels,
                                  nic_util(node->netId(), true));
         telemetry_.registerGauge("faasflow_nic_ingress_util", labels,
@@ -180,6 +186,10 @@ System::registerTelemetryGauges()
     });
     telemetry_.registerGauge("faasflow_storage_bytes", slabels, [remote] {
         return static_cast<double>(remote->storedBytes());
+    });
+    engine::MasterEngine* meng = master_engine_.get();
+    telemetry_.registerGauge("faasflow_engine_queue_depth", slabels, [meng] {
+        return static_cast<double>(meng->queue().depth());
     });
     telemetry_.registerGauge("faasflow_nic_egress_util", slabels,
                              nic_util(sid, true));
@@ -349,6 +359,16 @@ System::invoke(const std::string& workflow,
                const std::string& idempotency_key,
                std::function<void(const engine::InvocationRecord&)> on_result)
 {
+    return invokeInternal(workflow, idempotency_key, std::string(),
+                          sim_->now(), std::move(on_result));
+}
+
+uint64_t
+System::invokeInternal(
+    const std::string& workflow, const std::string& idempotency_key,
+    const std::string& tenant, SimTime offered_at,
+    std::function<void(const engine::InvocationRecord&)> on_result)
+{
     // Exactly-once submission: a key the log already holds belongs to a
     // run that is (or was) in progress — a client retrying a submit
     // that raced a master crash must not double-run the workflow.
@@ -381,16 +401,20 @@ System::invoke(const std::string& workflow,
     ref.sinks_remaining = workflow::sinkNodes(dag).size();
     if (trace_.enabled()) {
         // Root of the invocation's span tree; every node span hangs off
-        // it and deliverRecord closes it at the recorded finish.
+        // it and deliverRecord closes it at the recorded finish. The
+        // tenant (when submitted through admission) rides as the detail.
         ref.inv_span = trace_.openSpan(
             "invocation",
             strFormat("%s#%llu", workflow.c_str(),
                       static_cast<unsigned long long>(ref.id)),
-            static_cast<int>(engine::TraceTrack::Client), sim_->now());
+            static_cast<int>(engine::TraceTrack::Client), sim_->now(), 0,
+            tenant);
     }
     ref.record.invocation_id = ref.id;
     ref.record.workflow = workflow;
-    ref.record.submit = sim_->now();
+    ref.record.tenant = tenant;
+    ref.record.submit = offered_at;
+    ref.start_time = sim_->now();
     ref.on_complete = std::move(on_result);
     invocations_.emplace(ref.id, std::move(inv));
 
@@ -486,8 +510,11 @@ System::deliverRecord(engine::Invocation& inv, bool timed_out)
         return;
     inv.record_delivered = true;
     inv.record.timed_out = timed_out;
+    // The timeout clamp anchors at the actual start, not the offered
+    // time: a deferred-then-admitted invocation still gets the full
+    // execution budget (its e2e then includes the admission wait).
     inv.record.finish = timed_out
-                            ? inv.record.submit + config_.invocation_timeout
+                            ? inv.start_time + config_.invocation_timeout
                             : sim_->now();
     inv.record.critical_exec =
         engine::actualCriticalExec(inv.wf->dag, inv.node_exec);
@@ -495,6 +522,11 @@ System::deliverRecord(engine::Invocation& inv, bool timed_out)
     if (inv.inv_span != 0) {
         trace_.closeSpan(inv.inv_span, inv.record.finish,
                          timed_out ? "timeout" : std::string_view{});
+    }
+    if (timed_out && !inv.record.tenant.empty()) {
+        const auto it = tenants_.find(inv.record.tenant);
+        if (it != tenants_.end())
+            ++it->second.stats.timeouts;
     }
     metrics_.add(inv.record);
     if (inv.on_complete)
@@ -505,6 +537,20 @@ void
 System::finalize(engine::Invocation& inv)
 {
     deliverRecord(inv, false);
+
+    // Release the tenant's in-flight slot and let deferred work pump.
+    // This anchors at the *real* completion (not the timeout clamp), so
+    // the backpressure gate tracks what the cluster is still executing.
+    if (!inv.record.tenant.empty()) {
+        const auto tit = tenants_.find(inv.record.tenant);
+        if (tit != tenants_.end()) {
+            TenantState& ts = tit->second;
+            if (ts.in_flight > 0)
+                --ts.in_flight;
+            ++ts.stats.completed;
+            armPump(inv.record.tenant, ts);
+        }
+    }
 
     if (progress_log_) {
         storage::LogRecord rec;
@@ -935,6 +981,220 @@ System::replayInvocation(engine::Invocation& inv)
     master_engine_->restoreInvocation(inv);
     for (size_t k = 0; k < done_sinks && !inv.finished; ++k)
         onSinkComplete(inv);
+}
+
+// --- Per-tenant admission control -----------------------------------------
+
+namespace {
+/** FP guard: token accrual computed from a scheduled instant can land an
+ *  ulp short of a whole token. */
+constexpr double kTokenEpsilon = 1e-9;
+}  // namespace
+
+void
+System::setTenantPolicy(const TenantPolicy& policy)
+{
+    if (policy.tenant.empty())
+        fatal("setTenantPolicy: policy needs a tenant name");
+    TenantState& state = tenants_[policy.tenant];
+    state.policy = policy;
+    if (state.policy.burst < 1.0)
+        state.policy.burst = 1.0;
+    state.tokens = state.policy.burst;
+    state.last_refill = sim_->now();
+    if (!state.gauges_registered) {
+        state.gauges_registered = true;
+        registerTenantGauges(policy.tenant, state);
+    }
+}
+
+System::TenantState&
+System::tenantState(const std::string& tenant)
+{
+    const auto it = tenants_.find(tenant);
+    if (it != tenants_.end())
+        return it->second;
+    // Implicit open policy: both gates disabled, everything admitted.
+    // No telemetry gauges — the sampler may already be running and its
+    // gauge set must stay fixed; registered tenants get gauges in
+    // setTenantPolicy.
+    TenantState& state = tenants_[tenant];
+    state.policy.tenant = tenant;
+    state.last_refill = sim_->now();
+    return state;
+}
+
+void
+System::registerTenantGauges(const std::string& tenant, TenantState& state)
+{
+    const std::string labels = strFormat("tenant=\"%s\"", tenant.c_str());
+    TenantState* sp = &state;  // std::map nodes are address-stable
+    telemetry_.registerGauge("faasflow_tenant_in_flight", labels, [sp] {
+        return static_cast<double>(sp->in_flight);
+    });
+    telemetry_.registerGauge("faasflow_tenant_tokens", labels,
+                             [sp] { return sp->tokens; });
+    telemetry_.registerGauge("faasflow_tenant_deferred", labels, [sp] {
+        return static_cast<double>(sp->deferred.size());
+    });
+    telemetry_.registerGauge("faasflow_tenant_shed_total", labels, [sp] {
+        return static_cast<double>(sp->stats.shed);
+    });
+}
+
+void
+System::refillTokens(TenantState& state)
+{
+    const SimTime now = sim_->now();
+    if (state.policy.rate_per_s > 0.0) {
+        const double dt = (now - state.last_refill).secondsF();
+        if (dt > 0.0) {
+            state.tokens = std::min(state.policy.burst,
+                                    state.tokens +
+                                        dt * state.policy.rate_per_s);
+        }
+    }
+    state.last_refill = now;
+}
+
+System::SubmitOutcome
+System::submit(const std::string& workflow, const std::string& tenant,
+               std::function<void(const engine::InvocationRecord&)> on_result)
+{
+    TenantState& state = tenantState(tenant);
+    ++state.stats.offered;
+    refillTokens(state);
+
+    const bool rate_limited = state.policy.rate_per_s > 0.0;
+    const bool depth_ok =
+        state.policy.max_in_flight <= 0 ||
+        state.in_flight <
+            static_cast<uint64_t>(state.policy.max_in_flight);
+    const bool tokens_ok =
+        !rate_limited || state.tokens + kTokenEpsilon >= 1.0;
+
+    // FIFO fairness: while older arrivals sit in the defer queue a new
+    // one must not jump past them even if the gates happen to be open.
+    if (depth_ok && tokens_ok && state.deferred.empty()) {
+        if (rate_limited)
+            state.tokens = std::max(0.0, state.tokens - 1.0);
+        ++state.stats.admitted;
+        ++state.in_flight;
+        const uint64_t id =
+            invokeInternal(workflow, std::string(), tenant, sim_->now(),
+                           std::move(on_result));
+        return SubmitOutcome{SubmitOutcome::Status::Admitted, id};
+    }
+
+    const bool queue_full =
+        state.deferred.size() >=
+        static_cast<size_t>(std::max(0, state.policy.max_deferred));
+    if (!state.policy.defer || queue_full) {
+        ++state.stats.shed;
+        if (queue_full && state.policy.defer)
+            ++state.stats.shed_queue_full;
+        else if (!depth_ok)
+            ++state.stats.shed_depth;
+        else
+            ++state.stats.shed_rate;
+        metrics_.recordShed(workflow, tenant);
+        return SubmitOutcome{SubmitOutcome::Status::Shed, 0};
+    }
+
+    ++state.stats.deferred;
+    state.deferred.push_back(
+        TenantState::Pending{workflow, sim_->now(), std::move(on_result)});
+    armPump(tenant, state);
+    return SubmitOutcome{SubmitOutcome::Status::Deferred, 0};
+}
+
+void
+System::armPump(const std::string& tenant, TenantState& state)
+{
+    if (state.pump_scheduled || state.deferred.empty())
+        return;
+    if (state.policy.max_in_flight > 0 &&
+        state.in_flight >=
+            static_cast<uint64_t>(state.policy.max_in_flight)) {
+        return;  // blocked on depth: the next finalize re-arms
+    }
+    SimTime delay = SimTime::zero();
+    if (state.policy.rate_per_s > 0.0 &&
+        state.tokens + kTokenEpsilon < 1.0) {
+        // Wake exactly when the missing fraction of a token accrues.
+        delay = SimTime::seconds((1.0 - state.tokens) /
+                                 state.policy.rate_per_s) +
+                SimTime::micros(1);
+    }
+    state.pump_scheduled = true;
+    sim_->schedule(delay, [this, tenant] { pumpTenant(tenant); });
+}
+
+void
+System::pumpTenant(const std::string& tenant)
+{
+    const auto it = tenants_.find(tenant);
+    if (it == tenants_.end())
+        return;
+    TenantState& state = it->second;
+    state.pump_scheduled = false;
+    refillTokens(state);
+    while (!state.deferred.empty()) {
+        if (state.policy.max_in_flight > 0 &&
+            state.in_flight >=
+                static_cast<uint64_t>(state.policy.max_in_flight)) {
+            return;  // the next finalize pumps again
+        }
+        const bool rate_limited = state.policy.rate_per_s > 0.0;
+        if (rate_limited && state.tokens + kTokenEpsilon < 1.0) {
+            armPump(tenant, state);
+            return;
+        }
+        TenantState::Pending pending = std::move(state.deferred.front());
+        state.deferred.pop_front();
+        if (rate_limited)
+            state.tokens = std::max(0.0, state.tokens - 1.0);
+        ++state.stats.admitted;
+        ++state.in_flight;
+        state.stats.defer_wait_ms.add(
+            (sim_->now() - pending.offered).millisF());
+        // The offered time rides along as record.submit, so the e2e the
+        // metrics see includes the admission wait.
+        invokeInternal(pending.workflow, std::string(), tenant,
+                       pending.offered, std::move(pending.on_result));
+    }
+}
+
+const TenantAdmissionStats&
+System::admissionStats(const std::string& tenant) const
+{
+    static const TenantAdmissionStats empty;
+    const auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? empty : it->second.stats;
+}
+
+std::vector<std::string>
+System::admissionTenants() const
+{
+    std::vector<std::string> out;
+    for (const auto& [name, state] : tenants_)
+        out.push_back(name);
+    return out;
+}
+
+size_t
+System::tenantInFlight(const std::string& tenant) const
+{
+    const auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0
+                                : static_cast<size_t>(it->second.in_flight);
+}
+
+size_t
+System::tenantDeferred(const std::string& tenant) const
+{
+    const auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0 : it->second.deferred.size();
 }
 
 double

@@ -1,6 +1,7 @@
 #ifndef FAASFLOW_FAASFLOW_SYSTEM_H_
 #define FAASFLOW_FAASFLOW_SYSTEM_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -12,6 +13,7 @@
 #include "engine/trace.h"
 #include "engine/types.h"
 #include "engine/worker_engine.h"
+#include "faasflow/admission.h"
 #include "faasflow/config.h"
 #include "obs/telemetry.h"
 #include "sim/fault_schedule.h"
@@ -80,6 +82,49 @@ class System
                     const std::string& idempotency_key,
                     std::function<void(const engine::InvocationRecord&)>
                         on_result = nullptr);
+
+    /**
+     * Registers (or replaces) a tenant's admission policy. Must be
+     * called before the tenant's first submit(); per-tenant telemetry
+     * gauges are registered here, so call before startTelemetry() too.
+     */
+    void setTenantPolicy(const TenantPolicy& policy);
+
+    /** Outcome of one admission decision. */
+    struct SubmitOutcome
+    {
+        enum class Status { Admitted, Deferred, Shed };
+        Status status = Status::Admitted;
+        /** Invocation id when admitted immediately; 0 otherwise (a
+         *  deferred arrival gets its id when admission lets it start). */
+        uint64_t invocation_id = 0;
+    };
+
+    /**
+     * Submits through the per-tenant admission path: the token bucket
+     * and the in-flight gate of the tenant's policy decide, and a
+     * rejected arrival is shed or deferred per the policy. A deferred
+     * arrival keeps its offered time as record.submit, so its eventual
+     * e2e latency includes the admission wait. An unknown tenant is
+     * admitted unconditionally under an implicit open policy.
+     */
+    SubmitOutcome submit(const std::string& workflow,
+                         const std::string& tenant,
+                         std::function<void(const engine::InvocationRecord&)>
+                             on_result = nullptr);
+
+    /** Admission counters for one tenant (zeros for unknown tenants). */
+    const TenantAdmissionStats& admissionStats(
+        const std::string& tenant) const;
+
+    /** Registered + implicitly-seen tenants, sorted by name. */
+    std::vector<std::string> admissionTenants() const;
+
+    /** Admitted-but-unfinished invocations of one tenant. */
+    size_t tenantInFlight(const std::string& tenant) const;
+
+    /** Deferred arrivals currently queued for one tenant. */
+    size_t tenantDeferred(const std::string& tenant) const;
 
     /** Drives the simulation until no events remain. */
     void run();
@@ -264,6 +309,42 @@ class System
         std::map<int, int> switch_choice;
     };
     std::map<uint64_t, InvocationSnapshot> master_snapshots_;
+
+    /** Admission-control state for one tenant (stable address: the
+     *  telemetry gauges registered in setTenantPolicy point into it). */
+    struct TenantState
+    {
+        TenantPolicy policy;
+        double tokens = 0.0;
+        SimTime last_refill;
+        uint64_t in_flight = 0;
+        struct Pending
+        {
+            std::string workflow;
+            SimTime offered;
+            std::function<void(const engine::InvocationRecord&)> on_result;
+        };
+        std::deque<Pending> deferred;
+        bool pump_scheduled = false;
+        bool gauges_registered = false;
+        TenantAdmissionStats stats;
+    };
+
+    std::map<std::string, TenantState> tenants_;
+
+    TenantState& tenantState(const std::string& tenant);
+    void refillTokens(TenantState& state);
+    /** Admits deferred arrivals while the gates allow; re-arms itself
+     *  at the exact token-accrual instant when rate-limited. */
+    void pumpTenant(const std::string& tenant);
+    /** Schedules a pump when deferred work could be admitted soon. */
+    void armPump(const std::string& tenant, TenantState& state);
+    void registerTenantGauges(const std::string& tenant,
+                              TenantState& state);
+    uint64_t invokeInternal(
+        const std::string& workflow, const std::string& idempotency_key,
+        const std::string& tenant, SimTime offered_at,
+        std::function<void(const engine::InvocationRecord&)> on_result);
 
     int pickReplacement(size_t crashed) const;
     void recoverInvocation(engine::Invocation& inv, size_t crashed,

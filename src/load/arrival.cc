@@ -1,0 +1,89 @@
+#include "load/arrival.h"
+
+#include <cmath>
+
+namespace faasflow::load {
+
+ArrivalProcess::ArrivalProcess(ArrivalSpec spec) : spec_(spec) {}
+
+SimTime
+ArrivalProcess::next(SimTime now, Rng& rng)
+{
+    switch (spec_.kind) {
+    case ArrivalKind::Poisson:
+        return nextPoisson(now, rng);
+    case ArrivalKind::Bursty:
+        return nextBursty(now, rng);
+    case ArrivalKind::DiurnalRamp:
+        return nextRamp(now, rng);
+    }
+    return nextPoisson(now, rng);
+}
+
+SimTime
+ArrivalProcess::nextPoisson(SimTime now, Rng& rng) const
+{
+    const double gap_s = rng.exponential(meanGapSeconds(spec_.rate_per_min));
+    SimTime at = now + SimTime::seconds(gap_s);
+    if (at <= now)
+        at = now + SimTime::micros(1);
+    return at;
+}
+
+SimTime
+ArrivalProcess::nextBursty(SimTime now, Rng& rng)
+{
+    if (!phase_initialised_) {
+        phase_initialised_ = true;
+        on_phase_ = true;
+        phase_end_ =
+            now + SimTime::seconds(rng.exponential(spec_.on_mean.secondsF()));
+    }
+    SimTime t = now;
+    for (;;) {
+        // Exhausted phases roll over before any draw, so the candidate
+        // gap below is always sampled at the phase's own rate.
+        while (t >= phase_end_) {
+            on_phase_ = !on_phase_;
+            const SimTime mean = on_phase_ ? spec_.on_mean : spec_.off_mean;
+            phase_end_ +=
+                SimTime::seconds(rng.exponential(mean.secondsF()));
+        }
+        const double rate =
+            on_phase_ ? spec_.rate_per_min : spec_.off_rate_per_min;
+        if (rate <= 0.0) {
+            // Silent phase: no arrivals until it ends.
+            t = phase_end_;
+            continue;
+        }
+        const SimTime candidate =
+            t + SimTime::seconds(rng.exponential(meanGapSeconds(rate)));
+        if (candidate < phase_end_)
+            return candidate > now ? candidate : now + SimTime::micros(1);
+        // The gap crosses the phase boundary: restart the memoryless
+        // draw at the boundary under the next phase's rate.
+        t = phase_end_;
+    }
+}
+
+SimTime
+ArrivalProcess::nextRamp(SimTime now, Rng& rng) const
+{
+    const double peak = spec_.rate_per_min;
+    const double base = spec_.base_rate_per_min;
+    const double period_s = spec_.period.secondsF();
+    SimTime t = now;
+    // Lewis-Shedler thinning: candidate arrivals at the peak rate, each
+    // accepted with probability rate(t)/peak. Acceptance is guaranteed
+    // eventually because rate(t) hits `peak` every period.
+    for (;;) {
+        t += SimTime::seconds(rng.exponential(meanGapSeconds(peak)));
+        const double phase = 2.0 * M_PI * t.secondsF() / period_s;
+        const double rate =
+            base + (peak - base) * 0.5 * (1.0 - std::cos(phase));
+        if (rng.uniform() * peak <= rate)
+            return t > now ? t : now + SimTime::micros(1);
+    }
+}
+
+}  // namespace faasflow::load

@@ -1,0 +1,62 @@
+#ifndef FAASFLOW_LOAD_ARRIVAL_H_
+#define FAASFLOW_LOAD_ARRIVAL_H_
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "load/spec.h"
+
+namespace faasflow::load {
+
+/**
+ * Stateful arrival-time generator for one tenant's ArrivalSpec.
+ *
+ * All three families reduce to "give me the next arrival instant after
+ * `now`", drawn deterministically from the caller's Rng:
+ *
+ *  - Poisson: i.i.d. exponential gaps at the mean rate.
+ *  - Bursty: a 2-state modulated Poisson process. Phase lengths are
+ *    exponential with the configured means; the process starts in the
+ *    on phase. An off rate of 0 skips silently to the next on phase.
+ *  - DiurnalRamp: inhomogeneous Poisson via Lewis-Shedler thinning
+ *    against the peak rate, with the sinusoidal intensity
+ *    rate(t) = base + (peak − base)·(1 − cos(2πt/period))/2 — the rate
+ *    starts at `base` (trough) and peaks at period/2.
+ *
+ * The generator consumes a bounded number of Rng draws per arrival and
+ * never consults wall-clock state, so two processes built from equal
+ * specs and equally-seeded Rngs emit identical arrival trains.
+ */
+class ArrivalProcess
+{
+  public:
+    explicit ArrivalProcess(ArrivalSpec spec);
+
+    /** Next arrival instant strictly after `now`. */
+    SimTime next(SimTime now, Rng& rng);
+
+    const ArrivalSpec& spec() const { return spec_; }
+
+  private:
+    ArrivalSpec spec_;
+
+    // Bursty phase state: the end of the current phase (lazily extended)
+    // and whether the process is currently in the on phase.
+    bool phase_initialised_ = false;
+    bool on_phase_ = true;
+    SimTime phase_end_;
+
+    SimTime nextPoisson(SimTime now, Rng& rng) const;
+    SimTime nextBursty(SimTime now, Rng& rng);
+    SimTime nextRamp(SimTime now, Rng& rng) const;
+};
+
+/** Seconds between arrivals at `rate_per_min` (helper for tests). */
+inline double
+meanGapSeconds(double rate_per_min)
+{
+    return 60.0 / rate_per_min;
+}
+
+}  // namespace faasflow::load
+
+#endif  // FAASFLOW_LOAD_ARRIVAL_H_

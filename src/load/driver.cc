@@ -1,0 +1,93 @@
+#include "load/driver.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace faasflow::load {
+
+LoadDriver::LoadDriver(System& system, LoadSpec spec, uint64_t seed,
+                       std::string default_workflow)
+    : system_(system), spec_(std::move(spec))
+{
+    Rng base(seed);
+    for (const TenantSpec& tenant : spec_.tenants) {
+        TenantRuntime rt{tenant, ArrivalProcess(tenant.arrival),
+                         base.split(), {}, {}, SimTime::zero()};
+        double total = 0.0;
+        if (tenant.mix.empty()) {
+            if (default_workflow.empty())
+                panic("tenant '%s' has no workflow mix and no default "
+                      "workflow was provided",
+                      tenant.name.c_str());
+            rt.workflows.push_back(default_workflow);
+            rt.cumulative.push_back(1.0);
+        } else {
+            for (const MixEntry& entry : tenant.mix) {
+                total += entry.weight;
+                rt.workflows.push_back(entry.workflow);
+                rt.cumulative.push_back(total);
+            }
+        }
+        tenants_.push_back(std::move(rt));
+        counters_.push_back(TenantCounters{tenant.name, 0});
+
+        if (tenant.admission.enabled) {
+            TenantPolicy policy;
+            policy.tenant = tenant.name;
+            policy.rate_per_s = tenant.admission.rate_per_s;
+            policy.burst = tenant.admission.burst;
+            policy.max_in_flight = tenant.admission.max_in_flight;
+            policy.defer = tenant.admission.defer;
+            policy.max_deferred = tenant.admission.max_deferred;
+            system_.setTenantPolicy(policy);
+        }
+    }
+}
+
+void
+LoadDriver::start()
+{
+    started_at_ = system_.simulator().now();
+    for (size_t i = 0; i < tenants_.size(); ++i) {
+        tenants_[i].last_arrival = started_at_;
+        scheduleNext(i);
+    }
+}
+
+void
+LoadDriver::scheduleNext(size_t tenant_index)
+{
+    TenantRuntime& t = tenants_[tenant_index];
+    const SimTime next = t.process.next(t.last_arrival, t.rng);
+    if (next - started_at_ > spec_.horizon)
+        return;  // past the horizon: this tenant falls silent
+    t.last_arrival = next;
+    system_.simulator().scheduleAt(
+        next, [this, tenant_index] { fire(tenant_index); });
+}
+
+void
+LoadDriver::fire(size_t tenant_index)
+{
+    TenantRuntime& t = tenants_[tenant_index];
+    ++counters_[tenant_index].arrivals;
+    system_.submit(pickWorkflow(t), t.spec.name);
+    scheduleNext(tenant_index);
+}
+
+const std::string&
+LoadDriver::pickWorkflow(TenantRuntime& t)
+{
+    if (t.workflows.size() == 1)
+        return t.workflows.front();
+    const double total = t.cumulative.back();
+    const double u = t.rng.uniform() * total;
+    for (size_t i = 0; i < t.cumulative.size(); ++i) {
+        if (u < t.cumulative[i])
+            return t.workflows[i];
+    }
+    return t.workflows.back();
+}
+
+}  // namespace faasflow::load

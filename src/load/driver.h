@@ -1,0 +1,80 @@
+#ifndef FAASFLOW_LOAD_DRIVER_H_
+#define FAASFLOW_LOAD_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "faasflow/system.h"
+#include "load/arrival.h"
+#include "load/spec.h"
+
+namespace faasflow::load {
+
+/**
+ * Open-loop multi-tenant workload driver.
+ *
+ * For each tenant in a LoadSpec it runs an independent arrival process
+ * on the simulated clock and pushes every arrival through
+ * System::submit() — arrivals are *not* gated on completions, so an
+ * overloaded deployment sees its queues grow exactly as a production
+ * front door would. Admission policies are installed on construction
+ * (before any telemetry can start); arrivals stop at the horizon and
+ * the simulation then drains naturally.
+ *
+ * Determinism: each tenant owns an Rng split off the driver seed in
+ * tenant order, so adding a tenant or reordering the YAML changes only
+ * the streams that logically changed.
+ */
+class LoadDriver
+{
+  public:
+    /** Per-tenant driver-side counters (admission outcomes live in
+     *  System::admissionStats). */
+    struct TenantCounters
+    {
+        std::string tenant;
+        uint64_t arrivals = 0;  ///< arrivals fired before the horizon
+    };
+
+    /** @param default_workflow used for tenants whose mix is empty
+     *  (faasflow_run passes the document's own workflow). */
+    LoadDriver(System& system, LoadSpec spec, uint64_t seed,
+               std::string default_workflow = "");
+
+    /** Schedules the first arrival of every tenant; call run() on the
+     *  System afterwards. */
+    void start();
+
+    const std::vector<TenantCounters>& counters() const { return counters_; }
+
+    const LoadSpec& spec() const { return spec_; }
+
+  private:
+    struct TenantRuntime
+    {
+        TenantSpec spec;
+        ArrivalProcess process;
+        Rng rng;
+        /** Cumulative mix weights for the workflow draw. */
+        std::vector<double> cumulative;
+        std::vector<std::string> workflows;
+        SimTime last_arrival;
+    };
+
+    System& system_;
+    LoadSpec spec_;
+    SimTime started_at_;
+    std::vector<TenantRuntime> tenants_;
+    std::vector<TenantCounters> counters_;
+
+    void scheduleNext(size_t tenant_index);
+    void fire(size_t tenant_index);
+    const std::string& pickWorkflow(TenantRuntime& t);
+};
+
+}  // namespace faasflow::load
+
+#endif  // FAASFLOW_LOAD_DRIVER_H_

@@ -1,0 +1,175 @@
+#include "load/spec.h"
+
+#include "common/string_util.h"
+
+namespace faasflow::load {
+
+namespace {
+
+LoadSpec
+failSpec(LoadSpec spec, std::string message)
+{
+    spec.error = std::move(message);
+    return spec;
+}
+
+bool
+parseArrival(const json::Value& node, ArrivalSpec& out, std::string& error)
+{
+    if (!node.isObject()) {
+        error = "load: tenant `arrival` must be a mapping";
+        return false;
+    }
+    const std::string process = node.getOr("process", std::string("poisson"));
+    if (process == "poisson") {
+        out.kind = ArrivalKind::Poisson;
+    } else if (process == "bursty") {
+        out.kind = ArrivalKind::Bursty;
+    } else if (process == "ramp" || process == "diurnal") {
+        out.kind = ArrivalKind::DiurnalRamp;
+    } else {
+        error = strFormat("load: unknown arrival process '%s' "
+                          "(poisson|bursty|ramp)",
+                          process.c_str());
+        return false;
+    }
+    out.rate_per_min = node.getOr("rate_per_min", out.rate_per_min);
+    if (out.rate_per_min <= 0.0) {
+        error = "load: arrival rate_per_min must be > 0";
+        return false;
+    }
+    out.on_mean = SimTime::millis(
+        node.getOr("on_ms", out.on_mean.millisF()));
+    out.off_mean = SimTime::millis(
+        node.getOr("off_ms", out.off_mean.millisF()));
+    out.off_rate_per_min =
+        node.getOr("off_rate_per_min", out.off_rate_per_min);
+    out.period = SimTime::millis(
+        node.getOr("period_ms", out.period.millisF()));
+    out.base_rate_per_min =
+        node.getOr("base_rate_per_min", out.base_rate_per_min);
+    if (out.kind == ArrivalKind::Bursty &&
+        (out.on_mean <= SimTime::zero() || out.off_mean <= SimTime::zero())) {
+        error = "load: bursty arrival needs on_ms > 0 and off_ms > 0";
+        return false;
+    }
+    if (out.kind == ArrivalKind::DiurnalRamp) {
+        if (out.period <= SimTime::zero()) {
+            error = "load: ramp arrival needs period_ms > 0";
+            return false;
+        }
+        if (out.base_rate_per_min < 0.0 ||
+            out.base_rate_per_min > out.rate_per_min) {
+            error = "load: ramp needs 0 <= base_rate_per_min <= rate_per_min";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+parseAdmission(const json::Value& node, AdmissionSpec& out,
+               std::string& error)
+{
+    if (!node.isObject()) {
+        error = "load: tenant `admission` must be a mapping";
+        return false;
+    }
+    out.enabled = true;
+    out.rate_per_s = node.getOr("rate_per_s", out.rate_per_s);
+    out.burst = node.getOr("burst", out.burst);
+    out.max_in_flight = static_cast<int>(
+        node.getOr("max_in_flight", int64_t{out.max_in_flight}));
+    out.max_deferred = static_cast<int>(
+        node.getOr("max_deferred", int64_t{out.max_deferred}));
+    const std::string policy = node.getOr("policy", std::string("shed"));
+    if (policy == "shed") {
+        out.defer = false;
+    } else if (policy == "defer") {
+        out.defer = true;
+    } else {
+        error = strFormat("load: unknown admission policy '%s' (shed|defer)",
+                          policy.c_str());
+        return false;
+    }
+    if (out.rate_per_s < 0.0 || out.burst < 1.0 || out.max_in_flight < 0 ||
+        out.max_deferred < 0) {
+        error = "load: admission needs rate_per_s >= 0, burst >= 1, "
+                "max_in_flight >= 0, max_deferred >= 0";
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+LoadSpec
+parseLoadSpec(const json::Value& doc)
+{
+    LoadSpec spec;
+    if (!doc.isObject())
+        return spec;
+    const json::Value* block = doc.find("load");
+    if (!block)
+        return spec;
+    spec.present = true;
+    if (!block->isObject())
+        return failSpec(std::move(spec), "load: must be a mapping");
+
+    spec.horizon = SimTime::millis(
+        block->getOr("horizon_ms", spec.horizon.millisF()));
+    if (spec.horizon <= SimTime::zero())
+        return failSpec(std::move(spec), "load: horizon_ms must be > 0");
+    spec.autoscale = block->getOr("autoscale", spec.autoscale);
+
+    const json::Value* tenants = block->find("tenants");
+    if (!tenants || !tenants->isArray() || tenants->asArray().empty()) {
+        return failSpec(std::move(spec),
+                        "load: needs a non-empty `tenants` list");
+    }
+    for (const json::Value& entry : tenants->asArray()) {
+        if (!entry.isObject())
+            return failSpec(std::move(spec),
+                            "load: each tenant must be a mapping");
+        TenantSpec tenant;
+        tenant.name = entry.getOr("name", std::string());
+        if (tenant.name.empty())
+            return failSpec(std::move(spec), "load: tenant needs a name");
+        for (const TenantSpec& prior : spec.tenants) {
+            if (prior.name == tenant.name) {
+                return failSpec(std::move(spec),
+                                strFormat("load: duplicate tenant '%s'",
+                                          tenant.name.c_str()));
+            }
+        }
+        std::string error;
+        if (const json::Value* arrival = entry.find("arrival")) {
+            if (!parseArrival(*arrival, tenant.arrival, error))
+                return failSpec(std::move(spec), std::move(error));
+        }
+        if (const json::Value* admission = entry.find("admission")) {
+            if (!parseAdmission(*admission, tenant.admission, error))
+                return failSpec(std::move(spec), std::move(error));
+        }
+        if (const json::Value* mix = entry.find("mix")) {
+            if (!mix->isObject()) {
+                return failSpec(std::move(spec),
+                                "load: tenant `mix` must map workflow "
+                                "names to weights");
+            }
+            for (const auto& [wf, weight] : mix->asObject()) {
+                if (!weight.isNumber() || weight.asDouble() <= 0.0) {
+                    return failSpec(std::move(spec),
+                                    strFormat("load: mix weight for '%s' "
+                                              "must be a positive number",
+                                              wf.c_str()));
+                }
+                tenant.mix.push_back(MixEntry{wf, weight.asDouble()});
+            }
+        }
+        spec.tenants.push_back(std::move(tenant));
+    }
+    return spec;
+}
+
+}  // namespace faasflow::load

@@ -41,6 +41,42 @@ TEST(ServiceQueueTest, UtilisationTracksBusyFraction)
     EXPECT_NEAR(q.utilisation(), 0.25, 0.01);
 }
 
+TEST(ServiceQueueTest, OpenLoopOverloadStatsStayExact)
+{
+    // Open-loop regression: arrivals at 2x the service rate, never
+    // drained. The queue must grow linearly while utilisation stays
+    // clamped at 1 and meanDepth reflects the still-open busy segment —
+    // the pre-fix stats only settled at drain time.
+    sim::Simulator sim;
+    ServiceQueue q(sim, SimTime::millis(10), 0.0, Rng(1));
+    for (int i = 0; i < 200; ++i) {
+        sim.scheduleAt(SimTime::millis(5 * i), [&] { q.submit([] {}); });
+    }
+    sim.runUntil(SimTime::seconds(1));
+
+    // 200 offered, one serviced every 10 ms -> ~100 processed, ~100 deep.
+    EXPECT_NEAR(static_cast<double>(q.processed()), 100.0, 2.0);
+    EXPECT_NEAR(static_cast<double>(q.depth()), 100.0, 2.0);
+    EXPECT_LE(q.utilisation(), 1.0);
+    EXPECT_NEAR(q.utilisation(), 1.0, 0.02);
+    // Depth ramps 0 -> ~100 linearly: time-weighted mean ~50.
+    EXPECT_NEAR(q.meanDepth(), 50.0, 3.0);
+    EXPECT_NEAR(static_cast<double>(q.peakDepth()),
+                static_cast<double>(q.depth()), 2.0);
+
+    // Re-anchor mid-overload: the new window starts ~100 deep and only
+    // drains, so its mean sits between the end depth and the start.
+    q.resetStats();
+    EXPECT_EQ(q.peakDepth(), q.depth());
+    sim.runUntil(SimTime::millis(1500));
+    EXPECT_NEAR(static_cast<double>(q.depth()), 50.0, 2.0);
+    EXPECT_NEAR(q.utilisation(), 1.0, 0.02);
+    EXPECT_NEAR(q.meanDepth(), 75.0, 3.0);
+    sim.run();
+    EXPECT_EQ(q.depth(), 0u);
+    EXPECT_EQ(q.processed(), 200u);
+}
+
 TEST(ServiceQueueTest, HandlerMaySubmitMore)
 {
     sim::Simulator sim;

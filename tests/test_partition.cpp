@@ -3,6 +3,7 @@
  *  feedback, and placement helpers. */
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "common/rng.h"
@@ -418,6 +419,127 @@ TEST_P(GrouperPropertyTest, PlacementInvariants)
 INSTANTIATE_TEST_SUITE_P(Seeds, GrouperPropertyTest,
                          ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88,
                                            99, 110));
+
+// ------------------------------------------------------------ Edge cases
+
+/** Registry with default specs for every task node in a raw Dag. */
+cluster::FunctionRegistry
+registryForDag(const Dag& dag)
+{
+    cluster::FunctionRegistry registry;
+    for (const auto& node : dag.nodes()) {
+        if (node.isTask() && !registry.contains(node.function)) {
+            cluster::FunctionSpec spec;
+            spec.name = node.function;
+            registry.add(spec);
+        }
+    }
+    return registry;
+}
+
+TEST(PartitionEdgeCaseTest, SingleNodeDag)
+{
+    Dag dag("solo");
+    workflow::DagNode only;
+    only.name = "only";
+    only.kind = workflow::StepKind::Task;
+    only.function = "only";
+    dag.addNode(only);
+
+    const Placement hashed = hashPartition(dag, 3, 0);
+    ASSERT_TRUE(hashed.valid());
+    ASSERT_EQ(hashed.worker_of.size(), 1u);
+    EXPECT_GE(hashed.worker_of[0], 0);
+    EXPECT_LT(hashed.worker_of[0], 3);
+
+    const auto registry = registryForDag(dag);
+    RuntimeFeedback feedback;
+    GreedyGrouper grouper(dag, registry, feedback,
+                          contextWith(3, 10, 1000 * kMB), Rng(1));
+    const Placement p = grouper.run(1);
+    ASSERT_TRUE(p.valid());
+    EXPECT_EQ(p.groups.size(), 1u);
+    EXPECT_EQ(p.groups[0].size(), 1u);
+    // A lone node has no data edges: nothing to localize or merge.
+    EXPECT_EQ(grouper.mergeCount(), 0);
+    EXPECT_EQ(grouper.memConsumed(), 0);
+    EXPECT_FALSE(p.storage_mem[0]);
+}
+
+TEST(PartitionEdgeCaseTest, DisconnectedComponentsAllPlaced)
+{
+    // Two independent chains sharing one Dag: a0 -> a1 and b0 -> b1.
+    // Submitting unrelated flows as one graph must not confuse either
+    // partitioner: every node still gets exactly one worker and groups
+    // never mix nodes with no path between them... unless capacity does
+    // (which is legal), so only placement invariants are asserted.
+    Dag dag("disconnected");
+    for (const char* name : {"a0", "a1", "b0", "b1"}) {
+        workflow::DagNode node;
+        node.name = name;
+        node.kind = workflow::StepKind::Task;
+        node.function = name;
+        dag.addNode(node);
+    }
+    dag.addEdge(dag.findByName("a0"), dag.findByName("a1"), 30 * kMB,
+                SimTime::millis(600));
+    dag.addEdge(dag.findByName("b0"), dag.findByName("b1"), 20 * kMB,
+                SimTime::millis(400));
+
+    const Placement hashed = hashPartition(dag, 4, 0);
+    ASSERT_TRUE(hashed.valid());
+    EXPECT_EQ(hashed.worker_of.size(), 4u);
+
+    const auto registry = registryForDag(dag);
+    RuntimeFeedback feedback;
+    GreedyGrouper grouper(dag, registry, feedback,
+                          contextWith(4, 10, 1000 * kMB), Rng(1));
+    const Placement p = grouper.run(1);
+    ASSERT_TRUE(p.valid());
+    // Both components' edges fit the quota: each chain collapses, giving
+    // two merges and both producers in memory storage.
+    EXPECT_EQ(grouper.mergeCount(), 2);
+    EXPECT_EQ(grouper.memConsumed(), 50 * kMB);
+    EXPECT_EQ(p.workerOf(dag.findByName("a0")),
+              p.workerOf(dag.findByName("a1")));
+    EXPECT_EQ(p.workerOf(dag.findByName("b0")),
+              p.workerOf(dag.findByName("b1")));
+    std::set<NodeId> seen;
+    for (const auto& group : p.groups)
+        for (const NodeId id : group)
+            EXPECT_TRUE(seen.insert(id).second);
+    EXPECT_EQ(seen.size(), dag.nodeCount());
+}
+
+TEST(PartitionEdgeCaseTest, GenerousQuotaCollapsesGraphOntoOneWorker)
+{
+    auto wdl = chainWorkflow();
+    const auto registry = registryFor(wdl);
+    RuntimeFeedback feedback;
+    // Quota and capacity both effectively unbounded: Algorithm 1 should
+    // fold the entire workflow into a single group on a single worker
+    // with every producing node promoted to in-memory storage.
+    GreedyGrouper grouper(
+        wdl.dag, registry, feedback,
+        contextWith(8, 1000, std::numeric_limits<int64_t>::max() / 4),
+        Rng(3));
+    const Placement p = grouper.run(1);
+    ASSERT_TRUE(p.valid());
+    ASSERT_EQ(p.groups.size(), 1u);
+    const int home = p.worker_of.front();
+    for (const int w : p.worker_of)
+        EXPECT_EQ(w, home);
+    EXPECT_EQ(grouper.mergeCount(),
+              static_cast<int>(wdl.dag.nodeCount()) - 1);
+    const NodeId d = wdl.dag.findByName("d");
+    for (size_t i = 0; i < p.storage_mem.size(); ++i) {
+        // Terminal node d produces nothing; everything upstream is MEM.
+        if (static_cast<NodeId>(i) == d)
+            EXPECT_FALSE(p.storage_mem[i]);
+        else
+            EXPECT_TRUE(p.storage_mem[i]);
+    }
+}
 
 }  // namespace
 }  // namespace faasflow::scheduler

@@ -1,0 +1,144 @@
+/**
+ * Property-based round-trip test for workflow/serialize: random DAGs —
+ * tasks, virtual fences, switch annotations, foreach widths, multi-item
+ * payload relays, scheduler edge weights — must survive
+ * dagToJson -> dagFromJson structurally intact, and re-serialise to the
+ * byte-identical JSON text.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "workflow/analysis.h"
+#include "workflow/serialize.h"
+
+using namespace faasflow;
+using namespace faasflow::workflow;
+
+namespace {
+
+Dag
+randomDag(Rng& rng, int case_index)
+{
+    const int n = static_cast<int>(rng.uniformInt(1, 40));
+    Dag dag(strFormat("fuzz-%d", case_index));
+    int switch_count = 0;
+    for (int i = 0; i < n; ++i) {
+        DagNode node;
+        node.name = strFormat("n%d", i);
+        // Node 0 must be a task: an isolated virtual node (possible when
+        // n == 1) is invalid by design.
+        const int64_t kind_roll = i == 0 ? 0 : rng.uniformInt(0, 9);
+        if (kind_roll >= 8) {
+            node.kind = kind_roll == 8 ? StepKind::VirtualStart
+                                       : StepKind::VirtualEnd;
+        } else {
+            node.kind = StepKind::Task;
+            node.function =
+                strFormat("fn%d", static_cast<int>(rng.uniformInt(0, 6)));
+            node.exec_estimate =
+                SimTime::micros(rng.uniformInt(0, 5'000'000));
+        }
+        if (rng.uniformInt(0, 4) == 0)
+            node.foreach_width = static_cast<int>(rng.uniformInt(2, 16));
+        if (rng.uniformInt(0, 5) == 0) {
+            node.switch_id = switch_count++;
+            node.switch_branch = static_cast<int>(rng.uniformInt(0, 3));
+        }
+        dag.addNode(node);
+    }
+    // Forward edges only (acyclic by construction). Every node past the
+    // first gets at least one predecessor, so no virtual node is
+    // isolated and the DAG has one source component.
+    for (int j = 1; j < n; ++j) {
+        const auto from = static_cast<NodeId>(rng.uniformInt(0, j - 1));
+        dag.addEdge(from, j, rng.uniformInt(0, 8'000'000),
+                    SimTime::micros(rng.uniformInt(0, 400'000)));
+    }
+    // Extra edges, some with multi-item relay payloads (the virtual-fence
+    // fan-in case: origins differ from the edge tail).
+    const int64_t extra = n > 1 ? rng.uniformInt(0, n) : 0;
+    for (int64_t e = 0; e < extra; ++e) {
+        const auto to = static_cast<NodeId>(rng.uniformInt(1, n - 1));
+        const auto from = static_cast<NodeId>(rng.uniformInt(0, to - 1));
+        if (rng.uniformInt(0, 1) == 0) {
+            dag.addEdge(from, to, rng.uniformInt(0, 2'000'000));
+        } else {
+            std::vector<DataItem> payload;
+            const int64_t items = rng.uniformInt(0, 3);
+            for (int64_t p = 0; p < items; ++p) {
+                payload.push_back(
+                    DataItem{static_cast<NodeId>(rng.uniformInt(0, to - 1)),
+                             rng.uniformInt(0, 1'000'000)});
+            }
+            dag.addEdgeWithPayload(from, to, std::move(payload),
+                                   SimTime::micros(rng.uniformInt(0, 99)));
+        }
+    }
+    return dag;
+}
+
+void
+expectStructurallyEqual(const Dag& a, const Dag& b)
+{
+    ASSERT_EQ(a.name(), b.name());
+    ASSERT_EQ(a.nodeCount(), b.nodeCount());
+    ASSERT_EQ(a.edgeCount(), b.edgeCount());
+    for (size_t i = 0; i < a.nodeCount(); ++i) {
+        const DagNode& x = a.node(static_cast<NodeId>(i));
+        const DagNode& y = b.node(static_cast<NodeId>(i));
+        EXPECT_EQ(x.id, y.id);
+        EXPECT_EQ(x.name, y.name);
+        EXPECT_EQ(x.function, y.function);
+        EXPECT_EQ(x.kind, y.kind);
+        EXPECT_EQ(x.foreach_width, y.foreach_width);
+        EXPECT_EQ(x.switch_id, y.switch_id);
+        EXPECT_EQ(x.switch_branch, y.switch_branch);
+        EXPECT_EQ(x.exec_estimate, y.exec_estimate);
+    }
+    for (size_t i = 0; i < a.edgeCount(); ++i) {
+        const DagEdge& x = a.edge(i);
+        const DagEdge& y = b.edge(i);
+        EXPECT_EQ(x.from, y.from);
+        EXPECT_EQ(x.to, y.to);
+        EXPECT_EQ(x.weight, y.weight);
+        ASSERT_EQ(x.payload.size(), y.payload.size());
+        for (size_t p = 0; p < x.payload.size(); ++p) {
+            EXPECT_EQ(x.payload[p].origin, y.payload[p].origin);
+            EXPECT_EQ(x.payload[p].bytes, y.payload[p].bytes);
+        }
+    }
+}
+
+}  // namespace
+
+TEST(SerializeFuzzTest, ThousandRandomDagsRoundTrip)
+{
+    Rng rng(20260807);
+    for (int c = 0; c < 1000; ++c) {
+        const Dag dag = randomDag(rng, c);
+        ASSERT_TRUE(validate(dag).ok) << "case " << c;
+
+        const std::string text = dagToJsonText(dag);
+        DagParseResult parsed = dagFromJsonText(text);
+        ASSERT_TRUE(parsed.ok()) << "case " << c << ": " << parsed.error;
+        expectStructurallyEqual(dag, parsed.dag);
+
+        // Second trip must be byte-identical: serialisation is a fixed
+        // point after one round.
+        EXPECT_EQ(text, dagToJsonText(parsed.dag)) << "case " << c;
+    }
+}
+
+TEST(SerializeFuzzTest, CompactAndIndentedTextAgree)
+{
+    Rng rng(7);
+    for (int c = 0; c < 50; ++c) {
+        const Dag dag = randomDag(rng, c);
+        DagParseResult compact = dagFromJsonText(dagToJsonText(dag, 0));
+        DagParseResult indented = dagFromJsonText(dagToJsonText(dag, 4));
+        ASSERT_TRUE(compact.ok()) << compact.error;
+        ASSERT_TRUE(indented.ok()) << indented.error;
+        expectStructurallyEqual(compact.dag, indented.dag);
+    }
+}

@@ -22,10 +22,14 @@
 #include "common/units.h"
 #include "faasflow/client.h"
 #include "faasflow/system.h"
+#include "load/autoscaler.h"
+#include "load/driver.h"
+#include "load/spec.h"
 #include "obs/attribution.h"
 #include "obs/trace_model.h"
 #include "scheduler/visualize.h"
 #include "workflow/wdl.h"
+#include "yamllite/yaml.h"
 
 namespace {
 
@@ -75,6 +79,10 @@ main(int argc, char** argv)
     flags.addDouble("sample-ms", 10.0, "telemetry sampling cadence, ms");
     flags.addString("dot", "",
                     "write the placed workflow as Graphviz DOT here");
+    flags.addBool("load", false,
+                  "drive the document's `load:` block (multi-tenant "
+                  "open-loop arrivals with admission control) instead of "
+                  "--invocations/--rate");
 
     if (!flags.parse(argc, argv)) {
         std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
@@ -147,7 +155,34 @@ main(int argc, char** argv)
     const double rate = flags.getDouble("rate");
     std::unique_ptr<ClosedLoopClient> closed;
     std::unique_ptr<OpenLoopClient> open;
-    if (rate > 0.0) {
+    std::unique_ptr<load::LoadDriver> driver;
+    std::unique_ptr<load::Autoscaler> scaler;
+    if (flags.getBool("load")) {
+        json::ParseResult doc = yaml::parse(yaml);
+        if (!doc.ok()) {
+            std::fprintf(stderr, "yaml error: %s\n", doc.error.c_str());
+            return 1;
+        }
+        load::LoadSpec lspec = load::parseLoadSpec(*doc.value);
+        if (!lspec.ok()) {
+            std::fprintf(stderr, "load error: %s\n", lspec.error.c_str());
+            return 1;
+        }
+        if (!lspec.present) {
+            std::fprintf(stderr,
+                         "error: --load given but the document has no "
+                         "load: block\n");
+            return 1;
+        }
+        const bool autoscale = lspec.autoscale;
+        driver = std::make_unique<load::LoadDriver>(
+            system, std::move(lspec), config.seed + 1, name);
+        driver->start();
+        if (autoscale) {
+            scaler = std::make_unique<load::Autoscaler>(system);
+            scaler->start();
+        }
+    } else if (rate > 0.0) {
         open = std::make_unique<OpenLoopClient>(system, name, rate, n,
                                                 Rng(config.seed + 1));
         open->start();
@@ -189,6 +224,38 @@ main(int argc, char** argv)
                                             m.recoveries(name)))});
     }
     std::printf("%s", table.str().c_str());
+
+    if (driver) {
+        const auto u64 = [](uint64_t v) {
+            return strFormat("%llu", static_cast<unsigned long long>(v));
+        };
+        TextTable tenants;
+        tenants.setHeader({"tenant", "offered", "admitted", "deferred",
+                           "shed", "completed", "timeouts", "p50 e2e",
+                           "p99 e2e"});
+        for (const std::string& t : system.admissionTenants()) {
+            const auto& st = system.admissionStats(t);
+            const auto& e2e = m.tenantE2e(t);
+            tenants.addRow(
+                {t, u64(st.offered), u64(st.admitted), u64(st.deferred),
+                 u64(st.shed), u64(st.completed), u64(st.timeouts),
+                 e2e.count() ? strFormat("%.1f ms", e2e.p50())
+                             : std::string("n/a"),
+                 e2e.count() ? strFormat("%.1f ms", e2e.p99())
+                             : std::string("n/a")});
+        }
+        std::printf("\n%s", tenants.str().c_str());
+        if (scaler) {
+            std::printf("autoscaler: %llu ticks, %llu prewarms, %llu "
+                        "trims\n",
+                        static_cast<unsigned long long>(
+                            scaler->stats().ticks),
+                        static_cast<unsigned long long>(
+                            scaler->stats().scale_up_total),
+                        static_cast<unsigned long long>(
+                            scaler->stats().scale_down_total));
+        }
+    }
 
     if (flags.getBool("stats")) {
         const auto u64 = [](uint64_t v) {
