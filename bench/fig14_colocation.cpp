@@ -11,29 +11,29 @@
  */
 #include <cstdio>
 #include <map>
+#include <memory>
 
 #include "harness.h"
+#include "registry.h"
 
 namespace {
 
-constexpr size_t kInvocations = 120;
-
 std::map<std::string, double>
-soloLatencies(const faasflow::SystemConfig& config)
+soloLatencies(const faasflow::SystemConfig& config, size_t invocations)
 {
     std::map<std::string, double> out;
     for (const auto& bench : faasflow::benchmarks::allBenchmarks()) {
         faasflow::System system(config);
         const std::string name =
             faasflow::bench::deployBenchmark(system, bench);
-        faasflow::bench::runClosedLoop(system, name, kInvocations);
+        faasflow::bench::runClosedLoop(system, name, invocations);
         out[name] = system.metrics().e2e(name).mean();
     }
     return out;
 }
 
 std::map<std::string, double>
-corunLatencies(const faasflow::SystemConfig& config)
+corunLatencies(const faasflow::SystemConfig& config, size_t invocations)
 {
     using namespace faasflow;
     System system(config);
@@ -45,7 +45,7 @@ corunLatencies(const faasflow::SystemConfig& config)
     std::vector<std::unique_ptr<ClosedLoopClient>> clients;
     for (const auto& name : names) {
         clients.push_back(std::make_unique<ClosedLoopClient>(
-            system, name, kInvocations));
+            system, name, invocations));
         clients.back()->start();
     }
     system.run();
@@ -58,39 +58,55 @@ corunLatencies(const faasflow::SystemConfig& config)
 
 }  // namespace
 
-int
-main()
+namespace faasflow::bench {
+
+void
+registerFig14Colocation(Registry& registry)
 {
-    using namespace faasflow;
+    registry.add(SectionSpec{
+        "fig14_colocation", "figures",
+        "co-location interference, solo vs all-8 co-run (paper Fig. 14)",
+        [](const RunOptions& opts, Report& report) {
+            const size_t invocations = opts.scaled(120, 20);
 
-    std::printf("Fig. 14 — co-location interference: mean e2e latency "
-                "solo vs all-8 co-running (%zu closed-loop invocations "
-                "per benchmark)\n\n",
-                kInvocations);
+            std::printf("Fig. 14 — co-location interference: mean e2e "
+                        "latency solo vs all-8 co-running (%zu closed-loop "
+                        "invocations per benchmark)\n\n",
+                        invocations);
 
-    const auto master_solo =
-        soloLatencies(SystemConfig::hyperflowServerless());
-    const auto master_corun =
-        corunLatencies(SystemConfig::hyperflowServerless());
-    const auto faas_solo = soloLatencies(SystemConfig::faasflowFaastore());
-    const auto faas_corun = corunLatencies(SystemConfig::faasflowFaastore());
+            const auto master_solo = soloLatencies(
+                SystemConfig::hyperflowServerless(), invocations);
+            const auto master_corun = corunLatencies(
+                SystemConfig::hyperflowServerless(), invocations);
+            const auto faas_solo = soloLatencies(
+                SystemConfig::faasflowFaastore(), invocations);
+            const auto faas_corun = corunLatencies(
+                SystemConfig::faasflowFaastore(), invocations);
 
-    TextTable table;
-    table.setHeader({"benchmark", "HF solo (ms)", "HF co-run (ms)",
-                     "HF degraded", "FF solo (ms)", "FF co-run (ms)",
-                     "FF degraded"});
-    for (const auto& bench : benchmarks::allBenchmarks()) {
-        const std::string& n = bench.name;
-        const double hf_deg =
-            master_corun.at(n) / master_solo.at(n) - 1.0;
-        const double ff_deg = faas_corun.at(n) / faas_solo.at(n) - 1.0;
-        table.addRow({n, bench::ms(master_solo.at(n)),
-                      bench::ms(master_corun.at(n)), bench::pct(hf_deg),
-                      bench::ms(faas_solo.at(n)),
-                      bench::ms(faas_corun.at(n)), bench::pct(ff_deg)});
-    }
-    std::printf("%s\n", table.str().c_str());
-    std::printf("paper anchors (HyperFlow-serverless degradation): Cyc "
-                "50.3%%, Gen 48.5%%, Vid 84.4%%, WC 66.2%%\n");
-    return 0;
+            TextTable table;
+            table.setHeader({"benchmark", "HF solo (ms)", "HF co-run (ms)",
+                             "HF degraded", "FF solo (ms)",
+                             "FF co-run (ms)", "FF degraded"});
+            for (const auto& bench : benchmarks::allBenchmarks()) {
+                const std::string& n = bench.name;
+                const double hf_deg =
+                    master_corun.at(n) / master_solo.at(n) - 1.0;
+                const double ff_deg =
+                    faas_corun.at(n) / faas_solo.at(n) - 1.0;
+                report.info("hf_degradation_pct_" + n, hf_deg * 100.0);
+                report.lower("ff_degradation_pct_" + n, ff_deg * 100.0,
+                             true);
+                report.info("ff_corun_ms_" + n, faas_corun.at(n));
+                table.addRow({n, ms(master_solo.at(n)),
+                              ms(master_corun.at(n)), pct(hf_deg),
+                              ms(faas_solo.at(n)), ms(faas_corun.at(n)),
+                              pct(ff_deg)});
+            }
+            std::printf("%s\n", table.str().c_str());
+            std::printf("paper anchors (HyperFlow-serverless "
+                        "degradation): Cyc 50.3%%, Gen 48.5%%, Vid "
+                        "84.4%%, WC 66.2%%\n");
+        }});
 }
+
+}  // namespace faasflow::bench

@@ -2,19 +2,22 @@
  * @file
  * Figure 16 (§5.6): Graph Scheduler cost as the workflow grows. Genome
  * is scaled to 10/25/50/100/200 function nodes; for each size we measure
- * the wall-clock time of one full partition iteration (Algorithm 1) with
- * google-benchmark and estimate the scheduler's working-set memory.
+ * the wall-clock time of one full partition iteration (Algorithm 1) and
+ * estimate the scheduler's working-set memory.
  *
  * Paper reference: response time grows roughly O(n^2); memory starts at
  * 24.43 MB and stays stable; fine for workflows under ~50 nodes.
  */
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "benchmarks/specs.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "harness.h"
+#include "registry.h"
 #include "scheduler/graph_scheduler.h"
 #include "workflow/analysis.h"
 
@@ -49,55 +52,90 @@ schedulerMemoryEstimate(const workflow::Dag& dag)
            per_edge * static_cast<int64_t>(dag.edgeCount());
 }
 
-void
-BM_GraphSchedulerIterate(benchmark::State& state)
+/** Best-of-k wall time of `fn` in milliseconds, after one warmup run. */
+template <typename Fn>
+double
+bestOfMs(int reps, Fn&& fn)
 {
-    const Instance instance(static_cast<int>(state.range(0)));
-    scheduler::GraphScheduler sched(instance.registry);
-    scheduler::RuntimeFeedback feedback;
-    workflow::Dag dag = instance.bench.dag;
-    // Capacity scales with the workflow so merging is never cut short
-    // by the slot cap — Fig. 16 measures the algorithm, not the cap.
-    const std::vector<int> capacity(7, static_cast<int>(state.range(0)));
-    for (auto _ : state) {
-        auto placement = sched.iterate(dag, feedback, capacity, 0);
-        benchmark::DoNotOptimize(placement);
+    fn();  // warmup: page in code and allocator state
+    double best = 0.0;
+    for (int i = 0; i < reps; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        best = i == 0 ? ms : std::min(best, ms);
     }
-    state.counters["nodes"] =
-        static_cast<double>(instance.bench.dag.nodeCount());
-    state.counters["mem_MB"] =
-        toMB(schedulerMemoryEstimate(instance.bench.dag));
+    return best;
 }
-BENCHMARK(BM_GraphSchedulerIterate)
-    ->Arg(10)
-    ->Arg(25)
-    ->Arg(50)
-    ->Arg(100)
-    ->Arg(200)
-    ->Unit(benchmark::kMillisecond);
-
-void
-BM_HashPartition(benchmark::State& state)
-{
-    const Instance instance(static_cast<int>(state.range(0)));
-    for (auto _ : state) {
-        auto placement =
-            scheduler::hashPartition(instance.bench.dag, 7, 0);
-        benchmark::DoNotOptimize(placement);
-    }
-}
-BENCHMARK(BM_HashPartition)->Arg(50)->Arg(200)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-int
-main(int argc, char** argv)
+namespace faasflow::bench {
+
+void
+registerFig16SchedulerScalability(Registry& registry)
 {
-    std::printf("Fig. 16 — Graph Scheduler scalability: one Algorithm-1 "
-                "iteration on Genome(n), n in {10,25,50,100,200}\n"
-                "(expect roughly O(n^2) growth; mem_MB is the estimated "
-                "scheduler working set, paper baseline 24.43 MB)\n\n");
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    registry.add(SectionSpec{
+        "fig16_scheduler_scalability", "figures",
+        "Graph Scheduler cost vs workflow size (paper Fig. 16)",
+        [](const RunOptions& opts, Report& report) {
+            const std::vector<int> sizes =
+                opts.smoke ? std::vector<int>{10, 50}
+                           : std::vector<int>{10, 25, 50, 100, 200};
+            const int reps = static_cast<int>(opts.scaled(10, 3));
+
+            std::printf("Fig. 16 — Graph Scheduler scalability: one "
+                        "Algorithm-1 iteration on Genome(n)\n"
+                        "(expect roughly O(n^2) growth; mem_MB is the "
+                        "estimated scheduler working set, paper baseline "
+                        "24.43 MB)\n\n");
+
+            TextTable table;
+            table.setHeader({"nodes", "iterate (ms, best of k)",
+                             "hash partition (ms)", "groups", "mem_MB"});
+            for (const int n : sizes) {
+                if (opts.budgetExpired()) {
+                    report.truncated();
+                    break;
+                }
+                const Instance instance(n);
+                scheduler::GraphScheduler sched(instance.registry);
+                scheduler::RuntimeFeedback feedback;
+                workflow::Dag dag = instance.bench.dag;
+                // Capacity scales with the workflow so merging is never
+                // cut short by the slot cap — Fig. 16 measures the
+                // algorithm, not the cap.
+                const std::vector<int> capacity(7, n);
+                size_t groups = 0;
+                const double iterate_ms = bestOfMs(reps, [&] {
+                    auto placement = sched.iterate(dag, feedback,
+                                                   capacity, 0);
+                    groups = placement.groups.size();
+                });
+                const double hash_ms = bestOfMs(reps, [&] {
+                    auto placement =
+                        scheduler::hashPartition(instance.bench.dag, 7, 0);
+                    (void)placement;
+                });
+                const double mem_mb =
+                    toMB(schedulerMemoryEstimate(instance.bench.dag));
+                report.lower(strFormat("iterate_ms_n%d", n), iterate_ms);
+                report.lower(strFormat("hash_partition_ms_n%d", n),
+                             hash_ms);
+                report.info(strFormat("groups_n%d", n),
+                            static_cast<double>(groups));
+                report.info(strFormat("mem_mb_n%d", n), mem_mb);
+                table.addRow({strFormat("%d", n),
+                              strFormat("%.3f", iterate_ms),
+                              strFormat("%.4f", hash_ms),
+                              strFormat("%zu", groups),
+                              strFormat("%.2f", mem_mb)});
+            }
+            std::printf("%s\n", table.str().c_str());
+        }});
 }
+
+}  // namespace faasflow::bench

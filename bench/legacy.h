@@ -1,0 +1,257 @@
+#ifndef FAASFLOW_BENCH_LEGACY_H_
+#define FAASFLOW_BENCH_LEGACY_H_
+
+#include <optional>
+#include <string>
+
+#include "json/json.h"
+#include "runner.h"
+
+namespace faasflow::bench {
+
+/**
+ * Converter from the two retired ad-hoc result files —
+ * BENCH_hotpaths.json (flat key/value, PR 2) and BENCH_load.json
+ * (saturation sweep grid, PR 5) — into schema-version-1 BENCH.json
+ * sections, so the historical perf trajectory survives the harness
+ * unification. `faasflow_bench --migrate` drives this; the checked-in
+ * BENCH.json at the repo root is its output over the last full-tier
+ * runs of both binaries.
+ */
+struct MigrateResult
+{
+    std::optional<json::Value> doc;
+    std::string error;
+
+    bool ok() const { return doc.has_value(); }
+};
+
+namespace legacy_detail {
+
+inline void
+addMetric(json::Value& metrics, const std::string& name, double value,
+          Direction dir, bool det)
+{
+    json::Value metric = json::Value::object();
+    metric.set("value", value);
+    metric.set("dir", std::string(directionName(dir)));
+    metric.set("det", det);
+    metrics.set(name, std::move(metric));
+}
+
+/** Section skeleton with the digest legacy files could not provide. */
+inline json::Value
+sectionSkeleton(const std::string& name, const std::string& suite)
+{
+    json::Value sec = json::Value::object();
+    sec.set("name", name);
+    sec.set("suite", suite);
+    sec.set("wall_ms", 0.0);
+    sec.set("over_budget", false);
+    sec.set("truncated", false);
+    // The legacy emitters predate determinism digests; all-zero marks
+    // "not recorded" (a real digest is never zero in practice, and the
+    // schema only demands 16 hex digits).
+    sec.set("determinism_digest", std::string("0000000000000000"));
+    sec.set("digest_stable", true);
+    return sec;
+}
+
+inline std::string
+pointPrefix(double multiplier, bool admission)
+{
+    return strFormat("m%.2f_%s_", multiplier, admission ? "on" : "off");
+}
+
+}  // namespace legacy_detail
+
+/** Converts a legacy BENCH_hotpaths.json into a perf_hotpaths section. */
+inline MigrateResult
+migrateHotpaths(const json::Value& old)
+{
+    using namespace legacy_detail;
+    MigrateResult out;
+    if (!old.isObject()) {
+        out.error = "BENCH_hotpaths.json: expected a flat object";
+        return out;
+    }
+    json::Value sec = sectionSkeleton("perf_hotpaths", "perf");
+    json::Value metrics = json::Value::object();
+    struct Map
+    {
+        const char* key;
+        Direction dir;
+    };
+    static const Map kTimings[] = {
+        {"events_per_sec_shallow", Direction::Higher},
+        {"events_per_sec_deep", Direction::Higher},
+        {"flows_per_sec", Direction::Higher},
+        {"fig12_sweep_wall_ms", Direction::Lower},
+        {"campaign_wall_ms_1_thread", Direction::Lower},
+        {"campaign_wall_ms_n_threads", Direction::Lower},
+    };
+    for (const Map& m : kTimings) {
+        const json::Value* v = old.find(m.key);
+        if (!v || !v->isNumber()) {
+            out.error = strFormat(
+                "BENCH_hotpaths.json: missing numeric \"%s\"", m.key);
+            return out;
+        }
+        addMetric(metrics, m.key, v->asDouble(), m.dir, false);
+    }
+    // Later emitter revisions added trace-overhead timings; carry them
+    // when present.
+    for (const char* key : {"trace_off_wall_ms", "trace_on_wall_ms"}) {
+        if (const json::Value* v = old.find(key); v && v->isNumber())
+            addMetric(metrics, key, v->asDouble(), Direction::Lower, false);
+    }
+    for (const char* key :
+         {"campaign_jobs", "campaign_threads", "trace_spans"}) {
+        if (const json::Value* v = old.find(key); v && v->isNumber())
+            addMetric(metrics, key, v->asDouble(), Direction::Info, false);
+    }
+    if (const json::Value* v = old.find("campaign_bit_identical");
+        v && v->isBool()) {
+        addMetric(metrics, "campaign_bit_identical", v->asBool() ? 1.0 : 0.0,
+                  Direction::Info, false);
+    }
+    // The seed-state anchor numbers ride along as info metrics so the
+    // historical speedup claims (PR 2) stay reconstructible from
+    // BENCH.json alone.
+    if (const json::Value* seed = old.find("seed_baseline");
+        seed && seed->isObject()) {
+        for (const auto& [key, v] : seed->asObject()) {
+            if (v.isNumber()) {
+                addMetric(metrics, "seed_" + key, v.asDouble(),
+                          Direction::Info, false);
+            }
+        }
+    }
+    sec.set("metrics", std::move(metrics));
+    out.doc = std::move(sec);
+    return out;
+}
+
+/** Converts a legacy BENCH_load.json into a load_saturation section. */
+inline MigrateResult
+migrateLoad(const json::Value& old)
+{
+    using namespace legacy_detail;
+    MigrateResult out;
+    if (!old.isObject() || !old.find("points") ||
+        !old.find("points")->isArray()) {
+        out.error = "BENCH_load.json: expected an object with points[]";
+        return out;
+    }
+    json::Value sec = sectionSkeleton("load_saturation", "load");
+    json::Value metrics = json::Value::object();
+    for (const char* key : {"horizon_s", "slo_ms", "seed"}) {
+        if (const json::Value* v = old.find(key); v && v->isNumber())
+            addMetric(metrics, key, v->asDouble(), Direction::Info, false);
+    }
+    if (const json::Value* v = old.find("knee_multiplier");
+        v && v->isNumber()) {
+        addMetric(metrics, "knee_multiplier", v->asDouble(),
+                  Direction::Info, false);
+    }
+    for (const json::Value& point : old.find("points")->asArray()) {
+        if (!point.isObject()) {
+            out.error = "BENCH_load.json: points[] entries must be objects";
+            return out;
+        }
+        const json::Value* mult = point.find("multiplier");
+        const json::Value* adm = point.find("admission");
+        if (!mult || !mult->isNumber() || !adm || !adm->isBool()) {
+            out.error =
+                "BENCH_load.json: each point needs multiplier + admission";
+            return out;
+        }
+        const std::string prefix =
+            pointPrefix(mult->asDouble(), adm->asBool());
+        struct Map
+        {
+            const char* key;
+            Direction dir;
+        };
+        static const Map kPoint[] = {
+            {"offered_per_s", Direction::Info},
+            {"goodput_per_s", Direction::Higher},
+            {"p99_ms", Direction::Lower},
+            {"scale_ups", Direction::Info},
+            {"scale_downs", Direction::Info},
+        };
+        for (const Map& m : kPoint) {
+            if (const json::Value* v = point.find(m.key);
+                v && v->isNumber()) {
+                addMetric(metrics, prefix + m.key, v->asDouble(), m.dir,
+                          false);
+            }
+        }
+        if (const json::Value* tenants = point.find("tenants");
+            tenants && tenants->isArray()) {
+            for (const json::Value& tenant : tenants->asArray()) {
+                const json::Value* tname = tenant.find("tenant");
+                if (!tname || !tname->isString())
+                    continue;
+                for (const char* key :
+                     {"goodput_per_s", "p99_ms", "shed", "shed_rate"}) {
+                    if (const json::Value* v = tenant.find(key);
+                        v && v->isNumber()) {
+                        addMetric(metrics,
+                                  prefix + tname->asString() + "_" + key,
+                                  v->asDouble(), Direction::Info, false);
+                    }
+                }
+            }
+        }
+    }
+    sec.set("metrics", std::move(metrics));
+    out.doc = std::move(sec);
+    return out;
+}
+
+/**
+ * Assembles the migrated full-tier BENCH.json from the two legacy
+ * documents (either may be absent — null Value skips the section).
+ */
+inline MigrateResult
+migrateLegacy(const json::Value& hotpaths, const json::Value& load)
+{
+    MigrateResult out;
+    json::Value doc = json::Value::object();
+    doc.set("schema_version", static_cast<int64_t>(kBenchSchemaVersion));
+    doc.set("generated_by",
+            std::string("faasflow_bench --migrate (historical "
+                        "BENCH_hotpaths.json + BENCH_load.json)"));
+    doc.set("tier", std::string("full"));
+    doc.set("reps", static_cast<int64_t>(1));
+    json::Value fp = json::Value::object();
+    fp.set("note",
+           std::string("migrated from pre-unification result files; "
+                       "host details were not recorded"));
+    doc.set("host_fingerprint", std::move(fp));
+    json::Value sections = json::Value::array();
+    if (!hotpaths.isNull()) {
+        MigrateResult hp = migrateHotpaths(hotpaths);
+        if (!hp.ok()) {
+            out.error = hp.error;
+            return out;
+        }
+        sections.push(std::move(*hp.doc));
+    }
+    if (!load.isNull()) {
+        MigrateResult ld = migrateLoad(load);
+        if (!ld.ok()) {
+            out.error = ld.error;
+            return out;
+        }
+        sections.push(std::move(*ld.doc));
+    }
+    doc.set("sections", std::move(sections));
+    out.doc = std::move(doc);
+    return out;
+}
+
+}  // namespace faasflow::bench
+
+#endif  // FAASFLOW_BENCH_LEGACY_H_

@@ -1,137 +1,205 @@
 /**
  * @file
- * Micro-benchmarks of the substrates (google-benchmark): event queue
- * throughput, JSON/YAML parsing, max-min fair rate recomputation,
- * critical-path analysis, and one full simulated invocation.
+ * Micro-benchmarks of the substrates: event queue throughput, JSON/YAML
+ * parsing, max-min fair rate recomputation, critical-path analysis, and
+ * one full simulated invocation. Hand-rolled timing loops (warmup +
+ * best-of-k) so the section composes with the unified harness's
+ * interleaved repetitions instead of bringing its own runner.
  */
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <string>
 
 #include "benchmarks/specs.h"
 #include "common/rng.h"
+#include "common/table.h"
 #include "faasflow/system.h"
+#include "harness.h"
 #include "json/json.h"
 #include "net/network.h"
+#include "registry.h"
 #include "sim/simulator.h"
 #include "workflow/analysis.h"
-#include "workflow/wdl.h"
 #include "yamllite/yaml.h"
 
 namespace {
 
 using namespace faasflow;
 
-void
-BM_EventQueueScheduleRun(benchmark::State& state)
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
 {
-    const int n = static_cast<int>(state.range(0));
-    Rng rng(1);
-    for (auto _ : state) {
-        sim::Simulator sim;
-        for (int i = 0; i < n; ++i) {
-            sim.schedule(SimTime::micros(rng.uniformInt(0, 1000000)),
-                         [] {});
-        }
-        sim.run();
-        benchmark::DoNotOptimize(sim.processedEvents());
-    }
-    state.SetItemsProcessed(state.iterations() * n);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
 }
-BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
-
-void
-BM_JsonParse(benchmark::State& state)
-{
-    // A representative workflow-ish document.
-    json::Value doc = json::Value::object();
-    json::Value steps = json::Value::array();
-    for (int i = 0; i < 64; ++i) {
-        json::Value step = json::Value::object();
-        step.set("task", std::string("fn_") + std::to_string(i));
-        step.set("output_mb", 1.5);
-        steps.push(std::move(step));
-    }
-    doc.set("name", "bench");
-    doc.set("steps", std::move(steps));
-    const std::string text = doc.dump();
-    for (auto _ : state) {
-        auto parsed = json::parse(text);
-        benchmark::DoNotOptimize(parsed);
-    }
-    state.SetBytesProcessed(state.iterations() *
-                            static_cast<int64_t>(text.size()));
-}
-BENCHMARK(BM_JsonParse);
-
-void
-BM_YamlParseWorkflow(benchmark::State& state)
-{
-    std::string yaml = "name: bench\nsteps:\n";
-    for (int i = 0; i < 64; ++i) {
-        yaml += "  - task: fn_" + std::to_string(i) +
-                "\n    output_mb: 1.5\n";
-    }
-    for (auto _ : state) {
-        auto parsed = yaml::parse(yaml);
-        benchmark::DoNotOptimize(parsed);
-    }
-    state.SetBytesProcessed(state.iterations() *
-                            static_cast<int64_t>(yaml.size()));
-}
-BENCHMARK(BM_YamlParseWorkflow);
-
-void
-BM_NetworkFairShareRecompute(benchmark::State& state)
-{
-    const int flows = static_cast<int>(state.range(0));
-    sim::Simulator sim;
-    net::Network net(sim);
-    for (int i = 0; i < 16; ++i)
-        net.addNode("n" + std::to_string(i), 100e6, 100e6);
-    Rng rng(2);
-    // A standing set of flows; each new flow triggers a full recompute.
-    for (int i = 0; i < flows; ++i) {
-        const auto src = static_cast<net::NodeId>(rng.uniformInt(0, 15));
-        auto dst = static_cast<net::NodeId>(rng.uniformInt(0, 15));
-        if (dst == src)
-            dst = (dst + 1) % 16;
-        net.startFlow(src, dst, 1000000000000LL, nullptr);
-    }
-    for (auto _ : state) {
-        net.startFlow(0, 1, 1000000000000LL, nullptr);
-        benchmark::DoNotOptimize(net.activeFlows());
-    }
-}
-BENCHMARK(BM_NetworkFairShareRecompute)->Arg(16)->Arg(128);
-
-void
-BM_CriticalPath(benchmark::State& state)
-{
-    const auto bench = benchmarks::genome(static_cast<int>(state.range(0)));
-    for (auto _ : state) {
-        auto cp = workflow::criticalPath(bench.dag);
-        benchmark::DoNotOptimize(cp);
-    }
-}
-BENCHMARK(BM_CriticalPath)->Arg(50)->Arg(200);
-
-void
-BM_FullInvocationWorkerSp(benchmark::State& state)
-{
-    System system(SystemConfig::faasflowFaastore());
-    auto bench = benchmarks::wordCount();
-    system.registerFunctions(bench.functions);
-    const std::string name = system.deploy(std::move(bench.dag));
-    for (auto _ : state) {
-        bool done = false;
-        system.invoke(name, [&](const engine::InvocationRecord&) {
-            done = true;
-        });
-        system.run();
-        benchmark::DoNotOptimize(done);
-    }
-}
-BENCHMARK(BM_FullInvocationWorkerSp);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace faasflow::bench {
+
+void
+registerMicroSubstrates(Registry& registry)
+{
+    registry.add(SectionSpec{
+        "micro_substrates", "perf",
+        "substrate micros: event queue, JSON/YAML, fair-share, critical "
+        "path, full invocation",
+        [](const RunOptions& opts, Report& report) {
+            std::printf("micro_substrates%s\n\n",
+                        opts.smoke ? " (smoke)" : "");
+            TextTable table;
+            table.setHeader({"micro", "metric", "value"});
+
+            {
+                // Event queue: schedule n randomly-timed events, run all.
+                const int n = static_cast<int>(opts.scaled(100000, 20000));
+                Rng rng(1);
+                uint64_t processed = 0;
+                const auto t0 = std::chrono::steady_clock::now();
+                sim::Simulator sim;
+                for (int i = 0; i < n; ++i) {
+                    sim.schedule(
+                        SimTime::micros(rng.uniformInt(0, 1000000)),
+                        [] {});
+                }
+                sim.run();
+                processed = sim.processedEvents();
+                const double mops =
+                    static_cast<double>(n) / secondsSince(t0) / 1e6;
+                report.higher("event_queue_mops", mops);
+                report.info("event_queue_processed",
+                            static_cast<double>(processed));
+                table.addRow({"event queue schedule+run", "M events/s",
+                              strFormat("%.2f", mops)});
+            }
+
+            {
+                // A representative workflow-ish document, parsed hot.
+                json::Value doc = json::Value::object();
+                json::Value steps = json::Value::array();
+                for (int i = 0; i < 64; ++i) {
+                    json::Value step = json::Value::object();
+                    step.set("task", std::string("fn_") +
+                                         std::to_string(i));
+                    step.set("output_mb", 1.5);
+                    steps.push(std::move(step));
+                }
+                doc.set("name", "bench");
+                doc.set("steps", std::move(steps));
+                const std::string text = doc.dump();
+                const int iters = static_cast<int>(opts.scaled(2000, 300));
+                bool ok = true;
+                const auto t0 = std::chrono::steady_clock::now();
+                for (int i = 0; i < iters; ++i) {
+                    auto parsed = json::parse(text);
+                    ok = ok && parsed.ok();
+                }
+                const double mb_per_s =
+                    static_cast<double>(text.size()) * iters /
+                    secondsSince(t0) / 1e6;
+                report.higher("json_parse_mb_per_s", mb_per_s);
+                report.info("json_parse_ok", ok ? 1.0 : 0.0);
+                table.addRow({"JSON parse", "MB/s",
+                              strFormat("%.1f", mb_per_s)});
+            }
+
+            {
+                std::string yaml = "name: bench\nsteps:\n";
+                for (int i = 0; i < 64; ++i) {
+                    yaml += "  - task: fn_" + std::to_string(i) +
+                            "\n    output_mb: 1.5\n";
+                }
+                const int iters = static_cast<int>(opts.scaled(2000, 300));
+                bool ok = true;
+                const auto t0 = std::chrono::steady_clock::now();
+                for (int i = 0; i < iters; ++i) {
+                    auto parsed = yaml::parse(yaml);
+                    ok = ok && parsed.ok();
+                }
+                const double mb_per_s =
+                    static_cast<double>(yaml.size()) * iters /
+                    secondsSince(t0) / 1e6;
+                report.higher("yaml_parse_mb_per_s", mb_per_s);
+                report.info("yaml_parse_ok", ok ? 1.0 : 0.0);
+                table.addRow({"YAML parse", "MB/s",
+                              strFormat("%.1f", mb_per_s)});
+            }
+
+            {
+                // Max-min fair share: a standing set of saturated flows,
+                // each added flow triggering an incremental recompute.
+                sim::Simulator sim;
+                net::Network net(sim);
+                for (int i = 0; i < 16; ++i)
+                    net.addNode("n" + std::to_string(i), 100e6, 100e6);
+                Rng rng(2);
+                for (int i = 0; i < 128; ++i) {
+                    const auto src =
+                        static_cast<net::NodeId>(rng.uniformInt(0, 15));
+                    auto dst =
+                        static_cast<net::NodeId>(rng.uniformInt(0, 15));
+                    if (dst == src)
+                        dst = (dst + 1) % 16;
+                    net.startFlow(src, dst, 1000000000000LL, nullptr);
+                }
+                const int adds = static_cast<int>(opts.scaled(3000, 500));
+                const auto t0 = std::chrono::steady_clock::now();
+                for (int i = 0; i < adds; ++i)
+                    net.startFlow(0, 1, 1000000000000LL, nullptr);
+                const double us_per_op =
+                    secondsSince(t0) * 1e6 / adds;
+                report.lower("fair_share_add_us_128flows", us_per_op);
+                report.info("fair_share_active_flows",
+                            static_cast<double>(net.activeFlows()));
+                table.addRow({"fair-share recompute (128 standing)",
+                              "us/flow add",
+                              strFormat("%.2f", us_per_op)});
+            }
+
+            {
+                const auto gen = benchmarks::genome(200);
+                const int iters = static_cast<int>(opts.scaled(500, 100));
+                size_t cp_len = 0;
+                const auto t0 = std::chrono::steady_clock::now();
+                for (int i = 0; i < iters; ++i) {
+                    auto cp = workflow::criticalPath(gen.dag);
+                    cp_len = cp.nodes.size();
+                }
+                const double us_per_op = secondsSince(t0) * 1e6 / iters;
+                report.lower("critical_path_us_n200", us_per_op);
+                report.info("critical_path_len_n200",
+                            static_cast<double>(cp_len));
+                table.addRow({"critical path Genome(200)", "us/op",
+                              strFormat("%.1f", us_per_op)});
+            }
+
+            {
+                System system(SystemConfig::faasflowFaastore());
+                auto bench = benchmarks::wordCount();
+                system.registerFunctions(bench.functions);
+                const std::string name =
+                    system.deploy(std::move(bench.dag));
+                const int iters = static_cast<int>(opts.scaled(400, 80));
+                size_t done = 0;
+                const auto t0 = std::chrono::steady_clock::now();
+                for (int i = 0; i < iters; ++i) {
+                    system.invoke(name,
+                                  [&](const engine::InvocationRecord&) {
+                                      ++done;
+                                  });
+                    system.run();
+                }
+                const double us_per_op = secondsSince(t0) * 1e6 / iters;
+                report.lower("full_invocation_us", us_per_op);
+                report.info("full_invocation_completions",
+                            static_cast<double>(done));
+                table.addRow({"full WorkerSP invocation (WC)", "us/op",
+                              strFormat("%.0f", us_per_op)});
+            }
+
+            std::printf("%s\n", table.str().c_str());
+        }});
+}
+
+}  // namespace faasflow::bench

@@ -8,13 +8,13 @@
  *   3. wall time of a reduced Fig. 12-style end-to-end sweep
  *   4. campaign scaling: the same job set at 1 thread vs N threads,
  *      with a bit-identity check across the two executions
+ *   5. wall-clock overhead of the activity recorder (off vs on)
  *
- * Results land in BENCH_hotpaths.json (current directory). All workload
- * randomness is precomputed outside the timed regions from fixed seeds,
- * so the work done is identical run to run and machine to machine.
- *
- * `--smoke` shrinks every section for CI; numbers from a smoke run are
- * not comparable with full runs.
+ * All workload randomness is precomputed outside the timed regions from
+ * fixed seeds, so the work done is identical run to run and machine to
+ * machine. Wall-clock throughputs are non-deterministic metrics; the
+ * simulation results (sweep p99s, span counts, bit-identity) fold into
+ * the determinism digest.
  */
 #include <chrono>
 #include <cstdio>
@@ -24,10 +24,11 @@
 #include <string>
 #include <vector>
 
-#include "campaign.h"
+#include "common/campaign.h"
 #include "common/logging.h"
 #include "harness.h"
 #include "net/network.h"
+#include "registry.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -221,105 +222,106 @@ tracedRunWallMs(size_t invocations, bool traced, size_t& spans)
 
 }  // namespace
 
-int
-main(int argc, char** argv)
+namespace faasflow::bench {
+
+void
+registerPerfHotpaths(Registry& registry)
 {
-    bool smoke = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0)
-            smoke = true;
-    }
+    registry.add(SectionSpec{
+        "perf_hotpaths", "perf",
+        "simulator hot paths: event queue, fair-share churn, sweep wall, "
+        "campaign scaling, trace overhead",
+        [](const RunOptions& opts, Report& report) {
+            const size_t evq_events = opts.scaled(2'000'000, 200'000);
+            const size_t evq_backlog = opts.scaled(20'000, 5'000);
+            const size_t net_flows = opts.scaled(200'000, 20'000);
+            const size_t sweep_invocations = opts.scaled(200, 40);
+            const size_t campaign_jobs = opts.scaled(4, 2);
 
-    const size_t evq_events = smoke ? 200'000 : 2'000'000;
-    const size_t evq_backlog = smoke ? 5'000 : 20'000;
-    const size_t net_flows = smoke ? 20'000 : 200'000;
-    const size_t sweep_invocations = smoke ? 40 : 200;
-    const size_t campaign_jobs = smoke ? 2 : 4;
+            std::printf("perf_hotpaths%s\n", opts.smoke ? " (smoke)" : "");
 
-    std::printf("perf_hotpaths%s\n", smoke ? " (smoke)" : "");
+            const double evq_shallow = evqEventsPerSec(evq_events, 0);
+            report.higher("events_per_sec_shallow", evq_shallow);
+            std::printf("event queue, shallow mix: %.0f events/sec\n",
+                        evq_shallow);
+            const double evq_deep =
+                evqEventsPerSec(evq_events, evq_backlog);
+            report.higher("events_per_sec_deep", evq_deep);
+            std::printf("event queue, deep mix (%zu backlog): %.0f "
+                        "events/sec\n",
+                        evq_backlog, evq_deep);
 
-    const double evq_shallow = evqEventsPerSec(evq_events, 0);
-    std::printf("event queue, shallow mix: %.0f events/sec\n", evq_shallow);
-    const double evq_deep = evqEventsPerSec(evq_events, evq_backlog);
-    std::printf("event queue, deep mix (%zu backlog): %.0f events/sec\n",
-                evq_backlog, evq_deep);
+            const double flows_per_sec = netFlowsPerSec(net_flows, 8, 64);
+            report.higher("flows_per_sec", flows_per_sec);
+            std::printf("network fair-share churn: %.0f flows/sec\n",
+                        flows_per_sec);
 
-    const double flows_per_sec = netFlowsPerSec(net_flows, 8, 64);
-    std::printf("network fair-share churn: %.0f flows/sec\n", flows_per_sec);
+            const auto sweep_t0 = std::chrono::steady_clock::now();
+            for (const double bw : {25e6, 100e6}) {
+                const double p99 = sweepPointP99(bw, sweep_invocations);
+                report.info(strFormat("sweep_p99_ms_bw%d",
+                                      (int)(bw / 1e6)),
+                            p99);
+            }
+            const double sweep_ms = secondsSince(sweep_t0) * 1000.0;
+            report.lower("fig12_sweep_wall_ms", sweep_ms);
+            std::printf("fig12-style sweep (2 points x %zu invocations): "
+                        "%.0f ms\n",
+                        sweep_invocations, sweep_ms);
 
-    const auto sweep_t0 = std::chrono::steady_clock::now();
-    for (const double bw : {25e6, 100e6})
-        sweepPointP99(bw, sweep_invocations);
-    const double sweep_ms = secondsSince(sweep_t0) * 1000.0;
-    std::printf("fig12-style sweep (2 points x %zu invocations): %.0f ms\n",
-                sweep_invocations, sweep_ms);
+            // Campaign scaling: same jobs, 1 thread vs the harness
+            // width. On a single-core host the two walls are expected to
+            // match; the p99 bit-identity check is meaningful regardless.
+            std::vector<std::function<double()>> jobs;
+            for (size_t j = 0; j < campaign_jobs; ++j) {
+                jobs.push_back([sweep_invocations] {
+                    return sweepPointP99(50e6, sweep_invocations);
+                });
+            }
+            const auto seq_t0 = std::chrono::steady_clock::now();
+            const std::vector<double> seq = runCampaign(jobs, 1);
+            const double seq_ms = secondsSince(seq_t0) * 1000.0;
+            const unsigned threads = opts.campaignWidth();
+            const auto par_t0 = std::chrono::steady_clock::now();
+            const std::vector<double> par = runCampaign(jobs, threads);
+            const double par_ms = secondsSince(par_t0) * 1000.0;
+            bool identical = true;
+            for (size_t j = 0; j < jobs.size(); ++j)
+                identical = identical && std::memcmp(&seq[j], &par[j],
+                                                     sizeof(double)) == 0;
+            report.lower("campaign_wall_ms_1_thread", seq_ms);
+            report.lower("campaign_wall_ms_n_threads", par_ms);
+            report.info("campaign_jobs",
+                        static_cast<double>(campaign_jobs));
+            report.info("campaign_threads", static_cast<double>(threads),
+                        /*deterministic=*/false);
+            report.info("campaign_bit_identical", identical ? 1.0 : 0.0);
+            std::printf("campaign (%zu jobs): %.0f ms @ 1 thread, %.0f ms "
+                        "@ %u threads, results %s\n",
+                        campaign_jobs, seq_ms, par_ms, threads,
+                        identical ? "bit-identical" : "MISMATCH");
 
-    // Campaign scaling: same jobs, 1 thread vs campaignThreads(). On a
-    // single-core host the two walls are expected to match; the p99
-    // bit-identity check is meaningful regardless.
-    std::vector<std::function<double()>> jobs;
-    for (size_t j = 0; j < campaign_jobs; ++j) {
-        jobs.push_back(
-            [sweep_invocations] { return sweepPointP99(50e6,
-                                                       sweep_invocations); });
-    }
-    const auto seq_t0 = std::chrono::steady_clock::now();
-    const std::vector<double> seq = bench::runCampaign(jobs, 1);
-    const double seq_ms = secondsSince(seq_t0) * 1000.0;
-    const unsigned threads = bench::campaignThreads();
-    const auto par_t0 = std::chrono::steady_clock::now();
-    const std::vector<double> par = bench::runCampaign(jobs, threads);
-    const double par_ms = secondsSince(par_t0) * 1000.0;
-    bool identical = true;
-    for (size_t j = 0; j < jobs.size(); ++j)
-        identical = identical && std::memcmp(&seq[j], &par[j],
-                                             sizeof(double)) == 0;
-    std::printf("campaign (%zu jobs): %.0f ms @ 1 thread, %.0f ms @ %u "
-                "threads, results %s\n",
-                campaign_jobs, seq_ms, par_ms, threads,
-                identical ? "bit-identical" : "MISMATCH");
-
-    // Trace overhead: identical simulated work with the recorder off and
-    // on. Tracing costs no *simulated* time by construction; this pins
-    // the wall-clock cost of recording (string interning + span append).
-    size_t spans_off = 0;
-    size_t spans_on = 0;
-    const double trace_off_ms =
-        tracedRunWallMs(sweep_invocations, false, spans_off);
-    const double trace_on_ms =
-        tracedRunWallMs(sweep_invocations, true, spans_on);
-    std::printf("trace overhead (%zu invocations): %.0f ms off, %.0f ms on "
-                "(%zu spans, %+.1f%%)\n",
-                sweep_invocations, trace_off_ms, trace_on_ms, spans_on,
-                trace_off_ms > 0.0
-                    ? 100.0 * (trace_on_ms - trace_off_ms) / trace_off_ms
-                    : 0.0);
-
-    FILE* out = std::fopen("BENCH_hotpaths.json", "w");
-    if (out) {
-        std::fprintf(
-            out,
-            "{\n"
-            "  \"smoke\": %s,\n"
-            "  \"events_per_sec_shallow\": %.0f,\n"
-            "  \"events_per_sec_deep\": %.0f,\n"
-            "  \"flows_per_sec\": %.0f,\n"
-            "  \"fig12_sweep_wall_ms\": %.1f,\n"
-            "  \"campaign_jobs\": %zu,\n"
-            "  \"campaign_wall_ms_1_thread\": %.1f,\n"
-            "  \"campaign_wall_ms_n_threads\": %.1f,\n"
-            "  \"campaign_threads\": %u,\n"
-            "  \"campaign_bit_identical\": %s,\n"
-            "  \"trace_off_wall_ms\": %.1f,\n"
-            "  \"trace_on_wall_ms\": %.1f,\n"
-            "  \"trace_spans\": %zu\n"
-            "}\n",
-            smoke ? "true" : "false", evq_shallow, evq_deep, flows_per_sec,
-            sweep_ms, campaign_jobs, seq_ms, par_ms, threads,
-            identical ? "true" : "false", trace_off_ms, trace_on_ms,
-            spans_on);
-        std::fclose(out);
-        std::printf("wrote BENCH_hotpaths.json\n");
-    }
-    return identical ? 0 : 1;
+            // Trace overhead: identical simulated work with the recorder
+            // off and on. Tracing costs no *simulated* time by
+            // construction; this pins the wall-clock cost of recording.
+            size_t spans_off = 0;
+            size_t spans_on = 0;
+            const double trace_off_ms =
+                tracedRunWallMs(sweep_invocations, false, spans_off);
+            const double trace_on_ms =
+                tracedRunWallMs(sweep_invocations, true, spans_on);
+            report.lower("trace_off_wall_ms", trace_off_ms);
+            report.lower("trace_on_wall_ms", trace_on_ms);
+            report.info("trace_spans", static_cast<double>(spans_on));
+            std::printf("trace overhead (%zu invocations): %.0f ms off, "
+                        "%.0f ms on (%zu spans, %+.1f%%)\n",
+                        sweep_invocations, trace_off_ms, trace_on_ms,
+                        spans_on,
+                        trace_off_ms > 0.0
+                            ? 100.0 * (trace_on_ms - trace_off_ms) /
+                                  trace_off_ms
+                            : 0.0);
+        }});
 }
+
+}  // namespace faasflow::bench

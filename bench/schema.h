@@ -1,0 +1,118 @@
+#ifndef FAASFLOW_BENCH_SCHEMA_H_
+#define FAASFLOW_BENCH_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "runner.h"
+
+namespace faasflow::bench {
+
+/**
+ * In-tree structural validator for the BENCH.json schema (version 1).
+ * Tests validate every emitted report against this instead of eyeballing
+ * the JSON; the baseline compare runs it before trusting a document.
+ *
+ * @return human-readable violations; empty means the document conforms.
+ */
+inline std::vector<std::string>
+validateBenchReport(const json::Value& doc)
+{
+    std::vector<std::string> errors;
+    auto fail = [&errors](std::string msg) {
+        errors.push_back(std::move(msg));
+    };
+
+    if (!doc.isObject()) {
+        fail("top level: expected an object");
+        return errors;
+    }
+    const json::Value* version = doc.find("schema_version");
+    if (!version || !version->isInt())
+        fail("schema_version: missing or not an integer");
+    else if (version->asInt() != kBenchSchemaVersion)
+        fail(strFormat("schema_version: %lld unsupported (expected %d)",
+                       static_cast<long long>(version->asInt()),
+                       kBenchSchemaVersion));
+
+    const json::Value* tier = doc.find("tier");
+    if (!tier || !tier->isString() ||
+        (tier->asString() != "smoke" && tier->asString() != "full"))
+        fail("tier: missing or not one of \"smoke\"/\"full\"");
+
+    const json::Value* reps = doc.find("reps");
+    if (!reps || !reps->isInt() || reps->asInt() < 1)
+        fail("reps: missing or not a positive integer");
+
+    const json::Value* fp = doc.find("host_fingerprint");
+    if (!fp || !fp->isObject())
+        fail("host_fingerprint: missing or not an object");
+
+    const json::Value* sections = doc.find("sections");
+    if (!sections || !sections->isArray()) {
+        fail("sections: missing or not an array");
+        return errors;
+    }
+
+    size_t index = 0;
+    for (const json::Value& sec : sections->asArray()) {
+        const std::string at = strFormat("sections[%zu]", index++);
+        if (!sec.isObject()) {
+            fail(at + ": expected an object");
+            continue;
+        }
+        const json::Value* name = sec.find("name");
+        if (!name || !name->isString() || name->asString().empty())
+            fail(at + ".name: missing or empty");
+        const json::Value* suite = sec.find("suite");
+        if (!suite || !suite->isString() || suite->asString().empty())
+            fail(at + ".suite: missing or empty");
+        const json::Value* wall = sec.find("wall_ms");
+        if (!wall || !wall->isNumber() || wall->asDouble() < 0.0)
+            fail(at + ".wall_ms: missing or negative");
+        for (const char* flag :
+             {"over_budget", "truncated", "digest_stable"}) {
+            const json::Value* v = sec.find(flag);
+            if (!v || !v->isBool())
+                fail(at + "." + flag + ": missing or not a bool");
+        }
+        const json::Value* digest = sec.find("determinism_digest");
+        if (!digest || !digest->isString() ||
+            digest->asString().size() != 16 ||
+            digest->asString().find_first_not_of("0123456789abcdef") !=
+                std::string::npos) {
+            fail(at + ".determinism_digest: not 16 lowercase hex digits");
+        }
+        const json::Value* metrics = sec.find("metrics");
+        if (!metrics || !metrics->isObject()) {
+            fail(at + ".metrics: missing or not an object");
+            continue;
+        }
+        for (const auto& [metric_name, metric] : metrics->asObject()) {
+            const std::string mat = at + ".metrics." + metric_name;
+            if (metric_name.empty())
+                fail(at + ".metrics: empty metric name");
+            if (!metric.isObject()) {
+                fail(mat + ": expected an object");
+                continue;
+            }
+            const json::Value* value = metric.find("value");
+            if (!value || !value->isNumber())
+                fail(mat + ".value: missing or not a number");
+            const json::Value* dir = metric.find("dir");
+            if (!dir || !dir->isString() ||
+                (dir->asString() != "higher" && dir->asString() != "lower" &&
+                 dir->asString() != "info"))
+                fail(mat + ".dir: not one of higher/lower/info");
+            const json::Value* det = metric.find("det");
+            if (!det || !det->isBool())
+                fail(mat + ".det: missing or not a bool");
+        }
+    }
+    return errors;
+}
+
+}  // namespace faasflow::bench
+
+#endif  // FAASFLOW_BENCH_SCHEMA_H_

@@ -38,7 +38,7 @@
 #include <string>
 #include <vector>
 
-#include "campaign.h"
+#include "common/campaign.h"
 #include "harness.h"
 
 namespace {
