@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Cluster-scale simulation throughput: the sharded parallel engine
+ * (sim::ShardedSim) driving the FleetSim workload model at 1k and (full
+ * tier) 10k nodes under open-loop Poisson load.
+ *
+ * Each scale runs the identical workload twice:
+ *
+ *   single  — shards=1, threads=1: the sequential single-queue pump,
+ *             the honest baseline (same queue code, no windows).
+ *   sharded — 16 shards, worker threads = the campaign width: windowed
+ *             conservative execution with cross-shard boundary channels.
+ *
+ * The two runs must produce bit-identical model and engine digests —
+ * that check folds into the section's determinism digest, so the bench
+ * ratchet doubles as an equivalence test. Wall-clock metrics report
+ * events/s and sim-seconds per wall-second; deterministic metrics pin
+ * arrivals, completions, cross-shard message counts, and lookahead
+ * stalls exactly.
+ */
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/string_util.h"
+#include "load/fleet.h"
+#include "registry.h"
+
+namespace {
+
+using namespace faasflow;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+struct ScaleRun
+{
+    load::FleetSimResult result;
+    double wall_s = 0.0;
+    double events_per_sec = 0.0;
+    double sim_s_per_wall_s = 0.0;
+};
+
+/**
+ * One timed fleet run. The arrival rate keeps cluster utilisation at
+ * roughly 35-40% (rate · stages · exec / cores), so queues are busy but
+ * not saturated — the regime where event density per lookahead window
+ * is high and the engine, not the model, dominates.
+ */
+ScaleRun
+runFleet(uint32_t nodes, uint32_t shards, uint32_t threads,
+         double rate_per_s, double horizon_s)
+{
+    load::FleetSimConfig config;
+    config.fleet.nodes = nodes;
+    config.fleet.seed = 42;
+    config.fleet.big_node_fraction = 0.1;
+    config.fleet.slow_nic_fraction = 0.1;
+    config.shards = shards;
+    config.threads = threads;
+    config.arrivals.rate_per_min = rate_per_s * 60.0;
+    config.horizon = SimTime::seconds(horizon_s);
+    config.stages = 3;
+    config.exec_mean_ms = 50.0;
+    config.exec_sigma = 0.4;
+    config.function_classes = 32;
+    config.seed = 7;
+
+    load::FleetSim sim(config);
+    const auto t0 = std::chrono::steady_clock::now();
+    ScaleRun run;
+    run.result = sim.run();
+    run.wall_s = secondsSince(t0);
+    if (run.wall_s > 0.0) {
+        run.events_per_sec =
+            static_cast<double>(run.result.events) / run.wall_s;
+        run.sim_s_per_wall_s = run.result.sim_seconds / run.wall_s;
+    }
+    return run;
+}
+
+void
+reportScale(bench::Report& report, const std::string& prefix,
+            const ScaleRun& single, const ScaleRun& sharded,
+            uint32_t shards, unsigned threads, bool stats)
+{
+    const bool digests_match =
+        single.result.model_digest == sharded.result.model_digest &&
+        single.result.engine_digest == sharded.result.engine_digest;
+
+    report.higher(prefix + "_single_events_per_sec",
+                  single.events_per_sec);
+    report.higher(prefix + "_sharded_events_per_sec",
+                  sharded.events_per_sec);
+    report.higher(prefix + "_sharded_over_single",
+                  single.events_per_sec > 0.0
+                      ? sharded.events_per_sec / single.events_per_sec
+                      : 0.0);
+    report.higher(prefix + "_sim_s_per_wall_s", sharded.sim_s_per_wall_s);
+    report.info(prefix + "_arrivals",
+                static_cast<double>(sharded.result.arrivals));
+    report.info(prefix + "_completed",
+                static_cast<double>(sharded.result.completed));
+    report.info(prefix + "_events",
+                static_cast<double>(sharded.result.events));
+    report.info(prefix + "_digest_match", digests_match ? 1.0 : 0.0);
+    report.info(prefix + "_cross_shard_messages",
+                static_cast<double>(sharded.result.cross_shard_messages));
+    report.info(prefix + "_lookahead_stalls",
+                static_cast<double>(sharded.result.stalled_rounds));
+    report.info(prefix + "_threads", static_cast<double>(threads),
+                /*deterministic=*/false);
+
+    std::printf(
+        "%s: %llu events, %llu invocations | single %.2fM ev/s, "
+        "sharded(%u shards, %u threads) %.2fM ev/s (%.2fx) | "
+        "%.1f sim-s/wall-s | digests %s\n",
+        prefix.c_str(),
+        static_cast<unsigned long long>(sharded.result.events),
+        static_cast<unsigned long long>(sharded.result.completed),
+        single.events_per_sec / 1e6, shards, threads,
+        sharded.events_per_sec / 1e6,
+        single.events_per_sec > 0.0
+            ? sharded.events_per_sec / single.events_per_sec
+            : 0.0,
+        sharded.sim_s_per_wall_s,
+        digests_match ? "bit-identical" : "MISMATCH");
+
+    if (stats) {
+        std::printf("  %-6s %10s %8s %8s %9s %9s %10s\n", "shard",
+                    "events", "active", "stalled", "msgs-in", "msgs-out",
+                    "max-queue");
+        for (size_t s = 0; s < sharded.result.shard_stats.size(); ++s) {
+            const auto& st = sharded.result.shard_stats[s];
+            std::printf("  %-6zu %10llu %8llu %8llu %9llu %9llu %10zu\n",
+                        s, static_cast<unsigned long long>(st.events),
+                        static_cast<unsigned long long>(st.rounds_active),
+                        static_cast<unsigned long long>(st.rounds_stalled),
+                        static_cast<unsigned long long>(st.messages_in),
+                        static_cast<unsigned long long>(st.messages_out),
+                        st.max_queue);
+        }
+    }
+}
+
+}  // namespace
+
+namespace faasflow::bench {
+
+void
+registerClusterScale(Registry& registry)
+{
+    registry.add(SectionSpec{
+        "cluster_scale", "perf",
+        "sharded parallel simulation at 1k (and 10k, full tier) nodes: "
+        "events/s, sim-s per wall-s, single-vs-sharded equivalence",
+        [](const RunOptions& opts, Report& report) {
+            const uint32_t shards = 16;
+            const unsigned threads = opts.campaignWidth();
+            const double horizon_1k = opts.smoke ? 1.5 : 6.0;
+
+            std::printf("cluster_scale%s\n", opts.smoke ? " (smoke)" : "");
+
+            const ScaleRun single_1k =
+                runFleet(1000, 1, 1, 20000.0, horizon_1k);
+            const ScaleRun sharded_1k =
+                runFleet(1000, shards, threads, 20000.0, horizon_1k);
+            reportScale(report, "n1k", single_1k, sharded_1k, shards,
+                        threads, opts.stats);
+
+            if (!opts.smoke) {
+                const ScaleRun single_10k =
+                    runFleet(10000, 1, 1, 100000.0, 3.0);
+                const ScaleRun sharded_10k =
+                    runFleet(10000, shards, threads, 100000.0, 3.0);
+                reportScale(report, "n10k", single_10k, sharded_10k,
+                            shards, threads, opts.stats);
+            }
+        }});
+}
+
+}  // namespace faasflow::bench

@@ -14,6 +14,7 @@ void
 registerAllSections(Registry& registry)
 {
     registerAblationModes(registry);
+    registerClusterScale(registry);
     registerColdstartPolicies(registry);
     registerFig04MasterSpOverhead(registry);
     registerFig05DataMovement(registry);

@@ -9,11 +9,21 @@ Cluster::Cluster(sim::Simulator& sim, net::Network& network,
     : sim_(sim), network_(network), registry_(registry), config_(config)
 {
     for (int i = 0; i < config.worker_count; ++i) {
+        WorkerNode::Config node_config = config.node;
+        double bandwidth = config.worker_bandwidth;
+        if (static_cast<size_t>(i) < config.node_overrides.size()) {
+            const NodeOverride& o = config.node_overrides[i];
+            if (o.cores > 0)
+                node_config.cores = o.cores;
+            if (o.memory > 0)
+                node_config.memory = o.memory;
+            if (o.bandwidth > 0)
+                bandwidth = o.bandwidth;
+        }
         const std::string name = strFormat("worker-%d", i);
-        const net::NodeId nid = network.addNode(
-            name, config.worker_bandwidth, config.worker_bandwidth);
+        const net::NodeId nid = network.addNode(name, bandwidth, bandwidth);
         workers_.push_back(std::make_unique<WorkerNode>(
-            sim, registry, nid, name, config.node, rng.split()));
+            sim, registry, nid, name, node_config, rng.split()));
     }
     storage_node_id_ = network.addNode(
         "storage", config.storage_bandwidth, config.storage_bandwidth);

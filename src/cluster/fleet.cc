@@ -1,0 +1,79 @@
+#include "cluster/fleet.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace faasflow::cluster {
+
+std::vector<NodeProfile>
+generateFleet(const FleetSpec& spec)
+{
+    if (spec.nodes == 0)
+        panic("fleet: node count must be >= 1");
+    if (spec.big_node_fraction < 0 || spec.big_node_fraction > 1 ||
+        spec.slow_nic_fraction < 0 || spec.slow_nic_fraction > 1)
+        panic("fleet: heterogeneity fractions must lie in [0, 1]");
+
+    Rng rng(spec.seed);
+    std::vector<NodeProfile> profiles;
+    profiles.reserve(spec.nodes);
+    for (uint32_t i = 0; i < spec.nodes; ++i) {
+        NodeProfile p;
+        p.cores = spec.base_cores;
+        p.memory = spec.base_memory;
+        p.bandwidth = spec.base_bandwidth;
+        // One draw pair per node regardless of the knob settings, so a
+        // fleet's profiles are stable when only the fractions change.
+        const double big_draw = rng.uniform();
+        const double nic_draw = rng.uniform();
+        if (big_draw < spec.big_node_fraction) {
+            p.big = true;
+            p.cores = std::max(
+                1, static_cast<int>(static_cast<double>(spec.base_cores) *
+                                    spec.big_core_multiplier));
+            p.memory = static_cast<int64_t>(
+                static_cast<double>(spec.base_memory) *
+                spec.big_core_multiplier);
+        }
+        if (nic_draw < spec.slow_nic_fraction) {
+            p.slow_nic = true;
+            p.bandwidth = spec.base_bandwidth * spec.slow_nic_multiplier;
+        }
+        profiles.push_back(p);
+    }
+    return profiles;
+}
+
+FleetSummary
+summarizeFleet(const std::vector<NodeProfile>& profiles)
+{
+    FleetSummary s;
+    s.nodes = static_cast<uint32_t>(profiles.size());
+    for (const NodeProfile& p : profiles) {
+        s.total_cores += static_cast<uint64_t>(p.cores);
+        if (p.big)
+            ++s.big_nodes;
+        if (p.slow_nic)
+            ++s.slow_nics;
+    }
+    return s;
+}
+
+void
+applyFleet(const std::vector<NodeProfile>& profiles,
+           Cluster::Config& config)
+{
+    config.worker_count = static_cast<int>(profiles.size());
+    config.node_overrides.clear();
+    config.node_overrides.reserve(profiles.size());
+    for (const NodeProfile& p : profiles) {
+        Cluster::NodeOverride o;
+        o.cores = p.cores;
+        o.memory = p.memory;
+        o.bandwidth = p.bandwidth;
+        config.node_overrides.push_back(o);
+    }
+}
+
+}  // namespace faasflow::cluster

@@ -195,6 +195,27 @@ System::registerTelemetryGauges()
                              nic_util(sid, true));
     telemetry_.registerGauge("faasflow_nic_ingress_util", slabels,
                              nic_util(sid, false));
+
+    // Simulation-engine health: queue depth plus the EventQueue's
+    // lifetime counters, so a scrape can spot pathological stale-event
+    // accumulation or compaction churn the same way it spots NIC
+    // saturation. One series each, labelled as the engine itself.
+    const std::string elabels = "node=\"sim\"";
+    telemetry_.registerGauge("faasflow_sim_queue_pending", elabels, [sim] {
+        return static_cast<double>(sim->pendingEvents());
+    });
+    telemetry_.registerGauge("faasflow_sim_events_fired", elabels, [sim] {
+        return static_cast<double>(sim->queueStats().fired);
+    });
+    telemetry_.registerGauge("faasflow_sim_stale_dropped", elabels, [sim] {
+        return static_cast<double>(sim->queueStats().stale_dropped);
+    });
+    telemetry_.registerGauge("faasflow_sim_compactions", elabels, [sim] {
+        return static_cast<double>(sim->queueStats().compactions);
+    });
+    telemetry_.registerGauge("faasflow_sim_heap_peak", elabels, [sim] {
+        return static_cast<double>(sim->queueStats().max_heap);
+    });
 }
 
 void

@@ -1,0 +1,218 @@
+#include "load/fleet.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace faasflow::load {
+
+namespace {
+
+sim::ShardedSim::Config
+engineConfig(const FleetSimConfig& config)
+{
+    sim::ShardedSim::Config e;
+    e.shards = config.shards;
+    e.threads = config.threads;
+    e.lookahead = config.fleet.hop_latency;
+    e.check_lookahead = config.check_lookahead;
+    return e;
+}
+
+void
+fold(uint64_t& fnv, uint64_t word)
+{
+    for (int b = 0; b < 8; ++b) {
+        fnv ^= (word >> (8 * b)) & 0xff;
+        fnv *= 1099511628211ULL;
+    }
+}
+
+}  // namespace
+
+FleetSim::FleetSim(FleetSimConfig config)
+    : config_(config),
+      profiles_(cluster::generateFleet(config.fleet)),
+      sim_(engineConfig(config)),
+      arrival_(config.arrivals),
+      master_rng_(config.seed)
+{
+    if (config_.stages < 1 || config_.stages > kMaxStages)
+        panic("FleetSim: stages must lie in [1, %d]", kMaxStages);
+    if (config_.function_classes == 0)
+        panic("FleetSim: function_classes must be >= 1");
+
+    const uint32_t n = static_cast<uint32_t>(profiles_.size());
+    sim_.addDomain();  // kMaster
+    sim_.addDomain();  // kStorage
+    for (uint32_t w = 0; w < n; ++w)
+        sim_.addDomain();
+
+    core_off_.reserve(n);
+    egress_free_us_.assign(n, 0);
+    nic_bandwidth_.reserve(n);
+    uint32_t off = 0;
+    for (const cluster::NodeProfile& p : profiles_) {
+        core_off_.push_back(off);
+        off += static_cast<uint32_t>(p.cores);
+        nic_bandwidth_.push_back(p.bandwidth);
+    }
+    core_free_us_.assign(off, 0);
+    warm_.assign(static_cast<size_t>(n) * config_.function_classes, 0);
+
+    // Arena sized for the expected arrival count with generous slack;
+    // arrivals beyond it are shed (deterministically) rather than
+    // reallocating under the worker pool's feet.
+    const double rate_per_s = config_.arrivals.rate_per_min / 60.0;
+    const double expected = rate_per_s * config_.horizon.secondsF();
+    arena_.resize(static_cast<size_t>(expected * 2.0) + 4096);
+}
+
+void
+FleetSim::arrive()
+{
+    const SimTime now = sim_.now(kMaster);
+    if (arrivals_ >= arena_.size()) {
+        ++dropped_;
+    } else {
+        const uint32_t i = static_cast<uint32_t>(arrivals_++);
+        Invocation& inv = arena_[i];
+        inv.arrival_us = now.micros();
+        inv.worker = next_worker_;
+        next_worker_ = (next_worker_ + 1) %
+                       static_cast<uint32_t>(profiles_.size());
+        inv.klass = i % config_.function_classes;
+        for (int k = 0; k < config_.stages; ++k) {
+            const double ms = master_rng_.lognormal(config_.exec_mean_ms,
+                                                    config_.exec_sigma);
+            inv.exec_us[k] = static_cast<int32_t>(
+                std::max(100.0, ms * 1000.0));
+        }
+        sim_.send(kMaster, workerDomain(inv.worker),
+                  config_.fleet.hop_latency,
+                  [this, i] { beginStage(i, 0); });
+    }
+    const SimTime next = arrival_.next(now, master_rng_);
+    if (next <= config_.horizon)
+        sim_.local(kMaster, next - now, [this] { arrive(); });
+}
+
+void
+FleetSim::beginStage(uint32_t inv_id, int stage)
+{
+    const Invocation& inv = arena_[inv_id];
+    const uint32_t w = inv.worker;
+    const sim::DomainId d = workerDomain(w);
+    const int64_t now = sim_.now(d).micros();
+
+    int64_t ready = now;
+    if (stage == 0) {
+        uint8_t& warm =
+            warm_[static_cast<size_t>(w) * config_.function_classes +
+                  inv.klass];
+        if (!warm) {
+            warm = 1;
+            ready += static_cast<int64_t>(config_.cold_start_ms * 1000.0);
+        }
+    }
+
+    // Earliest-free core (FIFO by arrival order at the worker).
+    int64_t* cores = &core_free_us_[core_off_[w]];
+    const int n = profiles_[w].cores;
+    int best = 0;
+    for (int c = 1; c < n; ++c) {
+        if (cores[c] < cores[best])
+            best = c;
+    }
+    const int64_t start = std::max(ready, cores[best]);
+    const int64_t end = start + inv.exec_us[stage];
+    cores[best] = end;
+    sim_.local(d, SimTime::micros(end - now),
+               [this, inv_id, stage] { endStage(inv_id, stage); });
+}
+
+void
+FleetSim::endStage(uint32_t inv_id, int stage)
+{
+    if (stage + 1 < config_.stages) {
+        beginStage(inv_id, stage + 1);  // chain stays on the worker
+        return;
+    }
+    const uint32_t w = arena_[inv_id].worker;
+    const sim::DomainId d = workerDomain(w);
+    const int64_t now = sim_.now(d).micros();
+    const int64_t ser = static_cast<int64_t>(
+        static_cast<double>(config_.output_bytes) * 1e6 /
+        nic_bandwidth_[w]);
+    const int64_t egress_end =
+        std::max(now, egress_free_us_[w]) + ser;
+    egress_free_us_[w] = egress_end;
+    sim_.local(d, SimTime::micros(egress_end - now), [this, inv_id] {
+        sim_.send(workerDomain(arena_[inv_id].worker), kStorage,
+                  config_.fleet.hop_latency,
+                  [this, inv_id] { storeArrive(inv_id); });
+    });
+}
+
+void
+FleetSim::storeArrive(uint32_t inv_id)
+{
+    const int64_t now = sim_.now(kStorage).micros();
+    const int64_t ser = static_cast<int64_t>(
+        static_cast<double>(config_.output_bytes) * 1e6 /
+        config_.storage_bandwidth);
+    const int64_t done = std::max(now, storage_ingress_free_us_) + ser;
+    storage_ingress_free_us_ = done;
+    sim_.local(kStorage, SimTime::micros(done - now), [this, inv_id] {
+        sim_.send(kStorage, kMaster, config_.fleet.hop_latency,
+                  [this, inv_id] { complete(inv_id); });
+    });
+}
+
+void
+FleetSim::complete(uint32_t inv_id)
+{
+    const int64_t now = sim_.now(kMaster).micros();
+    ++completed_;
+    const int64_t latency = now - arena_[inv_id].arrival_us;
+    latency_sum_us_ += latency;
+    latency_max_us_ = std::max(latency_max_us_, latency);
+    fold(model_digest_, inv_id);
+    fold(model_digest_, static_cast<uint64_t>(now));
+}
+
+FleetSimResult
+FleetSim::run()
+{
+    // Seed the arrival train; everything else cascades from it.
+    const SimTime first = arrival_.next(SimTime::zero(), master_rng_);
+    if (first <= config_.horizon)
+        sim_.local(kMaster, first, [this] { arrive(); });
+
+    sim_.run();
+
+    FleetSimResult r;
+    r.arrivals = arrivals_;
+    r.completed = completed_;
+    r.dropped = dropped_;
+    r.events = sim_.processedEvents();
+    r.rounds = sim_.roundsExecuted();
+    r.sim_seconds = sim_.now(kMaster).secondsF();
+    if (completed_ > 0) {
+        r.mean_latency_ms = static_cast<double>(latency_sum_us_) /
+                            static_cast<double>(completed_) / 1e3;
+        r.max_latency_ms = static_cast<double>(latency_max_us_) / 1e3;
+    }
+    r.model_digest = model_digest_;
+    r.engine_digest = sim_.digest();
+    r.lookahead_violations = sim_.lookaheadViolations();
+    r.shard_stats = sim_.shardStats();
+    for (const sim::ShardedSim::ShardStats& s : r.shard_stats) {
+        r.cross_shard_messages += s.messages_in;
+        r.stalled_rounds += s.rounds_stalled;
+        r.max_queue = std::max(r.max_queue, s.max_queue);
+    }
+    return r;
+}
+
+}  // namespace faasflow::load

@@ -1,0 +1,157 @@
+#ifndef FAASFLOW_LOAD_FLEET_H_
+#define FAASFLOW_LOAD_FLEET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/fleet.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/units.h"
+#include "load/arrival.h"
+#include "load/spec.h"
+#include "sim/sharded.h"
+
+namespace faasflow::load {
+
+/**
+ * Cluster-scale workload model for the sharded simulator.
+ *
+ * FleetSim is the 1k–10k-node counterpart of the full System stack: an
+ * open-loop arrival process at a master domain dispatches function
+ * chains onto a generated fleet (cluster::FleetSpec), each worker
+ * modelled with flat SoA state — per-core free times, NIC egress
+ * serialization, warm-container bits — instead of per-node objects, so
+ * a 10k-node fleet is a handful of contiguous arrays rather than tens
+ * of thousands of allocations.
+ *
+ * The event flow per invocation (stages + 6 events):
+ *
+ *   master: arrival → draw worker/class/exec times, send dispatch
+ *   worker: cold-start (first class use) → stage chain on earliest-free
+ *           core → egress-serialize the output → send to storage
+ *   storage: ingress-serialize → ack to master
+ *   master: completion, latency accounting, digest fold
+ *
+ * Determinism: every random draw happens at the master at arrival time
+ * (one domain = one total order), the arena is preallocated (no
+ * reallocation while shards run), and all cross-domain hops use the
+ * fleet's hop latency == the sharded lookahead — so the model digest
+ * and the engine digest are bit-identical for any shard/thread count.
+ */
+struct FleetSimConfig
+{
+    cluster::FleetSpec fleet;
+
+    /** Sharded-engine knobs (shards=1 is the single-queue baseline). */
+    uint32_t shards = 1;
+    uint32_t threads = 1;
+    bool check_lookahead = false;
+
+    /** Open-loop arrivals at the master (rate_per_min et al.). */
+    ArrivalSpec arrivals;
+    /** Arrivals stop here; the run then drains to quiescence. */
+    SimTime horizon = SimTime::seconds(5);
+
+    /** Function chain length per invocation (1..8). */
+    int stages = 3;
+    /** Lognormal stage execution time. */
+    double exec_mean_ms = 50.0;
+    double exec_sigma = 0.4;
+    /** Distinct function classes (per-worker warm-container keys). */
+    uint32_t function_classes = 16;
+    double cold_start_ms = 120.0;
+
+    /** Final-stage output shipped to storage through both NICs. */
+    int64_t output_bytes = 64 * kKiB;
+    /** Storage-node NIC (bytes/s); sized generously by default so the
+     *  bench measures the engine, not a storage bottleneck. */
+    double storage_bandwidth = 10e9;
+
+    uint64_t seed = 1234;
+};
+
+struct FleetSimResult
+{
+    uint64_t arrivals = 0;
+    uint64_t completed = 0;
+    /** Arrivals shed because the preallocated arena filled. */
+    uint64_t dropped = 0;
+    uint64_t events = 0;
+    uint64_t rounds = 0;
+    double sim_seconds = 0.0;
+    double mean_latency_ms = 0.0;
+    double max_latency_ms = 0.0;
+    /** Completion-order fold of (invocation, finish time). */
+    uint64_t model_digest = 0;
+    /** ShardedSim::digest() — the engine-level golden. */
+    uint64_t engine_digest = 0;
+    uint64_t lookahead_violations = 0;
+
+    // Aggregated shard health (per-shard detail in shard_stats).
+    uint64_t cross_shard_messages = 0;
+    uint64_t stalled_rounds = 0;
+    size_t max_queue = 0;
+    std::vector<sim::ShardedSim::ShardStats> shard_stats;
+};
+
+class FleetSim
+{
+  public:
+    explicit FleetSim(FleetSimConfig config);
+
+    /** Builds the engine, pumps to quiescence, returns the tallies.
+     *  One-shot: construct a fresh FleetSim per run. */
+    FleetSimResult run();
+
+  private:
+    static constexpr int kMaxStages = 8;
+    static constexpr sim::DomainId kMaster = 0;
+    static constexpr sim::DomainId kStorage = 1;
+
+    struct Invocation
+    {
+        int64_t arrival_us = 0;
+        uint32_t worker = 0;
+        uint32_t klass = 0;
+        int32_t exec_us[kMaxStages] = {};
+    };
+
+    FleetSimConfig config_;
+    std::vector<cluster::NodeProfile> profiles_;
+    sim::ShardedSim sim_;
+    ArrivalProcess arrival_;
+    Rng master_rng_;
+
+    // ---- flat per-worker hot state (SoA) -----------------------------
+    std::vector<int64_t> core_free_us_;   ///< flattened, core_off_[w]..
+    std::vector<uint32_t> core_off_;
+    std::vector<int64_t> egress_free_us_;
+    std::vector<double> nic_bandwidth_;
+    std::vector<uint8_t> warm_;           ///< workers × function_classes
+    int64_t storage_ingress_free_us_ = 0;
+
+    /** Preallocated before run(); never grows while shards execute. */
+    std::vector<Invocation> arena_;
+    uint64_t arrivals_ = 0;
+    uint64_t dropped_ = 0;
+    uint32_t next_worker_ = 0;  ///< master's round-robin dispatch cursor
+
+    // ---- master-side tallies -----------------------------------------
+    uint64_t completed_ = 0;
+    int64_t latency_sum_us_ = 0;
+    int64_t latency_max_us_ = 0;
+    uint64_t model_digest_ = 14695981039346656037ULL;
+
+    sim::DomainId workerDomain(uint32_t w) const { return 2 + w; }
+
+    void arrive();
+    void beginStage(uint32_t inv, int stage);
+    void endStage(uint32_t inv, int stage);
+    void storeArrive(uint32_t inv);
+    void complete(uint32_t inv);
+};
+
+}  // namespace faasflow::load
+
+#endif  // FAASFLOW_LOAD_FLEET_H_

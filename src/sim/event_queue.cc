@@ -44,6 +44,8 @@ EventQueue::schedule(SimTime when, Callback fn)
     slot.armed_seq = seq;
     heapPush(Key{when.micros(), (seq << kSlotBits) | idx});
     ++live_;
+    ++stats_.scheduled;
+    stats_.max_heap = std::max(stats_.max_heap, heap_.size());
     return EventId{(static_cast<uint64_t>(idx) << 32) | slot.gen};
 }
 
@@ -61,6 +63,7 @@ EventQueue::cancel(EventId id)
         return false;  // already fired or already cancelled
     retireSlot(idx);
     --live_;
+    ++stats_.cancelled;
     maybeCompact();
     return true;
 }
@@ -70,6 +73,8 @@ EventQueue::maybeCompact()
 {
     if (heap_.size() < 64 || heap_.size() <= live_ + (live_ >> 2))
         return;
+    ++stats_.compactions;
+    stats_.stale_dropped += heap_.size() - live_;
     size_t w = 0;
     for (const Key& key : heap_) {
         const Slot& slot = slots_[key.slot()];
@@ -108,6 +113,7 @@ EventQueue::dropStale() const
         if (slot.armed && slot.armed_seq == top.seq())
             break;
         self->heapPopTop();
+        ++self->stats_.stale_dropped;
     }
 }
 
@@ -132,12 +138,14 @@ EventQueue::pop(SimTime& when, Callback& fn)
         Slot& slot = slots_[top.slot()];
         if (!slot.armed || slot.armed_seq != top.seq()) {
             heapPopTop();
+            ++stats_.stale_dropped;
             continue;
         }
         when = SimTime::micros(top.when_us);
         fn = std::move(slot.fn);
         retireSlot(top.slot());
         --live_;
+        ++stats_.fired;
         heapPopTop();
         return true;
     }

@@ -41,6 +41,19 @@ class EventQueue
   public:
     using Callback = InlineFunction<void(), 48>;
 
+    /** Lifetime health counters — cheap enough to keep always-on, and
+     *  surfaced through `faasflow_bench --stats` / telemetry so queue
+     *  pathologies (cancel churn, compaction storms) are diagnosable. */
+    struct Stats
+    {
+        uint64_t scheduled = 0;      ///< schedule() calls
+        uint64_t fired = 0;          ///< events popped live
+        uint64_t cancelled = 0;      ///< successful cancel() calls
+        uint64_t stale_dropped = 0;  ///< stale heap keys skipped
+        uint64_t compactions = 0;    ///< heap rebuilds (maybeCompact)
+        size_t max_heap = 0;         ///< peak heap size incl. stale keys
+    };
+
     /** Schedules `fn` at absolute time `when`; returns a cancellable id. */
     EventId schedule(SimTime when, Callback fn);
 
@@ -60,6 +73,8 @@ class EventQueue
      * @return false when the queue is empty
      */
     bool pop(SimTime& when, Callback& fn);
+
+    const Stats& stats() const { return stats_; }
 
   private:
     static constexpr uint32_t kNilSlot = ~0u;
@@ -108,6 +123,7 @@ class EventQueue
     uint32_t free_head_ = kNilSlot;
     size_t live_ = 0;
     uint64_t next_seq_ = 0;
+    Stats stats_;
 
     void heapPush(Key key);
     void heapPopTop();

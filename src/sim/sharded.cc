@@ -1,0 +1,475 @@
+#include "sim/sharded.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace faasflow::sim {
+
+namespace {
+
+/** Domain whose callback is currently executing on this thread; used to
+ *  enforce that local()/send() are only issued by the executing domain
+ *  (domain isolation is what makes same-timestamp events commute). */
+thread_local DomainId t_current_domain = ~0u;
+constexpr DomainId kNoDomain = ~0u;
+
+constexpr size_t
+firstChildOf(size_t i)
+{
+    return 4 * i + 1;
+}
+
+constexpr size_t
+parentOf(size_t i)
+{
+    return (i - 1) / 4;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// ShardQueue
+
+void
+ShardedSim::ShardQueue::push(int64_t when_us, uint64_t dst_src,
+                             uint64_t seq, Callback fn)
+{
+    uint32_t slot;
+    if (!free_slots.empty()) {
+        slot = free_slots.back();
+        free_slots.pop_back();
+    } else {
+        slot = static_cast<uint32_t>(slab.size());
+        slab.emplace_back();
+    }
+    if (slot > kSlotMask || (seq >> (64 - kSlotBits)) != 0)
+        panic("sim: shard queue exceeded its packed-key capacity");
+    slab[slot] = std::move(fn);
+    const Key key{when_us, dst_src, (seq << kSlotBits) | slot};
+    // Hole insertion, as in EventQueue::heapPush.
+    size_t i = heap.size();
+    heap.push_back(key);
+    while (i > 0) {
+        const size_t p = parentOf(i);
+        if (!key.earlierThan(heap[p]))
+            break;
+        heap[i] = heap[p];
+        i = p;
+    }
+    heap[i] = key;
+}
+
+bool
+ShardedSim::ShardQueue::pop(Key& key, Callback& fn)
+{
+    if (heap.empty())
+        return false;
+    key = heap.front();
+    const uint32_t slot = key.slot();
+    fn = std::move(slab[slot]);
+    slab[slot] = nullptr;
+    free_slots.push_back(slot);
+    heap.front() = heap.back();
+    heap.pop_back();
+    if (!heap.empty())
+        siftDown(0);
+    return true;
+}
+
+int64_t
+ShardedSim::ShardQueue::topTimeUs() const
+{
+    return heap.empty() ? std::numeric_limits<int64_t>::max()
+                        : heap.front().when_us;
+}
+
+void
+ShardedSim::ShardQueue::siftDown(size_t i)
+{
+    const Key val = heap[i];
+    const size_t n = heap.size();
+    for (;;) {
+        const size_t first = firstChildOf(i);
+        if (first >= n)
+            break;
+        size_t best = first;
+        const size_t last = std::min(first + 4, n);
+        for (size_t c = first + 1; c < last; ++c) {
+            if (heap[c].earlierThan(heap[best]))
+                best = c;
+        }
+        if (!heap[best].earlierThan(val))
+            break;
+        heap[i] = heap[best];
+        i = best;
+    }
+    heap[i] = val;
+}
+
+// ---------------------------------------------------------------------
+// Worker pool
+
+struct ShardedSim::Pool
+{
+    std::mutex m;
+    std::condition_variable cv_work;
+    std::condition_variable cv_done;
+    uint64_t phase = 0;
+    uint32_t unfinished = 0;
+    bool stopping = false;
+
+    ShardedSim* self = nullptr;
+    void (ShardedSim::*fn)(uint32_t, int64_t) = nullptr;
+    int64_t arg = 0;
+    std::atomic<uint32_t> cursor{0};
+    uint32_t shard_count = 0;
+
+    std::vector<std::thread> workers;
+
+    void
+    workerLoop()
+    {
+        uint64_t seen_phase = 0;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(m);
+                cv_work.wait(lock, [&] {
+                    return stopping || phase != seen_phase;
+                });
+                if (stopping)
+                    return;
+                seen_phase = phase;
+            }
+            drain();
+            {
+                std::lock_guard<std::mutex> lock(m);
+                if (--unfinished == 0)
+                    cv_done.notify_one();
+            }
+        }
+    }
+
+    void
+    drain()
+    {
+        for (;;) {
+            const uint32_t s =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (s >= shard_count)
+                return;
+            (self->*fn)(s, arg);
+        }
+    }
+};
+
+void
+ShardedSim::startPool()
+{
+    if (pool_ || config_.threads <= 1 || config_.shards <= 1)
+        return;
+    pool_ = std::make_unique<Pool>();
+    pool_->self = this;
+    pool_->shard_count = config_.shards;
+    const uint32_t extra =
+        std::min(config_.threads, config_.shards) - 1;
+    pool_->workers.reserve(extra);
+    for (uint32_t t = 0; t < extra; ++t)
+        pool_->workers.emplace_back([p = pool_.get()] { p->workerLoop(); });
+}
+
+void
+ShardedSim::stopPool()
+{
+    if (!pool_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(pool_->m);
+        pool_->stopping = true;
+    }
+    pool_->cv_work.notify_all();
+    for (std::thread& t : pool_->workers)
+        t.join();
+    pool_.reset();
+}
+
+void
+ShardedSim::parallelShards(void (ShardedSim::*fn)(uint32_t, int64_t),
+                           int64_t arg)
+{
+    if (!pool_ || pool_->workers.empty()) {
+        for (uint32_t s = 0; s < config_.shards; ++s)
+            (this->*fn)(s, arg);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(pool_->m);
+        pool_->fn = fn;
+        pool_->arg = arg;
+        pool_->cursor.store(0, std::memory_order_relaxed);
+        pool_->unfinished =
+            static_cast<uint32_t>(pool_->workers.size());
+        ++pool_->phase;
+    }
+    pool_->cv_work.notify_all();
+    pool_->drain();  // the calling thread participates
+    std::unique_lock<std::mutex> lock(pool_->m);
+    pool_->cv_done.wait(lock, [&] { return pool_->unfinished == 0; });
+}
+
+// ---------------------------------------------------------------------
+// ShardedSim
+
+ShardedSim::ShardedSim(Config config) : config_(config)
+{
+    if (config_.shards == 0)
+        panic("ShardedSim: shard count must be >= 1");
+    if (config_.threads == 0)
+        config_.threads = 1;
+    if (config_.lookahead <= SimTime::zero())
+        panic("ShardedSim: lookahead must be positive (it is the "
+              "conservative window width)");
+    shards_.resize(config_.shards);
+    for (Shard& shard : shards_)
+        shard.outbox.resize(config_.shards);
+    stats_.resize(config_.shards);
+}
+
+ShardedSim::~ShardedSim()
+{
+    stopPool();
+}
+
+DomainId
+ShardedSim::addDomain()
+{
+    if (running_)
+        panic("ShardedSim: addDomain during run()");
+    domains_.emplace_back();
+    return static_cast<DomainId>(domain_count_++);
+}
+
+SimTime
+ShardedSim::now(DomainId domain) const
+{
+    if (domain >= domain_count_)
+        panic("ShardedSim: invalid domain %u", domain);
+    return SimTime::micros(shards_[shardOf(domain)].now_us);
+}
+
+void
+ShardedSim::foldDigest(Domain& dom, const Key& key)
+{
+    // FNV-1a over the deterministic key parts (the slot is layout, not
+    // identity, and is excluded).
+    uint64_t fnv = dom.fnv;
+    const uint64_t words[3] = {static_cast<uint64_t>(key.when_us),
+                               key.dst_src, key.seq()};
+    for (const uint64_t w : words) {
+        for (int b = 0; b < 8; ++b) {
+            fnv ^= (w >> (8 * b)) & 0xff;
+            fnv *= 1099511628211ULL;
+        }
+    }
+    dom.fnv = fnv;
+}
+
+void
+ShardedSim::enqueue(uint32_t src_shard, int64_t when_us, DomainId dst,
+                    DomainId src, uint64_t seq, Callback fn)
+{
+    const uint32_t dst_shard = shardOf(dst);
+    const uint64_t dst_src =
+        (static_cast<uint64_t>(dst) << 32) | src;
+    if (!running_ || dst_shard == src_shard) {
+        // Setup phase, or a same-shard target: straight into the queue.
+        // (Same-shard cross-domain sends still honoured the lookahead,
+        // so delivery lands beyond the current window either way.)
+        shards_[dst_shard].queue.push(when_us, dst_src, seq,
+                                      std::move(fn));
+        return;
+    }
+    Shard& from = shards_[src_shard];
+    if (from.outbox[dst_shard].empty())
+        from.touched.push_back(dst_shard);
+    from.outbox[dst_shard].push_back(
+        Msg{when_us, dst_src, seq, std::move(fn)});
+    ++from.stats.messages_out;
+}
+
+void
+ShardedSim::local(DomainId domain, SimTime delay, Callback fn)
+{
+    if (domain >= domain_count_)
+        panic("ShardedSim: invalid domain %u", domain);
+    if (delay < SimTime::zero())
+        panic("ShardedSim: negative delay %s", delay.str().c_str());
+    if (running_ && t_current_domain != domain)
+        panic("ShardedSim: local() on domain %u from domain %u — other "
+              "domains must use send()",
+              domain, t_current_domain);
+    const uint32_t shard = shardOf(domain);
+    const int64_t when = shards_[shard].now_us + delay.micros();
+    Domain& dom = domains_[domain];
+    enqueue(shard, when, domain, domain, dom.next_seq++, std::move(fn));
+}
+
+void
+ShardedSim::send(DomainId from, DomainId to, SimTime latency, Callback fn)
+{
+    if (from >= domain_count_ || to >= domain_count_)
+        panic("ShardedSim: invalid domain in send(%u, %u)", from, to);
+    if (from != to && latency < config_.lookahead)
+        panic("ShardedSim: cross-domain latency %s below the lookahead "
+              "%s — the conservative window would be unsound",
+              latency.str().c_str(), config_.lookahead.str().c_str());
+    if (latency < SimTime::zero())
+        panic("ShardedSim: negative latency %s", latency.str().c_str());
+    if (running_ && t_current_domain != from)
+        panic("ShardedSim: send() from domain %u issued by domain %u",
+              from, t_current_domain);
+    const uint32_t src_shard = shardOf(from);
+    const int64_t when = shards_[src_shard].now_us + latency.micros();
+    Domain& src = domains_[from];
+    enqueue(src_shard, when, to, from, src.next_seq++, std::move(fn));
+}
+
+void
+ShardedSim::pumpShard(uint32_t s, int64_t end_us)
+{
+    Shard& shard = shards_[s];
+    shard.stats.max_queue =
+        std::max(shard.stats.max_queue, shard.queue.size());
+    uint64_t executed = 0;
+    Key key;
+    Callback fn;
+    while (shard.queue.topTimeUs() < end_us) {
+        shard.queue.pop(key, fn);
+        shard.now_us = key.when_us;
+        Domain& dom = domains_[key.dst()];
+        foldDigest(dom, key);
+        ++dom.events;
+        t_current_domain = key.dst();
+        fn();
+        fn = nullptr;
+        ++executed;
+    }
+    t_current_domain = kNoDomain;
+    if (executed > 0) {
+        shard.stats.events += executed;
+        ++shard.stats.rounds_active;
+        if (config_.check_lookahead)
+            shard.last_exec_us = std::max(shard.last_exec_us,
+                                          shard.now_us);
+    } else {
+        ++shard.stats.rounds_stalled;
+    }
+}
+
+void
+ShardedSim::exchangeAll()
+{
+    // Drains every window outbox into its destination queue, visiting
+    // only the (src, dst) pairs that actually communicated (each source
+    // shard recorded its destinations in `touched`). Insertion order is
+    // irrelevant for determinism — the queue orders by the full (time,
+    // dst, src, seq) key — so a serial drain on the coordinating thread
+    // is safe and avoids both a second barrier per round and a
+    // shards×shards scan of mostly-empty vectors.
+    for (Shard& from : shards_) {
+        for (const uint32_t d : from.touched) {
+            Shard& to = shards_[d];
+            std::vector<Msg>& box = from.outbox[d];
+            for (Msg& msg : box) {
+                if (config_.check_lookahead &&
+                    msg.when_us < to.last_exec_us)
+                    lookahead_violations_.fetch_add(
+                        1, std::memory_order_relaxed);
+                to.queue.push(msg.when_us, msg.dst_src, msg.seq,
+                              std::move(msg.fn));
+                ++to.stats.messages_in;
+            }
+            box.clear();
+        }
+        from.touched.clear();
+    }
+}
+
+uint64_t
+ShardedSim::run(SimTime horizon)
+{
+    const uint64_t before = processed_;
+    running_ = true;
+    const int64_t horizon_us = horizon.micros();
+    const int64_t max_us = std::numeric_limits<int64_t>::max();
+
+    if (config_.shards == 1) {
+        // Single-queue path: no windows, no barriers — the classic
+        // sequential pump, and the baseline the sharded path is
+        // measured against.
+        const int64_t end =
+            horizon_us == max_us ? max_us : horizon_us + 1;
+        pumpShard(0, end);
+        ++rounds_;
+    } else {
+        startPool();
+        for (;;) {
+            int64_t t0 = max_us;
+            for (const Shard& shard : shards_)
+                t0 = std::min(t0, shard.queue.topTimeUs());
+            if (t0 == max_us || t0 > horizon_us)
+                break;
+            const int64_t window = config_.lookahead.micros();
+            int64_t end = t0 > max_us - window ? max_us : t0 + window;
+            if (horizon_us != max_us)
+                end = std::min(end, horizon_us + 1);
+            parallelShards(&ShardedSim::pumpShard, end);
+            exchangeAll();
+            ++rounds_;
+        }
+        stopPool();
+    }
+
+    running_ = false;
+    refreshStats();
+    processed_ = 0;
+    for (const ShardStats& stats : stats_)
+        processed_ += stats.events;
+    return processed_ - before;
+}
+
+void
+ShardedSim::refreshStats()
+{
+    for (uint32_t s = 0; s < config_.shards; ++s)
+        stats_[s] = shards_[s].stats;
+}
+
+size_t
+ShardedSim::pendingEvents() const
+{
+    size_t pending = 0;
+    for (const Shard& shard : shards_)
+        pending += shard.queue.size();
+    return pending;
+}
+
+uint64_t
+ShardedSim::digest() const
+{
+    // Combine per-domain accumulators in domain order: invariant across
+    // shard and thread counts because each domain's event sequence is.
+    uint64_t fnv = 14695981039346656037ULL;
+    for (const Domain& dom : domains_) {
+        const uint64_t words[2] = {dom.fnv, dom.events};
+        for (const uint64_t w : words) {
+            for (int b = 0; b < 8; ++b) {
+                fnv ^= (w >> (8 * b)) & 0xff;
+                fnv *= 1099511628211ULL;
+            }
+        }
+    }
+    return fnv;
+}
+
+}  // namespace faasflow::sim

@@ -1,0 +1,271 @@
+#ifndef FAASFLOW_SIM_SHARDED_H_
+#define FAASFLOW_SIM_SHARDED_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/inline_fn.h"
+#include "common/sim_time.h"
+
+namespace faasflow::sim {
+
+/** Unit of state affinity in a sharded simulation: one simulated node
+ *  (or the master, or a storage server). Events execute on exactly one
+ *  domain, and a model written for ShardedSim must only touch the
+ *  executing domain's state from a callback. */
+using DomainId = uint32_t;
+
+/**
+ * Sharded parallel discrete-event simulator with conservative lookahead.
+ *
+ * Domains are partitioned over shards (round-robin by id); each shard
+ * owns a private event queue and clock and is only ever executed by one
+ * thread at a time. Execution proceeds in windows of width `lookahead`:
+ * within a window every shard pumps its own queue independently, and at
+ * the window barrier cross-shard messages are exchanged. Correctness of
+ * the window ["t0", "t0 + lookahead") follows from the send contract —
+ * every cross-domain interaction must declare a latency of at least
+ * `lookahead` (for the cluster models this is the network's one-way hop
+ * latency, the natural lower bound on any cross-node effect) — so no
+ * message produced inside a window can land inside it.
+ *
+ * Determinism contract (DESIGN.md §11): run results are bit-identical
+ * for ANY shard count and ANY worker-thread count. Two mechanisms carry
+ * the invariant:
+ *
+ *  1. Total per-domain order. Every event carries the deterministic key
+ *     (time, dst domain, src domain, src seq); per-shard queues pop in
+ *     key order, so the execution sequence *of one domain* is the same
+ *     total order regardless of which other domains share its shard.
+ *     `seq` is a per-source-domain counter (not a global one), so key
+ *     assignment cannot observe the sharding either.
+ *  2. Domain isolation. Same-timestamp events in different domains may
+ *     execute in either relative order (or concurrently); because a
+ *     callback touches only its own domain's state plus messages, those
+ *     events commute.
+ *
+ * The engine folds each executed event's key into a per-domain FNV
+ * accumulator and combines the accumulators in domain order, so
+ * `digest()` is itself invariant — an engine-level golden that catches
+ * ordering bugs without any model cooperation.
+ *
+ * Events at the same (time, dst, src) fire in send order; messages from
+ * different sources at the same instant fire in source-domain order.
+ */
+class ShardedSim
+{
+  public:
+    using Callback = InlineFunction<void(), 48>;
+
+    struct Config
+    {
+        /** Number of event-queue shards; domains map round-robin. */
+        uint32_t shards = 1;
+        /** Worker threads pumping shards inside a window (the calling
+         *  thread participates, so 1 means "no extra threads"). */
+        uint32_t threads = 1;
+        /** Conservative window width == minimum cross-domain latency.
+         *  send() panics on latencies below it. */
+        SimTime lookahead = SimTime::millis(0.5);
+        /** Counts (instead of silently trusting) the boundary property:
+         *  a delivered message must not be older than anything its
+         *  destination shard already executed. */
+        bool check_lookahead = false;
+    };
+
+    /** Per-shard health counters (the `cluster_scale --stats` table). */
+    struct ShardStats
+    {
+        uint64_t events = 0;          ///< callbacks executed
+        uint64_t rounds_active = 0;   ///< windows with at least one event
+        /** Windows this shard woke for (barrier cost paid) but had no
+         *  runnable event — lookahead starvation. */
+        uint64_t rounds_stalled = 0;
+        uint64_t messages_in = 0;     ///< cross-shard deliveries received
+        uint64_t messages_out = 0;    ///< cross-shard sends produced
+        size_t max_queue = 0;         ///< peak pending-event count
+    };
+
+    explicit ShardedSim(Config config);
+    ~ShardedSim();
+
+    ShardedSim(const ShardedSim&) = delete;
+    ShardedSim& operator=(const ShardedSim&) = delete;
+
+    /** Registers a domain (before run()). Returns its id. */
+    DomainId addDomain();
+
+    size_t domainCount() const { return domain_count_; }
+    uint32_t shardCount() const { return config_.shards; }
+    SimTime lookahead() const { return config_.lookahead; }
+
+    /**
+     * Schedules a follow-up on `domain`'s own timeline, `delay` after
+     * its clock. Legal during setup (clock 0) and from a callback
+     * executing on `domain` itself — never from another domain; cross-
+     * domain interactions must go through send().
+     */
+    void local(DomainId domain, SimTime delay, Callback fn);
+
+    /**
+     * Sends a message: `fn` runs on `to` after `latency` (>= lookahead,
+     * enforced) measured from the sender's clock. `from == to` is legal
+     * (and not latency-constrained below lookahead — use local()).
+     */
+    void send(DomainId from, DomainId to, SimTime latency, Callback fn);
+
+    /** The clock of the shard owning `domain`. Inside a callback on
+     *  `domain` this is the executing event's timestamp. */
+    SimTime now(DomainId domain) const;
+
+    /**
+     * Pumps windows until every queue drains or the next event lies
+     * beyond `horizon`. Returns events executed by this call. May be
+     * called repeatedly; domains cannot be added after the first run.
+     */
+    uint64_t run(SimTime horizon = SimTime::max());
+
+    uint64_t processedEvents() const { return processed_; }
+    uint64_t roundsExecuted() const { return rounds_; }
+    size_t pendingEvents() const;
+
+    /** Order-invariant engine digest: identical for any shard count and
+     *  thread count given the same model and seed. */
+    uint64_t digest() const;
+
+    /** Lookahead-property violations observed (check_lookahead mode);
+     *  always 0 for a correct model. */
+    uint64_t lookaheadViolations() const
+    {
+        return lookahead_violations_.load(std::memory_order_relaxed);
+    }
+
+    const std::vector<ShardStats>& shardStats() const { return stats_; }
+
+  private:
+    /** Deterministic event key, 24 bytes. Ordered by (time, dst, src,
+     *  seq): `dst_src` packs both domain ids, `seq_slot` packs the
+     *  per-source-domain sequence over the queue slot (slot bits are
+     *  only reached when comparing an event against itself). */
+    struct Key
+    {
+        int64_t when_us;
+        uint64_t dst_src;   ///< (dst << 32) | src
+        uint64_t seq_slot;  ///< (src seq << kSlotBits) | slot
+
+        bool
+        earlierThan(const Key& o) const
+        {
+            if (when_us != o.when_us)
+                return when_us < o.when_us;
+            if (dst_src != o.dst_src)
+                return dst_src < o.dst_src;
+            return seq_slot < o.seq_slot;
+        }
+
+        uint32_t dst() const { return static_cast<uint32_t>(dst_src >> 32); }
+        uint32_t src() const { return static_cast<uint32_t>(dst_src); }
+        uint64_t seq() const { return seq_slot >> kSlotBits; }
+        uint32_t slot() const
+        {
+            return static_cast<uint32_t>(seq_slot & kSlotMask);
+        }
+    };
+
+    static constexpr uint32_t kSlotBits = 24;
+    static constexpr uint64_t kSlotMask = (uint64_t{1} << kSlotBits) - 1;
+
+    /**
+     * Per-shard priority queue: a 4-ary heap of Keys over a slab of
+     * callbacks. Unlike sim::EventQueue there is no cancellation and no
+     * staleness, so pop is a straight heap operation — the shard pump
+     * is the hot loop of a cluster-scale run.
+     */
+    struct ShardQueue
+    {
+        std::vector<Key> heap;
+        std::vector<Callback> slab;
+        std::vector<uint32_t> free_slots;
+
+        void push(int64_t when_us, uint64_t dst_src, uint64_t seq,
+                  Callback fn);
+        bool pop(Key& key, Callback& fn);
+        int64_t topTimeUs() const;  ///< INT64_MAX when empty
+        size_t size() const { return heap.size(); }
+        void siftDown(size_t i);
+    };
+
+    /** A cross-shard message parked until the window barrier. */
+    struct Msg
+    {
+        int64_t when_us;
+        uint64_t dst_src;
+        uint64_t seq;
+        Callback fn;
+    };
+
+    struct Shard
+    {
+        ShardQueue queue;
+        int64_t now_us = 0;
+        int64_t last_exec_us = -1;  ///< check_lookahead watermark
+        /** outbox[d]: messages for shard d produced this window. */
+        std::vector<std::vector<Msg>> outbox;
+        /** Destination shards with a non-empty outbox this window, so
+         *  the barrier exchange only visits pairs that communicated
+         *  instead of scanning the full shards×shards matrix. */
+        std::vector<uint32_t> touched;
+        ShardStats stats;
+    };
+
+    /** Per-domain bookkeeping (indexed by DomainId). Only the owning
+     *  shard's thread touches a domain's entry during run(). */
+    struct Domain
+    {
+        uint64_t next_seq = 0;
+        uint64_t fnv = 14695981039346656037ULL;
+        uint64_t events = 0;
+    };
+
+    Config config_;
+    std::vector<Shard> shards_;
+    std::vector<Domain> domains_;
+    size_t domain_count_ = 0;
+    uint64_t processed_ = 0;
+    uint64_t rounds_ = 0;
+    bool running_ = false;
+    std::atomic<uint64_t> lookahead_violations_{0};
+    std::vector<ShardStats> stats_;  ///< snapshot view for shardStats()
+
+    uint32_t shardOf(DomainId d) const { return d % config_.shards; }
+
+    void enqueue(uint32_t src_shard, int64_t when_us, DomainId dst,
+                 DomainId src, uint64_t seq, Callback fn);
+    void pumpShard(uint32_t s, int64_t end_us);
+    /** Drains every outbox into its destination queue. Runs on the
+     *  coordinating thread between windows: messages are few relative
+     *  to events (each already paid >= a lookahead of latency), so a
+     *  serial drain beats a second fan-out barrier per round. */
+    void exchangeAll();
+    void foldDigest(Domain& dom, const Key& key);
+    void refreshStats();
+
+    // ---- worker pool (persistent across windows of one run()) --------
+    struct Pool;
+    std::unique_ptr<Pool> pool_;
+    /** Runs fn(shard) over all shards, fanning out over the pool when
+     *  config_.threads > 1; the calling thread participates. */
+    void parallelShards(void (ShardedSim::*fn)(uint32_t, int64_t),
+                        int64_t arg);
+    void startPool();
+    void stopPool();
+};
+
+}  // namespace faasflow::sim
+
+#endif  // FAASFLOW_SIM_SHARDED_H_

@@ -47,6 +47,9 @@ class Simulator
     /** Total events processed since construction. */
     uint64_t processedEvents() const { return processed_; }
 
+    /** Event-queue health counters (scheduling/cancel/compaction). */
+    const EventQueue::Stats& queueStats() const { return queue_.stats(); }
+
   private:
     EventQueue queue_;
     SimTime now_;

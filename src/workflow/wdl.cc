@@ -60,6 +60,7 @@ class WdlParser
     std::string uniqueName(const std::string& base);
     bool parseFunctions(const Value* funcs);
     bool parseFaults(const Value* faults);
+    bool parseCluster(const Value* cluster);
     bool parseSteps(const Value& steps, const SwitchContext& ctx,
                     int foreach_width, Segment& out);
     bool parseStep(const Value& step, const SwitchContext& ctx,
@@ -281,6 +282,55 @@ WdlParser::parseFaults(const Value* faults)
 }
 
 bool
+WdlParser::parseCluster(const Value* cluster)
+{
+    if (!cluster)
+        return true;
+    if (!cluster->isObject())
+        return fail("'cluster' must be a mapping");
+    cluster::FleetSpec spec;
+    const int64_t nodes = cluster->getOr("nodes", int64_t{0});
+    if (nodes < 1)
+        return fail("'cluster.nodes' must be >= 1");
+    spec.nodes = static_cast<uint32_t>(nodes);
+    spec.seed = static_cast<uint64_t>(
+        cluster->getOr("seed", int64_t{42}));
+    spec.base_cores =
+        static_cast<int>(cluster->getOr("cores", int64_t{8}));
+    if (spec.base_cores < 1)
+        return fail("'cluster.cores' must be >= 1");
+    const double memory_gb = cluster->getOr("memory_gb", 32.0);
+    if (memory_gb <= 0.0)
+        return fail("'cluster.memory_gb' must be positive");
+    spec.base_memory =
+        static_cast<int64_t>(memory_gb * static_cast<double>(kGiB));
+    const double nic_mb_s = cluster->getOr("nic_mb_s", 100.0);
+    if (nic_mb_s <= 0.0)
+        return fail("'cluster.nic_mb_s' must be positive");
+    spec.base_bandwidth = nic_mb_s * 1e6;
+    spec.big_node_fraction = cluster->getOr("big_fraction", 0.0);
+    spec.big_core_multiplier = cluster->getOr("big_multiplier", 2.0);
+    spec.slow_nic_fraction = cluster->getOr("slow_nic_fraction", 0.0);
+    spec.slow_nic_multiplier =
+        cluster->getOr("slow_nic_multiplier", 0.25);
+    if (spec.big_node_fraction < 0.0 || spec.big_node_fraction > 1.0 ||
+        spec.slow_nic_fraction < 0.0 || spec.slow_nic_fraction > 1.0)
+        return fail("cluster heterogeneity fractions must lie in [0, 1]");
+    if (spec.big_core_multiplier < 1.0)
+        return fail("'cluster.big_multiplier' must be >= 1");
+    if (spec.slow_nic_multiplier <= 0.0 ||
+        spec.slow_nic_multiplier > 1.0)
+        return fail("'cluster.slow_nic_multiplier' must lie in (0, 1]");
+    const double hop_ms = cluster->getOr("hop_latency_ms", 0.5);
+    if (hop_ms <= 0.0)
+        return fail("'cluster.hop_latency_ms' must be positive");
+    spec.hop_latency = SimTime::millis(hop_ms);
+    result_.fleet = spec;
+    result_.has_cluster = true;
+    return true;
+}
+
+bool
 WdlParser::parseTask(const Value& step, const SwitchContext& ctx,
                      int foreach_width, Segment& out)
 {
@@ -499,6 +549,8 @@ WdlParser::run()
     if (!parseFunctions(doc_.find("functions")))
         return std::move(result_);
     if (!parseFaults(doc_.find("faults")))
+        return std::move(result_);
+    if (!parseCluster(doc_.find("cluster")))
         return std::move(result_);
 
     const Value* steps = doc_.find("steps");

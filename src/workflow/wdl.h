@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cluster/fleet.h"
 #include "cluster/function.h"
 #include "json/json.h"
 #include "sim/fault_schedule.h"
@@ -25,6 +26,11 @@ struct WdlResult
     /** Parsed `faults:` block (pass to System::installFaults). */
     sim::FaultSchedule faults;
     bool has_faults = false;
+
+    /** Parsed `cluster:` block — a seeded fleet topology (node count,
+     *  heterogeneity knobs) to run the workflow on. */
+    cluster::FleetSpec fleet;
+    bool has_cluster = false;
 
     std::string error;  ///< empty on success
 
@@ -98,6 +104,22 @@ struct WdlResult
  *     link_rate_per_min: 1.0
  *     brownout_rate_per_min: 0.0
  *     master_crash_rate_per_min: 0.0
+ *
+ * A top-level `cluster:` block generates the fleet to run on (see
+ * cluster/fleet.h; all knobs optional, defaults mirror the paper's
+ * uniform testbed machine):
+ *
+ *   cluster:
+ *     nodes: 1000
+ *     seed: 42
+ *     cores: 8                  # baseline cores per node
+ *     memory_gb: 32
+ *     nic_mb_s: 100             # NIC bandwidth, MB/s full duplex
+ *     big_fraction: 0.1         # share of nodes with scaled-up cores
+ *     big_multiplier: 2.0
+ *     slow_nic_fraction: 0.1    # share of nodes with degraded NICs
+ *     slow_nic_multiplier: 0.25
+ *     hop_latency_ms: 0.5       # one-way cross-node latency (lookahead)
  */
 WdlResult parseWdl(const json::Value& doc);
 

@@ -40,6 +40,7 @@ TEST(Registry, EveryFormerBenchBinaryIsRegistered)
         names.push_back(s.name);
     const std::vector<std::string> expected = {
         "ablation_modes",
+        "cluster_scale",
         "coldstart_policies",
         "fig04_mastersp_overhead",
         "fig05_data_movement",
@@ -299,7 +300,7 @@ class SmokeRun : public ::testing::Test
 TEST_F(SmokeRun, EverySectionCompletesAndReportIsSchemaValid)
 {
     const RunReport report = run(1);
-    EXPECT_EQ(report.sections.size(), 16u);
+    EXPECT_EQ(report.sections.size(), 17u);
     const json::Value doc = reportJson(report);
     const std::vector<std::string> violations = validateBenchReport(doc);
     EXPECT_TRUE(violations.empty())

@@ -415,6 +415,10 @@ TEST(TelemetryTest, ExportsPrometheusAndCsv)
     EXPECT_NE(prom.find("faasflow_cores_in_use{node=\"worker-0\"}"),
               std::string::npos);
     EXPECT_NE(prom.find("faasflow_storage_queue_depth"), std::string::npos);
+    // Simulation-engine health gauges ride the same scrape.
+    EXPECT_NE(prom.find("faasflow_sim_queue_pending{node=\"sim\"}"),
+              std::string::npos);
+    EXPECT_NE(prom.find("faasflow_sim_events_fired"), std::string::npos);
 
     const std::string csv = system.telemetry().toCsv();
     EXPECT_EQ(csv.rfind("t_us,metric,labels,value\n", 0), 0u);

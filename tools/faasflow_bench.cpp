@@ -162,6 +162,9 @@ main(int argc, char** argv)
                   "convert legacy BENCH_hotpaths.json/BENCH_load.json "
                   "(positional) into --out");
     flags.addBool("quiet", false, "suppress per-section console output");
+    flags.addBool("stats", false,
+                  "print section health counters (per-shard events, "
+                  "lookahead stalls, queue compaction)");
 
     if (!flags.parse(argc, argv)) {
         std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
@@ -200,6 +203,7 @@ main(int argc, char** argv)
     options.reps = static_cast<int>(flags.getInt("reps"));
     options.budget_ms = flags.getInt("budget-ms");
     options.threads = static_cast<unsigned>(flags.getInt("threads"));
+    options.stats = flags.getBool("stats");
     options.verbose = !flags.getBool("quiet");
     if (options.reps < 1) {
         std::fprintf(stderr, "error: --reps must be >= 1\n");

@@ -16,6 +16,7 @@
 #include <memory>
 #include <sstream>
 
+#include "cluster/fleet.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/table.h"
@@ -65,6 +66,9 @@ main(int argc, char** argv)
                     "open-loop arrivals per minute (0 = closed loop)");
     flags.addDouble("bandwidth-mbps", 50.0, "storage-node NIC, MB/s");
     flags.addInt("workers", 7, "worker node count");
+    flags.addInt("cluster-nodes", 0,
+                 "override the document's cluster: node count "
+                 "(0 = use the block's value)");
     flags.addInt("seed", 1, "simulation seed");
     flags.addBool("repartition", true,
                   "run one Algorithm-1 iteration after warm-up");
@@ -122,6 +126,24 @@ main(int argc, char** argv)
     config.cluster.worker_count = static_cast<int>(flags.getInt("workers"));
     config.cluster.storage_bandwidth =
         flags.getDouble("bandwidth-mbps") * 1e6;
+    if (wdl.has_cluster) {
+        // The document's cluster: block generates the fleet: node count,
+        // baseline machine, and heterogeneity, all from one seed.
+        if (flags.getInt("cluster-nodes") > 0)
+            wdl.fleet.nodes =
+                static_cast<uint32_t>(flags.getInt("cluster-nodes"));
+        const auto profiles = cluster::generateFleet(wdl.fleet);
+        cluster::applyFleet(profiles, config.cluster);
+        config.cluster.worker_bandwidth = wdl.fleet.base_bandwidth;
+        config.network.hop_latency = wdl.fleet.hop_latency;
+        const cluster::FleetSummary fleet = cluster::summarizeFleet(profiles);
+        std::printf("cluster: %u nodes, %llu cores (%u big, %u slow-nic), "
+                    "seed %llu\n",
+                    fleet.nodes,
+                    static_cast<unsigned long long>(fleet.total_cores),
+                    fleet.big_nodes, fleet.slow_nics,
+                    static_cast<unsigned long long>(wdl.fleet.seed));
+    }
     config.seed = static_cast<uint64_t>(flags.getInt("seed"));
     config.durable_log = flags.getBool("durable");
     config.telemetry_interval = SimTime::millis(flags.getDouble("sample-ms"));
@@ -286,6 +308,20 @@ main(int argc, char** argv)
             stats.addRow({"log replays", u64(ls.replays)});
         }
         std::printf("\n%s", stats.str().c_str());
+
+        // Event-queue health: scheduling volume, cancel churn, and how
+        // often the heap had to be compacted to shed stale keys.
+        const sim::EventQueue::Stats& qs = system.simulator().queueStats();
+        TextTable sim_health;
+        sim_health.setHeader({"sim queue", "value"});
+        sim_health.addRow({"events scheduled", u64(qs.scheduled)});
+        sim_health.addRow({"events fired", u64(qs.fired)});
+        sim_health.addRow({"events cancelled", u64(qs.cancelled)});
+        sim_health.addRow({"stale keys dropped", u64(qs.stale_dropped)});
+        sim_health.addRow({"heap compactions", u64(qs.compactions)});
+        sim_health.addRow({"peak heap size",
+                           strFormat("%zu", qs.max_heap)});
+        std::printf("\n%s", sim_health.str().c_str());
 
         // Exact per-component latency attribution (Fig. 5): the span
         // tree of every invocation partitioned into cold-start / queue /
