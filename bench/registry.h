@@ -258,6 +258,7 @@ globMatch(std::string_view pattern, std::string_view text)
 void registerAblationModes(Registry&);
 void registerClusterScale(Registry&);
 void registerColdstartPolicies(Registry&);
+void registerDurabilityFrontier(Registry&);
 void registerFig04MasterSpOverhead(Registry&);
 void registerFig05DataMovement(Registry&);
 void registerFig11SchedOverhead(Registry&);

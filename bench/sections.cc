@@ -16,6 +16,7 @@ registerAllSections(Registry& registry)
     registerAblationModes(registry);
     registerClusterScale(registry);
     registerColdstartPolicies(registry);
+    registerDurabilityFrontier(registry);
     registerFig04MasterSpOverhead(registry);
     registerFig05DataMovement(registry);
     registerFig11SchedOverhead(registry);

@@ -148,8 +148,23 @@ MasterEngine::trigger(Invocation& inv, workflow::NodeId node_id)
                     rec.invocation = inv.id;
                     rec.switch_id = node.switch_id;
                     rec.switch_branch = branch;
+                    storage::ProgressLog::AppendCallback on_durable;
+                    if (ctx_.durability != DurabilityMode::Sync) {
+                        // Batched commit: the choice is in memory but
+                        // not yet durable — frontier until the batch
+                        // ack. The epoch guard keeps a late ack from
+                        // clearing a *re-issued* choice's marker.
+                        const int sw = node.switch_id;
+                        inv.switch_speculative[sw] = 1;
+                        const uint32_t epoch = inv.recovery_epoch;
+                        on_durable = [&inv, sw, epoch](SimTime) {
+                            if (epoch == inv.recovery_epoch)
+                                inv.switch_speculative.erase(sw);
+                        };
+                    }
                     ctx_.progress_log->append(ctx_.cluster.storageNodeId(),
-                                              std::move(rec));
+                                              std::move(rec),
+                                              std::move(on_durable));
                 }
             }
         }
@@ -232,13 +247,19 @@ MasterEngine::completeNode(Invocation& inv, workflow::NodeId node_id,
     inv.node_done[idx] = 1;
     inv.node_exec[idx] = exec_time;
     if (ctx_.progress_log) {
-        // Write-ahead discipline: the master shares the storage node,
-        // so the completion fact commits at issue (in-memory state and
-        // log agree at every instant — the replay-equality invariant)
-        // and successor delivery waits for the durability ack. A crash
-        // in between is safe: the fact is already in the log, the ack
-        // continuation dies on the incarnation guard, and the restart
-        // replay re-delivers.
+        // Write-ahead discipline, three latency-vs-durability points:
+        //   Sync — the fact commits at issue (master shares the storage
+        //   node; memory and log agree at every instant) and successor
+        //   delivery waits for the durability ack.
+        //   GroupCommit — the fact buffers for a batched commit, so
+        //   memory runs ahead of the log (the speculation frontier) but
+        //   dispatch still waits for the batch ack.
+        //   Speculative — successors fire NOW, at issue; a crash that
+        //   drops the buffered suffix rolls the node back (the restart
+        //   replay re-drives everything outside the durable prefix).
+        // A crash between issue and ack is safe in all three: the ack
+        // continuation dies on the incarnation guard and the restart
+        // replay re-delivers from whatever committed.
         storage::LogRecord rec;
         rec.kind = storage::LogRecordKind::NodeDone;
         rec.invocation = inv.id;
@@ -247,10 +268,20 @@ MasterEngine::completeNode(Invocation& inv, workflow::NodeId node_id,
         rec.output_worker = inv.node_output_worker[idx];
         rec.skipped = inv.node_skipped[idx] ? 1 : 0;
         const uint32_t inc = incarnation_;
+        const bool speculative =
+            ctx_.durability == DurabilityMode::Speculative;
+        if (ctx_.durability != DurabilityMode::Sync)
+            inv.node_speculative[idx] = 1;
         ctx_.progress_log->append(
             ctx_.cluster.storageNodeId(), std::move(rec),
-            [this, &inv, node_id, drive, inc](SimTime) {
+            [this, &inv, node_id, drive, inc, speculative](SimTime) {
                 const size_t i = static_cast<size_t>(node_id);
+                // The drive guard keeps a late ack from clearing the
+                // marker of a *re-issued* record after a rollback.
+                if (drive == inv.node_drive_epoch[i])
+                    inv.node_speculative[i] = 0;
+                if (speculative)
+                    return;  // successors already fired at issue
                 // A worker-crash recovery may have re-driven even a
                 // done node (lost local output) while the ack was in
                 // flight; the epoch check keeps this fan-out stale.
@@ -260,7 +291,8 @@ MasterEngine::completeNode(Invocation& inv, workflow::NodeId node_id,
                 }
                 deliverSuccessors(inv, node_id);
             });
-        return;
+        if (!speculative)
+            return;
     }
     deliverSuccessors(inv, node_id);
 }

@@ -43,6 +43,7 @@ MetricsCollector::add(const InvocationRecord& record)
     pw.redriven_nodes += record.redriven_nodes;
     pw.master_recoveries += record.master_recoveries;
     pw.duplicate_executions += record.duplicate_executions;
+    pw.rolled_back_nodes += record.rolled_back_nodes;
     if (!record.tenant.empty()) {
         PerTenant& pt = per_tenant_[record.tenant];
         pt.e2e_ms.add(record.e2e().millisF());
@@ -210,6 +211,12 @@ uint64_t
 MetricsCollector::duplicateExecutions(const std::string& workflow) const
 {
     return get(workflow).duplicate_executions;
+}
+
+uint64_t
+MetricsCollector::rolledBackNodes(const std::string& workflow) const
+{
+    return get(workflow).rolled_back_nodes;
 }
 
 std::vector<std::string>

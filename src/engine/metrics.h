@@ -83,6 +83,10 @@ class MetricsCollector
     /** Same-drive-epoch double executions (invariant: 0). */
     uint64_t duplicateExecutions(const std::string& workflow) const;
 
+    /** Speculated nodes rolled back (unwound + re-driven) after a crash
+     *  lost their uncommitted completion facts. */
+    uint64_t rolledBackNodes(const std::string& workflow) const;
+
     std::vector<std::string> workflows() const;
 
     /** Tenants seen on the admission path, sorted by name. */
@@ -119,6 +123,7 @@ class MetricsCollector
         uint64_t redriven_nodes = 0;
         uint64_t master_recoveries = 0;
         uint64_t duplicate_executions = 0;
+        uint64_t rolled_back_nodes = 0;
     };
 
     struct PerTenant

@@ -15,6 +15,24 @@ enum class DataMode {
     FaaStore     ///< hybrid local-memory/remote placement
 };
 
+/**
+ * How the engines couple dispatch to progress-log durability (the
+ * Netherite latency-vs-durability frontier; DESIGN.md §8). Only
+ * meaningful when a durable log is attached.
+ */
+enum class DurabilityMode {
+    /** Every append commits per storage round trip and successor
+     *  dispatch waits for the durability ack (PR 3 semantics). */
+    Sync,
+    /** Appends accumulate and commit as batches — one WAL round trip
+     *  per batch — but dispatch still waits for the batch ack. */
+    GroupCommit,
+    /** Group commit plus speculative dispatch: successors fire the
+     *  instant the record is *issued*; a crash that loses the
+     *  uncommitted suffix rolls the speculated nodes back. */
+    Speculative
+};
+
 }  // namespace faasflow::engine
 
 #endif  // FAASFLOW_ENGINE_MODES_H_

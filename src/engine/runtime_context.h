@@ -68,6 +68,10 @@ struct RuntimeContext
     /** Durable progress log on the storage node; null when the
      *  deployment runs without durability (the default). */
     storage::ProgressLog* progress_log = nullptr;
+
+    /** How dispatch couples to log durability (ignored when
+     *  progress_log is null). */
+    DurabilityMode durability = DurabilityMode::Sync;
 };
 
 /** Trace lane for worker `w` (see TraceTrack). */

@@ -68,6 +68,12 @@ struct InvocationRecord
      *  campaign's exactly-once-per-drive-epoch invariant. */
     uint64_t duplicate_executions = 0;
 
+    /** Speculation rollbacks: nodes whose completion fact was lost with
+     *  the uncommitted log suffix at a crash and that were unwound and
+     *  re-driven from the last durable prefix. Each one is a wasted
+     *  re-execution speculation paid for its latency win. */
+    uint64_t rolled_back_nodes = 0;
+
     /** Order-independent digest over final per-node outputs, skip flags
      *  and switch choices; a faulty run byte-matches its fault-free
      *  golden twin iff the digests are equal. */
@@ -178,6 +184,20 @@ struct Invocation
      */
     std::vector<uint8_t> node_ran;
     std::vector<uint32_t> node_run_epoch;
+
+    /**
+     * Speculation frontier (batched durability modes only): set when a
+     * node's completion fact is *issued* to the progress log, cleared
+     * when its durability callback fires. A node inside the frontier is
+     * applied in memory but possibly not yet durable — a crash may lose
+     * it, so replay-equality checks must exclude the frontier and the
+     * rollback pass re-drives whatever the log turns out to lack.
+     */
+    std::vector<uint8_t> node_speculative;
+
+    /** Switch choices whose StateSignal is issued but not yet durable
+     *  (same frontier discipline as node_speculative). */
+    std::map<int, uint8_t> switch_speculative;
 
     /** Bumped once per recovery pass; WorkerSP state-update signals carry
      *  the epoch they were sent under and stale ones are ignored (their

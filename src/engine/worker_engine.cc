@@ -132,11 +132,24 @@ WorkerEngine::trigger(Invocation& inv, workflow::NodeId node_id)
                     rec.invocation = inv.id;
                     rec.switch_id = node.switch_id;
                     rec.switch_branch = branch;
+                    storage::ProgressLog::AppendCallback on_durable;
+                    if (ctx_.durability != DurabilityMode::Sync) {
+                        // Batched commit: frontier until the batch ack;
+                        // the epoch guard keeps a late ack from
+                        // clearing a re-issued choice's marker.
+                        const int sw = node.switch_id;
+                        inv.switch_speculative[sw] = 1;
+                        const uint32_t epoch = inv.recovery_epoch;
+                        on_durable = [&inv, sw, epoch](SimTime) {
+                            if (epoch == inv.recovery_epoch)
+                                inv.switch_speculative.erase(sw);
+                        };
+                    }
                     ctx_.progress_log->append(
                         ctx_.cluster
                             .worker(static_cast<size_t>(worker_index_))
                             .netId(),
-                        std::move(rec));
+                        std::move(rec), std::move(on_durable));
                 }
             }
         }
@@ -178,11 +191,13 @@ WorkerEngine::completeNode(Invocation& inv, workflow::NodeId node_id,
     inv.node_done[idx] = 1;
     inv.node_exec[idx] = exec_time;
     if (ctx_.progress_log) {
-        // WorkerSP durability is asynchronous: the completion fact rides
-        // to the storage node in the background and gates nothing — the
-        // decentralized engines themselves survive a master crash, so
-        // only observability (and a future worker-state replay) needs
-        // the record.
+        // WorkerSP durability discipline depends on the mode. Sync and
+        // GroupCommit gate downstream propagation on the durability ack
+        // — the completion fact must survive a crash before anything
+        // observes it. Speculative propagates at issue (the engines
+        // themselves survive a master crash, and a worker crash loses
+        // the output along with the record, so the existing lost-node
+        // re-drive doubles as the rollback).
         storage::LogRecord rec;
         rec.kind = storage::LogRecordKind::NodeDone;
         rec.invocation = inv.id;
@@ -190,9 +205,36 @@ WorkerEngine::completeNode(Invocation& inv, workflow::NodeId node_id,
         rec.exec_micros = exec_time.micros();
         rec.output_worker = inv.node_output_worker[idx];
         rec.skipped = inv.node_skipped[idx] ? 1 : 0;
+        const bool gated = ctx_.durability != DurabilityMode::Speculative;
+        if (ctx_.durability != DurabilityMode::Sync)
+            inv.node_speculative[idx] = 1;
+        const uint32_t drive = inv.node_drive_epoch[idx];
+        const uint32_t epoch = inv.recovery_epoch;
         ctx_.progress_log->append(
             ctx_.cluster.worker(static_cast<size_t>(worker_index_)).netId(),
-            std::move(rec));
+            std::move(rec),
+            [this, &inv, node_id, drive, epoch, gated](SimTime) {
+                const size_t i = static_cast<size_t>(node_id);
+                if (drive == inv.node_drive_epoch[i])
+                    inv.node_speculative[i] = 0;
+                if (!gated)
+                    return;  // already propagated at issue
+                // A recovery pass while the ack was in flight already
+                // recounted this (done) sender and re-drove whatever
+                // became ready — propagating again would double-count.
+                if (inv.finished || epoch != inv.recovery_epoch ||
+                    drive != inv.node_drive_epoch[i] || !inv.node_done[i]) {
+                    return;
+                }
+                if (!ctx_.cluster
+                         .worker(static_cast<size_t>(worker_index_))
+                         .alive()) {
+                    return;  // crashed after issue; recovery owns it
+                }
+                propagate(inv, node_id);
+            });
+        if (gated)
+            return;
     }
     propagate(inv, node_id);
 }

@@ -57,6 +57,17 @@ struct SystemConfig
     bool durable_log = false;
     storage::ProgressLog::Config progress_log;
 
+    /**
+     * Latency-vs-durability point of the durable path (DESIGN.md §8.5).
+     * Sync keeps PR 3's commit-per-append gating; GroupCommit batches
+     * appends per storage round trip (dispatch still waits for the
+     * batch ack); Speculative additionally fires successors at append
+     * *issue* and rolls speculated nodes back when a crash loses the
+     * uncommitted suffix. Non-Sync modes force progress_log.group_commit
+     * on at System construction.
+     */
+    engine::DurabilityMode durability_mode = engine::DurabilityMode::Sync;
+
     /** Root seed; every stochastic component derives from it. */
     uint64_t seed = 1;
 

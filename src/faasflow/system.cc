@@ -47,9 +47,14 @@ System::System(SystemConfig config)
     }
 
     if (config_.durable_log) {
+        // Batched durability modes need a group-committing log; Sync
+        // keeps whatever batching the log config asked for (off by
+        // default — PR 3's commit-per-append semantics).
+        storage::ProgressLog::Config log_config = config_.progress_log;
+        if (config_.durability_mode != engine::DurabilityMode::Sync)
+            log_config.group_commit = true;
         progress_log_ = std::make_unique<storage::ProgressLog>(
-            *sim_, *network_, cluster_->storageNodeId(),
-            config_.progress_log);
+            *sim_, *network_, cluster_->storageNodeId(), log_config);
     }
 
     std::vector<storage::FaaStore*> store_ptrs;
@@ -58,7 +63,7 @@ System::System(SystemConfig config)
     ctx_ = std::make_unique<engine::RuntimeContext>(engine::RuntimeContext{
         *sim_, *network_, *cluster_, std::move(store_ptrs), *remote_,
         registry_, config_.engine, config_.data_mode, &trace_,
-        progress_log_.get()});
+        progress_log_.get(), config_.durability_mode});
 
     // Both engine stacks are constructed; control_mode selects which one
     // invocations flow through, so ablations can flip modes per System.
@@ -191,6 +196,41 @@ System::registerTelemetryGauges()
     telemetry_.registerGauge("faasflow_engine_queue_depth", slabels, [meng] {
         return static_cast<double>(meng->queue().depth());
     });
+    if (progress_log_) {
+        // Durability-path health: append/batch throughput, the live
+        // speculative window (records issued but not yet durable), and
+        // the rollback counters the frontier sweep reports on.
+        storage::ProgressLog* log = progress_log_.get();
+        const RecoveryStats* rs = &rstats_;
+        telemetry_.registerGauge("faasflow_log_appends", slabels, [log] {
+            return static_cast<double>(log->stats().appends);
+        });
+        telemetry_.registerGauge("faasflow_log_batches", slabels, [log] {
+            return static_cast<double>(log->stats().batches);
+        });
+        telemetry_.registerGauge("faasflow_log_batch_mean_records", slabels,
+                                 [log] {
+                                     return log->stats().batch_records.mean();
+                                 });
+        telemetry_.registerGauge("faasflow_log_pending_records", slabels,
+                                 [log] {
+                                     return static_cast<double>(
+                                         log->pendingTotal());
+                                 });
+        telemetry_.registerGauge("faasflow_log_dropped_records", slabels,
+                                 [log] {
+                                     return static_cast<double>(
+                                         log->stats().dropped_records);
+                                 });
+        telemetry_.registerGauge("faasflow_log_rollbacks", slabels, [rs] {
+            return static_cast<double>(rs->rollbacks);
+        });
+        telemetry_.registerGauge("faasflow_log_rolled_back_nodes", slabels,
+                                 [rs] {
+                                     return static_cast<double>(
+                                         rs->rolled_back_nodes);
+                                 });
+    }
     telemetry_.registerGauge("faasflow_nic_egress_util", slabels,
                              nic_util(sid, true));
     telemetry_.registerGauge("faasflow_nic_ingress_util", slabels,
@@ -418,6 +458,7 @@ System::invokeInternal(
     ref.node_payload.assign(dag.nodeCount(), Payload{});
     ref.node_ran.assign(dag.nodeCount(), 0);
     ref.node_run_epoch.assign(dag.nodeCount(), 0);
+    ref.node_speculative.assign(dag.nodeCount(), 0);
     ref.node_span.assign(dag.nodeCount(), 0);
     ref.sinks_remaining = workflow::sinkNodes(dag).size();
     if (trace_.enabled()) {
@@ -593,10 +634,15 @@ System::finalize(engine::Invocation& inv)
         eng->cleanup(inv.id);
     master_engine_->cleanup(inv.id);
     const auto it = invocations_.find(inv.id);
-    if (faults_installed_) {
+    if (faults_installed_ ||
+        (progress_log_ &&
+         config_.durability_mode != engine::DurabilityMode::Sync)) {
         // Keep the shell alive: a sink/state message backed off across a
         // link outage may still dereference it on late delivery (the
-        // `finished` flag makes every such delivery a no-op).
+        // `finished` flag makes every such delivery a no-op). Batched
+        // durability needs the same: the invocation can finish while its
+        // last batch's ack is still in flight, and the ack callback
+        // clears speculation markers through the shell.
         retired_.push_back(std::move(it->second));
     }
     invocations_.erase(it);
@@ -710,6 +756,16 @@ System::crashWorker(size_t worker)
     node.crash();
     stores_[worker]->onNodeCrash();
     network_->setLinkUp(node.netId(), false);
+    if (progress_log_) {
+        // Completion facts buffered on the worker for its next batch
+        // die with the process; their nodes' outputs died too, so the
+        // lost-node re-drive below doubles as the rollback.
+        const size_t lost = progress_log_->dropPending(node.netId());
+        if (lost > 0) {
+            ++rstats_.rollbacks;
+            rstats_.dropped_records += lost;
+        }
+    }
     if (trace_.enabled()) {
         // Sweep the worker's lane: whatever was mid-phase dies with the
         // node (the spans close here, marked), then open the crash
@@ -871,6 +927,8 @@ System::crashMaster()
             InvocationSnapshot snap;
             snap.node_done = inv->node_done;
             snap.switch_choice = inv->switch_choice;
+            snap.node_speculative = inv->node_speculative;
+            snap.switch_speculative = inv->switch_speculative;
             master_snapshots_[id] = std::move(snap);
         }
         const size_t n = inv->wf->dag.nodeCount();
@@ -879,10 +937,24 @@ System::crashMaster()
         inv->node_exec.assign(n, SimTime::zero());
         inv->node_skipped.assign(n, false);
         inv->node_output_worker.assign(n, -1);
+        inv->node_speculative.assign(n, 0);
         inv->switch_choice.clear();
+        inv->switch_speculative.clear();
         inv->sinks_remaining = workflow::sinkNodes(inv->wf->dag).size();
         // node_ran / node_run_epoch survive deliberately: they are the
         // double-execution sentinels, not master state.
+    }
+
+    // The crash loses the master's buffered (uncommitted) log suffix:
+    // facts issued but not yet handed to the WAL die with the process.
+    // Whatever they described is rolled back by the restart replay.
+    if (progress_log_) {
+        const size_t lost =
+            progress_log_->dropPending(cluster_->storageNodeId());
+        if (lost > 0) {
+            ++rstats_.rollbacks;
+            rstats_.dropped_records += lost;
+        }
     }
 }
 
@@ -951,19 +1023,34 @@ System::replayInvocation(engine::Invocation& inv)
                        sim_->now(), inv.inv_span);
     }
 
-    // Replay-equality invariant: commit-at-issue means the log can never
-    // lag the master's in-memory facts, so the replayed state must cover
-    // the pre-crash snapshot exactly.
+    // Replay-equality invariant over the durable prefix: commit-at-issue
+    // (Sync) means the log can never lag the master's in-memory facts,
+    // so the replayed state must cover the pre-crash snapshot exactly.
+    // Batched modes run memory ahead of the log by the speculation
+    // frontier; a frontier fact the crash lost is the *expected*
+    // rollback case, so only non-frontier divergence is a mismatch. A
+    // frontier fact the replay does lack is counted as a rolled-back
+    // node — the wasted re-execution speculation paid.
     const auto snap_it = master_snapshots_.find(inv.id);
     if (snap_it != master_snapshots_.end()) {
         const InvocationSnapshot& snap = snap_it->second;
         for (size_t i = 0; i < n && i < snap.node_done.size(); ++i) {
-            if (snap.node_done[i] && !rs.node_done[i])
+            if (!snap.node_done[i] || rs.node_done[i])
+                continue;
+            const bool frontier = i < snap.node_speculative.size() &&
+                                  snap.node_speculative[i] != 0;
+            if (frontier) {
+                ++rstats_.rolled_back_nodes;
+                ++inv.record.rolled_back_nodes;
+            } else {
                 ++rstats_.replay_mismatches;
+            }
         }
         for (const auto& [sw, branch] : snap.switch_choice) {
             const auto rit = rs.switch_choice.find(sw);
-            if (rit == rs.switch_choice.end() || rit->second != branch)
+            if (rit != rs.switch_choice.end() && rit->second == branch)
+                continue;
+            if (!snap.switch_speculative.count(sw))
                 ++rstats_.replay_mismatches;
         }
         master_snapshots_.erase(snap_it);

@@ -190,8 +190,18 @@ class System
         /** Per-invocation log replays performed at master restarts. */
         uint64_t master_replays = 0;
         /** Replayed-log state diverging from the pre-crash in-memory
-         *  state (invariant: 0 — commit-at-issue makes them equal). */
+         *  state (invariant: 0 — commit-at-issue makes the durable
+         *  prefix exact, and batched modes exclude the speculation
+         *  frontier, whose loss is a rollback, not a mismatch). */
         uint64_t replay_mismatches = 0;
+        /** Crashes that actually lost buffered (uncommitted) log
+         *  records — each one triggered a speculation rollback. */
+        uint64_t rollbacks = 0;
+        /** Buffered records lost across those crashes. */
+        uint64_t dropped_records = 0;
+        /** Speculated nodes unwound and re-driven from the last durable
+         *  prefix (the wasted re-executions speculation paid). */
+        uint64_t rolled_back_nodes = 0;
         /** Worker-crash detection-to-recovery latency (ms). */
         Summary detection_ms;
     };
@@ -307,6 +317,11 @@ class System
     {
         std::vector<uint8_t> node_done;
         std::map<int, int> switch_choice;
+        /** Frontier at crash time: facts issued to the log but not yet
+         *  acked durable. Replay equality must not require them — their
+         *  loss is the speculation rollback, not a mismatch. */
+        std::vector<uint8_t> node_speculative;
+        std::map<int, uint8_t> switch_speculative;
     };
     std::map<uint64_t, InvocationSnapshot> master_snapshots_;
 

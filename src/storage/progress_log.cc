@@ -14,12 +14,19 @@ ProgressLog::ProgressLog(sim::Simulator& sim, net::Network& network,
 {
     if (config_.compaction_threshold == 0)
         fatal("progress log: compaction threshold must be positive");
+    if (config_.group_commit && config_.batch_max_records == 0)
+        fatal("progress log: batch_max_records must be positive");
 }
 
 void
 ProgressLog::append(net::NodeId from, LogRecord record,
                     AppendCallback on_durable)
 {
+    if (config_.group_commit) {
+        bufferAppend(from, std::move(record), std::move(on_durable));
+        return;
+    }
+
     if (from == storage_node_) {
         // Commit-at-issue: the master shares the storage node, so the
         // fact is durable the instant it is applied in memory — only
@@ -54,6 +61,154 @@ ProgressLog::append(net::NodeId from, LogRecord record,
                                      });
             });
         });
+}
+
+void
+ProgressLog::bufferAppend(net::NodeId from, LogRecord record,
+                          AppendCallback on_durable)
+{
+    Origin& origin = origins_[from];
+    origin.pending.push_back(
+        PendingAppend{std::move(record), std::move(on_durable), sim_.now()});
+    size_t total = 0;
+    for (const auto& [nid, o] : origins_)
+        total += o.pending.size();
+    stats_.max_pending = std::max(stats_.max_pending, total);
+
+    if (origin.pending.size() >= config_.batch_max_records) {
+        flushOrigin(from, /*by_window=*/false);
+        return;
+    }
+    if (!origin.flush_armed) {
+        // First record of a fresh batch arms the linger timer; the
+        // sequence number keeps a timer that outlived its batch (size
+        // flush, dropPending) from flushing a successor batch early.
+        origin.flush_armed = true;
+        const uint64_t seq = ++origin.arm_seq;
+        sim_.schedule(config_.batch_window, [this, from, seq] {
+            const auto it = origins_.find(from);
+            if (it == origins_.end() || !it->second.flush_armed ||
+                it->second.arm_seq != seq) {
+                return;
+            }
+            flushOrigin(from, /*by_window=*/true);
+        });
+    }
+}
+
+void
+ProgressLog::noteBatch(size_t records, bool by_window)
+{
+    ++stats_.batches;
+    if (by_window)
+        ++stats_.flushes_by_window;
+    else
+        ++stats_.flushes_by_size;
+    stats_.batch_records.add(static_cast<double>(records));
+    size_t bucket = 4;
+    if (records <= 1)
+        bucket = 0;
+    else if (records <= 4)
+        bucket = 1;
+    else if (records <= 8)
+        bucket = 2;
+    else if (records <= 16)
+        bucket = 3;
+    ++stats_.batch_size_hist[bucket];
+}
+
+void
+ProgressLog::flushOrigin(net::NodeId from, bool by_window)
+{
+    Origin& origin = origins_[from];
+    origin.flush_armed = false;
+    if (origin.pending.empty())
+        return;
+    auto batch = std::make_shared<std::vector<PendingAppend>>(
+        std::move(origin.pending));
+    origin.pending.clear();
+    noteBatch(batch->size(), by_window);
+
+    if (from == storage_node_) {
+        // Handing the batch to the WAL is the durability point: a crash
+        // afterwards cannot un-write it, so the whole batch commits now
+        // and one WAL latency — degraded once per *batch* under a
+        // brown-out, that is the amortisation — gates the fan-out.
+        for (PendingAppend& p : *batch)
+            commit(std::move(p.record));
+        sim_.schedule(commitLatency(), [this, batch] {
+            for (PendingAppend& p : *batch) {
+                if (p.on_durable)
+                    p.on_durable(sim_.now() - p.issued);
+            }
+        });
+        return;
+    }
+
+    // Worker-side batch: every buffered record rides one message to the
+    // storage node (retried across link outages, never dropped), the
+    // batch commits on arrival, pays one WAL latency, and one ack
+    // fans the durability out to every record's callback.
+    const int64_t batch_bytes =
+        config_.record_bytes * static_cast<int64_t>(batch->size());
+    network_.sendMessage(from, storage_node_, batch_bytes,
+                         [this, from, batch] {
+                             for (PendingAppend& p : *batch)
+                                 commit(std::move(p.record));
+                             sim_.schedule(commitLatency(), [this, from,
+                                                            batch] {
+                                 network_.sendMessage(
+                                     storage_node_, from, config_.ack_bytes,
+                                     [this, batch] {
+                                         for (PendingAppend& p : *batch) {
+                                             if (p.on_durable)
+                                                 p.on_durable(sim_.now() -
+                                                              p.issued);
+                                         }
+                                     });
+                             });
+                         });
+}
+
+size_t
+ProgressLog::dropPending(net::NodeId origin)
+{
+    const auto it = origins_.find(origin);
+    if (it == origins_.end())
+        return 0;
+    const size_t lost = it->second.pending.size();
+    it->second.pending.clear();
+    it->second.flush_armed = false;
+    stats_.dropped_records += lost;
+    return lost;
+}
+
+void
+ProgressLog::flush()
+{
+    std::vector<net::NodeId> ids;
+    for (const auto& [nid, origin] : origins_) {
+        if (!origin.pending.empty())
+            ids.push_back(nid);
+    }
+    for (const net::NodeId nid : ids)
+        flushOrigin(nid, /*by_window=*/false);
+}
+
+size_t
+ProgressLog::pendingRecords(net::NodeId origin) const
+{
+    const auto it = origins_.find(origin);
+    return it == origins_.end() ? 0 : it->second.pending.size();
+}
+
+size_t
+ProgressLog::pendingTotal() const
+{
+    size_t total = 0;
+    for (const auto& [nid, origin] : origins_)
+        total += origin.pending.size();
+    return total;
 }
 
 void

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/sim_time.h"
+#include "common/stats.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 
@@ -100,6 +101,21 @@ class ProgressLog
         /** Tail records per invocation before folding into the
          *  checkpoint. */
         size_t compaction_threshold = 32;
+
+        /**
+         * Group commit: appends buffer per origin node and commit as
+         * one batch per storage round trip. The whole batch pays
+         * `append_latency` (times the brown-out degrade factor) ONCE —
+         * that amortisation is the point — and `on_durable` fans out to
+         * every buffered record when the batch ack lands. Off, every
+         * append commits individually (PR 3 semantics).
+         */
+        bool group_commit = false;
+        /** Linger: a buffered record waits at most this long before its
+         *  batch flushes, even if the batch is not full. */
+        SimTime batch_window = SimTime::micros(300);
+        /** A batch flushes immediately at this many records. */
+        size_t batch_max_records = 16;
     };
 
     struct Stats
@@ -108,6 +124,21 @@ class ProgressLog
         uint64_t committed_bytes = 0;
         uint64_t compactions = 0;
         uint64_t replays = 0;
+
+        /** Group-commit batches flushed (== WAL round trips). */
+        uint64_t batches = 0;
+        uint64_t flushes_by_size = 0;    ///< batch hit batch_max_records
+        uint64_t flushes_by_window = 0;  ///< linger window expired
+        /** Records buffered at flush time, per batch. */
+        Summary batch_records;
+        /** Batch-size histogram: 1, 2–4, 5–8, 9–16, 17+ records. */
+        uint64_t batch_size_hist[5] = {0, 0, 0, 0, 0};
+        /** High-water mark of records buffered across all origins (the
+         *  speculative window depth an engine may run ahead by). */
+        size_t max_pending = 0;
+        /** Buffered-but-uncommitted records lost to dropPending (each
+         *  is a potential speculation rollback). */
+        uint64_t dropped_records = 0;
     };
 
     ProgressLog(sim::Simulator& sim, net::Network& network,
@@ -126,6 +157,24 @@ class ProgressLog
 
     /** Rebuilds one invocation's state from checkpoint + tail. */
     ReplayState replay(uint64_t invocation, size_t node_count);
+
+    /**
+     * Crash semantics of group commit: discards `origin`'s buffered,
+     * not-yet-flushed records — the uncommitted suffix a process crash
+     * loses. Records already handed to the WAL (flushed batches whose
+     * ack is still in flight) stay durable; only their callbacks go
+     * unanswered. Returns how many records were lost.
+     */
+    size_t dropPending(net::NodeId origin);
+
+    /** Flushes every origin's buffered records now (tests/shutdown). */
+    void flush();
+
+    /** Records currently buffered for one origin (not yet flushed). */
+    size_t pendingRecords(net::NodeId origin) const;
+
+    /** Records currently buffered across all origins. */
+    size_t pendingTotal() const;
 
     /** Invocation previously submitted under `key`; 0 when none. */
     uint64_t submissionFor(const std::string& key) const;
@@ -166,9 +215,32 @@ class ProgressLog
         std::vector<LogRecord> tail;
     };
 
+    /** One buffered group-commit record awaiting its batch flush. */
+    struct PendingAppend
+    {
+        LogRecord record;
+        AppendCallback on_durable;
+        SimTime issued;
+    };
+
+    /** Per-origin group-commit buffer. `arm_seq` invalidates stale
+     *  linger timers: each arming takes a fresh sequence number and the
+     *  timer no-ops unless it still matches and the buffer is armed. */
+    struct Origin
+    {
+        std::vector<PendingAppend> pending;
+        bool flush_armed = false;
+        uint64_t arm_seq = 0;
+    };
+
     void commit(LogRecord record);
     void compact(Slot& slot);
     static void fold(Checkpoint& ckpt, const LogRecord& record);
+
+    void bufferAppend(net::NodeId from, LogRecord record,
+                      AppendCallback on_durable);
+    void flushOrigin(net::NodeId from, bool by_window);
+    void noteBatch(size_t records, bool by_window);
 
     SimTime commitLatency() const { return config_.append_latency * degrade_; }
 
@@ -180,6 +252,7 @@ class ProgressLog
     Stats stats_;
     std::map<uint64_t, Slot> slots_;
     std::unordered_map<std::string, uint64_t> by_key_;
+    std::map<net::NodeId, Origin> origins_;
 };
 
 }  // namespace faasflow::storage

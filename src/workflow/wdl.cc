@@ -61,6 +61,7 @@ class WdlParser
     bool parseFunctions(const Value* funcs);
     bool parseFaults(const Value* faults);
     bool parseCluster(const Value* cluster);
+    bool parseDurability(const Value* durability);
     bool parseSteps(const Value& steps, const SwitchContext& ctx,
                     int foreach_width, Segment& out);
     bool parseStep(const Value& step, const SwitchContext& ctx,
@@ -331,6 +332,47 @@ WdlParser::parseCluster(const Value* cluster)
 }
 
 bool
+WdlParser::parseDurability(const Value* durability)
+{
+    if (!durability)
+        return true;
+    if (!durability->isObject())
+        return fail("'durability' must be a mapping");
+    // A closed vocabulary: a misspelled knob (batch_window_ms for
+    // batch_window_us) silently reverting to its default would change
+    // the latency-vs-durability point without any signal.
+    for (const auto& [key, value] : durability->asObject()) {
+        if (key != "mode" && key != "append_latency_us" &&
+            key != "batch_window_us" && key != "batch_max_records") {
+            return fail("unknown 'durability' key '" + key +
+                        "' (expected mode/append_latency_us/"
+                        "batch_window_us/batch_max_records)");
+        }
+    }
+    WdlResult::DurabilitySpec spec;
+    spec.mode = durability->getOr("mode", std::string("sync"));
+    if (spec.mode != "sync" && spec.mode != "group_commit" &&
+        spec.mode != "speculative") {
+        return fail("'durability.mode' must be sync, group_commit or "
+                    "speculative");
+    }
+    spec.append_latency_us =
+        durability->getOr("append_latency_us", 800.0);
+    if (spec.append_latency_us < 0.0)
+        return fail("'durability.append_latency_us' must be >= 0");
+    spec.batch_window_us = durability->getOr("batch_window_us", 300.0);
+    if (spec.batch_window_us < 0.0)
+        return fail("'durability.batch_window_us' must be >= 0");
+    spec.batch_max_records = static_cast<int>(
+        durability->getOr("batch_max_records", int64_t{16}));
+    if (spec.batch_max_records < 1)
+        return fail("'durability.batch_max_records' must be >= 1");
+    result_.durability = spec;
+    result_.has_durability = true;
+    return true;
+}
+
+bool
 WdlParser::parseTask(const Value& step, const SwitchContext& ctx,
                      int foreach_width, Segment& out)
 {
@@ -551,6 +593,8 @@ WdlParser::run()
     if (!parseFaults(doc_.find("faults")))
         return std::move(result_);
     if (!parseCluster(doc_.find("cluster")))
+        return std::move(result_);
+    if (!parseDurability(doc_.find("durability")))
         return std::move(result_);
 
     const Value* steps = doc_.find("steps");

@@ -32,6 +32,22 @@ struct WdlResult
     cluster::FleetSpec fleet;
     bool has_cluster = false;
 
+    /** Parsed `durability:` block — the latency-vs-durability point the
+     *  workflow wants to run under (implies a durable progress log). */
+    struct DurabilitySpec
+    {
+        /** "sync", "group_commit" or "speculative". */
+        std::string mode = "sync";
+        /** WAL commit latency of one batch, microseconds. */
+        double append_latency_us = 800.0;
+        /** Group-commit linger window, microseconds. */
+        double batch_window_us = 300.0;
+        /** Batch flushes immediately at this many records. */
+        int batch_max_records = 16;
+    };
+    DurabilitySpec durability;
+    bool has_durability = false;
+
     std::string error;  ///< empty on success
 
     bool ok() const { return error.empty(); }
@@ -120,6 +136,15 @@ struct WdlResult
  *     slow_nic_fraction: 0.1    # share of nodes with degraded NICs
  *     slow_nic_multiplier: 0.25
  *     hop_latency_ms: 0.5       # one-way cross-node latency (lookahead)
+ *
+ * A top-level `durability:` block opts the run into the durable
+ * progress log at a chosen latency-vs-durability point (DESIGN.md §8.5):
+ *
+ *   durability:
+ *     mode: speculative         # sync | group_commit | speculative
+ *     append_latency_us: 800    # WAL commit latency per batch
+ *     batch_window_us: 300      # group-commit linger window
+ *     batch_max_records: 16     # size-triggered flush threshold
  */
 WdlResult parseWdl(const json::Value& doc);
 

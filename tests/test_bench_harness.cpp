@@ -42,6 +42,7 @@ TEST(Registry, EveryFormerBenchBinaryIsRegistered)
         "ablation_modes",
         "cluster_scale",
         "coldstart_policies",
+        "durability_frontier",
         "fig04_mastersp_overhead",
         "fig05_data_movement",
         "fig11_sched_overhead",
@@ -300,7 +301,7 @@ class SmokeRun : public ::testing::Test
 TEST_F(SmokeRun, EverySectionCompletesAndReportIsSchemaValid)
 {
     const RunReport report = run(1);
-    EXPECT_EQ(report.sections.size(), 17u);
+    EXPECT_EQ(report.sections.size(), 18u);
     const json::Value doc = reportJson(report);
     const std::vector<std::string> violations = validateBenchReport(doc);
     EXPECT_TRUE(violations.empty())

@@ -235,6 +235,160 @@ TEST(MasterFailoverTest, IdempotencyKeyMakesRetriedSubmitsSingleRun)
     EXPECT_EQ(system.metrics().count(name), 2u);
 }
 
+/** MasterSP durable config at a chosen durability mode, with a linger
+ *  window wide enough (250 ms vs the flow's 100 ms nodes) that the
+ *  speculation frontier usually holds whole node executions — so a
+ *  crash sweep below hits every frontier depth. */
+SystemConfig
+speculationConfig(engine::DurabilityMode mode)
+{
+    SystemConfig config = makeConfig(/*master=*/true, /*durable=*/true);
+    config.durability_mode = mode;
+    config.progress_log.batch_window = SimTime::millis(250);
+    config.progress_log.batch_max_records = 64;
+    return config;
+}
+
+RunResult
+runSpeculative(engine::DurabilityMode mode, int crash_ms, int down_ms = 400)
+{
+    auto wdl = workflow::parseWdlYaml(kFlowYaml);
+    EXPECT_TRUE(wdl.ok()) << wdl.error;
+    System system(speculationConfig(mode));
+    system.registerFunctions(wdl.functions);
+    const std::string name = system.deploy(std::move(wdl.dag));
+
+    if (crash_ms >= 0) {
+        sim::FaultSchedule faults;
+        faults.addMasterCrash(SimTime::millis(crash_ms),
+                              SimTime::millis(down_ms));
+        system.installFaults(faults);
+    }
+
+    RunResult out;
+    system.invoke(name, [&](const InvocationRecord& r) {
+        out.record = r;
+        out.completed = true;
+    });
+    system.run();
+    out.stats = system.recoveryStats();
+    return out;
+}
+
+TEST(MasterFailoverTest, SpeculativeDispatchBeatsSyncFaultFree)
+{
+    // Sync gates every successor delivery on its WAL ack; speculative
+    // dispatches at issue, so the commit latency leaves the e2e path
+    // entirely — with byte-identical outputs.
+    const RunResult sync_run = runOnce(true, true, /*crash_ms=*/-1);
+    const RunResult spec =
+        runSpeculative(engine::DurabilityMode::Speculative, -1);
+    ASSERT_TRUE(sync_run.completed);
+    ASSERT_TRUE(spec.completed);
+    EXPECT_EQ(spec.record.output_digest, sync_run.record.output_digest);
+    EXPECT_LT(spec.record.e2e(), sync_run.record.e2e());
+    EXPECT_EQ(spec.stats.rollbacks, 0u);
+    EXPECT_EQ(spec.record.rolled_back_nodes, 0u);
+}
+
+TEST(MasterFailoverTest, SpeculativeCrashSweepRollsBackAndMatchesGolden)
+{
+    // Crash at every 10 ms across the whole flow: every
+    // speculation-frontier depth — empty, one uncommitted record,
+    // several, mid-linger, post-finish — must recover to the golden
+    // outputs with zero replay mismatches and zero duplicate
+    // executions. Lost frontier facts surface as rollbacks instead.
+    // The sweep reaches past the cold-start window (~0.9 s before the
+    // first node completes in this config) so some instants catch
+    // speculated nodes, not just the buffered submission record.
+    const RunResult golden =
+        runSpeculative(engine::DurabilityMode::Speculative, -1);
+    ASSERT_TRUE(golden.completed);
+
+    uint64_t total_rolled_back = 0;
+    uint64_t total_rollbacks = 0;
+    for (int crash_ms = 0; crash_ms <= 1200; crash_ms += 10) {
+        const RunResult r = runSpeculative(
+            engine::DurabilityMode::Speculative, crash_ms);
+        ASSERT_TRUE(r.completed) << "crash at " << crash_ms << " ms";
+        EXPECT_FALSE(r.record.timed_out) << crash_ms;
+        EXPECT_EQ(r.record.output_digest, golden.record.output_digest)
+            << crash_ms;
+        EXPECT_EQ(r.stats.replay_mismatches, 0u) << crash_ms;
+        EXPECT_EQ(r.record.duplicate_executions, 0u) << crash_ms;
+        total_rolled_back += r.stats.rolled_back_nodes;
+        total_rollbacks += r.stats.rollbacks;
+    }
+    // The sweep must have crossed open speculation windows: some crash
+    // instants lost uncommitted records and unwound speculated nodes.
+    EXPECT_GT(total_rollbacks, 0u);
+    EXPECT_GT(total_rolled_back, 0u);
+}
+
+TEST(MasterFailoverTest, GroupCommitCrashSweepMatchesGolden)
+{
+    // Group commit gates dispatch on the ack but memory still leads the
+    // log by the open batch, so a crash can lose committed-in-memory
+    // facts there too; they must re-drive, never mis-replay.
+    const RunResult golden =
+        runSpeculative(engine::DurabilityMode::GroupCommit, -1);
+    ASSERT_TRUE(golden.completed);
+
+    for (int crash_ms = 0; crash_ms <= 800; crash_ms += 10) {
+        const RunResult r = runSpeculative(
+            engine::DurabilityMode::GroupCommit, crash_ms);
+        ASSERT_TRUE(r.completed) << "crash at " << crash_ms << " ms";
+        EXPECT_FALSE(r.record.timed_out) << crash_ms;
+        EXPECT_EQ(r.record.output_digest, golden.record.output_digest)
+            << crash_ms;
+        EXPECT_EQ(r.stats.replay_mismatches, 0u) << crash_ms;
+        EXPECT_EQ(r.record.duplicate_executions, 0u) << crash_ms;
+    }
+}
+
+TEST(MasterFailoverTest, SpeculativeCompoundFaultKeepsExactlyOnce)
+{
+    // Compound fault under speculation: a worker crash, a storage
+    // brown-out stretching the batch commit, and a master crash landing
+    // inside the stretched window. Outputs must still be exactly-once
+    // and byte-identical to the fault-free twin.
+    auto runCompound = [&](bool with_faults) {
+        auto wdl = workflow::parseWdlYaml(kFlowYaml);
+        EXPECT_TRUE(wdl.ok()) << wdl.error;
+        System system(
+            speculationConfig(engine::DurabilityMode::Speculative));
+        system.registerFunctions(wdl.functions);
+        const std::string name = system.deploy(std::move(wdl.dag));
+        if (with_faults) {
+            sim::FaultSchedule faults;
+            faults.addWorkerCrash(0, SimTime::millis(120),
+                                  SimTime::seconds(2));
+            faults.addStorageBrownout(SimTime::millis(80),
+                                      SimTime::millis(600), 8.0);
+            faults.addMasterCrash(SimTime::millis(200),
+                                  SimTime::millis(600));
+            system.installFaults(faults);
+        }
+        RunResult out;
+        system.invoke(name, [&](const InvocationRecord& r) {
+            out.record = r;
+            out.completed = true;
+        });
+        system.run();
+        out.stats = system.recoveryStats();
+        return out;
+    };
+
+    const RunResult golden = runCompound(false);
+    const RunResult r = runCompound(true);
+    ASSERT_TRUE(golden.completed);
+    ASSERT_TRUE(r.completed);
+    EXPECT_FALSE(r.record.timed_out);
+    EXPECT_EQ(r.record.output_digest, golden.record.output_digest);
+    EXPECT_EQ(r.stats.replay_mismatches, 0u);
+    EXPECT_EQ(r.record.duplicate_executions, 0u);
+}
+
 TEST(MasterFailoverTest, MasterCrashDuringWorkerRecoveryIsSurvived)
 {
     // Compound fault: a worker crash whose recovery window overlaps a

@@ -177,5 +177,152 @@ TEST(ProgressLogTest, BrownoutDegradeStretchesCommitLatency)
     EXPECT_EQ(f.log.degradeFactor(), 1.0);
 }
 
+ProgressLog::Config
+groupConfig(size_t batch_max = 16,
+            SimTime window = SimTime::micros(300))
+{
+    ProgressLog::Config config;
+    config.group_commit = true;
+    config.batch_window = window;
+    config.batch_max_records = batch_max;
+    return config;
+}
+
+TEST(ProgressLogTest, GroupCommitFlushesWhenBatchFills)
+{
+    Fixture f(groupConfig(/*batch_max=*/4));
+    std::vector<SimTime> elapsed;
+    for (int32_t n = 0; n < 4; ++n) {
+        f.log.append(f.storage, nodeDone(1, n),
+                     [&](SimTime t) { elapsed.push_back(t); });
+    }
+    // The 4th record filled the batch: it flushed immediately, without
+    // waiting out the linger window.
+    f.sim.run();
+    ASSERT_EQ(elapsed.size(), 4u);
+    for (const SimTime t : elapsed)
+        EXPECT_EQ(t, ProgressLog::Config{}.append_latency);
+    EXPECT_EQ(f.log.stats().batches, 1u);
+    EXPECT_EQ(f.log.stats().flushes_by_size, 1u);
+    EXPECT_EQ(f.log.stats().flushes_by_window, 0u);
+    EXPECT_EQ(f.log.stats().batch_size_hist[1], 1u);  // 2-4 records
+    EXPECT_EQ(f.log.stats().appends, 4u);
+}
+
+TEST(ProgressLogTest, GroupCommitLingerFlushesPartialBatch)
+{
+    Fixture f(groupConfig(/*batch_max=*/16));
+    std::vector<SimTime> elapsed;
+    for (int32_t n = 0; n < 2; ++n) {
+        f.log.append(f.storage, nodeDone(1, n),
+                     [&](SimTime t) { elapsed.push_back(t); });
+    }
+    EXPECT_EQ(f.log.pendingRecords(f.storage), 2u);
+    EXPECT_EQ(f.log.pendingTotal(), 2u);
+    f.sim.run();
+    // Both records waited out the window armed by the first append,
+    // then paid one commit latency together.
+    ASSERT_EQ(elapsed.size(), 2u);
+    EXPECT_EQ(elapsed[0], ProgressLog::Config{}.batch_window +
+                              ProgressLog::Config{}.append_latency);
+    EXPECT_EQ(f.log.pendingTotal(), 0u);
+    EXPECT_EQ(f.log.stats().batches, 1u);
+    EXPECT_EQ(f.log.stats().flushes_by_window, 1u);
+    EXPECT_EQ(f.log.stats().max_pending, 2u);
+    // Replay sees both facts once the batch committed.
+    ReplayState rs = f.log.replay(1, 3);
+    EXPECT_EQ(rs.node_done[0], 1);
+    EXPECT_EQ(rs.node_done[1], 1);
+}
+
+TEST(ProgressLogTest, GroupCommitBatchPaysOneDegradedCommit)
+{
+    // Satellite pin: the brown-out multiplier applies to the batch's
+    // single commit, not once per record — and it is sampled at flush
+    // time, so a brown-out arriving mid-linger stretches the whole
+    // batch.
+    Fixture f(groupConfig(/*batch_max=*/16));
+    std::vector<SimTime> elapsed;
+    for (int32_t n = 0; n < 3; ++n) {
+        f.log.append(f.storage, nodeDone(1, n),
+                     [&](SimTime t) { elapsed.push_back(t); });
+    }
+    f.log.setDegradeFactor(5.0);  // brown-out lands inside the linger
+    f.sim.run();
+    ASSERT_EQ(elapsed.size(), 3u);
+    const SimTime expected = ProgressLog::Config{}.batch_window +
+                             ProgressLog::Config{}.append_latency * 5.0;
+    // One degraded commit for all three records (3x would mean the
+    // degrade compounded per record).
+    for (const SimTime t : elapsed)
+        EXPECT_EQ(t, expected);
+    EXPECT_EQ(f.log.stats().batches, 1u);
+}
+
+TEST(ProgressLogTest, WorkerBatchRidesOneMessageAndAcksEveryRecord)
+{
+    Fixture f(groupConfig(/*batch_max=*/3));
+    std::vector<SimTime> elapsed;
+    for (int32_t n = 0; n < 3; ++n) {
+        f.log.append(f.worker, nodeDone(1, n),
+                     [&](SimTime t) { elapsed.push_back(t); });
+    }
+    f.sim.run();
+    // One wire round trip for the whole batch; every record's callback
+    // fires when the shared ack lands.
+    ASSERT_EQ(elapsed.size(), 3u);
+    EXPECT_EQ(elapsed[0], elapsed[2]);
+    EXPECT_GT(elapsed[0], ProgressLog::Config{}.append_latency);
+    EXPECT_EQ(f.log.stats().batches, 1u);
+    ReplayState rs = f.log.replay(1, 3);
+    for (size_t n = 0; n < 3; ++n)
+        EXPECT_EQ(rs.node_done[n], 1) << n;
+}
+
+TEST(ProgressLogTest, DropPendingLosesOnlyTheUnflushedSuffix)
+{
+    Fixture f(groupConfig(/*batch_max=*/4));
+    std::vector<SimTime> elapsed;
+    // 4 records flush by size immediately; the 5th starts a new buffer.
+    for (int32_t n = 0; n < 5; ++n) {
+        f.log.append(f.storage, nodeDone(1, n),
+                     [&](SimTime t) { elapsed.push_back(t); });
+    }
+    EXPECT_EQ(f.log.pendingRecords(f.storage), 1u);
+    // Crash before the 5th record's window expires: the flushed batch
+    // is already on the WAL and stays durable; only the suffix is lost.
+    EXPECT_EQ(f.log.dropPending(f.storage), 1u);
+    EXPECT_EQ(f.log.pendingRecords(f.storage), 0u);
+    f.sim.run();
+    ASSERT_EQ(elapsed.size(), 4u);  // the dropped record never acked
+    EXPECT_EQ(f.log.stats().dropped_records, 1u);
+    ReplayState rs = f.log.replay(1, 6);
+    for (size_t n = 0; n < 4; ++n)
+        EXPECT_EQ(rs.node_done[n], 1) << n;
+    EXPECT_EQ(rs.node_done[4], 0);  // the rollback: fact never durable
+    // A dead linger timer from the dropped buffer must not flush a
+    // successor batch early (arm_seq guard).
+    SimTime late;
+    f.log.append(f.storage, nodeDone(1, 5), [&](SimTime t) { late = t; });
+    f.sim.run();
+    EXPECT_EQ(late, ProgressLog::Config{}.batch_window +
+                        ProgressLog::Config{}.append_latency);
+}
+
+TEST(ProgressLogTest, ExplicitFlushDrainsEveryOrigin)
+{
+    Fixture f(groupConfig(/*batch_max=*/16, SimTime::seconds(60)));
+    bool a = false, b = false;
+    f.log.append(f.storage, nodeDone(1, 0), [&](SimTime) { a = true; });
+    f.log.append(f.worker, nodeDone(1, 1), [&](SimTime) { b = true; });
+    EXPECT_EQ(f.log.pendingTotal(), 2u);
+    f.log.flush();
+    EXPECT_EQ(f.log.pendingTotal(), 0u);
+    f.sim.run();
+    EXPECT_TRUE(a);
+    EXPECT_TRUE(b);
+    EXPECT_EQ(f.log.stats().batches, 2u);  // one per origin
+}
+
 }  // namespace
 }  // namespace faasflow::storage

@@ -294,6 +294,46 @@ INSTANTIATE_TEST_SUITE_P(
                "nested switch"},
         BadWdl{"- 1\n- 2\n", "mapping"}));
 
+TEST(WdlTest, DurabilityBlockParsesAndRejectsUnknownKeys)
+{
+    const WdlResult r = parseWdlYaml(
+        "name: x\n"
+        "durability:\n"
+        "  mode: speculative\n"
+        "  batch_window_us: 400000\n"
+        "  batch_max_records: 8\n"
+        "steps:\n"
+        "  - task: a\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    ASSERT_TRUE(r.has_durability);
+    EXPECT_EQ(r.durability.mode, "speculative");
+    EXPECT_EQ(r.durability.batch_window_us, 400000.0);
+    EXPECT_EQ(r.durability.batch_max_records, 8);
+    EXPECT_EQ(r.durability.append_latency_us, 800.0);
+
+    // The block is a closed vocabulary: a misspelled knob silently
+    // falling back to its default would move the durability point with
+    // no signal, so it is a parse error instead.
+    const WdlResult bad = parseWdlYaml(
+        "name: x\n"
+        "durability:\n"
+        "  mode: speculative\n"
+        "  batch_window_ms: 400\n"
+        "steps:\n"
+        "  - task: a\n");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.error.find("batch_window_ms"), std::string::npos);
+
+    const WdlResult bad_mode = parseWdlYaml(
+        "name: x\n"
+        "durability:\n"
+        "  mode: eventually\n"
+        "steps:\n"
+        "  - task: a\n");
+    ASSERT_FALSE(bad_mode.ok());
+    EXPECT_NE(bad_mode.error.find("durability.mode"), std::string::npos);
+}
+
 TEST(WdlTest, ForeachInsideForeachRejected)
 {
     const WdlResult r = parseWdlYaml(

@@ -27,6 +27,13 @@
  *                     [--config faastore|hyperflow] [--rate 6]
  *                     [--invocations 200] [--seed 1000] [--selftest]
  *                     [--chaos] [--profile heavy] [--smoke]
+ *                     [--durability sync|group_commit|speculative]
+ *
+ * `--durability` picks the progress-log commit discipline of the chaos
+ * configuration (DESIGN.md §8.5). Speculative mode dispatches downstream
+ * work before records are durable, so crashes roll speculated nodes
+ * back; the campaign invariants (golden-digest match, zero duplicate
+ * executions, zero replay mismatches) must hold in every mode.
  */
 #include <cstdint>
 #include <cstdio>
@@ -58,6 +65,9 @@ struct Options
     bool chaos = false;
     bool smoke = false;
     std::string profile = "heavy";
+    /** Progress-log durability mode of the chaos configuration:
+     *  sync, group_commit or speculative. */
+    std::string durability = "sync";
     /** When set, one extra sequential replica of the first seed runs
      *  with the activity recorder on and its Chrome trace lands here
      *  (the chaos twin of that seed when --chaos is on). */
@@ -127,6 +137,8 @@ struct ChaosResult
     uint64_t replay_mismatches = 0;
     uint64_t duplicate_executions = 0;
     uint64_t redriven_nodes = 0;
+    uint64_t rollbacks = 0;          ///< crashes that lost buffered records
+    uint64_t rolled_back_nodes = 0;  ///< speculated nodes unwound + redriven
     size_t in_flight = 0;      ///< invocations stuck live after drain
     size_t digest_misses = 0;  ///< chaos digests != golden digests
     uint64_t digest = 0;       ///< fold of (id, output digest) pairs
@@ -175,6 +187,17 @@ chaosConfig(const Options& opt)
     SystemConfig config = opt.faastore ? SystemConfig::faasflowFaastore()
                                        : SystemConfig::hyperflowServerless();
     config.durable_log = true;
+    if (opt.durability == "group_commit")
+        config.durability_mode = engine::DurabilityMode::GroupCommit;
+    else if (opt.durability == "speculative")
+        config.durability_mode = engine::DurabilityMode::Speculative;
+    if (config.durability_mode != engine::DurabilityMode::Sync) {
+        // Stretch the linger window to the chaos timescale so crashes
+        // actually land inside open speculation windows and the rollback
+        // path gets exercised, not just the happy batched path.
+        config.progress_log.batch_window = SimTime::millis(200);
+        config.progress_log.batch_max_records = 64;
+    }
     // Recovery stretches latencies; only a stuck invocation should ever
     // hit the watchdog (a timeout fails the run's completeness check).
     config.invocation_timeout = SimTime::seconds(600);
@@ -260,6 +283,8 @@ runChaosReplica(const Options& opt, const benchmarks::Benchmark& bench,
     r.master_crashes = rs.master_crashes;
     r.master_replays = rs.master_replays;
     r.replay_mismatches = rs.replay_mismatches;
+    r.rollbacks = rs.rollbacks;
+    r.rolled_back_nodes = rs.rolled_back_nodes;
     const auto& m = system.metrics();
     r.duplicate_executions = m.duplicateExecutions(name);
     r.redriven_nodes = m.redrivenNodes(name);
@@ -359,6 +384,7 @@ usage(const char* argv0)
         "          [--config faastore|hyperflow] [--rate R/min]\n"
         "          [--invocations N] [--seed S] [--selftest]\n"
         "          [--chaos] [--profile light|heavy|storage-hostile]\n"
+        "          [--durability sync|group_commit|speculative]\n"
         "          [--smoke] [--trace FILE]\n"
         "benchmarks: Cyc Epi Gen Soy Vid IR FP WC\n",
         argv0);
@@ -368,12 +394,12 @@ int
 runChaosCampaign(const Options& opt, const benchmarks::Benchmark& bench,
                  unsigned threads)
 {
-    std::printf("chaos campaign: %s / %s, profile %s, %zu seeds x %zu "
-                "invocations @ %.1f inv/min, %u threads\n",
+    std::printf("chaos campaign: %s / %s, profile %s, durability %s, "
+                "%zu seeds x %zu invocations @ %.1f inv/min, %u threads\n",
                 bench.name.c_str(),
                 opt.faastore ? "FaaSFlow-FaaStore" : "HyperFlow-serverless",
-                opt.profile.c_str(), opt.runs, opt.invocations,
-                opt.rate_per_minute, threads);
+                opt.profile.c_str(), opt.durability.c_str(), opt.runs,
+                opt.invocations, opt.rate_per_minute, threads);
 
     // One job per seed, plus a repeat of the first seed as the
     // determinism probe (the run digest must be bit-identical whatever
@@ -397,7 +423,7 @@ runChaosCampaign(const Options& opt, const benchmarks::Benchmark& bench,
     };
     TextTable table;
     table.setHeader({"seed", "done", "faults", "recov", "crash", "replay",
-                     "redriven", "digest", "verdict"});
+                     "redriven", "rolledback", "digest", "verdict"});
     size_t failures = 0;
     for (size_t r = 0; r < opt.runs; ++r) {
         const ChaosResult& run = results[r];
@@ -407,7 +433,7 @@ runChaosCampaign(const Options& opt, const benchmarks::Benchmark& bench,
                       strFormat("%zu/%zu", run.completed, run.expected),
                       u64(run.fault_events), u64(run.recoveries),
                       u64(run.master_crashes), u64(run.master_replays),
-                      u64(run.redriven_nodes),
+                      u64(run.redriven_nodes), u64(run.rolled_back_nodes),
                       strFormat("%016llx", static_cast<unsigned long long>(
                                                run.digest)),
                       run.ok ? "ok" : run.failure});
@@ -498,6 +524,14 @@ main(int argc, char** argv)
             opt.smoke = true;
         } else if (arg == "--profile") {
             opt.profile = next();
+        } else if (arg == "--durability") {
+            opt.durability = next();
+            if (opt.durability != "sync" &&
+                opt.durability != "group_commit" &&
+                opt.durability != "speculative") {
+                usage(argv[0]);
+                return 2;
+            }
         } else if (arg == "--trace") {
             opt.trace_path = next();
         } else if (arg == "--help" || arg == "-h") {

@@ -74,6 +74,10 @@ main(int argc, char** argv)
                   "run one Algorithm-1 iteration after warm-up");
     flags.addBool("durable", false,
                   "enable the durable progress log (master failover)");
+    flags.addString("durability", "",
+                    "durability mode: sync, group_commit or speculative "
+                    "(implies --durable; overrides the document's "
+                    "durability: block)");
     flags.addBool("stats", false,
                   "print the recovery/durability counter table");
     flags.addString("trace", "", "write a Chrome trace to this file");
@@ -146,6 +150,36 @@ main(int argc, char** argv)
     }
     config.seed = static_cast<uint64_t>(flags.getInt("seed"));
     config.durable_log = flags.getBool("durable");
+    if (wdl.has_durability) {
+        // The document's durability: block opts the run into the log at
+        // a chosen latency-vs-durability point; --durability overrides.
+        config.durable_log = true;
+        config.progress_log.append_latency =
+            SimTime::micros(wdl.durability.append_latency_us);
+        config.progress_log.batch_window =
+            SimTime::micros(wdl.durability.batch_window_us);
+        config.progress_log.batch_max_records =
+            static_cast<size_t>(wdl.durability.batch_max_records);
+        if (wdl.durability.mode == "group_commit")
+            config.durability_mode = engine::DurabilityMode::GroupCommit;
+        else if (wdl.durability.mode == "speculative")
+            config.durability_mode = engine::DurabilityMode::Speculative;
+    }
+    if (!flags.getString("durability").empty()) {
+        const std::string mode = flags.getString("durability");
+        config.durable_log = true;
+        if (mode == "sync") {
+            config.durability_mode = engine::DurabilityMode::Sync;
+        } else if (mode == "group_commit") {
+            config.durability_mode = engine::DurabilityMode::GroupCommit;
+        } else if (mode == "speculative") {
+            config.durability_mode = engine::DurabilityMode::Speculative;
+        } else {
+            std::fprintf(stderr, "error: --durability must be "
+                                 "sync|group_commit|speculative\n");
+            return 2;
+        }
+    }
     config.telemetry_interval = SimTime::millis(flags.getDouble("sample-ms"));
 
     System system(config);
@@ -306,6 +340,36 @@ main(int argc, char** argv)
                               ls.committed_bytes))});
             stats.addRow({"log compactions", u64(ls.compactions)});
             stats.addRow({"log replays", u64(ls.replays)});
+            if (ls.batches > 0) {
+                stats.addRow({"log batches", u64(ls.batches)});
+                stats.addRow({"log batch records (mean)",
+                              strFormat("%.1f", ls.batch_records.mean())});
+                stats.addRow(
+                    {"log batch size 1/2-4/5-8/9-16/17+",
+                     strFormat("%llu/%llu/%llu/%llu/%llu",
+                               static_cast<unsigned long long>(
+                                   ls.batch_size_hist[0]),
+                               static_cast<unsigned long long>(
+                                   ls.batch_size_hist[1]),
+                               static_cast<unsigned long long>(
+                                   ls.batch_size_hist[2]),
+                               static_cast<unsigned long long>(
+                                   ls.batch_size_hist[3]),
+                               static_cast<unsigned long long>(
+                                   ls.batch_size_hist[4]))});
+                stats.addRow({"log flushes size/window",
+                              strFormat("%llu/%llu",
+                                        static_cast<unsigned long long>(
+                                            ls.flushes_by_size),
+                                        static_cast<unsigned long long>(
+                                            ls.flushes_by_window))});
+                stats.addRow({"log peak speculative window",
+                              strFormat("%zu", ls.max_pending)});
+            }
+            stats.addRow({"log dropped records", u64(ls.dropped_records)});
+            stats.addRow({"speculation rollbacks", u64(rs.rollbacks)});
+            stats.addRow(
+                {"rolled-back nodes", u64(m.rolledBackNodes(name))});
         }
         std::printf("\n%s", stats.str().c_str());
 
