@@ -70,6 +70,9 @@ runFleet(uint32_t nodes, uint32_t shards, uint32_t threads,
     config.exec_sigma = 0.4;
     config.function_classes = 32;
     config.seed = 7;
+    // Online profiler stays on: its digest is part of the
+    // single-vs-sharded equivalence check below.
+    config.profile = true;
 
     load::FleetSim sim(config);
     const auto t0 = std::chrono::steady_clock::now();
@@ -91,7 +94,8 @@ reportScale(bench::Report& report, const std::string& prefix,
 {
     const bool digests_match =
         single.result.model_digest == sharded.result.model_digest &&
-        single.result.engine_digest == sharded.result.engine_digest;
+        single.result.engine_digest == sharded.result.engine_digest &&
+        single.result.profile_digest == sharded.result.profile_digest;
 
     report.higher(prefix + "_single_events_per_sec",
                   single.events_per_sec);
@@ -109,6 +113,11 @@ reportScale(bench::Report& report, const std::string& prefix,
     report.info(prefix + "_events",
                 static_cast<double>(sharded.result.events));
     report.info(prefix + "_digest_match", digests_match ? 1.0 : 0.0);
+    report.info(prefix + "_profile_digest_match",
+                single.result.profile_digest ==
+                        sharded.result.profile_digest
+                    ? 1.0
+                    : 0.0);
     report.info(prefix + "_cross_shard_messages",
                 static_cast<double>(sharded.result.cross_shard_messages));
     report.info(prefix + "_lookahead_stalls",

@@ -220,6 +220,26 @@ tracedRunWallMs(size_t invocations, bool traced, size_t& spans)
     return wall_ms;
 }
 
+// ---------------------------------------------------------------------
+// 6. Profiler overhead: the same end-to-end run with the online profile
+// store off (the disabled check must be nearly free) and on.
+
+double
+profiledRunWallMs(size_t invocations, bool profiled, size_t& samples)
+{
+    System system(SystemConfig::faasflowFaastore());
+    if (profiled)
+        system.profile().enable();
+    const std::string name =
+        bench::deployBenchmark(system, benchmarks::videoFfmpeg());
+    const auto t0 = std::chrono::steady_clock::now();
+    bench::runOpenLoop(system, name, 6.0, invocations);
+    const double wall_ms = secondsSince(t0) * 1000.0;
+    samples = system.profile().nodeSampleCount() +
+              system.profile().edgeSampleCount();
+    return wall_ms;
+}
+
 }  // namespace
 
 namespace faasflow::bench {
@@ -320,6 +340,29 @@ registerPerfHotpaths(Registry& registry)
                         trace_off_ms > 0.0
                             ? 100.0 * (trace_on_ms - trace_off_ms) /
                                   trace_off_ms
+                            : 0.0);
+
+            // Profiler overhead: identical simulated work with the
+            // online profile store off and on. Like tracing, the
+            // profiler is sim-inert by construction; this pins the
+            // wall-clock cost of streaming histogram samples.
+            size_t samples_off = 0;
+            size_t samples_on = 0;
+            const double profile_off_ms =
+                profiledRunWallMs(sweep_invocations, false, samples_off);
+            const double profile_on_ms =
+                profiledRunWallMs(sweep_invocations, true, samples_on);
+            report.lower("profile_off_wall_ms", profile_off_ms);
+            report.lower("profile_on_wall_ms", profile_on_ms);
+            report.info("profile_samples",
+                        static_cast<double>(samples_on));
+            std::printf("profile overhead (%zu invocations): %.0f ms off, "
+                        "%.0f ms on (%zu samples, %+.1f%%)\n",
+                        sweep_invocations, profile_off_ms, profile_on_ms,
+                        samples_on,
+                        profile_off_ms > 0.0
+                            ? 100.0 * (profile_on_ms - profile_off_ms) /
+                                  profile_off_ms
                             : 0.0);
         }});
 }

@@ -44,6 +44,7 @@ ExecutorAgent::ExecutorAgent(RuntimeContext& ctx, int worker_index, Rng rng)
                 *ctx.stores[static_cast<size_t>(worker_index)], ctx.registry,
                 rng.split(), ctx.trace, workerTrack(worker_index))
 {
+    executor_.setProfile(ctx.profile);
 }
 
 void
@@ -51,7 +52,8 @@ ExecutorAgent::execute(Invocation& inv, workflow::NodeId node, uint32_t drive,
                        std::function<void(SimTime)> on_result)
 {
     // Dispatch costs one event on the worker-side proxy.
-    queue_.submit([this, &inv, node, drive,
+    const SimTime submitted = ctx_.sim.now();
+    queue_.submit([this, &inv, node, drive, submitted,
                    on_result = std::move(on_result)] {
         // The worker may have died between assignment delivery and this
         // dispatch; the node is then in the recovery re-run set. A
@@ -63,6 +65,13 @@ ExecutorAgent::execute(Invocation& inv, workflow::NodeId node, uint32_t drive,
             !ctx_.cluster.worker(static_cast<size_t>(worker_index_))
                  .alive()) {
             return;
+        }
+        if (ctx_.profile) {
+            // Scheduling latency: assignment delivery to executor start
+            // (the worker-proxy service-queue share of §2.3 overhead).
+            ctx_.profile->recordSched(inv.wf->name,
+                                      inv.wf->dag.node(node).name,
+                                      ctx_.sim.now() - submitted);
         }
         noteExecution(inv, node, drive);
         executor_.runNode(inv, node, ctx_.data_mode, inv.wf->feedback,

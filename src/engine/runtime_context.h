@@ -16,6 +16,10 @@ namespace faasflow::storage {
 class ProgressLog;
 }
 
+namespace faasflow::obs {
+class ProfileStore;
+}
+
 namespace faasflow::engine {
 
 /**
@@ -64,6 +68,10 @@ struct RuntimeContext
 
     /** Optional activity recorder (disabled by default). */
     TraceRecorder* trace = nullptr;
+
+    /** Optional online profile store (null or disabled by default);
+     *  engines and executors stream cost samples into it. */
+    obs::ProfileStore* profile = nullptr;
 
     /** Durable progress log on the storage node; null when the
      *  deployment runs without durability (the default). */

@@ -169,6 +169,18 @@ TaskExecutor::fetchInputs(std::shared_ptr<RunState> rs)
             } else {
                 rs->inv->record.bytes_via_remote += bytes;
             }
+            if (profile_) {
+                const auto& dag = rs->inv->wf->dag;
+                profile_->recordEdge(
+                    rs->inv->wf->name, f.edge_idx,
+                    dag.node(f.origin).name,
+                    dag.node(rs->node_id).name, sim_.now(), f.bytes,
+                    bytes, elapsed, local);
+                profile_->recordStoreOp(
+                    local ? obs::ProfileStore::StoreOp::FetchLocal
+                          : obs::ProfileStore::StoreOp::FetchRemote,
+                    bytes, elapsed);
+            }
             auto& slot = (*edge_latency)[f.edge_idx];
             slot = std::max(slot, elapsed);
             if (--rs->pending == 0) {
@@ -195,10 +207,18 @@ TaskExecutor::recordAcquire(const std::shared_ptr<RunState>& rs,
                             SimTime requested,
                             const cluster::AcquireResult& acquired)
 {
-    if (!trace_ || rs->span == 0)
-        return;
     const std::string& name = rs->inv->wf->dag.node(rs->node_id).name;
     const SimTime queued_until = requested + acquired.queue_delay;
+    if (profile_) {
+        if (acquired.queue_delay > SimTime::zero())
+            profile_->recordQueue(rs->inv->wf->name, name,
+                                  acquired.queue_delay);
+        if (acquired.cold_start)
+            profile_->recordColdStart(rs->inv->wf->name, name,
+                                      sim_.now() - queued_until);
+    }
+    if (!trace_ || rs->span == 0)
+        return;
     if (acquired.queue_delay > SimTime::zero())
         trace_->span("wait", name, track_, requested, queued_until, {},
                      rs->span);
@@ -250,6 +270,11 @@ TaskExecutor::runInstanceAttempt(std::shared_ptr<RunState> rs,
                             rng_.uniform() < rs->spec->failure_rate;
         rs->result.max_exec = std::max(rs->result.max_exec, exec);
         rs->inv->record.exec_total += exec;
+        if (profile_) {
+            profile_->recordExec(rs->inv->wf->name,
+                                 rs->inv->wf->dag.node(rs->node_id).name,
+                                 exec);
+        }
         sim_.schedule(exec, [this, rs, container, failed, exec] {
             if (abandoned(rs))
                 return;
@@ -348,6 +373,12 @@ TaskExecutor::saveOutput(std::shared_ptr<RunState> rs)
                 rs->inv->record.bytes_via_local += output_bytes;
             } else {
                 rs->inv->record.bytes_via_remote += output_bytes;
+            }
+            if (profile_) {
+                profile_->recordStoreOp(
+                    local ? obs::ProfileStore::StoreOp::SaveLocal
+                          : obs::ProfileStore::StoreOp::SaveRemote,
+                    output_bytes, elapsed);
             }
             finish(rs);
         },

@@ -8,6 +8,7 @@
 #include "cluster/node.h"
 #include "common/rng.h"
 #include "engine/types.h"
+#include "obs/profile.h"
 #include "scheduler/feedback.h"
 #include "engine/trace.h"
 #include "storage/faastore.h"
@@ -61,6 +62,10 @@ class TaskExecutor
     cluster::WorkerNode& node() { return node_; }
     storage::FaaStore& store() { return store_; }
 
+    /** Online profile sink (may be null / disabled); samples exec,
+     *  queue-wait, cold-start, per-edge transfer and store-op costs. */
+    void setProfile(obs::ProfileStore* profile) { profile_ = profile; }
+
   private:
     sim::Simulator& sim_;
     cluster::WorkerNode& node_;
@@ -69,6 +74,7 @@ class TaskExecutor
     Rng rng_;
     TraceRecorder* trace_;
     int track_;
+    obs::ProfileStore* profile_ = nullptr;
 
     struct RunState;
 

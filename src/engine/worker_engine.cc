@@ -52,6 +52,7 @@ WorkerEngine::WorkerEngine(RuntimeContext& ctx, int worker_index, Rng rng)
                 *ctx.stores[static_cast<size_t>(worker_index)], ctx.registry,
                 rng.split(), ctx.trace, workerTrack(worker_index))
 {
+    executor_.setProfile(ctx.profile);
 }
 
 void
@@ -100,7 +101,8 @@ WorkerEngine::trigger(Invocation& inv, workflow::NodeId node_id)
     // are then in the recovery's re-run set anyway).
     const uint32_t drive = inv.node_drive_epoch[idx];
     // Each trigger decision is one event for this engine's processor.
-    queue_.submit([this, &inv, node_id, drive] {
+    const SimTime submitted = ctx_.sim.now();
+    queue_.submit([this, &inv, node_id, drive, submitted] {
         const size_t idx = static_cast<size_t>(node_id);
         if (inv.finished || drive != inv.node_drive_epoch[idx])
             return;
@@ -171,6 +173,12 @@ WorkerEngine::trigger(Invocation& inv, workflow::NodeId node_id)
             }
             completeNode(inv, node_id, SimTime::zero());
             return;
+        }
+        if (ctx_.profile) {
+            // Scheduling latency: trigger decision to executor start
+            // (this engine's service-queue share of §2.3 overhead).
+            ctx_.profile->recordSched(inv.wf->name, node.name,
+                                      ctx_.sim.now() - submitted);
         }
         noteExecution(inv, node_id, drive);
         executor_.runNode(inv, node_id, ctx_.data_mode, inv.wf->feedback,

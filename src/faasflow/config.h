@@ -8,6 +8,7 @@
 #include "engine/recovery.h"
 #include "engine/runtime_context.h"
 #include "net/network.h"
+#include "obs/profile.h"
 #include "scheduler/graph_scheduler.h"
 #include "storage/faastore.h"
 #include "storage/progress_log.h"
@@ -46,6 +47,15 @@ struct SystemConfig
     /** Resource-telemetry sampling cadence (System::telemetry()); the
      *  sampler itself only runs once started via startTelemetry(). */
     SimTime telemetry_interval = SimTime::millis(10);
+
+    /**
+     * Online workflow profiler (DESIGN.md §10.5). Off by default: the
+     * store is always owned by System (so wiring never dangles) but
+     * records nothing until enabled — either here or via
+     * System::profile().enable(). Sim-inert either way.
+     */
+    bool profile_enabled = false;
+    obs::ProfileConfig profile;
 
     /**
      * Durable progress log on the storage node (DESIGN.md §8). Off by

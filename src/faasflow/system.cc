@@ -30,11 +30,18 @@ mixSeed(uint64_t seed, uint64_t id)
 }  // namespace
 
 System::System(SystemConfig config)
-    : config_(config), rng_(config.seed)
+    : config_(config), profile_(config.profile), slo_(&trace_),
+      rng_(config.seed)
 {
+    if (config_.profile_enabled)
+        profile_.enable();
     sim_ = std::make_unique<sim::Simulator>();
     network_ = std::make_unique<net::Network>(*sim_, config_.network);
     network_->setTrace(&trace_);
+    network_->setFlowObserver([this](net::NodeId, net::NodeId,
+                                     int64_t bytes, SimTime elapsed) {
+        profile_.recordTransfer(bytes, elapsed);
+    });
     cluster_ = std::make_unique<cluster::Cluster>(
         *sim_, *network_, registry_, config_.cluster, rng_.split());
     remote_ = std::make_unique<storage::RemoteStore>(
@@ -62,7 +69,7 @@ System::System(SystemConfig config)
         store_ptrs.push_back(s.get());
     ctx_ = std::make_unique<engine::RuntimeContext>(engine::RuntimeContext{
         *sim_, *network_, *cluster_, std::move(store_ptrs), *remote_,
-        registry_, config_.engine, config_.data_mode, &trace_,
+        registry_, config_.engine, config_.data_mode, &trace_, &profile_,
         progress_log_.get(), config_.durability_mode});
 
     // Both engine stacks are constructed; control_mode selects which one
@@ -230,6 +237,35 @@ System::registerTelemetryGauges()
                                      return static_cast<double>(
                                          rs->rolled_back_nodes);
                                  });
+        telemetry_.registerGauge("faasflow_log_max_pending", slabels,
+                                 [log] {
+                                     return static_cast<double>(
+                                         log->stats().max_pending);
+                                 });
+        telemetry_.registerGauge("faasflow_log_flushes_by_size", slabels,
+                                 [log] {
+                                     return static_cast<double>(
+                                         log->stats().flushes_by_size);
+                                 });
+        telemetry_.registerGauge("faasflow_log_flushes_by_window", slabels,
+                                 [log] {
+                                     return static_cast<double>(
+                                         log->stats().flushes_by_window);
+                                 });
+        // Batch-size distribution, one series per bucket (the same
+        // buckets faasflow_run --stats prints).
+        static const char* const kBatchBuckets[] = {"1", "2-4", "5-8",
+                                                    "9-16", "17+"};
+        for (size_t b = 0; b < 5; ++b) {
+            telemetry_.registerGauge(
+                "faasflow_log_batch_size_hist",
+                strFormat("%s,bucket=\"%s\"", slabels.c_str(),
+                          kBatchBuckets[b]),
+                [log, b] {
+                    return static_cast<double>(
+                        log->stats().batch_size_hist[b]);
+                });
+        }
     }
     telemetry_.registerGauge("faasflow_nic_egress_util", slabels,
                              nic_util(sid, true));
@@ -255,6 +291,17 @@ System::registerTelemetryGauges()
     });
     telemetry_.registerGauge("faasflow_sim_heap_peak", elabels, [sim] {
         return static_cast<double>(sim->queueStats().max_heap);
+    });
+
+    // Dynamic-label series (per-workflow profiles, per-tenant SLO burn
+    // rates) ride the same exporter through the exposition hook.
+    telemetry_.registerExposition([this] {
+        return profile_.enabled() ? profile_.toPrometheusText()
+                                  : std::string();
+    });
+    telemetry_.registerExposition([this] {
+        return slo_.tenantCount() > 0 ? slo_.toPrometheusText(sim_->now())
+                                      : std::string();
     });
 }
 
@@ -420,6 +467,7 @@ System::invoke(const std::string& workflow,
                const std::string& idempotency_key,
                std::function<void(const engine::InvocationRecord&)> on_result)
 {
+    profile_.recordTenantArrival("default");
     return invokeInternal(workflow, idempotency_key, std::string(),
                           sim_->now(), std::move(on_result));
 }
@@ -591,6 +639,15 @@ System::deliverRecord(engine::Invocation& inv, bool timed_out)
             ++it->second.stats.timeouts;
     }
     metrics_.add(inv.record);
+    // Feed the online profiler and the SLO burn-rate monitor. Plain
+    // invoke() traffic (no admission tenant) reports as "default" so a
+    // WDL slo: block works without a load spec.
+    static const std::string kDefaultTenant = "default";
+    const std::string& tenant =
+        inv.record.tenant.empty() ? kDefaultTenant : inv.record.tenant;
+    profile_.recordTenantCompletion(tenant, inv.record.e2e(), timed_out);
+    slo_.recordCompletion(tenant, inv.record.finish, inv.record.e2e(),
+                          timed_out);
     if (inv.on_complete)
         inv.on_complete(inv.record);
 }
@@ -652,6 +709,15 @@ void
 System::run()
 {
     sim_->run();
+    // Alert spans still open when the run drains close at the final
+    // clock so the exported span tree validates.
+    slo_.finish(sim_->now());
+}
+
+void
+System::setTenantSlo(const std::string& tenant, const obs::SloSpec& spec)
+{
+    slo_.setSpec(tenant, spec);
 }
 
 void
@@ -1171,6 +1237,7 @@ System::submit(const std::string& workflow, const std::string& tenant,
 {
     TenantState& state = tenantState(tenant);
     ++state.stats.offered;
+    profile_.recordTenantArrival(tenant);
     refillTokens(state);
 
     const bool rate_limited = state.policy.rate_per_s > 0.0;

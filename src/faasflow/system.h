@@ -15,6 +15,8 @@
 #include "engine/worker_engine.h"
 #include "faasflow/admission.h"
 #include "faasflow/config.h"
+#include "obs/profile.h"
+#include "obs/slo.h"
 #include "obs/telemetry.h"
 #include "sim/fault_schedule.h"
 #include "workflow/wdl.h"
@@ -245,6 +247,26 @@ class System
      *  config.telemetry_interval while events remain). */
     void startTelemetry();
 
+    /**
+     * Online profile store (DESIGN.md §10.5): per-node exec/queue/
+     * coldstart/sched and per-edge bytes/latency cost histograms,
+     * streamed from the engines while a run is in flight. Owned and
+     * wired at construction; records nothing until enabled (via
+     * config.profile_enabled or profile().enable()).
+     */
+    obs::ProfileStore& profile() { return profile_; }
+    const obs::ProfileStore& profile() const { return profile_; }
+
+    /** Multi-window SLO burn-rate monitor; tenants registered via
+     *  setTenantSlo. Alerts are spans on the Client trace track. */
+    obs::SloMonitor& sloMonitor() { return slo_; }
+    const obs::SloMonitor& sloMonitor() const { return slo_; }
+
+    /** Registers a tenant's SLO (deadline, miss budget, burn windows).
+     *  Completions of that tenant — and of the implicit "default"
+     *  tenant for plain invoke() — then feed the burn-rate monitor. */
+    void setTenantSlo(const std::string& tenant, const obs::SloSpec& spec);
+
     /** Per-worker engine utilisation/footprint (§5.7); WorkerSP only. */
     double workerEngineUtilisation(size_t worker) const;
     int64_t workerEngineMemory(size_t worker) const;
@@ -281,6 +303,8 @@ class System
     engine::MetricsCollector metrics_;
     engine::TraceRecorder trace_;
     obs::TelemetrySampler telemetry_;
+    obs::ProfileStore profile_;
+    obs::SloMonitor slo_;
     Rng rng_;
     uint64_t next_invocation_id_ = 1;
 

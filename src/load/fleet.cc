@@ -39,6 +39,8 @@ FleetSim::FleetSim(FleetSimConfig config)
 {
     if (config_.stages < 1 || config_.stages > kMaxStages)
         panic("FleetSim: stages must lie in [1, %d]", kMaxStages);
+    if (config_.profile)
+        profile_.enable();
     if (config_.function_classes == 0)
         panic("FleetSim: function_classes must be >= 1");
 
@@ -82,6 +84,7 @@ FleetSim::arrive()
         next_worker_ = (next_worker_ + 1) %
                        static_cast<uint32_t>(profiles_.size());
         inv.klass = i % config_.function_classes;
+        profile_.recordTenantArrival("fleet");
         for (int k = 0; k < config_.stages; ++k) {
             const double ms = master_rng_.lognormal(config_.exec_mean_ms,
                                                     config_.exec_sigma);
@@ -179,6 +182,25 @@ FleetSim::complete(uint32_t inv_id)
     latency_max_us_ = std::max(latency_max_us_, latency);
     fold(model_digest_, inv_id);
     fold(model_digest_, static_cast<uint64_t>(now));
+
+    // Profile samples are recorded here — at the master, in completion
+    // order — never on worker domains, so the sample stream has one
+    // total order and the profile digest matches model_digest's
+    // any-shard-count bit-identity guarantee.
+    if (profile_.enabled()) {
+        static constexpr const char* kStage[kMaxStages] = {
+            "stage0", "stage1", "stage2", "stage3",
+            "stage4", "stage5", "stage6", "stage7"};
+        const Invocation& inv = arena_[inv_id];
+        for (int k = 0; k < config_.stages; ++k) {
+            profile_.recordExec("fleet", kStage[k],
+                                SimTime::micros(inv.exec_us[k]));
+        }
+        profile_.recordTransfer(config_.output_bytes,
+                                SimTime::micros(latency));
+        profile_.recordTenantCompletion("fleet", SimTime::micros(latency),
+                                        false);
+    }
 }
 
 FleetSimResult
@@ -204,6 +226,7 @@ FleetSim::run()
         r.max_latency_ms = static_cast<double>(latency_max_us_) / 1e3;
     }
     r.model_digest = model_digest_;
+    r.profile_digest = profile_.enabled() ? profile_.digest() : 0;
     r.engine_digest = sim_.digest();
     r.lookahead_violations = sim_.lookaheadViolations();
     r.shard_stats = sim_.shardStats();

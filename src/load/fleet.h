@@ -10,6 +10,7 @@
 #include "common/units.h"
 #include "load/arrival.h"
 #include "load/spec.h"
+#include "obs/profile.h"
 #include "sim/sharded.h"
 
 namespace faasflow::load {
@@ -69,6 +70,13 @@ struct FleetSimConfig
     double storage_bandwidth = 10e9;
 
     uint64_t seed = 1234;
+
+    /** Streams per-stage exec / e2e / transfer samples into an
+     *  obs::ProfileStore. All samples are recorded at the master domain
+     *  (arrival and completion), which has one total event order for
+     *  any shard/thread count — so the profile digest is bit-identical
+     *  across engine configurations, like model_digest. */
+    bool profile = false;
 };
 
 struct FleetSimResult
@@ -84,6 +92,8 @@ struct FleetSimResult
     double max_latency_ms = 0.0;
     /** Completion-order fold of (invocation, finish time). */
     uint64_t model_digest = 0;
+    /** ProfileStore::digest() when config.profile is set, else 0. */
+    uint64_t profile_digest = 0;
     /** ShardedSim::digest() — the engine-level golden. */
     uint64_t engine_digest = 0;
     uint64_t lookahead_violations = 0;
@@ -103,6 +113,9 @@ class FleetSim
     /** Builds the engine, pumps to quiescence, returns the tallies.
      *  One-shot: construct a fresh FleetSim per run. */
     FleetSimResult run();
+
+    /** The profile streamed during run() (empty unless config.profile). */
+    const obs::ProfileStore& profile() const { return profile_; }
 
   private:
     static constexpr int kMaxStages = 8;
@@ -142,6 +155,7 @@ class FleetSim
     int64_t latency_sum_us_ = 0;
     int64_t latency_max_us_ = 0;
     uint64_t model_digest_ = 14695981039346656037ULL;
+    obs::ProfileStore profile_;
 
     sim::DomainId workerDomain(uint32_t w) const { return 2 + w; }
 

@@ -235,6 +235,7 @@ Network::startFlow(NodeId src, NodeId dst, int64_t bytes,
     flow.src = src;
     flow.dst = dst;
     flow.remaining = static_cast<double>(bytes);
+    flow.bytes = bytes;
     flow.rate = 0.0;
     flow.start = now;
     flow.last_touch = now;
@@ -636,6 +637,7 @@ Network::onFlowEta(uint64_t id)
         uint64_t seq;
         NodeId src;
         NodeId dst;
+        int64_t bytes;
         SimTime elapsed;
         std::function<void(SimTime)> cb;
     };
@@ -653,8 +655,8 @@ Network::onFlowEta(uint64_t id)
         }
         if (trace_)
             trace_->closeSpan(f->trace_span, now);
-        done.push_back(Done{f, f->seq, f->src, f->dst, now - f->start,
-                            std::move(f->on_complete)});
+        done.push_back(Done{f, f->seq, f->src, f->dst, f->bytes,
+                            now - f->start, std::move(f->on_complete)});
     }
 
     if (done.empty()) {
@@ -727,6 +729,8 @@ Network::onFlowEta(uint64_t id)
     // Fire last, in flow-id order: callbacks may start new flows
     // reentrantly.
     for (Done& d : done) {
+        if (flow_observer_)
+            flow_observer_(d.src, d.dst, d.bytes, d.elapsed);
         if (d.cb)
             d.cb(d.elapsed);
     }

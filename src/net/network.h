@@ -156,6 +156,18 @@ class Network
      *  span on the network track, link flips become fault instants. */
     void setTrace(obs::TraceRecorder* trace) { trace_ = trace; }
 
+    /** Observer fired once per completed bulk flow — the online
+     *  profiler's transfer hook. Observes only; it runs after the
+     *  completion callbacks' rate updates are settled and must not
+     *  start flows itself. */
+    using FlowObserver =
+        std::function<void(NodeId src, NodeId dst, int64_t bytes,
+                           SimTime elapsed)>;
+    void setFlowObserver(FlowObserver observer)
+    {
+        flow_observer_ = std::move(observer);
+    }
+
     /** Current allocated rate of a flow in bytes/s; 0 if finished. */
     double flowRate(FlowId id) const;
 
@@ -198,6 +210,7 @@ class Network
         uint64_t seq = 0;         ///< monotone start order (canonical
                                   ///< completion-callback ordering)
         uint64_t trace_span = 0;  ///< open "xfer" span while tracing
+        int64_t bytes = 0;        ///< total size (flow-observer report)
         SimTime start;
         uint32_t src_pos = 0;     ///< index in the src node's flow list
         uint32_t dst_pos = 0;     ///< index in the dst node's flow list
@@ -241,6 +254,7 @@ class Network
     Config config_;
     std::vector<Node> nodes_;
     obs::TraceRecorder* trace_ = nullptr;
+    FlowObserver flow_observer_;
 
     /** Flow slab: slots are reused via a free list and invalidated by a
      *  generation bump, so starting/completing a flow never allocates or

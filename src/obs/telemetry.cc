@@ -29,6 +29,12 @@ TelemetrySampler::registerGauge(std::string name, std::string labels,
 }
 
 void
+TelemetrySampler::registerExposition(std::function<std::string()> provider)
+{
+    expositions_.push_back(std::move(provider));
+}
+
+void
 TelemetrySampler::start(sim::Simulator& sim)
 {
     active_ = true;
@@ -58,8 +64,11 @@ std::string
 TelemetrySampler::toPrometheusText() const
 {
     std::string out;
-    if (samples_.empty())
+    if (samples_.empty()) {
+        for (const auto& provider : expositions_)
+            out += provider();
         return out;
+    }
     const Sample& last = samples_.back();
     // Group gauges into metric families so each # TYPE line appears
     // once, as the exposition format requires.
@@ -82,6 +91,8 @@ TelemetrySampler::toPrometheusText() const
             }
         }
     }
+    for (const auto& provider : expositions_)
+        out += provider();
     return out;
 }
 
@@ -114,6 +125,7 @@ TelemetrySampler::clear()
     active_ = false;
     gauges_.clear();
     samples_.clear();
+    expositions_.clear();
 }
 
 }  // namespace faasflow::obs

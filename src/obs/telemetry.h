@@ -69,6 +69,15 @@ class TelemetrySampler
         return gauges_[i].labels;
     }
 
+    /**
+     * Registers an extra exposition provider: a closure returning
+     * ready-made Prometheus text (its own # TYPE lines included),
+     * appended after the gauge families in toPrometheusText(). Lets
+     * label-dimensioned series with dynamic key sets — profile and SLO
+     * summaries — ride the same exporter as the fixed gauges.
+     */
+    void registerExposition(std::function<std::string()> provider);
+
     /** Prometheus text exposition of the most recent sample. */
     std::string toPrometheusText() const;
 
@@ -91,6 +100,7 @@ class TelemetrySampler
     bool active_ = false;
     std::vector<Gauge> gauges_;
     std::vector<Sample> samples_;
+    std::vector<std::function<std::string()>> expositions_;
 
     void tick(sim::Simulator& sim);
 };

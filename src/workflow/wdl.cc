@@ -62,6 +62,7 @@ class WdlParser
     bool parseFaults(const Value* faults);
     bool parseCluster(const Value* cluster);
     bool parseDurability(const Value* durability);
+    bool parseSlo(const Value* slo);
     bool parseSteps(const Value& steps, const SwitchContext& ctx,
                     int foreach_width, Segment& out);
     bool parseStep(const Value& step, const SwitchContext& ctx,
@@ -373,6 +374,56 @@ WdlParser::parseDurability(const Value* durability)
 }
 
 bool
+WdlParser::parseSlo(const Value* slo)
+{
+    if (!slo)
+        return true;
+    if (!slo->isObject())
+        return fail("'slo' must be a mapping");
+    // Closed vocabulary, like 'durability': a misspelled knob silently
+    // falling back to its default would move the alert thresholds
+    // without any signal.
+    for (const auto& [key, value] : slo->asObject()) {
+        if (key != "deadline_ms" && key != "target_p99_ms" &&
+            key != "miss_budget" && key != "short_window_ms" &&
+            key != "long_window_ms" && key != "fire_burn" &&
+            key != "clear_burn") {
+            return fail("unknown 'slo' key '" + key +
+                        "' (expected deadline_ms/target_p99_ms/"
+                        "miss_budget/short_window_ms/long_window_ms/"
+                        "fire_burn/clear_burn)");
+        }
+    }
+    WdlResult::SloSpec spec;
+    spec.deadline_ms = slo->getOr("deadline_ms", 1000.0);
+    if (spec.deadline_ms <= 0.0)
+        return fail("'slo.deadline_ms' must be > 0");
+    spec.target_p99_ms = slo->getOr("target_p99_ms", 0.0);
+    if (spec.target_p99_ms < 0.0)
+        return fail("'slo.target_p99_ms' must be >= 0");
+    spec.miss_budget = slo->getOr("miss_budget", 0.01);
+    if (spec.miss_budget <= 0.0 || spec.miss_budget > 1.0)
+        return fail("'slo.miss_budget' must be in (0, 1]");
+    spec.short_window_ms = slo->getOr("short_window_ms", 1000.0);
+    spec.long_window_ms = slo->getOr("long_window_ms", 10000.0);
+    if (spec.short_window_ms <= 0.0 || spec.long_window_ms <= 0.0)
+        return fail("'slo' windows must be > 0");
+    if (spec.short_window_ms > spec.long_window_ms)
+        return fail("'slo.short_window_ms' must be <= long_window_ms");
+    spec.fire_burn = slo->getOr("fire_burn", 2.0);
+    spec.clear_burn = slo->getOr("clear_burn", 1.0);
+    if (spec.fire_burn <= 0.0)
+        return fail("'slo.fire_burn' must be > 0");
+    if (spec.clear_burn < 0.0 || spec.clear_burn >= spec.fire_burn) {
+        return fail("'slo.clear_burn' must be in [0, fire_burn) — "
+                    "clear >= fire would flap");
+    }
+    result_.slo = spec;
+    result_.has_slo = true;
+    return true;
+}
+
+bool
 WdlParser::parseTask(const Value& step, const SwitchContext& ctx,
                      int foreach_width, Segment& out)
 {
@@ -595,6 +646,8 @@ WdlParser::run()
     if (!parseCluster(doc_.find("cluster")))
         return std::move(result_);
     if (!parseDurability(doc_.find("durability")))
+        return std::move(result_);
+    if (!parseSlo(doc_.find("slo")))
         return std::move(result_);
 
     const Value* steps = doc_.find("steps");

@@ -48,6 +48,27 @@ struct WdlResult
     DurabilitySpec durability;
     bool has_durability = false;
 
+    /** Parsed `slo:` block — the workflow's end-to-end service-level
+     *  objective, fed to the obs::SloMonitor burn-rate alerting. */
+    struct SloSpec
+    {
+        /** Per-invocation e2e deadline; slower completions are misses. */
+        double deadline_ms = 1000.0;
+        /** Advisory p99 target printed in SLO tables (0 = unset). */
+        double target_p99_ms = 0.0;
+        /** Allowed long-run deadline-miss fraction (error budget). */
+        double miss_budget = 0.01;
+        /** Multi-window burn-rate windows. */
+        double short_window_ms = 1000.0;
+        double long_window_ms = 10000.0;
+        /** Alert fires at both-window burn >= fire_burn, clears below
+         *  clear_burn (hysteresis). */
+        double fire_burn = 2.0;
+        double clear_burn = 1.0;
+    };
+    SloSpec slo;
+    bool has_slo = false;
+
     std::string error;  ///< empty on success
 
     bool ok() const { return error.empty(); }

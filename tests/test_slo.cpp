@@ -1,0 +1,211 @@
+/** @file Tests for the SLO burn-rate monitor: empty-window and
+ *  zero-traffic edge cases, multi-window alert hysteresis (no
+ *  flapping), and alert spans validating under the span-tree
+ *  invariants. */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/slo.h"
+#include "obs/trace.h"
+#include "obs/trace_model.h"
+
+namespace faasflow::obs {
+namespace {
+
+SloSpec
+testSpec()
+{
+    SloSpec spec;
+    spec.deadline = SimTime::millis(100);
+    spec.miss_budget = 0.1;
+    spec.short_window = SimTime::seconds(1);
+    spec.long_window = SimTime::seconds(4);
+    spec.fire_burn = 2.0;
+    spec.clear_burn = 1.0;
+    return spec;
+}
+
+TEST(SloMonitorTest, EmptyWindowsBurnNothing)
+{
+    SloMonitor monitor;
+    monitor.setSpec("t", testSpec());
+    const auto statuses = monitor.snapshot(SimTime::seconds(10));
+    ASSERT_EQ(statuses.size(), 1u);
+    EXPECT_EQ(statuses[0].total, 0u);
+    EXPECT_EQ(statuses[0].short_burn, 0.0);
+    EXPECT_EQ(statuses[0].long_burn, 0.0);
+    EXPECT_FALSE(statuses[0].alerting);
+    EXPECT_EQ(monitor.alertsFired(), 0u);
+}
+
+TEST(SloMonitorTest, ZeroTrafficTenantNeverAlerts)
+{
+    // Two tenants, one silent: the busy tenant's misses must not leak
+    // into the silent one, and completions for an un-SLO'd tenant are
+    // ignored rather than implicitly registered.
+    SloMonitor monitor;
+    monitor.setSpec("busy", testSpec());
+    monitor.setSpec("silent", testSpec());
+    for (int i = 0; i < 50; ++i) {
+        monitor.recordCompletion("busy", SimTime::millis(10 * i),
+                                 SimTime::millis(500), false);
+        monitor.recordCompletion("unregistered",
+                                 SimTime::millis(10 * i),
+                                 SimTime::millis(500), false);
+    }
+    EXPECT_EQ(monitor.tenantCount(), 2u);
+    const auto statuses = monitor.snapshot(SimTime::millis(500));
+    for (const auto& s : statuses) {
+        if (s.tenant == "silent") {
+            EXPECT_EQ(s.total, 0u);
+            EXPECT_EQ(s.short_burn, 0.0);
+            EXPECT_FALSE(s.alerting);
+        } else {
+            EXPECT_EQ(s.tenant, "busy");
+            EXPECT_GT(s.short_burn, 1.0);
+            EXPECT_TRUE(s.alerting);
+        }
+    }
+    EXPECT_EQ(monitor.alertsFired(), 1u);
+    EXPECT_EQ(monitor.alertsActive(), 1u);
+}
+
+TEST(SloMonitorTest, FiresOnlyWhenBothWindowsBurn)
+{
+    // A brief miss spike saturates the short window but not yet the
+    // long one: no alert. Multi-window burn alerting exists precisely
+    // to ride out blips.
+    SloMonitor monitor;
+    SloSpec spec = testSpec();
+    monitor.setSpec("t", spec);
+    SimTime now = SimTime::millis(0);
+    // A 500 ms miss spike after 3 s of clean traffic: the short window
+    // is mostly misses (burn >> fire), but the long window still holds
+    // the preceding 200 on-time completions, so its burn stays under
+    // the fire threshold.
+    for (int i = 0; i < 200; ++i) {
+        now = now + SimTime::millis(15);
+        monitor.recordCompletion("t", now, SimTime::millis(10), false);
+    }
+    for (int i = 0; i < 25; ++i) {
+        now = now + SimTime::millis(20);
+        monitor.recordCompletion("t", now, SimTime::millis(500), false);
+    }
+    const auto statuses = monitor.snapshot(now);
+    ASSERT_EQ(statuses.size(), 1u);
+    EXPECT_GE(statuses[0].short_burn, spec.fire_burn);
+    EXPECT_LT(statuses[0].long_burn, spec.fire_burn);
+    EXPECT_FALSE(statuses[0].alerting);
+    EXPECT_EQ(monitor.alertsFired(), 0u);
+}
+
+TEST(SloMonitorTest, AlertHysteresisDoesNotFlap)
+{
+    SloMonitor monitor;
+    monitor.setSpec("t", testSpec());
+    SimTime now = SimTime::millis(0);
+    auto miss = [&](int n) {
+        for (int i = 0; i < n; ++i) {
+            now = now + SimTime::millis(20);
+            monitor.recordCompletion("t", now, SimTime::millis(500),
+                                     false);
+        }
+    };
+    auto hit = [&](int n) {
+        for (int i = 0; i < n; ++i) {
+            now = now + SimTime::millis(20);
+            monitor.recordCompletion("t", now, SimTime::millis(10),
+                                     false);
+        }
+    };
+    // Sustained misses: both windows saturate, the alert fires once.
+    miss(100);
+    EXPECT_EQ(monitor.alertsFired(), 1u);
+    EXPECT_EQ(monitor.alertsActive(), 1u);
+
+    // Mixed traffic keeping the burn between clear (1.0) and fire
+    // (2.0): the alert must neither clear nor re-fire — with a single
+    // threshold this regime would flap on every completion.
+    for (int round = 0; round < 30; ++round) {
+        miss(1);
+        hit(6);  // miss rate ~0.14 → burn ~1.4, inside the dead band
+        EXPECT_EQ(monitor.alertsFired(), 1u) << "round " << round;
+        EXPECT_EQ(monitor.alertsActive(), 1u) << "round " << round;
+    }
+
+    // Clean traffic drains both windows below clear_burn: one clear.
+    hit(300);
+    EXPECT_EQ(monitor.alertsActive(), 0u);
+    EXPECT_EQ(monitor.alertsFired(), 1u);
+
+    // A second sustained burn is a genuinely new incident.
+    miss(100);
+    EXPECT_EQ(monitor.alertsFired(), 2u);
+    EXPECT_EQ(monitor.alertsActive(), 1u);
+}
+
+TEST(SloMonitorTest, AlertSpansValidateUnderSpanTreeInvariants)
+{
+    TraceRecorder trace;
+    trace.enable();
+    SloMonitor monitor(&trace);
+    monitor.setSpec("t", testSpec());
+    SimTime now = SimTime::millis(0);
+    for (int i = 0; i < 100; ++i) {
+        now = now + SimTime::millis(20);
+        monitor.recordCompletion("t", now, SimTime::millis(500), false);
+    }
+    EXPECT_EQ(monitor.alertsFired(), 1u);
+    // Clear it, then leave a second alert open at finish: finish()
+    // must close it so the span tree stays well-formed.
+    for (int i = 0; i < 400; ++i) {
+        now = now + SimTime::millis(20);
+        monitor.recordCompletion("t", now, SimTime::millis(10), false);
+    }
+    EXPECT_EQ(monitor.alertsActive(), 0u);
+    for (int i = 0; i < 100; ++i) {
+        now = now + SimTime::millis(20);
+        monitor.recordCompletion("t", now, SimTime::millis(500), false);
+    }
+    EXPECT_EQ(monitor.alertsActive(), 1u);
+    monitor.finish(now);
+
+    const TraceModel model = modelFromRecorder(trace);
+    size_t alert_spans = 0;
+    for (const SpanRec& span : model.spans) {
+        if (span.category == "slo_alert") {
+            ++alert_spans;
+            EXPECT_EQ(span.name, "slo_alert:t");
+            EXPECT_GE(span.end_us, span.start_us);
+        }
+    }
+    EXPECT_EQ(alert_spans, 2u);
+    const auto violations = validateSpanTree(model);
+    for (const auto& v : violations)
+        ADD_FAILURE() << v;
+}
+
+TEST(SloMonitorTest, ExportersNameTenantsAndBudgets)
+{
+    SloMonitor monitor;
+    monitor.setSpec("t", testSpec());
+    monitor.recordCompletion("t", SimTime::millis(10),
+                             SimTime::millis(500), false);
+    const json::Value doc = monitor.toJson(SimTime::millis(10));
+    ASSERT_TRUE(doc.isArray());
+    ASSERT_EQ(doc.asArray().size(), 1u);
+    EXPECT_EQ(doc.asArray()[0].find("tenant")->asString(), "t");
+    EXPECT_EQ(doc.asArray()[0].find("missed")->asInt(), 1);
+
+    const std::string prom =
+        monitor.toPrometheusText(SimTime::millis(10));
+    EXPECT_NE(prom.find("faasflow_slo_burn_rate{tenant=\"t\","
+                        "window=\"short\"}"),
+              std::string::npos);
+    EXPECT_NE(prom.find("faasflow_slo_alerts_fired_total"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace faasflow::obs

@@ -334,6 +334,95 @@ TEST(WdlTest, DurabilityBlockParsesAndRejectsUnknownKeys)
     EXPECT_NE(bad_mode.error.find("durability.mode"), std::string::npos);
 }
 
+TEST(WdlTest, SloBlockParsesAndRejectsUnknownKeys)
+{
+    const WdlResult r = parseWdlYaml(
+        "name: x\n"
+        "slo:\n"
+        "  deadline_ms: 250\n"
+        "  target_p99_ms: 200\n"
+        "  miss_budget: 0.05\n"
+        "  short_window_ms: 500\n"
+        "  long_window_ms: 2000\n"
+        "  fire_burn: 3\n"
+        "  clear_burn: 1.5\n"
+        "steps:\n"
+        "  - task: a\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    ASSERT_TRUE(r.has_slo);
+    EXPECT_EQ(r.slo.deadline_ms, 250.0);
+    EXPECT_EQ(r.slo.target_p99_ms, 200.0);
+    EXPECT_EQ(r.slo.miss_budget, 0.05);
+    EXPECT_EQ(r.slo.short_window_ms, 500.0);
+    EXPECT_EQ(r.slo.long_window_ms, 2000.0);
+    EXPECT_EQ(r.slo.fire_burn, 3.0);
+    EXPECT_EQ(r.slo.clear_burn, 1.5);
+
+    const WdlResult defaults = parseWdlYaml(
+        "name: x\n"
+        "slo:\n"
+        "  deadline_ms: 100\n"
+        "steps:\n"
+        "  - task: a\n");
+    ASSERT_TRUE(defaults.ok()) << defaults.error;
+    EXPECT_EQ(defaults.slo.miss_budget, 0.01);
+    EXPECT_EQ(defaults.slo.long_window_ms, 10000.0);
+
+    // Like durability:, the block is a closed vocabulary — a misspelled
+    // knob must not silently loosen the objective.
+    const WdlResult bad = parseWdlYaml(
+        "name: x\n"
+        "slo:\n"
+        "  deadline_sec: 1\n"
+        "steps:\n"
+        "  - task: a\n");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.error.find("deadline_sec"), std::string::npos);
+}
+
+TEST(WdlTest, SloBlockValidatesRanges)
+{
+    const WdlResult neg_deadline = parseWdlYaml(
+        "name: x\n"
+        "slo:\n"
+        "  deadline_ms: 0\n"
+        "steps:\n"
+        "  - task: a\n");
+    ASSERT_FALSE(neg_deadline.ok());
+    EXPECT_NE(neg_deadline.error.find("deadline_ms"), std::string::npos);
+
+    const WdlResult bad_budget = parseWdlYaml(
+        "name: x\n"
+        "slo:\n"
+        "  miss_budget: 1.5\n"
+        "steps:\n"
+        "  - task: a\n");
+    ASSERT_FALSE(bad_budget.ok());
+    EXPECT_NE(bad_budget.error.find("miss_budget"), std::string::npos);
+
+    const WdlResult windows = parseWdlYaml(
+        "name: x\n"
+        "slo:\n"
+        "  short_window_ms: 5000\n"
+        "  long_window_ms: 1000\n"
+        "steps:\n"
+        "  - task: a\n");
+    ASSERT_FALSE(windows.ok());
+    EXPECT_NE(windows.error.find("short_window_ms"), std::string::npos);
+
+    // clear >= fire would re-arm the alert the moment it fired (flap);
+    // the hysteresis gap is enforced at parse time.
+    const WdlResult flap = parseWdlYaml(
+        "name: x\n"
+        "slo:\n"
+        "  fire_burn: 2\n"
+        "  clear_burn: 2\n"
+        "steps:\n"
+        "  - task: a\n");
+    ASSERT_FALSE(flap.ok());
+    EXPECT_NE(flap.error.find("clear_burn"), std::string::npos);
+}
+
 TEST(WdlTest, ForeachInsideForeachRejected)
 {
     const WdlResult r = parseWdlYaml(

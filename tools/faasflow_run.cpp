@@ -81,6 +81,10 @@ main(int argc, char** argv)
     flags.addBool("stats", false,
                   "print the recovery/durability counter table");
     flags.addString("trace", "", "write a Chrome trace to this file");
+    flags.addString("profile", "",
+                    "enable the online profiler and write the JSON "
+                    "profile dump (faasflow.profile.v1, for faasflow_top) "
+                    "to this file");
     flags.addString("telemetry", "",
                     "write resource telemetry to <prefix>.prom and "
                     "<prefix>.csv");
@@ -181,6 +185,8 @@ main(int argc, char** argv)
         }
     }
     config.telemetry_interval = SimTime::millis(flags.getDouble("sample-ms"));
+    if (!flags.getString("profile").empty())
+        config.profile_enabled = true;
 
     System system(config);
     // The attribution table under --stats needs the span tree too.
@@ -194,6 +200,21 @@ main(int argc, char** argv)
         // to the very first invocation (including warm-up traffic).
         std::printf("fault schedule:\n%s", wdl.faults.summary().c_str());
         system.installFaults(wdl.faults);
+    }
+
+    obs::SloSpec slo_spec;
+    if (wdl.has_slo) {
+        // The document's slo: block arms the burn-rate monitor; plain
+        // invoke() traffic reports under the implicit "default" tenant,
+        // load-block tenants are registered below once parsed.
+        slo_spec.deadline = SimTime::millis(wdl.slo.deadline_ms);
+        slo_spec.target_p99 = SimTime::millis(wdl.slo.target_p99_ms);
+        slo_spec.miss_budget = wdl.slo.miss_budget;
+        slo_spec.short_window = SimTime::millis(wdl.slo.short_window_ms);
+        slo_spec.long_window = SimTime::millis(wdl.slo.long_window_ms);
+        slo_spec.fire_burn = wdl.slo.fire_burn;
+        slo_spec.clear_burn = wdl.slo.clear_burn;
+        system.setTenantSlo("default", slo_spec);
     }
 
     const auto warmup = static_cast<size_t>(flags.getInt("warmup"));
@@ -231,6 +252,10 @@ main(int argc, char** argv)
             return 1;
         }
         const bool autoscale = lspec.autoscale;
+        if (wdl.has_slo) {
+            for (const auto& tenant : lspec.tenants)
+                system.setTenantSlo(tenant.name, slo_spec);
+        }
         driver = std::make_unique<load::LoadDriver>(
             system, std::move(lspec), config.seed + 1, name);
         driver->start();
@@ -311,6 +336,28 @@ main(int argc, char** argv)
                         static_cast<unsigned long long>(
                             scaler->stats().scale_down_total));
         }
+    }
+
+    if (system.sloMonitor().tenantCount() > 0) {
+        TextTable slo_table;
+        slo_table.setHeader({"tenant", "deadline", "completed", "missed",
+                             "short burn", "long burn", "alerts",
+                             "alerting"});
+        for (const auto& s :
+             system.sloMonitor().snapshot(system.simulator().now())) {
+            slo_table.addRow(
+                {s.tenant,
+                 strFormat("%.0f ms", s.spec.deadline.millisF()),
+                 strFormat("%llu", static_cast<unsigned long long>(s.total)),
+                 strFormat("%llu",
+                           static_cast<unsigned long long>(s.missed)),
+                 strFormat("%.2f", s.short_burn),
+                 strFormat("%.2f", s.long_burn),
+                 strFormat("%llu",
+                           static_cast<unsigned long long>(s.alerts_fired)),
+                 s.alerting ? "YES" : "no"});
+        }
+        std::printf("\n%s", slo_table.str().c_str());
     }
 
     if (flags.getBool("stats")) {
@@ -441,9 +488,50 @@ main(int argc, char** argv)
 
     if (!flags.getString("trace").empty()) {
         std::ofstream out(flags.getString("trace"));
-        out << system.trace().toChromeTraceText();
+        if (system.progressLog()) {
+            // Embed the progress-log batch stats as an extra top-level
+            // key; Chrome and trace_model ignore unknown keys, while
+            // faasflow_trace surfaces them as a table.
+            json::Value doc = system.trace().toChromeTrace();
+            const auto& ls = system.progressLog()->stats();
+            json::Value log_stats = json::Value::object();
+            log_stats.set("appends",
+                          json::Value(static_cast<int64_t>(ls.appends)));
+            log_stats.set("batches",
+                          json::Value(static_cast<int64_t>(ls.batches)));
+            log_stats.set("max_pending",
+                          json::Value(static_cast<int64_t>(ls.max_pending)));
+            log_stats.set("dropped_records",
+                          json::Value(static_cast<int64_t>(
+                              ls.dropped_records)));
+            log_stats.set("flushes_by_size",
+                          json::Value(static_cast<int64_t>(
+                              ls.flushes_by_size)));
+            log_stats.set("flushes_by_window",
+                          json::Value(static_cast<int64_t>(
+                              ls.flushes_by_window)));
+            json::Value hist = json::Value::array();
+            for (const uint64_t c : ls.batch_size_hist) {
+                hist.asArray().push_back(
+                    json::Value(static_cast<int64_t>(c)));
+            }
+            log_stats.set("batch_size_hist", std::move(hist));
+            doc.set("faasflowLogStats", std::move(log_stats));
+            out << doc.dump();
+        } else {
+            out << system.trace().toChromeTraceText();
+        }
         std::printf("\ntrace written to %s (open in chrome://tracing)\n",
                     flags.getString("trace").c_str());
+    }
+    if (!flags.getString("profile").empty()) {
+        json::Value dump = system.profile().toJson(system.simulator().now());
+        dump.set("slo",
+                 system.sloMonitor().toJson(system.simulator().now()));
+        std::ofstream out(flags.getString("profile"));
+        out << dump.dump(2);
+        std::printf("profile written to %s (inspect with faasflow_top)\n",
+                    flags.getString("profile").c_str());
     }
     if (!flags.getString("telemetry").empty()) {
         const std::string prefix = flags.getString("telemetry");

@@ -1,0 +1,528 @@
+/**
+ * @file
+ * `faasflow_top`: inspect an online-profiler dump (DESIGN.md §10.5).
+ *
+ *   faasflow_run --profile out.profile.json wf.yaml
+ *   faasflow_top out.profile.json            # full report
+ *   faasflow_top --check out.profile.json    # CI schema gate
+ *
+ * The report covers: the per-tenant SLO table (burn rates, misses,
+ * alert state), the hottest nodes by total execution time, the hottest
+ * edges by total transfer time, store-op latencies, and the top-K
+ * anomalies flagged by the rolling-baseline detector. `--check`
+ * validates the dump against the faasflow.profile.v1 schema — required
+ * keys, value kinds, histogram shape, anomaly kinds — and exits
+ * non-zero on any violation, so CI can gate on a malformed exporter.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "json/json.h"
+
+namespace {
+
+using namespace faasflow;
+
+std::string
+readFile(const std::string& path, std::string& error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open '" + path + "'";
+        return {};
+    }
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::string
+ms(double us)
+{
+    return strFormat("%.3f ms", us / 1000.0);
+}
+
+std::string
+mb(double bytes)
+{
+    return strFormat("%.2f MB", bytes / 1e6);
+}
+
+/* ---------------------------------------------------------------- *
+ *  Schema checker: faasflow.profile.v1
+ * ---------------------------------------------------------------- */
+
+class SchemaChecker
+{
+public:
+    std::vector<std::string> violations;
+
+    void fail(const std::string& what)
+    {
+        violations.push_back(what);
+    }
+
+    /** Looks up `key` in `obj` and checks its kind; nullptr on miss. */
+    const json::Value* require(const json::Value& obj, const char* where,
+                              const char* key, const char* kind)
+    {
+        if (!obj.isObject()) {
+            fail(strFormat("%s: not an object", where));
+            return nullptr;
+        }
+        const json::Value* v = obj.find(key);
+        if (!v) {
+            fail(strFormat("%s: missing key '%s'", where, key));
+            return nullptr;
+        }
+        const std::string k(kind);
+        const bool ok = (k == "string" && v->isString()) ||
+                        (k == "number" && v->isNumber()) ||
+                        (k == "bool" && v->isBool()) ||
+                        (k == "array" && v->isArray()) ||
+                        (k == "object" && v->isObject());
+        if (!ok) {
+            fail(strFormat("%s: key '%s' is not a %s", where, key, kind));
+            return nullptr;
+        }
+        return v;
+    }
+
+    /** A histogram summary: count/sum/max/mean/p50/p99 + bins array. */
+    void requireHist(const json::Value& obj, const char* where,
+                     const char* key)
+    {
+        if (!obj.isObject())
+            return;
+        const json::Value* h = require(obj, where, key, "object");
+        if (!h)
+            return;
+        const std::string at = strFormat("%s.%s", where, key);
+        for (const char* field : {"count", "sum", "max", "mean", "p50",
+                                  "p99"})
+            require(*h, at.c_str(), field, "number");
+        require(*h, at.c_str(), "bins", "array");
+    }
+
+    void checkRoot(const json::Value& root)
+    {
+        const json::Value* schema =
+            require(root, "root", "schema", "string");
+        if (schema && schema->asString() != "faasflow.profile.v1") {
+            fail(strFormat("root: schema is '%s', expected "
+                           "'faasflow.profile.v1'",
+                           schema->asString().c_str()));
+        }
+        require(root, "root", "now_us", "number");
+        const json::Value* digest =
+            require(root, "root", "digest", "string");
+        if (digest) {
+            const std::string& d = digest->asString();
+            const bool hex16 =
+                d.size() == 16 &&
+                d.find_first_not_of("0123456789abcdef") == std::string::npos;
+            if (!hex16)
+                fail("root: digest is not 16 lowercase hex digits");
+        }
+        require(root, "root", "node_samples", "number");
+        require(root, "root", "edge_samples", "number");
+        checkNodes(require(root, "root", "nodes", "array"));
+        checkEdges(require(root, "root", "edges", "array"));
+        checkTenants(require(root, "root", "tenants", "array"));
+        checkStoreOps(require(root, "root", "store_ops", "array"));
+        const json::Value* transfers =
+            require(root, "root", "transfers", "object");
+        if (transfers) {
+            require(*transfers, "transfers", "count", "number");
+            requireHist(*transfers, "transfers", "bytes");
+            requireHist(*transfers, "transfers", "latency_us");
+        }
+        checkAnomalies(require(root, "root", "anomalies", "array"));
+        checkSlo(root.find("slo"));
+    }
+
+private:
+    void checkNodes(const json::Value* nodes)
+    {
+        if (!nodes)
+            return;
+        size_t i = 0;
+        for (const json::Value& n : nodes->asArray()) {
+            const std::string at = strFormat("nodes[%zu]", i++);
+            require(n, at.c_str(), "workflow", "string");
+            require(n, at.c_str(), "node", "string");
+            require(n, at.c_str(), "runs", "number");
+            require(n, at.c_str(), "cold_starts", "number");
+            requireHist(n, at.c_str(), "exec_us");
+            requireHist(n, at.c_str(), "queue_us");
+            requireHist(n, at.c_str(), "sched_us");
+            requireHist(n, at.c_str(), "coldstart_us");
+        }
+    }
+
+    void checkEdges(const json::Value* edges)
+    {
+        if (!edges)
+            return;
+        size_t i = 0;
+        for (const json::Value& e : edges->asArray()) {
+            const std::string at = strFormat("edges[%zu]", i++);
+            require(e, at.c_str(), "workflow", "string");
+            require(e, at.c_str(), "edge", "number");
+            require(e, at.c_str(), "from", "string");
+            require(e, at.c_str(), "to", "string");
+            require(e, at.c_str(), "spec_bytes", "number");
+            require(e, at.c_str(), "local_hits", "number");
+            require(e, at.c_str(), "remote_hits", "number");
+            requireHist(e, at.c_str(), "bytes");
+            requireHist(e, at.c_str(), "latency_us");
+            const json::Value* w =
+                require(e, at.c_str(), "window", "object");
+            if (w) {
+                const std::string wat = at + ".window";
+                for (const char* field : {"span_us", "count",
+                                          "latency_sum_us", "bytes_sum",
+                                          "latency_max_us"})
+                    require(*w, wat.c_str(), field, "number");
+            }
+        }
+    }
+
+    void checkTenants(const json::Value* tenants)
+    {
+        if (!tenants)
+            return;
+        size_t i = 0;
+        for (const json::Value& t : tenants->asArray()) {
+            const std::string at = strFormat("tenants[%zu]", i++);
+            require(t, at.c_str(), "tenant", "string");
+            require(t, at.c_str(), "arrivals", "number");
+            require(t, at.c_str(), "completions", "number");
+            require(t, at.c_str(), "misses", "number");
+            requireHist(t, at.c_str(), "e2e_us");
+        }
+    }
+
+    void checkStoreOps(const json::Value* ops)
+    {
+        if (!ops)
+            return;
+        size_t i = 0;
+        for (const json::Value& o : ops->asArray()) {
+            const std::string at = strFormat("store_ops[%zu]", i++);
+            const json::Value* op = require(o, at.c_str(), "op", "string");
+            if (op) {
+                const std::string& name = op->asString();
+                if (name != "fetch_local" && name != "fetch_remote" &&
+                    name != "save_local" && name != "save_remote")
+                    fail(strFormat("%s: unknown op '%s'", at.c_str(),
+                                   name.c_str()));
+            }
+            requireHist(o, at.c_str(), "latency_us");
+            requireHist(o, at.c_str(), "bytes");
+        }
+    }
+
+    void checkAnomalies(const json::Value* anomalies)
+    {
+        if (!anomalies)
+            return;
+        size_t i = 0;
+        for (const json::Value& a : anomalies->asArray()) {
+            const std::string at = strFormat("anomalies[%zu]", i++);
+            const json::Value* kind =
+                require(a, at.c_str(), "kind", "string");
+            if (kind && kind->asString() != "bytes" &&
+                kind->asString() != "latency")
+                fail(strFormat("%s: unknown kind '%s'", at.c_str(),
+                               kind->asString().c_str()));
+            require(a, at.c_str(), "workflow", "string");
+            require(a, at.c_str(), "edge", "number");
+            require(a, at.c_str(), "from", "string");
+            require(a, at.c_str(), "to", "string");
+            const json::Value* factor =
+                require(a, at.c_str(), "factor", "number");
+            if (factor && factor->asDouble() < 1.0)
+                fail(strFormat("%s: deviation factor %.3f < 1", at.c_str(),
+                               factor->asDouble()));
+            require(a, at.c_str(), "observed", "number");
+            require(a, at.c_str(), "expected", "number");
+            require(a, at.c_str(), "window_start_us", "number");
+        }
+    }
+
+    void checkSlo(const json::Value* slo)
+    {
+        if (!slo)
+            return;  // optional: absent when no tenant carries an SLO
+        if (!slo->isArray()) {
+            fail("root: key 'slo' is not a array");
+            return;
+        }
+        size_t i = 0;
+        for (const json::Value& t : slo->asArray()) {
+            const std::string at = strFormat("slo[%zu]", i++);
+            require(t, at.c_str(), "tenant", "string");
+            require(t, at.c_str(), "deadline_us", "number");
+            const json::Value* budget =
+                require(t, at.c_str(), "miss_budget", "number");
+            if (budget && (budget->asDouble() <= 0.0 ||
+                           budget->asDouble() > 1.0))
+                fail(strFormat("%s: miss_budget %.4f outside (0, 1]",
+                               at.c_str(), budget->asDouble()));
+            require(t, at.c_str(), "total", "number");
+            require(t, at.c_str(), "missed", "number");
+            require(t, at.c_str(), "short_burn", "number");
+            require(t, at.c_str(), "long_burn", "number");
+            require(t, at.c_str(), "alerting", "bool");
+            require(t, at.c_str(), "alerts_fired", "number");
+        }
+    }
+};
+
+/* ---------------------------------------------------------------- *
+ *  Report tables (assume a dump that passed the schema check)
+ * ---------------------------------------------------------------- */
+
+double
+num(const json::Value& obj, const char* key, double fallback = 0.0)
+{
+    const json::Value* v = obj.isObject() ? obj.find(key) : nullptr;
+    return v && v->isNumber() ? v->asDouble() : fallback;
+}
+
+std::string
+str(const json::Value& obj, const char* key)
+{
+    const json::Value* v = obj.isObject() ? obj.find(key) : nullptr;
+    return v && v->isString() ? v->asString() : std::string();
+}
+
+double
+histNum(const json::Value& obj, const char* hist, const char* field)
+{
+    const json::Value* h = obj.isObject() ? obj.find(hist) : nullptr;
+    return h ? num(*h, field) : 0.0;
+}
+
+void
+printSloTable(const json::Value& root)
+{
+    const json::Value* slo = root.find("slo");
+    if (!slo || !slo->isArray() || slo->asArray().empty()) {
+        std::printf("no tenant carries an SLO (add a `slo:` block to the "
+                    "WDL)\n");
+        return;
+    }
+    TextTable table;
+    table.setHeader({"tenant", "deadline", "budget", "total", "missed",
+                     "burn(short)", "burn(long)", "alerts", "state"});
+    for (const json::Value& t : slo->asArray()) {
+        table.addRow({str(t, "tenant"), ms(num(t, "deadline_us")),
+                      strFormat("%.2f%%", num(t, "miss_budget") * 100.0),
+                      strFormat("%.0f", num(t, "total")),
+                      strFormat("%.0f", num(t, "missed")),
+                      strFormat("%.2f", num(t, "short_burn")),
+                      strFormat("%.2f", num(t, "long_burn")),
+                      strFormat("%.0f", num(t, "alerts_fired")),
+                      t.find("alerting") && t.find("alerting")->isBool() &&
+                              t.find("alerting")->asBool()
+                          ? "ALERTING"
+                          : "ok"});
+    }
+    std::printf("per-tenant SLO status:\n%s", table.str().c_str());
+}
+
+void
+printHotNodes(const json::Value& root, int top_k)
+{
+    const json::Value* nodes = root.find("nodes");
+    if (!nodes || !nodes->isArray() || nodes->asArray().empty())
+        return;
+    std::vector<const json::Value*> sorted;
+    for (const json::Value& n : nodes->asArray())
+        sorted.push_back(&n);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const json::Value* a, const json::Value* b) {
+                  return histNum(*a, "exec_us", "sum") >
+                         histNum(*b, "exec_us", "sum");
+              });
+    TextTable table;
+    table.setHeader({"workflow", "node", "runs", "cold", "exec total",
+                     "exec p50", "exec p99", "queue p99"});
+    const size_t k = std::min(sorted.size(), static_cast<size_t>(top_k));
+    for (size_t i = 0; i < k; ++i) {
+        const json::Value& n = *sorted[i];
+        table.addRow({str(n, "workflow"), str(n, "node"),
+                      strFormat("%.0f", num(n, "runs")),
+                      strFormat("%.0f", num(n, "cold_starts")),
+                      ms(histNum(n, "exec_us", "sum")),
+                      ms(histNum(n, "exec_us", "p50")),
+                      ms(histNum(n, "exec_us", "p99")),
+                      ms(histNum(n, "queue_us", "p99"))});
+    }
+    std::printf("\nhottest nodes (by total execution time):\n%s",
+                table.str().c_str());
+}
+
+void
+printHotEdges(const json::Value& root, int top_k)
+{
+    const json::Value* edges = root.find("edges");
+    if (!edges || !edges->isArray() || edges->asArray().empty())
+        return;
+    std::vector<const json::Value*> sorted;
+    for (const json::Value& e : edges->asArray())
+        sorted.push_back(&e);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const json::Value* a, const json::Value* b) {
+                  return histNum(*a, "latency_us", "sum") >
+                         histNum(*b, "latency_us", "sum");
+              });
+    TextTable table;
+    table.setHeader({"workflow", "edge", "xfers", "local", "bytes mean",
+                     "spec", "lat p50", "lat p99"});
+    const size_t k = std::min(sorted.size(), static_cast<size_t>(top_k));
+    for (size_t i = 0; i < k; ++i) {
+        const json::Value& e = *sorted[i];
+        const double xfers = histNum(e, "latency_us", "count");
+        const double local = num(e, "local_hits");
+        table.addRow({str(e, "workflow"),
+                      str(e, "from") + " -> " + str(e, "to"),
+                      strFormat("%.0f", xfers),
+                      xfers > 0
+                          ? strFormat("%.0f%%", 100.0 * local / xfers)
+                          : "-",
+                      mb(histNum(e, "bytes", "mean")),
+                      mb(num(e, "spec_bytes")),
+                      ms(histNum(e, "latency_us", "p50")),
+                      ms(histNum(e, "latency_us", "p99"))});
+    }
+    std::printf("\nhottest edges (by total transfer time):\n%s",
+                table.str().c_str());
+}
+
+void
+printAnomalies(const json::Value& root, int top_k)
+{
+    const json::Value* anomalies = root.find("anomalies");
+    const size_t total =
+        anomalies && anomalies->isArray() ? anomalies->asArray().size() : 0;
+    if (total == 0) {
+        std::printf("\nanomalies: none\n");
+        return;
+    }
+    TextTable table;
+    table.setHeader({"kind", "workflow", "edge", "factor", "observed",
+                     "expected", "window start"});
+    size_t shown = 0;
+    for (const json::Value& a : anomalies->asArray()) {
+        if (shown++ >= static_cast<size_t>(top_k))
+            break;
+        const bool is_bytes = str(a, "kind") == "bytes";
+        table.addRow({str(a, "kind"), str(a, "workflow"),
+                      str(a, "from") + " -> " + str(a, "to"),
+                      strFormat("%.1fx", num(a, "factor")),
+                      is_bytes ? mb(num(a, "observed"))
+                               : ms(num(a, "observed")),
+                      is_bytes ? mb(num(a, "expected"))
+                               : ms(num(a, "expected")),
+                      ms(num(a, "window_start_us"))});
+    }
+    std::printf("\ntop anomalies (%zu flagged, deviation factor vs "
+                "spec/baseline):\n%s",
+                total, table.str().c_str());
+}
+
+void
+printStoreOps(const json::Value& root)
+{
+    const json::Value* ops = root.find("store_ops");
+    if (!ops || !ops->isArray() || ops->asArray().empty())
+        return;
+    TextTable table;
+    table.setHeader({"store op", "count", "bytes total", "lat p50",
+                     "lat p99"});
+    for (const json::Value& o : ops->asArray()) {
+        table.addRow({str(o, "op"),
+                      strFormat("%.0f", histNum(o, "latency_us", "count")),
+                      mb(histNum(o, "bytes", "sum")),
+                      ms(histNum(o, "latency_us", "p50")),
+                      ms(histNum(o, "latency_us", "p99"))});
+    }
+    std::printf("\nstore operations:\n%s", table.str().c_str());
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    FlagParser flags;
+    flags.addBool("check", false,
+                  "schema gate: validate the dump against "
+                  "faasflow.profile.v1, non-zero exit on any violation");
+    flags.addInt("top", 5, "rows listed per hottest/anomaly table");
+
+    if (!flags.parse(argc, argv)) {
+        std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
+                     flags.usage("faasflow_top").c_str());
+        return 2;
+    }
+    if (flags.helpRequested() || flags.positional().size() != 1) {
+        std::fprintf(stderr, "%s", flags.usage("faasflow_top").c_str());
+        return flags.helpRequested() ? 0 : 2;
+    }
+
+    std::string error;
+    const std::string text = readFile(flags.positional()[0], error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    const json::ParseResult parsed = json::parse(text);
+    if (!parsed.ok()) {
+        std::fprintf(stderr,
+                     "error: profile is not valid JSON: %s (line %zu)\n",
+                     parsed.error.c_str(), parsed.line);
+        return 1;
+    }
+    const json::Value& root = *parsed.value;
+
+    SchemaChecker checker;
+    checker.checkRoot(root);
+    for (const auto& v : checker.violations)
+        std::fprintf(stderr, "schema violation: %s\n", v.c_str());
+
+    if (flags.getBool("check")) {
+        std::printf("%.0f node samples, %.0f edge samples, "
+                    "%zu anomalies: %s\n",
+                    num(root, "node_samples"), num(root, "edge_samples"),
+                    root.find("anomalies") &&
+                            root.find("anomalies")->isArray()
+                        ? root.find("anomalies")->asArray().size()
+                        : 0,
+                    checker.violations.empty() ? "clean"
+                                               : "VIOLATIONS FOUND");
+        return checker.violations.empty() ? 0 : 1;
+    }
+
+    std::printf("profile: digest %s, %.0f node samples, %.0f edge "
+                "samples, at %s\n\n",
+                str(root, "digest").c_str(), num(root, "node_samples"),
+                num(root, "edge_samples"), ms(num(root, "now_us")).c_str());
+    const int top_k = static_cast<int>(flags.getInt("top"));
+    printSloTable(root);
+    printHotNodes(root, top_k);
+    printHotEdges(root, top_k);
+    printAnomalies(root, top_k);
+    printStoreOps(root);
+    return checker.violations.empty() ? 0 : 1;
+}

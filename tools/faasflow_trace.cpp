@@ -141,6 +141,47 @@ printWorkerUtilisation(const obs::TraceModel& model)
 }
 
 void
+printLogStats(const json::Value& doc)
+{
+    // faasflow_run embeds progress-log batching stats as an extra
+    // top-level key (Chrome and modelFromChromeTrace ignore it).
+    const json::Value* stats = doc.find("faasflowLogStats");
+    if (!stats || !stats->isObject())
+        return;
+    auto field = [&](const char* key) -> std::string {
+        const json::Value* v = stats->find(key);
+        return v && v->isNumber()
+                   ? strFormat("%lld", static_cast<long long>(v->asInt()))
+                   : "-";
+    };
+    TextTable table;
+    table.setHeader({"appends", "batches", "max pending", "dropped",
+                     "by size", "by window"});
+    table.addRow({field("appends"), field("batches"), field("max_pending"),
+                  field("dropped_records"), field("flushes_by_size"),
+                  field("flushes_by_window")});
+    std::printf("\nprogress-log batching:\n%s", table.str().c_str());
+
+    const json::Value* hist = stats->find("batch_size_hist");
+    if (hist && hist->isArray()) {
+        static const char* const kBuckets[] = {"1", "2-4", "5-8", "9-16",
+                                               "17+"};
+        TextTable ht;
+        ht.setHeader({"batch size", "flushes"});
+        size_t i = 0;
+        for (const json::Value& v : hist->asArray()) {
+            if (i >= 5)
+                break;
+            ht.addRow({kBuckets[i++],
+                       v.isNumber() ? strFormat("%lld", static_cast<long long>(
+                                                            v.asInt()))
+                                    : "-"});
+        }
+        std::printf("%s", ht.str().c_str());
+    }
+}
+
+void
 printSlowestSpans(const obs::TraceModel& model, int top_k)
 {
     std::map<std::string, std::vector<const obs::SpanRec*>> by_category;
@@ -245,5 +286,6 @@ main(int argc, char** argv)
     }
     printWorkerUtilisation(model);
     printSlowestSpans(model, static_cast<int>(flags.getInt("top")));
+    printLogStats(*parsed.value);
     return violations.empty() && inexact == 0 ? 0 : 1;
 }

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Metric-name lint: every Prometheus metric the simulator exports must
+# be `faasflow_`-prefixed snake_case ([a-z0-9_] after the prefix).
+# Prefixed names keep the exposition greppable and collision-free when
+# scraped next to other jobs; snake_case is the Prometheus convention.
+#
+# Names are collected from the two places a metric family can be born:
+#   - registerGauge("<name>", ...) calls into the TelemetrySampler
+#   - literal `# TYPE <name> <kind>` exposition lines (exporters that
+#     format their own text, e.g. obs/profile.cc and obs/slo.cc)
+# Format placeholders (%s) in TYPE lines are skipped: those families
+# are fed from a name table that itself goes through this lint.
+#
+# Usage: tools/lint_metric_names.sh   (from the repo root)
+set -u
+
+fail=0
+names=$(
+    {
+        grep -rhoE 'registerGauge\(\s*"[^"]+"' src bench tools \
+            --include='*.cc' --include='*.h' --include='*.cpp' |
+            sed -E 's/.*"([^"]+)"/\1/'
+        grep -rhoE '"# TYPE [A-Za-z_:%][A-Za-z0-9_:%]* [a-z]+' \
+            src bench tools \
+            --include='*.cc' --include='*.h' --include='*.cpp' |
+            awk '{print $3}' | grep -v '%'
+        grep -rhoE 'family\(\s*"[^"]+"' src bench tools \
+            --include='*.cc' --include='*.h' --include='*.cpp' |
+            sed -E 's/.*"([^"]+)"/\1/'
+    } | LC_ALL=C sort -u
+)
+
+if [ -z "$names" ]; then
+    echo "FAIL: no exported metric names found — extraction patterns" \
+         "no longer match the code"
+    exit 1
+fi
+
+for name in $names; do
+    case "$name" in
+    faasflow_*) ;;
+    *)
+        echo "FAIL $name: exported metric missing faasflow_ prefix"
+        fail=1
+        continue
+        ;;
+    esac
+    if ! echo "$name" | grep -qE '^faasflow_[a-z0-9_]+$'; then
+        echo "FAIL $name: exported metric is not snake_case" \
+             "(expected ^faasflow_[a-z0-9_]+$)"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "metric-name lint failed"
+    exit 1
+fi
+echo "metric-name lint: ok ($(echo "$names" | wc -l) names)"
