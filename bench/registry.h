@@ -267,6 +267,7 @@ void registerFig13TailLatency(Registry&);
 void registerFig14Colocation(Registry&);
 void registerFig15Distribution(Registry&);
 void registerFig16SchedulerScalability(Registry&);
+void registerGeneratedDags(Registry&);
 void registerLoadSaturation(Registry&);
 void registerMicroSubstrates(Registry&);
 void registerPerfHotpaths(Registry&);

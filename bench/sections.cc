@@ -25,6 +25,7 @@ registerAllSections(Registry& registry)
     registerFig14Colocation(registry);
     registerFig15Distribution(registry);
     registerFig16SchedulerScalability(registry);
+    registerGeneratedDags(registry);
     registerLoadSaturation(registry);
     registerMicroSubstrates(registry);
     registerPerfHotpaths(registry);

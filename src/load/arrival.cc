@@ -16,6 +16,8 @@ ArrivalProcess::next(SimTime now, Rng& rng)
         return nextBursty(now, rng);
     case ArrivalKind::DiurnalRamp:
         return nextRamp(now, rng);
+    case ArrivalKind::Histogram:
+        return nextHistogram(now, rng);
     }
     return nextPoisson(now, rng);
 }
@@ -63,6 +65,45 @@ ArrivalProcess::nextBursty(SimTime now, Rng& rng)
         // The gap crosses the phase boundary: restart the memoryless
         // draw at the boundary under the next phase's rate.
         t = phase_end_;
+    }
+}
+
+SimTime
+ArrivalProcess::nextHistogram(SimTime now, Rng& rng)
+{
+    if (!origin_initialised_) {
+        origin_initialised_ = true;
+        origin_ = now;
+    }
+    const int64_t bin_us = spec_.bin.micros();
+    const int64_t bins =
+        static_cast<int64_t>(spec_.bin_rates_per_min.size());
+    const int64_t span_us = bin_us * bins;
+    SimTime t = now < origin_ ? origin_ : now;
+    for (;;) {
+        const int64_t offset_us = (t - origin_).micros();
+        if (!spec_.repeat && offset_us >= span_us) {
+            // Drained trace: never again. The driver's horizon check
+            // filters the sentinel before scheduling anything.
+            return SimTime::max();
+        }
+        const int64_t bin_index = offset_us / bin_us;
+        const SimTime bin_end =
+            origin_ + SimTime::micros((bin_index + 1) * bin_us);
+        const double rate = spec_.bin_rates_per_min[static_cast<size_t>(
+            bin_index % bins)];
+        if (rate <= 0.0) {
+            // Silent bin: no arrivals until it ends.
+            t = bin_end;
+            continue;
+        }
+        // Memoryless within the bin, restarted at each boundary — the
+        // same scheme nextBursty uses at phase boundaries.
+        const SimTime candidate =
+            t + SimTime::seconds(rng.exponential(meanGapSeconds(rate)));
+        if (candidate < bin_end)
+            return candidate > now ? candidate : now + SimTime::micros(1);
+        t = bin_end;
     }
 }
 

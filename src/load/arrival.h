@@ -21,6 +21,11 @@ namespace faasflow::load {
  *    against the peak rate, with the sinusoidal intensity
  *    rate(t) = base + (peak − base)·(1 − cos(2πt/period))/2 — the rate
  *    starts at `base` (trough) and peaks at period/2.
+ *  - Histogram: trace replay. Bins are anchored at the first next()
+ *    call; bin i arrives Poisson at bin_rates_per_min[i], draws restart
+ *    memorylessly at each bin boundary (same scheme as Bursty phases).
+ *    A drained non-repeating histogram returns SimTime::max(), which
+ *    the LoadDriver's horizon check discards.
  *
  * The generator consumes a bounded number of Rng draws per arrival and
  * never consults wall-clock state, so two processes built from equal
@@ -45,9 +50,14 @@ class ArrivalProcess
     bool on_phase_ = true;
     SimTime phase_end_;
 
+    // Histogram origin: bin 0 starts at the first next() call.
+    bool origin_initialised_ = false;
+    SimTime origin_;
+
     SimTime nextPoisson(SimTime now, Rng& rng) const;
     SimTime nextBursty(SimTime now, Rng& rng);
     SimTime nextRamp(SimTime now, Rng& rng) const;
+    SimTime nextHistogram(SimTime now, Rng& rng);
 };
 
 /** Seconds between arrivals at `rate_per_min` (helper for tests). */

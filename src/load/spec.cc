@@ -1,5 +1,7 @@
 #include "load/spec.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace faasflow::load {
@@ -27,11 +29,45 @@ parseArrival(const json::Value& node, ArrivalSpec& out, std::string& error)
         out.kind = ArrivalKind::Bursty;
     } else if (process == "ramp" || process == "diurnal") {
         out.kind = ArrivalKind::DiurnalRamp;
+    } else if (process == "histogram" || process == "trace") {
+        out.kind = ArrivalKind::Histogram;
     } else {
         error = strFormat("load: unknown arrival process '%s' "
-                          "(poisson|bursty|ramp)",
+                          "(poisson|bursty|ramp|histogram)",
                           process.c_str());
         return false;
+    }
+    if (out.kind == ArrivalKind::Histogram) {
+        out.bin = SimTime::millis(node.getOr("bin_ms", out.bin.millisF()));
+        if (out.bin <= SimTime::zero()) {
+            error = "load: histogram arrival needs bin_ms > 0";
+            return false;
+        }
+        const json::Value* rates = node.find("rates_per_min");
+        if (!rates || !rates->isArray() || rates->asArray().empty()) {
+            error = "load: histogram arrival needs a non-empty "
+                    "rates_per_min list";
+            return false;
+        }
+        out.bin_rates_per_min.clear();
+        double peak = 0.0;
+        for (const json::Value& rate : rates->asArray()) {
+            if (!rate.isNumber() || rate.asDouble() < 0.0) {
+                error = "load: histogram rates_per_min entries must be "
+                        "numbers >= 0";
+                return false;
+            }
+            out.bin_rates_per_min.push_back(rate.asDouble());
+            peak = std::max(peak, rate.asDouble());
+        }
+        if (peak <= 0.0) {
+            error = "load: histogram needs at least one positive rate";
+            return false;
+        }
+        out.repeat = node.getOr("repeat", out.repeat);
+        // Derived peak rate: keeps rate-keyed consumers meaningful.
+        out.rate_per_min = peak;
+        return true;
     }
     out.rate_per_min = node.getOr("rate_per_min", out.rate_per_min);
     if (out.rate_per_min <= 0.0) {

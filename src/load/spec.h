@@ -14,6 +14,7 @@ enum class ArrivalKind {
     Poisson,      ///< memoryless arrivals at a constant mean rate
     Bursty,       ///< on/off modulated Poisson (exponential phase lengths)
     DiurnalRamp,  ///< sinusoidal rate between base and peak (thinning)
+    Histogram,    ///< trace replay: piecewise-constant per-bin rates
 };
 
 /**
@@ -38,6 +39,17 @@ struct ArrivalSpec
     // i.e. one trough-to-peak-to-trough cycle every `period`.
     SimTime period = SimTime::seconds(60);
     double base_rate_per_min = 0.0;
+
+    // Histogram (trace replay): bin i spans [i·bin, (i+1)·bin) after the
+    // process's first observation and arrives Poisson at
+    // bin_rates_per_min[i]. With repeat=false a drained histogram emits
+    // no further arrivals (SimTime::max() sentinel — the driver's
+    // horizon check discards it); with repeat=true the bins loop.
+    // For Histogram, rate_per_min is derived (the peak bin rate) so
+    // autoscaling heuristics keyed on it stay meaningful.
+    SimTime bin = SimTime::seconds(60);
+    std::vector<double> bin_rates_per_min;
+    bool repeat = false;
 };
 
 /**
@@ -91,6 +103,9 @@ struct TenantSpec
  *       - name: diurnal
  *         arrival: {process: ramp, rate_per_min: 240,
  *                   base_rate_per_min: 10, period_ms: 20000}
+ *       - name: replayed                 # trace replay (load/trace.h)
+ *         arrival: {process: histogram, bin_ms: 60000,
+ *                   rates_per_min: [12, 80, 240, 30], repeat: false}
  */
 struct LoadSpec
 {

@@ -1,0 +1,174 @@
+#include "load/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace faasflow::load {
+
+namespace {
+
+/** Parses one count cell; returns false on non-numeric or negative. */
+bool
+parseCount(std::string_view cell, double& out)
+{
+    const std::string t(trim(cell));
+    if (t.empty())
+        return false;
+    char* end = nullptr;
+    const double v = std::strtod(t.c_str(), &end);
+    if (!end || *end != '\0' || end == t.c_str() || v < 0.0)
+        return false;
+    out = v;
+    return true;
+}
+
+}  // namespace
+
+SimTime
+TraceSpec::span() const
+{
+    size_t bins = 0;
+    for (const TraceApp& app : apps)
+        bins = std::max(bins, app.counts.size());
+    return SimTime::micros(bin.micros() * static_cast<int64_t>(bins));
+}
+
+TraceSpec
+parseTraceCsv(std::string_view csv, SimTime bin)
+{
+    TraceSpec trace;
+    trace.bin = bin;
+    if (bin <= SimTime::zero()) {
+        trace.error = "trace: bin width must be > 0";
+        return trace;
+    }
+    // Merge rows sharing an app name; remember first-seen order so the
+    // output is independent of map iteration details.
+    std::map<std::string, size_t> index;
+    bool first_data_row = true;
+    size_t line_no = 0;
+    for (const std::string& raw : split(csv, '\n')) {
+        ++line_no;
+        std::string_view line = trim(raw);
+        if (line.empty() || line.front() == '#')
+            continue;
+        const std::vector<std::string> cells = split(line, ',');
+        if (cells.size() < 2) {
+            trace.error = strFormat(
+                "trace: line %zu needs an app name and >= 1 count",
+                line_no);
+            return trace;
+        }
+        std::vector<double> counts;
+        bool numeric = true;
+        for (size_t i = 1; i < cells.size(); ++i) {
+            double v = 0.0;
+            if (!parseCount(cells[i], v)) {
+                numeric = false;
+                break;
+            }
+            counts.push_back(v);
+        }
+        if (!numeric) {
+            // A single leading non-numeric row is a header; anywhere
+            // else it is a malformed row.
+            if (first_data_row) {
+                first_data_row = false;
+                continue;
+            }
+            trace.error = strFormat(
+                "trace: line %zu has a non-numeric or negative count",
+                line_no);
+            return trace;
+        }
+        first_data_row = false;
+        const std::string name(trim(cells[0]));
+        if (name.empty()) {
+            trace.error =
+                strFormat("trace: line %zu has an empty app name", line_no);
+            return trace;
+        }
+        const auto [it, inserted] =
+            index.emplace(name, trace.apps.size());
+        if (inserted) {
+            trace.apps.push_back(TraceApp{name, std::move(counts)});
+        } else {
+            std::vector<double>& merged = trace.apps[it->second].counts;
+            if (merged.size() < counts.size())
+                merged.resize(counts.size(), 0.0);
+            for (size_t i = 0; i < counts.size(); ++i)
+                merged[i] += counts[i];
+        }
+    }
+    if (trace.apps.empty()) {
+        trace.error = "trace: no data rows";
+        return trace;
+    }
+    return trace;
+}
+
+LoadSpec
+traceToLoadSpec(const TraceSpec& trace, const TraceImportOptions& options)
+{
+    LoadSpec spec;
+    spec.present = true;
+    if (!trace.ok()) {
+        spec.error = trace.error;
+        return spec;
+    }
+    if (options.rate_scale <= 0.0) {
+        spec.error = "trace: rate_scale must be > 0";
+        return spec;
+    }
+    if (options.max_tenants < 0) {
+        spec.error = "trace: max_tenants must be >= 0";
+        return spec;
+    }
+
+    std::vector<const TraceApp*> selected;
+    for (const TraceApp& app : trace.apps)
+        selected.push_back(&app);
+    std::sort(selected.begin(), selected.end(),
+              [](const TraceApp* a, const TraceApp* b) {
+                  if (a->total() != b->total())
+                      return a->total() > b->total();
+                  return a->name < b->name;
+              });
+    if (options.max_tenants > 0 &&
+        selected.size() > static_cast<size_t>(options.max_tenants)) {
+        selected.resize(static_cast<size_t>(options.max_tenants));
+    }
+
+    const double bin_minutes = trace.bin.secondsF() / 60.0;
+    for (const TraceApp* app : selected) {
+        TenantSpec tenant;
+        tenant.name = app->name;
+        tenant.arrival.kind = ArrivalKind::Histogram;
+        tenant.arrival.bin = trace.bin;
+        tenant.arrival.repeat = options.repeat;
+        double peak = 0.0;
+        for (const double count : app->counts) {
+            const double rate =
+                count * options.rate_scale / bin_minutes;
+            tenant.arrival.bin_rates_per_min.push_back(rate);
+            peak = std::max(peak, rate);
+        }
+        if (peak <= 0.0)
+            continue;  // an all-zero app contributes no load
+        tenant.arrival.rate_per_min = peak;
+        spec.tenants.push_back(std::move(tenant));
+    }
+    if (spec.tenants.empty()) {
+        spec.error = "trace: every app histogram is all-zero";
+        return spec;
+    }
+    spec.horizon = options.horizon > SimTime::zero() ? options.horizon
+                                                     : trace.span();
+    spec.autoscale = options.autoscale;
+    return spec;
+}
+
+}  // namespace faasflow::load

@@ -1,0 +1,97 @@
+#ifndef FAASFLOW_LOAD_TRACE_H_
+#define FAASFLOW_LOAD_TRACE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "load/spec.h"
+
+namespace faasflow::load {
+
+/** One application's arrival histogram from a trace: invocation counts
+ *  per time bin. */
+struct TraceApp
+{
+    std::string name;
+    std::vector<double> counts;  ///< invocations per bin
+
+    double
+    total() const
+    {
+        double sum = 0.0;
+        for (const double c : counts)
+            sum += c;
+        return sum;
+    }
+};
+
+/**
+ * An imported invocation trace: per-app arrival histograms over a common
+ * bin width, in the style of the Azure Functions invocations-per-minute
+ * dataset (one row per app, one column per minute-of-day bin).
+ */
+struct TraceSpec
+{
+    SimTime bin = SimTime::seconds(60);
+    std::vector<TraceApp> apps;
+    std::string error;  ///< empty on success
+
+    bool ok() const { return error.empty(); }
+
+    /** Duration covered by the longest app histogram. */
+    SimTime span() const;
+};
+
+/**
+ * Parses an Azure-Functions-style per-app invocation-count CSV:
+ *
+ *   app,m1,m2,m3,...         # optional header row — recognised (and
+ *                            # skipped) when its count cells are
+ *                            # non-numeric; a first row of pure numbers
+ *                            # is data
+ *   frontend,12,80,240,30    # app name, then counts per bin
+ *   batcher,0,0,900,900
+ *
+ * Empty lines and `#` comment lines are ignored. Rows repeating an app
+ * name are merged by element-wise summation (the Azure dataset has one
+ * row per function; per-app load is the sum over its functions). Counts
+ * must be non-negative numbers; ragged rows are allowed (short rows are
+ * zero-padded when merged).
+ */
+TraceSpec parseTraceCsv(std::string_view csv,
+                        SimTime bin = SimTime::seconds(60));
+
+/** Knobs for turning a trace into an open-loop load scenario. */
+struct TraceImportOptions
+{
+    /** Multiplies every count (trace compression for short runs). */
+    double rate_scale = 1.0;
+
+    /** Keep only the N busiest apps (by total count); 0 keeps all.
+     *  Selection is deterministic: total descending, name ascending. */
+    int max_tenants = 0;
+
+    /** Loop the histograms past their end instead of going silent. */
+    bool repeat = false;
+
+    /** Arrival horizon; zero derives it from the trace span. */
+    SimTime horizon = SimTime::zero();
+
+    /** Enable the reactive autoscaler in the produced scenario. */
+    bool autoscale = false;
+};
+
+/**
+ * Converts a trace into a LoadSpec: one tenant per app, each with a
+ * Histogram arrival whose per-bin rates are counts/bin (scaled by
+ * rate_scale). The result feeds the existing LoadDriver unchanged —
+ * trace replay is just another arrival process.
+ */
+LoadSpec traceToLoadSpec(const TraceSpec& trace,
+                         const TraceImportOptions& options = {});
+
+}  // namespace faasflow::load
+
+#endif  // FAASFLOW_LOAD_TRACE_H_

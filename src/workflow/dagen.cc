@@ -1,0 +1,420 @@
+#include "workflow/dagen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "workflow/wdl.h"
+
+namespace faasflow::workflow {
+
+namespace {
+
+/** Builder state shared by the per-regime constructions. */
+struct Gen
+{
+    const GenSpec& spec;
+    Rng rng;
+    GeneratedWorkflow out;
+
+    Gen(const GenSpec& s, const std::string& name)
+        : spec(s),
+          rng(s.seed ^ fnv1a(regimeName(s.regime))),
+          out{Dag(name), {}, {}}
+    {
+    }
+
+    /** Draws the cost-class function specs (call before any structure). */
+    void
+    drawCostClasses()
+    {
+        for (int i = 0; i < spec.cost_classes; ++i) {
+            cluster::FunctionSpec f;
+            f.name = strFormat("c%d", i);
+            const double ms =
+                rng.lognormal(spec.exec_ms_mean, spec.exec_ms_sigma);
+            f.exec_mean = SimTime::micros(
+                std::max<int64_t>(1, std::llround(ms * 1000.0)));
+            f.exec_sigma = spec.jitter_sigma;
+            f.mem_provisioned =
+                static_cast<int64_t>(spec.mem_mb * 1e6);
+            f.mem_peak = static_cast<int64_t>(
+                spec.mem_mb * spec.peak_fraction * 1e6);
+            out.functions.push_back(std::move(f));
+        }
+    }
+
+    /** Adds a task node of the given cost class; returns its id. */
+    NodeId
+    addTask(const std::string& name, int cls)
+    {
+        DagNode node;
+        node.name = name;
+        node.function = out.functions[static_cast<size_t>(cls)].name;
+        node.kind = StepKind::Task;
+        node.exec_estimate =
+            out.functions[static_cast<size_t>(cls)].exec_mean;
+        return out.dag.addNode(std::move(node));
+    }
+
+    /** Adds a task node with a freshly drawn cost class. */
+    NodeId
+    addTask(const std::string& name)
+    {
+        return addTask(name, static_cast<int>(rng.uniformInt(
+                                 0, spec.cost_classes - 1)));
+    }
+
+    /** Draws one edge payload size from the lognormal byte model. */
+    int64_t
+    drawBytes()
+    {
+        const double kb =
+            rng.lognormal(spec.edge_kb_mean, spec.edge_kb_sigma);
+        return std::max<int64_t>(1, std::llround(kb * 1000.0));
+    }
+
+    /** Adds an edge with a drawn payload and the parser's seed weight. */
+    void
+    addEdge(NodeId from, NodeId to)
+    {
+        const int64_t bytes = drawBytes();
+        out.dag.addEdge(from, to, bytes,
+                        SimTime::seconds(static_cast<double>(bytes) /
+                                         kInitialBandwidthEstimate));
+    }
+};
+
+void
+buildChain(Gen& g)
+{
+    NodeId prev = g.addTask("t0");
+    for (int i = 1; i < g.spec.nodes; ++i) {
+        const NodeId cur = g.addTask(strFormat("t%d", i));
+        g.addEdge(prev, cur);
+        prev = cur;
+    }
+}
+
+void
+buildFanOut(Gen& g)
+{
+    const int n = g.spec.nodes;
+    const NodeId src = g.addTask("t0");
+    std::vector<NodeId> mids;
+    for (int i = 1; i <= n - 2; ++i)
+        mids.push_back(g.addTask(strFormat("t%d", i)));
+    const NodeId sink = g.addTask(strFormat("t%d", n - 1));
+    for (const NodeId mid : mids) {
+        g.addEdge(src, mid);
+        g.addEdge(mid, sink);
+    }
+}
+
+void
+buildDiamond(Gen& g)
+{
+    int idx = 0;
+    NodeId cur = g.addTask(strFormat("t%d", idx++));
+    int remaining = g.spec.nodes - 1;
+    while (remaining > 0) {
+        if (remaining >= 3) {
+            // One diamond: a fan-out stage of w nodes closed by a join.
+            // w <= remaining - 1 always leaves room for the join, so the
+            // node count stays exact.
+            const int cap =
+                std::min(g.spec.width_max, remaining - 1);
+            const int w = static_cast<int>(g.rng.uniformInt(2, cap));
+            std::vector<NodeId> stage;
+            for (int i = 0; i < w; ++i) {
+                const NodeId node = g.addTask(strFormat("t%d", idx++));
+                g.addEdge(cur, node);
+                stage.push_back(node);
+            }
+            const NodeId join = g.addTask(strFormat("t%d", idx++));
+            for (const NodeId node : stage)
+                g.addEdge(node, join);
+            cur = join;
+            remaining -= w + 1;
+        } else {
+            // Too few nodes left for a diamond: chain out the tail.
+            while (remaining > 0) {
+                const NodeId node = g.addTask(strFormat("t%d", idx++));
+                g.addEdge(cur, node);
+                cur = node;
+                --remaining;
+            }
+        }
+    }
+}
+
+void
+buildLayeredRandom(Gen& g)
+{
+    // Layer 0 is a single root, so every node is reachable from it via
+    // its parent chain — connectivity by construction, no repair passes.
+    std::vector<std::vector<NodeId>> layers;
+    layers.push_back({g.addTask("t0")});
+    int assigned = 1;
+    int idx = 1;
+    std::set<std::pair<NodeId, NodeId>> present;
+    while (assigned < g.spec.nodes) {
+        int w = static_cast<int>(
+            g.rng.uniformInt(g.spec.width_min, g.spec.width_max));
+        w = std::min(w, g.spec.nodes - assigned);
+        const std::vector<NodeId>& prev = layers.back();
+        std::vector<NodeId> layer;
+        for (int i = 0; i < w; ++i) {
+            const NodeId node = g.addTask(strFormat("t%d", idx++));
+            const NodeId parent = prev[static_cast<size_t>(g.rng.uniformInt(
+                0, static_cast<int64_t>(prev.size()) - 1))];
+            g.addEdge(parent, node);
+            present.insert({parent, node});
+            layer.push_back(node);
+        }
+        layers.push_back(std::move(layer));
+        assigned += w;
+    }
+
+    // Optional extra adjacent-layer edges, in fixed iteration order so
+    // the draw sequence is a pure function of the spec.
+    for (size_t l = 0; l + 1 < layers.size(); ++l) {
+        for (const NodeId u : layers[l]) {
+            for (const NodeId v : layers[l + 1]) {
+                if (present.count({u, v}))
+                    continue;
+                if (g.rng.uniform() < g.spec.edge_density) {
+                    g.addEdge(u, v);
+                    present.insert({u, v});
+                }
+            }
+        }
+    }
+
+    // A childless node in a non-final layer would be an accidental sink;
+    // give it one forward child so sinks only live in the last layer.
+    for (size_t l = 0; l + 1 < layers.size(); ++l) {
+        const std::vector<NodeId>& next = layers[l + 1];
+        for (const NodeId u : layers[l]) {
+            if (!g.out.dag.outEdges(u).empty())
+                continue;
+            const NodeId v = next[static_cast<size_t>(g.rng.uniformInt(
+                0, static_cast<int64_t>(next.size()) - 1))];
+            g.addEdge(u, v);
+            present.insert({u, v});
+        }
+    }
+}
+
+void
+buildMontage(Gen& g)
+{
+    // Montage-like mosaic pipeline (3p + 6 nodes for p projections):
+    //   hdr -> project_i -> diff_i (pairwise) -> concat -> bgmodel
+    //   bgmodel -> background_i  (plus project_i -> background_i, the
+    //   two-phase reduction: each correction re-reads its projection)
+    //   background_i -> imgtbl -> add -> shrink -> jpeg
+    const int n = g.spec.nodes;
+    const int p = std::max(2, (n - 6 + 2) / 3);
+    const int k = g.spec.cost_classes;
+    const auto cls = [k](int role) { return role % k; };
+
+    const NodeId hdr = g.addTask("hdr", cls(3));
+    std::vector<NodeId> project, background;
+    for (int i = 0; i < p; ++i) {
+        const NodeId node = g.addTask(strFormat("project_%d", i), cls(0));
+        g.addEdge(hdr, node);
+        project.push_back(node);
+    }
+    std::vector<NodeId> diff;
+    for (int i = 0; i + 1 < p; ++i) {
+        const NodeId node = g.addTask(strFormat("diff_%d", i), cls(1));
+        g.addEdge(project[static_cast<size_t>(i)], node);
+        g.addEdge(project[static_cast<size_t>(i) + 1], node);
+        diff.push_back(node);
+    }
+    const NodeId concat = g.addTask("concat", cls(3));
+    for (const NodeId node : diff)
+        g.addEdge(node, concat);
+    const NodeId bgmodel = g.addTask("bgmodel", cls(3));
+    g.addEdge(concat, bgmodel);
+    for (int i = 0; i < p; ++i) {
+        const NodeId node =
+            g.addTask(strFormat("background_%d", i), cls(2));
+        g.addEdge(bgmodel, node);
+        g.addEdge(project[static_cast<size_t>(i)], node);
+        background.push_back(node);
+    }
+    const NodeId imgtbl = g.addTask("imgtbl", cls(3));
+    for (const NodeId node : background)
+        g.addEdge(node, imgtbl);
+    const NodeId add = g.addTask("add", cls(3));
+    g.addEdge(imgtbl, add);
+    const NodeId shrink = g.addTask("shrink", cls(3));
+    g.addEdge(add, shrink);
+    const NodeId jpeg = g.addTask("jpeg", cls(3));
+    g.addEdge(shrink, jpeg);
+}
+
+std::string
+checkSpec(const GenSpec& spec)
+{
+    if (spec.nodes < regimeMinNodes(spec.regime)) {
+        return strFormat("regime %s needs at least %d nodes (got %d)",
+                         regimeName(spec.regime),
+                         regimeMinNodes(spec.regime), spec.nodes);
+    }
+    if (spec.width_min < 1)
+        return "width_min must be >= 1";
+    if (spec.width_max < spec.width_min)
+        return "width_max must be >= width_min";
+    if (spec.edge_density < 0.0 || spec.edge_density > 1.0)
+        return "edge_density must lie in [0, 1]";
+    if (spec.edge_kb_mean <= 0.0)
+        return "edge_kb_mean must be > 0";
+    if (spec.edge_kb_sigma < 0.0)
+        return "edge_kb_sigma must be >= 0";
+    if (spec.cost_classes < 1)
+        return "cost_classes must be >= 1";
+    if (spec.exec_ms_mean <= 0.0)
+        return "exec_ms_mean must be > 0";
+    if (spec.exec_ms_sigma < 0.0)
+        return "exec_ms_sigma must be >= 0";
+    if (spec.jitter_sigma < 0.0)
+        return "jitter_sigma must be >= 0";
+    if (spec.mem_mb <= 0.0)
+        return "mem_mb must be > 0";
+    if (spec.peak_fraction <= 0.0 || spec.peak_fraction > 1.0)
+        return "peak_fraction must lie in (0, 1]";
+    return {};
+}
+
+}  // namespace
+
+const char*
+regimeName(Regime regime)
+{
+    switch (regime) {
+      case Regime::Chain: return "chain";
+      case Regime::FanOut: return "fanout";
+      case Regime::Diamond: return "diamond";
+      case Regime::LayeredRandom: return "layered";
+      case Regime::Montage: return "montage";
+    }
+    return "unknown";
+}
+
+bool
+regimeFromName(const std::string& name, Regime& out)
+{
+    for (const Regime regime : allRegimes()) {
+        if (name == regimeName(regime)) {
+            out = regime;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<Regime>
+allRegimes()
+{
+    return {Regime::Chain, Regime::FanOut, Regime::Diamond,
+            Regime::LayeredRandom, Regime::Montage};
+}
+
+int
+regimeMinNodes(Regime regime)
+{
+    switch (regime) {
+      case Regime::FanOut: return 3;
+      default: return 1;
+    }
+}
+
+GeneratedWorkflow
+generate(const GenSpec& spec, const std::string& name)
+{
+    const std::string dag_name =
+        name.empty() ? strFormat("gen-%s-s%llu-n%d", regimeName(spec.regime),
+                                 static_cast<unsigned long long>(spec.seed),
+                                 spec.nodes)
+                     : name;
+    Gen g(spec, dag_name);
+    g.out.error = checkSpec(spec);
+    if (!g.out.error.empty())
+        return std::move(g.out);
+
+    g.drawCostClasses();
+    switch (spec.regime) {
+      case Regime::Chain: buildChain(g); break;
+      case Regime::FanOut: buildFanOut(g); break;
+      case Regime::Diamond: buildDiamond(g); break;
+      case Regime::LayeredRandom: buildLayeredRandom(g); break;
+      case Regime::Montage: buildMontage(g); break;
+    }
+    return std::move(g.out);
+}
+
+bool
+genSpecFromJson(const json::Value& block, GenSpec& out, std::string& error)
+{
+    if (!block.isObject()) {
+        error = "'generate' must be a mapping";
+        return false;
+    }
+    // Closed vocabulary: a misspelled knob silently reverting to its
+    // default would change the generated workload without any signal.
+    for (const auto& [key, value] : block.asObject()) {
+        if (key != "regime" && key != "seed" && key != "nodes" &&
+            key != "width_min" && key != "width_max" &&
+            key != "edge_density" && key != "edge_kb_mean" &&
+            key != "edge_kb_sigma" && key != "cost_classes" &&
+            key != "exec_ms_mean" && key != "exec_ms_sigma" &&
+            key != "jitter_sigma" && key != "mem_mb" &&
+            key != "peak_fraction") {
+            error = "unknown 'generate' key '" + key + "'";
+            return false;
+        }
+    }
+    GenSpec spec;
+    const std::string regime = block.getOr("regime", std::string());
+    if (regime.empty()) {
+        error = "'generate' needs a 'regime'";
+        return false;
+    }
+    if (!regimeFromName(regime, spec.regime)) {
+        error = "unknown regime '" + regime +
+                "' (expected chain/fanout/diamond/layered/montage)";
+        return false;
+    }
+    spec.seed = static_cast<uint64_t>(block.getOr("seed", int64_t{1}));
+    spec.nodes =
+        static_cast<int>(block.getOr("nodes", int64_t{spec.nodes}));
+    spec.width_min =
+        static_cast<int>(block.getOr("width_min", int64_t{spec.width_min}));
+    spec.width_max =
+        static_cast<int>(block.getOr("width_max", int64_t{spec.width_max}));
+    spec.edge_density = block.getOr("edge_density", spec.edge_density);
+    spec.edge_kb_mean = block.getOr("edge_kb_mean", spec.edge_kb_mean);
+    spec.edge_kb_sigma = block.getOr("edge_kb_sigma", spec.edge_kb_sigma);
+    spec.cost_classes = static_cast<int>(
+        block.getOr("cost_classes", int64_t{spec.cost_classes}));
+    spec.exec_ms_mean = block.getOr("exec_ms_mean", spec.exec_ms_mean);
+    spec.exec_ms_sigma = block.getOr("exec_ms_sigma", spec.exec_ms_sigma);
+    spec.jitter_sigma = block.getOr("jitter_sigma", spec.jitter_sigma);
+    spec.mem_mb = block.getOr("mem_mb", spec.mem_mb);
+    spec.peak_fraction = block.getOr("peak_fraction", spec.peak_fraction);
+    const std::string check = checkSpec(spec);
+    if (!check.empty()) {
+        error = check;
+        return false;
+    }
+    out = spec;
+    return true;
+}
+
+}  // namespace faasflow::workflow

@@ -1,0 +1,116 @@
+#ifndef FAASFLOW_WORKFLOW_DAGEN_H_
+#define FAASFLOW_WORKFLOW_DAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/function.h"
+#include "json/json.h"
+#include "workflow/dag.h"
+
+namespace faasflow::workflow {
+
+/**
+ * Named structural regimes the seeded DAG generator can produce. Each
+ * regime stresses a different scheduler behaviour (fan-out pressure,
+ * chain latency accumulation, join synchronisation, irregular layering,
+ * Montage-style two-phase reduction at scale).
+ */
+enum class Regime {
+    Chain,          ///< t0 -> t1 -> ... -> tn-1
+    FanOut,         ///< one source, n-2 parallel workers, one sink
+    Diamond,        ///< repeated [fan-out stage -> join] diamonds
+    LayeredRandom,  ///< random layer widths, random cross-layer wiring
+    Montage         ///< Montage-like mosaic: project/diff/bg two-phase
+                    ///< reduction (3p + 6 nodes for p projections)
+};
+
+/** Stable lowercase name of a regime ("chain", "fanout", ...). */
+const char* regimeName(Regime regime);
+
+/** Inverse of regimeName; returns false on unknown names. */
+bool regimeFromName(const std::string& name, Regime& out);
+
+/** All regimes, in declaration order (for grids and CLIs). */
+std::vector<Regime> allRegimes();
+
+/**
+ * Parameters of one generated workflow. Generation is a pure function of
+ * this struct: the same (seed, spec) always yields a bit-identical DAG,
+ * function set, and emitted WDL document, on every platform.
+ *
+ * `nodes` is exact for chain/fanout/diamond/layered-random; montage
+ * rounds up to the smallest 3p + 6 >= nodes (its structure is quantised
+ * by the projection count p).
+ */
+struct GenSpec
+{
+    Regime regime = Regime::LayeredRandom;
+    uint64_t seed = 1;
+    int nodes = 16;
+
+    /** Layer width bounds (layered-random) / stage width cap (diamond). */
+    int width_min = 2;
+    int width_max = 8;
+
+    /** Probability of each optional extra adjacent-layer edge
+     *  (layered-random only). */
+    double edge_density = 0.25;
+
+    /** Lognormal edge payload model: target mean in KB and the sigma of
+     *  the underlying normal. */
+    double edge_kb_mean = 512.0;
+    double edge_kb_sigma = 0.75;
+
+    /** Per-node cost model: `cost_classes` function specs are drawn
+     *  lognormal(exec_ms_mean, exec_ms_sigma); each task references one
+     *  class. jitter_sigma is the runtime lognormal jitter per call. */
+    int cost_classes = 4;
+    double exec_ms_mean = 80.0;
+    double exec_ms_sigma = 0.6;
+    double jitter_sigma = 0.08;
+
+    /** Container memory model shared by all generated functions. */
+    double mem_mb = 256.0;
+    double peak_fraction = 0.5;
+};
+
+/** A generated workflow: the DAG plus the function specs it references. */
+struct GeneratedWorkflow
+{
+    Dag dag;
+    std::vector<cluster::FunctionSpec> functions;
+    std::string error;  ///< empty on success
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Generates a workflow from a spec. Deterministic: the node list, edge
+ * list, payload bytes, and function specs depend only on (spec.seed,
+ * spec). Pass `name` to override the derived DAG name
+ * ("gen-<regime>-s<seed>-n<nodes>").
+ *
+ * Structural guarantees (asserted by tests/test_dagen.cpp):
+ *  - acyclic and connected, for every regime;
+ *  - chain/fanout/diamond/montage: exactly one source and one sink;
+ *  - layered-random: exactly one source (the root), >= 1 sinks;
+ *  - exact node count except montage (rounded up to 3p + 6).
+ */
+GeneratedWorkflow generate(const GenSpec& spec, const std::string& name = "");
+
+/** Smallest node count a regime can express. */
+int regimeMinNodes(Regime regime);
+
+/**
+ * Parses a WDL `generate:` block into a GenSpec. Closed vocabulary —
+ * unknown keys are an error, not a silent default. Returns false and
+ * sets `error` on invalid input.
+ */
+bool genSpecFromJson(const json::Value& block, GenSpec& out,
+                     std::string& error);
+
+}  // namespace faasflow::workflow
+
+#endif  // FAASFLOW_WORKFLOW_DAGEN_H_

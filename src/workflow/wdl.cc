@@ -1,10 +1,15 @@
 #include "workflow/wdl.h"
 
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
 #include <map>
 
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/units.h"
+#include "workflow/analysis.h"
+#include "workflow/dagen.h"
 #include "yamllite/yaml.h"
 
 namespace faasflow::workflow {
@@ -59,6 +64,8 @@ class WdlParser
 
     std::string uniqueName(const std::string& base);
     bool parseFunctions(const Value* funcs);
+    bool parseDag(const Value& block);
+    bool parseGenerate(const Value& block, const std::string& doc_name);
     bool parseFaults(const Value* faults);
     bool parseCluster(const Value* cluster);
     bool parseDurability(const Value* durability);
@@ -188,6 +195,28 @@ WdlParser::parseFunctions(const Value* funcs)
         spec.failure_rate = f.getOr("failure_rate", 0.0);
         if (spec.failure_rate < 0.0 || spec.failure_rate >= 1.0)
             return fail("failure_rate must be in [0, 1) for " + spec.name);
+        // Exact-unit keys override the human-friendly ms/mb forms. The
+        // mb -> bytes conversion truncates, so a document emitted from a
+        // parsed spec could drift by a byte per round trip; emitWdl
+        // writes these keys to keep round trips byte-exact.
+        if (const Value* v = f.find("exec_us")) {
+            if (!v->isInt() || v->asInt() < 1)
+                return fail("'exec_us' must be a positive integer for " +
+                            spec.name);
+            spec.exec_mean = SimTime::micros(v->asInt());
+        }
+        if (const Value* v = f.find("mem_bytes")) {
+            if (!v->isInt() || v->asInt() < 1)
+                return fail("'mem_bytes' must be a positive integer for " +
+                            spec.name);
+            spec.mem_provisioned = v->asInt();
+        }
+        if (const Value* v = f.find("peak_bytes")) {
+            if (!v->isInt() || v->asInt() < 1)
+                return fail("'peak_bytes' must be a positive integer for " +
+                            spec.name);
+            spec.mem_peak = v->asInt();
+        }
         exec_estimates_[spec.name] = spec.exec_mean;
         result_.functions.push_back(std::move(spec));
     }
@@ -424,6 +453,157 @@ WdlParser::parseSlo(const Value* slo)
 }
 
 bool
+WdlParser::parseDag(const Value& block)
+{
+    if (!block.isObject())
+        return fail("'dag' must be a mapping");
+    for (const auto& [key, value] : block.asObject()) {
+        if (key != "nodes" && key != "edges")
+            return fail("unknown 'dag' key '" + key +
+                        "' (expected nodes/edges)");
+    }
+    const Value* nodes = block.find("nodes");
+    if (!nodes || !nodes->isArray() || nodes->asArray().empty())
+        return fail("'dag' needs a non-empty 'nodes' list");
+    for (const Value& n : nodes->asArray()) {
+        if (!n.isObject())
+            return fail("each dag node must be a mapping");
+        for (const auto& [key, value] : n.asObject()) {
+            if (key != "name" && key != "function" && key != "kind" &&
+                key != "foreach_width" && key != "switch_id" &&
+                key != "switch_branch") {
+                return fail("unknown dag node key '" + key +
+                            "' (expected name/function/kind/foreach_width/"
+                            "switch_id/switch_branch)");
+            }
+        }
+        DagNode node;
+        node.name = n.getOr("name", std::string());
+        if (node.name.empty())
+            return fail("dag node needs a name");
+        if (result_.dag.findByName(node.name) != -1)
+            return fail("duplicate dag node name '" + node.name + "'");
+        const std::string kind = n.getOr("kind", std::string("task"));
+        if (kind == "task") {
+            node.kind = StepKind::Task;
+        } else if (kind == "virtual_start") {
+            node.kind = StepKind::VirtualStart;
+        } else if (kind == "virtual_end") {
+            node.kind = StepKind::VirtualEnd;
+        } else {
+            return fail("unknown dag node kind '" + kind +
+                        "' (expected task/virtual_start/virtual_end)");
+        }
+        node.function = n.getOr("function", std::string());
+        if (node.isTask() && node.function.empty())
+            return fail("dag task node '" + node.name +
+                        "' needs a function");
+        if (!node.isTask() && !node.function.empty())
+            return fail("virtual dag node '" + node.name +
+                        "' cannot carry a function");
+        node.foreach_width = static_cast<int>(
+            n.getOr("foreach_width", int64_t{1}));
+        if (node.foreach_width < 1)
+            return fail("dag node 'foreach_width' must be >= 1");
+        node.switch_id =
+            static_cast<int>(n.getOr("switch_id", int64_t{-1}));
+        node.switch_branch =
+            static_cast<int>(n.getOr("switch_branch", int64_t{-1}));
+        if (node.isTask()) {
+            const auto it = exec_estimates_.find(node.function);
+            node.exec_estimate = it != exec_estimates_.end()
+                                     ? it->second
+                                     : SimTime::millis(100);
+        }
+        result_.dag.addNode(std::move(node));
+    }
+    if (const Value* edges = block.find("edges")) {
+        if (!edges->isArray())
+            return fail("'dag.edges' must be a list");
+        for (const Value& e : edges->asArray()) {
+            if (!e.isObject())
+                return fail("each dag edge must be a mapping");
+            for (const auto& [key, value] : e.asObject()) {
+                if (key != "from" && key != "to" && key != "bytes" &&
+                    key != "payload") {
+                    return fail("unknown dag edge key '" + key +
+                                "' (expected from/to/bytes/payload)");
+                }
+            }
+            const std::string from_name = e.getOr("from", std::string());
+            const std::string to_name = e.getOr("to", std::string());
+            const NodeId from = result_.dag.findByName(from_name);
+            const NodeId to = result_.dag.findByName(to_name);
+            if (from == -1)
+                return fail("dag edge 'from' names unknown node '" +
+                            from_name + "'");
+            if (to == -1)
+                return fail("dag edge 'to' names unknown node '" +
+                            to_name + "'");
+            if (from == to)
+                return fail("dag edge endpoints must differ ('" +
+                            from_name + "')");
+            std::vector<DataItem> payload;
+            if (const Value* items = e.find("payload")) {
+                if (e.find("bytes"))
+                    return fail("dag edge takes 'bytes' or 'payload', "
+                                "not both");
+                if (!items->isArray())
+                    return fail("dag edge 'payload' must be a list");
+                for (const Value& item : items->asArray()) {
+                    if (!item.isObject())
+                        return fail("each payload item must be a mapping");
+                    const std::string origin_name =
+                        item.getOr("origin", std::string());
+                    const NodeId origin =
+                        result_.dag.findByName(origin_name);
+                    if (origin == -1)
+                        return fail("payload 'origin' names unknown "
+                                    "node '" + origin_name + "'");
+                    const int64_t bytes =
+                        item.getOr("bytes", int64_t{0});
+                    if (bytes < 0)
+                        return fail("payload 'bytes' must be >= 0");
+                    payload.push_back(DataItem{origin, bytes});
+                }
+            } else {
+                const int64_t bytes = e.getOr("bytes", int64_t{0});
+                if (bytes < 0)
+                    return fail("dag edge 'bytes' must be >= 0");
+                if (bytes > 0)
+                    payload.push_back(DataItem{from, bytes});
+            }
+            result_.dag.addEdgeWithPayload(from, to, std::move(payload));
+            const size_t idx = result_.dag.edgeCount() - 1;
+            result_.dag.edge(idx).weight =
+                seedWeight(result_.dag.edge(idx).payload);
+        }
+    }
+    const ValidationResult check = validate(result_.dag);
+    if (!check.ok)
+        return fail("invalid 'dag': " + check.error);
+    return true;
+}
+
+bool
+WdlParser::parseGenerate(const Value& block, const std::string& doc_name)
+{
+    GenSpec spec;
+    std::string error;
+    if (!genSpecFromJson(block, spec, error))
+        return fail(error);
+    GeneratedWorkflow gen = generate(spec, doc_name);
+    if (!gen.ok())
+        return fail(gen.error);
+    result_.dag = std::move(gen.dag);
+    for (auto& f : gen.functions) {
+        exec_estimates_[f.name] = f.exec_mean;
+        result_.functions.push_back(std::move(f));
+    }
+    return true;
+}
+
+bool
 WdlParser::parseTask(const Value& step, const SwitchContext& ctx,
                      int foreach_width, Segment& out)
 {
@@ -637,7 +817,8 @@ WdlParser::run()
         fail("workflow document must be a mapping");
         return std::move(result_);
     }
-    result_.dag = Dag(doc_.getOr("name", std::string("workflow")));
+    const std::string doc_name = doc_.getOr("name", std::string());
+    result_.dag = Dag(doc_name.empty() ? "workflow" : doc_name);
 
     if (!parseFunctions(doc_.find("functions")))
         return std::move(result_);
@@ -651,8 +832,29 @@ WdlParser::run()
         return std::move(result_);
 
     const Value* steps = doc_.find("steps");
-    if (!steps) {
-        fail("workflow needs a 'steps' list");
+    const Value* dag = doc_.find("dag");
+    const Value* gen = doc_.find("generate");
+    const int bodies = (steps ? 1 : 0) + (dag ? 1 : 0) + (gen ? 1 : 0);
+    if (bodies != 1) {
+        fail("workflow needs exactly one of 'steps', 'dag' or "
+             "'generate'");
+        return std::move(result_);
+    }
+    if (gen) {
+        if (doc_.find("functions")) {
+            fail("'generate' supplies its own functions — drop the "
+                 "'functions' block");
+            return std::move(result_);
+        }
+        // An absent document name means the generator derives one from
+        // its spec ("gen-<regime>-s<seed>-n<nodes>").
+        if (!parseGenerate(*gen, doc_name))
+            return std::move(result_);
+        return std::move(result_);
+    }
+    if (dag) {
+        if (!parseDag(*dag))
+            return std::move(result_);
         return std::move(result_);
     }
     Segment top;
@@ -668,6 +870,130 @@ WdlResult
 parseWdl(const json::Value& doc)
 {
     return WdlParser(doc).run();
+}
+
+namespace {
+
+/** True when yamllite's scalar inference would not read `s` back as the
+ *  same string (number/bool/null literals, or empty). */
+bool
+looksNonString(const std::string& s)
+{
+    if (s.empty() || s == "~" || s == "null" || s == "Null" ||
+        s == "NULL" || s == "true" || s == "True" || s == "TRUE" ||
+        s == "false" || s == "False" || s == "FALSE") {
+        return true;
+    }
+    char* end = nullptr;
+    std::strtod(s.c_str(), &end);
+    return end && *end == '\0' && end != s.c_str();
+}
+
+/** Renders a string scalar, double-quoting only when required, so the
+ *  common identifier-shaped names stay stable and readable. */
+std::string
+yamlScalar(const std::string& s)
+{
+    bool plain = !looksNonString(s);
+    if (plain) {
+        for (const char c : s) {
+            if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                c != '_' && c != '.' && c != '-') {
+                plain = false;
+                break;
+            }
+        }
+    }
+    if (plain)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+/** Shortest round-trip decimal rendering (std::to_chars): the emitted
+ *  text re-parses to the identical double, so emit-parse-emit cycles are
+ *  byte-stable. */
+std::string
+fmtDouble(double d)
+{
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+std::string
+emitWdl(const Dag& dag, const std::vector<cluster::FunctionSpec>& functions)
+{
+    std::string out;
+    out += "name: " + yamlScalar(dag.name()) + "\n";
+    if (!functions.empty()) {
+        out += "functions:\n";
+        for (const cluster::FunctionSpec& f : functions) {
+            out += "  - {name: " + yamlScalar(f.name) +
+                   ", exec_us: " + std::to_string(f.exec_mean.micros()) +
+                   ", sigma: " + fmtDouble(f.exec_sigma) +
+                   ", mem_bytes: " + std::to_string(f.mem_provisioned) +
+                   ", peak_bytes: " + std::to_string(f.mem_peak);
+            if (f.failure_rate != 0.0)
+                out += ", failure_rate: " + fmtDouble(f.failure_rate);
+            out += "}\n";
+        }
+    }
+    out += "dag:\n";
+    out += "  nodes:\n";
+    for (const DagNode& node : dag.nodes()) {
+        out += "    - {name: " + yamlScalar(node.name);
+        if (node.kind == StepKind::VirtualStart)
+            out += ", kind: virtual_start";
+        else if (node.kind == StepKind::VirtualEnd)
+            out += ", kind: virtual_end";
+        else
+            out += ", function: " + yamlScalar(node.function);
+        if (node.foreach_width > 1)
+            out += ", foreach_width: " + std::to_string(node.foreach_width);
+        if (node.switch_id >= 0)
+            out += ", switch_id: " + std::to_string(node.switch_id);
+        if (node.switch_branch >= 0)
+            out +=
+                ", switch_branch: " + std::to_string(node.switch_branch);
+        out += "}\n";
+    }
+    if (dag.edgeCount() > 0) {
+        out += "  edges:\n";
+        for (const DagEdge& edge : dag.edges()) {
+            out += "    - {from: " + yamlScalar(dag.node(edge.from).name) +
+                   ", to: " + yamlScalar(dag.node(edge.to).name);
+            if (edge.payload.size() == 1 &&
+                edge.payload[0].origin == edge.from) {
+                out += ", bytes: " + std::to_string(edge.payload[0].bytes);
+            } else if (!edge.payload.empty()) {
+                out += ", payload: [";
+                for (size_t i = 0; i < edge.payload.size(); ++i) {
+                    if (i > 0)
+                        out += ", ";
+                    out += "{origin: " +
+                           yamlScalar(dag.node(edge.payload[i].origin).name) +
+                           ", bytes: " +
+                           std::to_string(edge.payload[i].bytes) + "}";
+                }
+                out += "]";
+            }
+            out += "}\n";
+        }
+    }
+    return out;
 }
 
 WdlResult

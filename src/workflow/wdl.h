@@ -86,6 +86,11 @@ struct WdlResult
  *       sigma: 0.08         # optional lognormal jitter
  *       mem_mb: 256         # container provisioned memory  (Mem(v))
  *       peak_mb: 140        # observed peak usage            (S)
+ *       # exact-unit alternatives (override the ms/mb keys; these are
+ *       # what emitWdl writes so documents round-trip byte-exactly):
+ *       # exec_us: 250000   # integer microseconds
+ *       # mem_bytes: 256000000
+ *       # peak_bytes: 140000000
  *   steps:                  # executed as a sequence
  *     - task: split
  *       output_mb: 30       # payload shipped to each successor
@@ -108,6 +113,33 @@ struct WdlResult
  * Parallel/switch/foreach constructs are fenced by virtual start/end
  * nodes that keep them atomic during graph partition. Payload sizes may
  * be given as output_bytes, output_kb, or output_mb.
+ *
+ * The step language is series-parallel by construction. Two alternative
+ * workflow bodies express arbitrary DAGs (a document carries exactly one
+ * of `steps`, `dag`, or `generate`):
+ *
+ *   dag:                    # explicit node/edge lists
+ *     nodes:
+ *       - {name: a, function: split}
+ *       - {name: fence, kind: virtual_start}   # or virtual_end
+ *       - {name: b, function: work, foreach_width: 4}
+ *     edges:
+ *       - {from: a, to: b, bytes: 1048576}     # payload from `from`
+ *       - {from: a, to: fence}                 # control-only edge
+ *       - {from: fence, to: b,                 # explicit relay payload
+ *          payload: [{origin: a, bytes: 64}]}
+ *
+ *   generate:               # seeded generator (workflow/dagen.h)
+ *     regime: montage       # chain/fanout/diamond/layered/montage
+ *     seed: 7
+ *     nodes: 2000
+ *     # optional knobs: width_min/width_max, edge_density,
+ *     # edge_kb_mean/edge_kb_sigma, cost_classes, exec_ms_mean/
+ *     # exec_ms_sigma, jitter_sigma, mem_mb, peak_fraction
+ *
+ * `generate` supplies its own function declarations, so it cannot be
+ * combined with a `functions` block. A `dag` body is validated
+ * structurally (acyclic, connected, sources/sinks present) after parse.
  *
  * A document may also carry a top-level `faults:` block describing a
  * fault-injection schedule — either an explicit event script:
@@ -171,6 +203,17 @@ WdlResult parseWdl(const json::Value& doc);
 
 /** Convenience: YAML text -> parseWdl. */
 WdlResult parseWdlYaml(std::string_view yaml_text);
+
+/**
+ * Emits a canonical WDL document for a DAG plus its function specs,
+ * using the explicit `dag:` body and the exact-unit function keys
+ * (exec_us / mem_bytes / peak_bytes). Canonical means byte-stable:
+ * emit(parse(emit(x))) == emit(x), and the output depends only on the
+ * DAG/function contents — the substrate for generator determinism
+ * goldens and reproducing any generated case as a standalone file.
+ */
+std::string emitWdl(const Dag& dag,
+                    const std::vector<cluster::FunctionSpec>& functions);
 
 /** Initial bandwidth estimate used to seed edge weights before any
  *  runtime feedback exists (bytes/s). */

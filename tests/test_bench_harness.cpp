@@ -51,6 +51,7 @@ TEST(Registry, EveryFormerBenchBinaryIsRegistered)
         "fig14_colocation",
         "fig15_distribution",
         "fig16_scheduler_scalability",
+        "generated_dags",
         "load_saturation",
         "micro_substrates",
         "perf_hotpaths",
@@ -66,7 +67,7 @@ TEST(Registry, SpecsAreCompleteAndSuitesKnown)
     Registry registry;
     registerAllSections(registry);
     const std::set<std::string> suites = {"figures", "tables", "ablation",
-                                          "load", "perf"};
+                                          "load", "perf", "workloads"};
     std::set<std::string> seen;
     for (const SectionSpec& s : registry.sections()) {
         EXPECT_TRUE(seen.insert(s.name).second)
@@ -301,7 +302,7 @@ class SmokeRun : public ::testing::Test
 TEST_F(SmokeRun, EverySectionCompletesAndReportIsSchemaValid)
 {
     const RunReport report = run(1);
-    EXPECT_EQ(report.sections.size(), 18u);
+    EXPECT_EQ(report.sections.size(), 19u);
     const json::Value doc = reportJson(report);
     const std::vector<std::string> violations = validateBenchReport(doc);
     EXPECT_TRUE(violations.empty())

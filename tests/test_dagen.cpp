@@ -1,0 +1,367 @@
+/** @file Property suite for the seeded DAG generator (workflow/dagen.h):
+ *  determinism goldens, per-regime structural invariants, and WDL
+ *  round-trip byte-equality across a thousand seeded cases. */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "workflow/analysis.h"
+#include "workflow/dagen.h"
+#include "workflow/wdl.h"
+
+namespace faasflow::workflow {
+namespace {
+
+GeneratedWorkflow
+mustGenerate(const GenSpec& spec)
+{
+    GeneratedWorkflow gen = generate(spec);
+    EXPECT_TRUE(gen.ok()) << gen.error;
+    return gen;
+}
+
+GenSpec
+specFor(Regime regime, uint64_t seed, int nodes)
+{
+    GenSpec spec;
+    spec.regime = regime;
+    spec.seed = seed;
+    spec.nodes = nodes;
+    return spec;
+}
+
+TEST(DagenTest, SameSeedSameSpecIsByteIdentical)
+{
+    for (const Regime regime : allRegimes()) {
+        const GenSpec spec = specFor(regime, 42, 24);
+        const GeneratedWorkflow a = mustGenerate(spec);
+        const GeneratedWorkflow b = mustGenerate(spec);
+        EXPECT_EQ(emitWdl(a.dag, a.functions), emitWdl(b.dag, b.functions))
+            << regimeName(regime);
+    }
+}
+
+TEST(DagenTest, DifferentSeedsDiffer)
+{
+    // Not a tautology: a generator that ignored its seed would still pass
+    // the determinism test above.
+    const GeneratedWorkflow a =
+        mustGenerate(specFor(Regime::LayeredRandom, 1, 24));
+    const GeneratedWorkflow b =
+        mustGenerate(specFor(Regime::LayeredRandom, 2, 24));
+    EXPECT_NE(emitWdl(a.dag, a.functions), emitWdl(b.dag, b.functions));
+}
+
+TEST(DagenTest, DerivedNameEncodesSpec)
+{
+    const GeneratedWorkflow gen =
+        mustGenerate(specFor(Regime::Montage, 7, 100));
+    EXPECT_EQ(gen.dag.name(), "gen-montage-s7-n100");
+    const GeneratedWorkflow named =
+        generate(specFor(Regime::Montage, 7, 100), "my-workflow");
+    EXPECT_EQ(named.dag.name(), "my-workflow");
+}
+
+TEST(DagenTest, StructuralInvariantsHoldAcrossSeeds)
+{
+    for (const Regime regime : allRegimes()) {
+        for (uint64_t seed = 0; seed < 40; ++seed) {
+            const int nodes =
+                regimeMinNodes(regime) + static_cast<int>(seed % 37);
+            const GeneratedWorkflow gen =
+                mustGenerate(specFor(regime, seed, nodes));
+            const ValidationResult check = validate(gen.dag);
+            ASSERT_TRUE(check.ok)
+                << regimeName(regime) << " seed " << seed << ": "
+                << check.error;
+            if (regime == Regime::Montage) {
+                EXPECT_GE(gen.dag.nodeCount(), static_cast<size_t>(nodes));
+            } else {
+                EXPECT_EQ(gen.dag.nodeCount(), static_cast<size_t>(nodes))
+                    << regimeName(regime) << " seed " << seed;
+            }
+            const auto sources = sourceNodes(gen.dag);
+            const auto sinks = sinkNodes(gen.dag);
+            EXPECT_EQ(sources.size(), 1u)
+                << regimeName(regime) << " seed " << seed;
+            if (regime != Regime::LayeredRandom) {
+                EXPECT_EQ(sinks.size(), 1u)
+                    << regimeName(regime) << " seed " << seed;
+            } else {
+                EXPECT_GE(sinks.size(), 1u);
+            }
+            // Every task node references a declared cost class.
+            for (const DagNode& node : gen.dag.nodes()) {
+                ASSERT_TRUE(node.isTask());
+                bool found = false;
+                for (const auto& f : gen.functions)
+                    found = found || f.name == node.function;
+                EXPECT_TRUE(found) << node.name;
+            }
+        }
+    }
+}
+
+TEST(DagenTest, MontageRoundsUpToStructureQuantum)
+{
+    // 3p + 6 nodes for p projections: 2000 requested -> p = 665 -> 2001.
+    const GeneratedWorkflow gen =
+        mustGenerate(specFor(Regime::Montage, 7, 2000));
+    EXPECT_EQ(gen.dag.nodeCount(), 2001u);
+    EXPECT_TRUE(validate(gen.dag).ok);
+    const DagStats stats = computeStats(gen.dag);
+    EXPECT_GE(stats.max_fan_out, 665u);  // hdr feeds every projection
+}
+
+TEST(DagenTest, ChainIsAChain)
+{
+    const GeneratedWorkflow gen =
+        mustGenerate(specFor(Regime::Chain, 3, 10));
+    EXPECT_EQ(gen.dag.nodeCount(), 10u);
+    EXPECT_EQ(gen.dag.edgeCount(), 9u);
+    const DagStats stats = computeStats(gen.dag);
+    EXPECT_EQ(stats.depth, 10u);
+    EXPECT_EQ(stats.max_width, 1u);
+}
+
+TEST(DagenTest, FanOutShape)
+{
+    const GeneratedWorkflow gen =
+        mustGenerate(specFor(Regime::FanOut, 3, 18));
+    EXPECT_EQ(gen.dag.nodeCount(), 18u);
+    EXPECT_EQ(gen.dag.edgeCount(), 32u);  // 16 out + 16 in
+    const DagStats stats = computeStats(gen.dag);
+    EXPECT_EQ(stats.max_fan_out, 16u);
+    EXPECT_EQ(stats.max_fan_in, 16u);
+    EXPECT_EQ(stats.depth, 3u);
+}
+
+TEST(DagenTest, SingleNodeDegenerateShapes)
+{
+    for (const Regime regime :
+         {Regime::Chain, Regime::Diamond, Regime::LayeredRandom}) {
+        const GeneratedWorkflow gen = mustGenerate(specFor(regime, 5, 1));
+        EXPECT_EQ(gen.dag.nodeCount(), 1u) << regimeName(regime);
+        EXPECT_EQ(gen.dag.edgeCount(), 0u);
+        EXPECT_TRUE(validate(gen.dag).ok);
+    }
+}
+
+TEST(DagenTest, RejectsInvalidSpecs)
+{
+    EXPECT_FALSE(generate(specFor(Regime::FanOut, 1, 2)).ok());
+    GenSpec bad = specFor(Regime::Chain, 1, 4);
+    bad.width_min = 0;
+    EXPECT_FALSE(generate(bad).ok());
+    bad = specFor(Regime::Chain, 1, 4);
+    bad.edge_density = 1.5;
+    EXPECT_FALSE(generate(bad).ok());
+    bad = specFor(Regime::Chain, 1, 4);
+    bad.cost_classes = 0;
+    EXPECT_FALSE(generate(bad).ok());
+    bad = specFor(Regime::Chain, 1, 4);
+    bad.peak_fraction = 0.0;
+    EXPECT_FALSE(generate(bad).ok());
+}
+
+TEST(DagenTest, RegimeNamesRoundTrip)
+{
+    for (const Regime regime : allRegimes()) {
+        Regime parsed;
+        ASSERT_TRUE(regimeFromName(regimeName(regime), parsed));
+        EXPECT_EQ(parsed, regime);
+    }
+    Regime ignored;
+    EXPECT_FALSE(regimeFromName("mobius", ignored));
+}
+
+// The tentpole property: emitted WDL re-parses to a workflow whose
+// canonical emission is byte-identical, across 1k seeded cases spanning
+// every regime. This is what makes `faasflow_gen --emit-wdl` a faithful
+// reproducer for any failing generated case.
+TEST(DagenTest, WdlRoundTripByteEqualityAcross1kCases)
+{
+    const std::vector<Regime> regimes = allRegimes();
+    for (uint64_t c = 0; c < 1000; ++c) {
+        const Regime regime = regimes[c % regimes.size()];
+        GenSpec spec = specFor(regime, 1000 + c, 0);
+        spec.nodes =
+            regimeMinNodes(regime) + static_cast<int>((c * 7) % 44);
+        spec.edge_density = 0.05 + 0.4 * static_cast<double>(c % 3);
+        const GeneratedWorkflow gen = mustGenerate(spec);
+        const std::string emitted = emitWdl(gen.dag, gen.functions);
+        const WdlResult reparsed = parseWdlYaml(emitted);
+        ASSERT_TRUE(reparsed.ok())
+            << regimeName(regime) << " case " << c << ": "
+            << reparsed.error << "\n" << emitted;
+        ASSERT_EQ(emitted, emitWdl(reparsed.dag, reparsed.functions))
+            << regimeName(regime) << " case " << c;
+        // The reparse restores exec estimates through the function table.
+        for (const DagNode& node : gen.dag.nodes()) {
+            const NodeId id = reparsed.dag.findByName(node.name);
+            ASSERT_NE(id, -1);
+            EXPECT_EQ(reparsed.dag.node(id).exec_estimate,
+                      node.exec_estimate);
+        }
+    }
+}
+
+TEST(DagenTest, GenerateBlockMatchesDirectGeneration)
+{
+    const WdlResult parsed = parseWdlYaml(
+        "generate:\n"
+        "  regime: diamond\n"
+        "  seed: 11\n"
+        "  nodes: 30\n");
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const GeneratedWorkflow direct =
+        mustGenerate(specFor(Regime::Diamond, 11, 30));
+    EXPECT_EQ(emitWdl(parsed.dag, parsed.functions),
+              emitWdl(direct.dag, direct.functions));
+    EXPECT_EQ(parsed.dag.name(), "gen-diamond-s11-n30");
+}
+
+TEST(DagenTest, GenerateBlockHonoursDocumentName)
+{
+    const WdlResult parsed = parseWdlYaml(
+        "name: custom\n"
+        "generate:\n"
+        "  regime: chain\n"
+        "  nodes: 4\n");
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed.dag.name(), "custom");
+}
+
+TEST(DagenTest, GenerateBlockRejectsUnknownKeysAndBadSpecs)
+{
+    EXPECT_FALSE(parseWdlYaml("generate:\n"
+                              "  regime: chain\n"
+                              "  nodes: 4\n"
+                              "  edge_mb_mean: 2\n")
+                     .ok());
+    EXPECT_FALSE(parseWdlYaml("generate:\n"
+                              "  nodes: 4\n")
+                     .ok());
+    EXPECT_FALSE(parseWdlYaml("generate:\n"
+                              "  regime: escher\n"
+                              "  nodes: 4\n")
+                     .ok());
+    EXPECT_FALSE(parseWdlYaml("generate:\n"
+                              "  regime: fanout\n"
+                              "  nodes: 2\n")
+                     .ok());
+    // generate supplies its own functions.
+    EXPECT_FALSE(parseWdlYaml("functions:\n"
+                              "  - name: f\n"
+                              "generate:\n"
+                              "  regime: chain\n"
+                              "  nodes: 4\n")
+                     .ok());
+    // Exactly one workflow body.
+    EXPECT_FALSE(parseWdlYaml("steps:\n"
+                              "  - task: a\n"
+                              "generate:\n"
+                              "  regime: chain\n"
+                              "  nodes: 4\n")
+                     .ok());
+}
+
+TEST(DagenTest, ExplicitDagBlockParses)
+{
+    const WdlResult r = parseWdlYaml(
+        "name: explicit\n"
+        "functions:\n"
+        "  - {name: f, exec_us: 250000, mem_bytes: 64000000, "
+        "peak_bytes: 32000000}\n"
+        "dag:\n"
+        "  nodes:\n"
+        "    - {name: a, function: f}\n"
+        "    - {name: fence, kind: virtual_start}\n"
+        "    - {name: b, function: f, foreach_width: 4}\n"
+        "  edges:\n"
+        "    - {from: a, to: fence, bytes: 1000}\n"
+        "    - {from: fence, to: b, payload: [{origin: a, bytes: 1000}]}\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.dag.nodeCount(), 3u);
+    EXPECT_EQ(r.dag.edgeCount(), 2u);
+    EXPECT_EQ(r.dag.taskCount(), 2u);
+    const NodeId a = r.dag.findByName("a");
+    const NodeId b = r.dag.findByName("b");
+    EXPECT_EQ(r.dag.node(a).exec_estimate, SimTime::micros(250000));
+    EXPECT_EQ(r.dag.node(b).foreach_width, 4);
+    EXPECT_EQ(r.dag.edge(1).payload.size(), 1u);
+    EXPECT_EQ(r.dag.edge(1).payload[0].origin, a);
+    EXPECT_EQ(r.functions[0].mem_provisioned, 64000000);
+    EXPECT_EQ(r.functions[0].mem_peak, 32000000);
+}
+
+TEST(DagenTest, ExplicitDagBlockRejectsStructuralErrors)
+{
+    // Cycle.
+    EXPECT_FALSE(parseWdlYaml("dag:\n"
+                              "  nodes:\n"
+                              "    - {name: a, function: f}\n"
+                              "    - {name: b, function: f}\n"
+                              "  edges:\n"
+                              "    - {from: a, to: b}\n"
+                              "    - {from: b, to: a}\n")
+                     .ok());
+    // Duplicate node name.
+    EXPECT_FALSE(parseWdlYaml("dag:\n"
+                              "  nodes:\n"
+                              "    - {name: a, function: f}\n"
+                              "    - {name: a, function: f}\n")
+                     .ok());
+    // Unknown edge endpoint.
+    EXPECT_FALSE(parseWdlYaml("dag:\n"
+                              "  nodes:\n"
+                              "    - {name: a, function: f}\n"
+                              "  edges:\n"
+                              "    - {from: a, to: ghost}\n")
+                     .ok());
+    // Task without a function; virtual with one.
+    EXPECT_FALSE(parseWdlYaml("dag:\n"
+                              "  nodes:\n"
+                              "    - {name: a}\n")
+                     .ok());
+    EXPECT_FALSE(parseWdlYaml("dag:\n"
+                              "  nodes:\n"
+                              "    - {name: a, kind: virtual_start, "
+                              "function: f}\n")
+                     .ok());
+    // bytes and payload are mutually exclusive.
+    EXPECT_FALSE(parseWdlYaml("dag:\n"
+                              "  nodes:\n"
+                              "    - {name: a, function: f}\n"
+                              "    - {name: b, function: f}\n"
+                              "  edges:\n"
+                              "    - {from: a, to: b, bytes: 3, "
+                              "payload: [{origin: a, bytes: 3}]}\n")
+                     .ok());
+    // Unknown keys are rejected, not defaulted.
+    EXPECT_FALSE(parseWdlYaml("dag:\n"
+                              "  nodes:\n"
+                              "    - {name: a, function: f, width: 2}\n")
+                     .ok());
+    EXPECT_FALSE(parseWdlYaml("dag:\n"
+                              "  stages: []\n")
+                     .ok());
+}
+
+TEST(DagenTest, EmittedDocsAreFreshlyParseableFixtures)
+{
+    // A generated case written to disk must behave as a normal workflow
+    // file: stats computable, critical path positive, payloads nonzero.
+    const GeneratedWorkflow gen =
+        mustGenerate(specFor(Regime::LayeredRandom, 77, 60));
+    const WdlResult r = parseWdlYaml(emitWdl(gen.dag, gen.functions));
+    ASSERT_TRUE(r.ok()) << r.error;
+    const DagStats stats = computeStats(r.dag);
+    EXPECT_EQ(stats.tasks, 60u);
+    EXPECT_GT(stats.total_payload_bytes, 0);
+    EXPECT_GT(stats.critical_path, SimTime::zero());
+}
+
+}  // namespace
+}  // namespace faasflow::workflow

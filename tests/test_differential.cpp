@@ -1,0 +1,205 @@
+/** @file Differential property suite: the seeded DAG generator as a
+ *  cross-engine oracle. Hundreds of generated workflows per regime run
+ *  through both scheduling patterns (MasterSP a la HyperFlow, WorkerSP
+ *  a la FaaSFlow) and must agree on the order-independent output
+ *  digest, execute every node exactly once, and leave nothing in
+ *  flight — fault-free and under the light fault preset.
+ *
+ *  Case count per regime defaults to 200; set FAASFLOW_DIFF_CASES to
+ *  shrink it for sanitizer CI. Any failure message carries the
+ *  (regime, seed, nodes) triple, so the reproducer is always
+ *
+ *    faasflow_gen --regime R --seed S --nodes N --emit-wdl
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "common/string_util.h"
+#include "faasflow/system.h"
+#include "sim/fault_schedule.h"
+#include "workflow/dagen.h"
+
+namespace faasflow::workflow {
+namespace {
+
+using engine::ControlMode;
+using engine::InvocationRecord;
+
+int
+caseCount(int dflt)
+{
+    if (const char* env = std::getenv("FAASFLOW_DIFF_CASES")) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    return dflt;
+}
+
+/** The (regime, seed, nodes) grid cell for case `c`: small DAGs, sizes
+ *  and densities swept so every regime covers its structural corners
+ *  (montage rounds 1..45 up to its 12-node quantum and beyond). */
+GenSpec
+caseSpec(Regime regime, int c)
+{
+    GenSpec spec;
+    spec.regime = regime;
+    spec.seed = 0xD1FFull * 1000003ull + static_cast<uint64_t>(c) * 7919ull +
+                fnv1a(regimeName(regime));
+    spec.nodes = regimeMinNodes(regime) + (c * 7) % 44;
+    spec.edge_density = 0.05 + 0.9 * ((c % 10) / 10.0);
+    spec.width_max = 2 + c % 7;
+    spec.width_min = std::min(2, spec.width_max);
+    return spec;
+}
+
+/** Everything the differential oracle compares between engines. */
+struct EngineOutcome
+{
+    uint64_t digest = 0;
+    uint64_t duplicates = 0;
+    uint64_t executed = 0;
+    bool timed_out = false;
+    uint64_t completed = 0;
+    uint64_t replay_mismatches = 0;
+    size_t in_flight = 0;
+};
+
+/** Runs `invocations` back-to-back invocations of a generated workflow
+ *  on one engine; with `faulted`, a seeded light fault schedule (and,
+ *  for the crash-sensitive MasterSP, the durable progress log) is
+ *  installed first. All invocations of a run must agree on the digest
+ *  (the faulted ones must byte-match their fault-free twin). */
+EngineOutcome
+runEngine(const GeneratedWorkflow& gen, ControlMode mode, uint64_t seed,
+          bool faulted, size_t invocations)
+{
+    SystemConfig config = mode == ControlMode::MasterSP
+                              ? SystemConfig::hyperflowServerless()
+                              : SystemConfig::faasflowFaastore();
+    config.seed = seed;
+    if (faulted && mode == ControlMode::MasterSP)
+        config.durable_log = true;  // light preset includes master crashes
+
+    System system(config);
+    system.registerFunctions(gen.functions);
+    Dag dag = gen.dag;
+    const std::string name = system.deploy(std::move(dag));
+
+    if (faulted) {
+        system.installFaults(sim::FaultSchedule::random(
+            seed ^ 0xFA017ull,
+            static_cast<int>(system.cluster().workerCount()),
+            SimTime::seconds(60), sim::RandomFaultParams::light()));
+    }
+
+    EngineOutcome out;
+    size_t remaining = invocations;
+    std::function<void()> next = [&] {
+        system.invoke(name, [&](const InvocationRecord& r) {
+            if (out.completed == 0)
+                out.digest = r.output_digest;
+            else
+                EXPECT_EQ(out.digest, r.output_digest)
+                    << "digest drift across invocations of one run";
+            out.duplicates += r.duplicate_executions;
+            out.executed += r.functions_executed;
+            out.timed_out = out.timed_out || r.timed_out;
+            ++out.completed;
+            if (--remaining > 0)
+                next();
+        });
+    };
+    next();
+    system.run();
+
+    out.replay_mismatches = system.recoveryStats().replay_mismatches;
+    out.in_flight = system.inFlight();
+    return out;
+}
+
+std::string
+describe(const GenSpec& spec)
+{
+    return strFormat(
+        "faasflow_gen --regime %s --seed %llu --nodes %d --emit-wdl",
+        regimeName(spec.regime),
+        static_cast<unsigned long long>(spec.seed), spec.nodes);
+}
+
+/** Fault-free differential sweep: ~200 generated DAGs per regime, one
+ *  invocation per engine, digests equal and every node run exactly
+ *  once on both sides. */
+TEST(DifferentialTest, EnginesAgreeOnEveryRegime)
+{
+    const int cases = caseCount(200);
+    for (const Regime regime : allRegimes()) {
+        for (int c = 0; c < cases; ++c) {
+            const GenSpec spec = caseSpec(regime, c);
+            const GeneratedWorkflow gen = generate(spec);
+            ASSERT_TRUE(gen.ok()) << gen.error << "\n" << describe(spec);
+            const uint64_t nodes = gen.dag.nodes().size();
+
+            const EngineOutcome master =
+                runEngine(gen, ControlMode::MasterSP, spec.seed, false, 1);
+            const EngineOutcome worker =
+                runEngine(gen, ControlMode::WorkerSP, spec.seed, false, 1);
+
+            ASSERT_EQ(master.digest, worker.digest) << describe(spec);
+            for (const EngineOutcome* out : {&master, &worker}) {
+                EXPECT_EQ(out->completed, 1u) << describe(spec);
+                EXPECT_FALSE(out->timed_out) << describe(spec);
+                // Exactly once: every generated node is a task, there
+                // are no switches to skip and no foreach fan-outs.
+                EXPECT_EQ(out->executed, nodes) << describe(spec);
+                EXPECT_EQ(out->duplicates, 0u) << describe(spec);
+                EXPECT_EQ(out->replay_mismatches, 0u) << describe(spec);
+                EXPECT_EQ(out->in_flight, 0u) << describe(spec);
+            }
+        }
+    }
+}
+
+/** Fault-injected differential subset: the same oracle with a seeded
+ *  light fault schedule live under a stream of invocations. Recovery
+ *  may legitimately re-drive nodes (executed >= node count), but the
+ *  digest must still byte-match the fault-free twin on both engines,
+ *  with zero same-epoch double executions and zero replay
+ *  mismatches. */
+TEST(DifferentialTest, EnginesAgreeUnderLightFaults)
+{
+    const int cases = std::max(3, caseCount(200) / 10);
+    constexpr size_t kInvocations = 8;
+    for (const Regime regime : allRegimes()) {
+        for (int c = 0; c < cases; ++c) {
+            const GenSpec spec = caseSpec(regime, c);
+            const GeneratedWorkflow gen = generate(spec);
+            ASSERT_TRUE(gen.ok()) << gen.error << "\n" << describe(spec);
+            const uint64_t nodes = gen.dag.nodes().size();
+
+            const EngineOutcome golden =
+                runEngine(gen, ControlMode::WorkerSP, spec.seed, false, 1);
+
+            for (const ControlMode mode :
+                 {ControlMode::MasterSP, ControlMode::WorkerSP}) {
+                const EngineOutcome faulted =
+                    runEngine(gen, mode, spec.seed, true, kInvocations);
+                EXPECT_EQ(faulted.digest, golden.digest) << describe(spec);
+                EXPECT_EQ(faulted.completed, kInvocations) << describe(spec);
+                EXPECT_FALSE(faulted.timed_out) << describe(spec);
+                EXPECT_GE(faulted.executed, nodes * kInvocations)
+                    << describe(spec);
+                EXPECT_EQ(faulted.duplicates, 0u) << describe(spec);
+                EXPECT_EQ(faulted.replay_mismatches, 0u) << describe(spec);
+                EXPECT_EQ(faulted.in_flight, 0u) << describe(spec);
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace faasflow::workflow

@@ -16,6 +16,7 @@
 #include "load/driver.h"
 #include "load/saturation.h"
 #include "load/spec.h"
+#include "load/trace.h"
 #include "obs/attribution.h"
 #include "obs/trace_model.h"
 #include "workflow/wdl.h"
@@ -124,6 +125,72 @@ TEST(ArrivalTest, RampConcentratesArrivalsAtThePeak)
     EXPECT_LT(early, 15u);
     EXPECT_GT(peak, 20u);
     EXPECT_GT(peak, 2 * early);
+}
+
+TEST(ArrivalTest, HistogramFollowsPerBinRatesAndDrains)
+{
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Histogram;
+    spec.bin = SimTime::seconds(10);
+    spec.bin_rates_per_min = {600.0, 0.0, 60.0};
+    spec.repeat = false;
+    const auto a = train(ArrivalProcess(spec), SimTime::seconds(120), 4);
+    size_t bin0 = 0, bin1 = 0, bin2 = 0, after = 0;
+    for (const SimTime t : a) {
+        if (t <= SimTime::seconds(10))
+            ++bin0;
+        else if (t <= SimTime::seconds(20))
+            ++bin1;
+        else if (t <= SimTime::seconds(30))
+            ++bin2;
+        else
+            ++after;
+    }
+    // 600/min over 10 s -> ~100; silent bin -> 0; 60/min -> ~10;
+    // non-repeating histogram -> nothing past its span.
+    EXPECT_GT(bin0, 60u);
+    EXPECT_EQ(bin1, 0u);
+    EXPECT_GT(bin2, 2u);
+    EXPECT_LT(bin2, 30u);
+    EXPECT_EQ(after, 0u);
+    // Equal spec + equal seed -> the identical train.
+    const auto b = train(ArrivalProcess(spec), SimTime::seconds(120), 4);
+    EXPECT_EQ(a, b);
+}
+
+TEST(ArrivalTest, RepeatingHistogramLoops)
+{
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Histogram;
+    spec.bin = SimTime::seconds(5);
+    spec.bin_rates_per_min = {600.0, 0.0};
+    spec.repeat = true;
+    const auto a = train(ArrivalProcess(spec), SimTime::seconds(40), 8);
+    size_t cycle3 = 0;
+    for (const SimTime t : a) {
+        // Third on-bin: [20 s, 25 s).
+        if (t > SimTime::seconds(20) && t <= SimTime::seconds(25))
+            ++cycle3;
+        // Every arrival lands in an on-bin (even 10 s cycles).
+        const int64_t in_cycle = t.micros() % (10 * 1000000);
+        EXPECT_LE(in_cycle, 5 * 1000000);
+    }
+    EXPECT_GT(cycle3, 20u);
+}
+
+TEST(ArrivalTest, DrainedHistogramReturnsNeverSentinel)
+{
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Histogram;
+    spec.bin = SimTime::millis(100);
+    spec.bin_rates_per_min = {60.0};
+    spec.repeat = false;
+    ArrivalProcess process(spec);
+    Rng rng(1);
+    (void)process.next(SimTime::zero(), rng);  // anchors bin 0 at t = 0
+    // Ask far past the histogram span: the sentinel must be the driver's
+    // "never" value so the horizon check filters it.
+    EXPECT_EQ(process.next(SimTime::seconds(10), rng), SimTime::max());
 }
 
 // ------------------------------------------------------------ LoadSpec
@@ -541,6 +608,159 @@ TEST(GoldenTest, SweepJsonByteIdenticalAcrossRunsAndThreadCounts)
     const json::Value* points = doc.value->find("points");
     ASSERT_NE(points, nullptr);
     EXPECT_EQ(points->asArray().size(), 2u);  // admission off + on at 1.0x
+}
+
+// ---------------------------------------------------------- Trace import
+
+TEST(TraceTest, ParsesCsvSkipsHeaderMergesDuplicateApps)
+{
+    const TraceSpec trace = parseTraceCsv(
+        "app,m1,m2,m3,m4\n"
+        "# per-function rows; apps aggregate their functions\n"
+        "frontend,12,80,240,30\n"
+        "batcher,0,0,900\n"
+        "frontend,8,20,60,10\n",
+        SimTime::seconds(60));
+    ASSERT_TRUE(trace.ok()) << trace.error;
+    ASSERT_EQ(trace.apps.size(), 2u);
+    EXPECT_EQ(trace.apps[0].name, "frontend");
+    EXPECT_EQ(trace.apps[0].counts,
+              (std::vector<double>{20, 100, 300, 40}));
+    EXPECT_EQ(trace.apps[1].counts, (std::vector<double>{0, 0, 900}));
+    EXPECT_EQ(trace.span(), SimTime::seconds(240));
+}
+
+TEST(TraceTest, RejectsMalformedRows)
+{
+    EXPECT_FALSE(parseTraceCsv("").ok());
+    EXPECT_FALSE(parseTraceCsv("only_a_name\n").ok());
+    EXPECT_FALSE(parseTraceCsv("a,1\nb,not_a_number\n").ok());
+    EXPECT_FALSE(parseTraceCsv("a,1\nb,-3\n").ok());
+    EXPECT_FALSE(parseTraceCsv(",1,2\n").ok());
+    EXPECT_FALSE(parseTraceCsv("a,1\n", SimTime::zero()).ok());
+}
+
+TEST(TraceTest, ImportsToLoadSpecWithDerivedHorizonAndRates)
+{
+    const TraceSpec trace = parseTraceCsv(
+        "frontend,12,80,240,30\n"
+        "batcher,0,0,900\n"
+        "idle,0,0,0\n",
+        SimTime::seconds(60));
+    ASSERT_TRUE(trace.ok()) << trace.error;
+    const LoadSpec spec = traceToLoadSpec(trace);
+    ASSERT_TRUE(spec.ok()) << spec.error;
+    EXPECT_TRUE(spec.present);
+    EXPECT_EQ(spec.horizon, SimTime::seconds(240));
+    // The all-zero app contributes no tenant; busiest-first ordering.
+    ASSERT_EQ(spec.tenants.size(), 2u);
+    EXPECT_EQ(spec.tenants[0].name, "batcher");
+    EXPECT_EQ(spec.tenants[1].name, "frontend");
+    const ArrivalSpec& arrival = spec.tenants[1].arrival;
+    EXPECT_EQ(arrival.kind, ArrivalKind::Histogram);
+    EXPECT_EQ(arrival.bin, SimTime::seconds(60));
+    // One-minute bins: counts are already rates per minute.
+    EXPECT_EQ(arrival.bin_rates_per_min,
+              (std::vector<double>{12, 80, 240, 30}));
+    EXPECT_EQ(arrival.rate_per_min, 240.0);
+}
+
+TEST(TraceTest, ImportOptionsScaleSelectAndRepeat)
+{
+    const TraceSpec trace = parseTraceCsv(
+        "a,10,10\n"
+        "b,100,100\n"
+        "c,50,50\n",
+        SimTime::seconds(30));
+    ASSERT_TRUE(trace.ok()) << trace.error;
+    TraceImportOptions options;
+    options.rate_scale = 2.0;
+    options.max_tenants = 2;
+    options.repeat = true;
+    options.horizon = SimTime::seconds(90);
+    options.autoscale = true;
+    const LoadSpec spec = traceToLoadSpec(trace, options);
+    ASSERT_TRUE(spec.ok()) << spec.error;
+    ASSERT_EQ(spec.tenants.size(), 2u);
+    EXPECT_EQ(spec.tenants[0].name, "b");
+    EXPECT_EQ(spec.tenants[1].name, "c");
+    EXPECT_TRUE(spec.tenants[0].arrival.repeat);
+    EXPECT_TRUE(spec.autoscale);
+    EXPECT_EQ(spec.horizon, SimTime::seconds(90));
+    // 100 invocations per 30 s bin, scaled 2x -> 400/min.
+    EXPECT_EQ(spec.tenants[0].arrival.bin_rates_per_min,
+              (std::vector<double>{400, 400}));
+}
+
+TEST(TraceTest, HistogramArrivalParsesFromLoadBlock)
+{
+    const json::Value doc = yaml::parseOrDie(
+        "load:\n"
+        "  horizon_ms: 5000\n"
+        "  tenants:\n"
+        "    - name: replay\n"
+        "      arrival:\n"
+        "        process: histogram\n"
+        "        bin_ms: 1000\n"
+        "        rates_per_min: [120, 0, 600]\n"
+        "        repeat: true\n");
+    const LoadSpec spec = parseLoadSpec(doc);
+    ASSERT_TRUE(spec.ok()) << spec.error;
+    ASSERT_EQ(spec.tenants.size(), 1u);
+    const ArrivalSpec& arrival = spec.tenants[0].arrival;
+    EXPECT_EQ(arrival.kind, ArrivalKind::Histogram);
+    EXPECT_EQ(arrival.bin, SimTime::seconds(1));
+    EXPECT_EQ(arrival.bin_rates_per_min,
+              (std::vector<double>{120, 0, 600}));
+    EXPECT_TRUE(arrival.repeat);
+    EXPECT_EQ(arrival.rate_per_min, 600.0);  // derived peak
+
+    EXPECT_FALSE(parseLoadSpec(yaml::parseOrDie(
+                                   "load:\n"
+                                   "  tenants:\n"
+                                   "    - name: t\n"
+                                   "      arrival: {process: histogram}\n"))
+                     .ok());
+    EXPECT_FALSE(
+        parseLoadSpec(yaml::parseOrDie(
+                          "load:\n"
+                          "  tenants:\n"
+                          "    - name: t\n"
+                          "      arrival:\n"
+                          "        process: histogram\n"
+                          "        rates_per_min: [0, 0]\n"))
+            .ok());
+}
+
+TEST(TraceTest, TraceReplayDrivesTheSystemEndToEnd)
+{
+    const TraceSpec trace = parseTraceCsv("replay,40,0,40\n"
+                                          "burst,0,80,0\n",
+                                          SimTime::seconds(2));
+    ASSERT_TRUE(trace.ok()) << trace.error;
+    const LoadSpec spec = traceToLoadSpec(trace);
+    ASSERT_TRUE(spec.ok()) << spec.error;
+
+    auto runOnce = [&] {
+        SystemConfig config = SystemConfig::faasflowFaastore();
+        config.seed = 17;
+        System system(config);
+        const std::string workflow = deployChain(system);
+        LoadDriver driver(system, spec, 99, workflow);
+        driver.start();
+        system.run();
+        return driver.counters();
+    };
+    const auto a = runOnce();
+    const auto b = runOnce();
+    // Both tenants produced arrivals, and replay is deterministic.
+    ASSERT_EQ(a.size(), 2u);
+    ASSERT_EQ(b.size(), 2u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_GT(a[i].arrivals, 0u) << a[i].tenant;
+        EXPECT_EQ(a[i].tenant, b[i].tenant);
+        EXPECT_EQ(a[i].arrivals, b[i].arrivals);
+    }
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "scheduler/feedback.h"
 #include "scheduler/graph_scheduler.h"
 #include "scheduler/partition.h"
+#include "workflow/dagen.h"
 #include "workflow/wdl.h"
 
 namespace faasflow::scheduler {
@@ -539,6 +540,214 @@ TEST(PartitionEdgeCaseTest, GenerousQuotaCollapsesGraphOntoOneWorker)
         else
             EXPECT_TRUE(p.storage_mem[i]);
     }
+}
+
+// --------------------- Generator-driven fuzz (workflow/dagen.h grid)
+
+/** Shared oracle: a placement covers every node exactly once (groups
+ *  are disjoint and exhaustive), group members sit on their group's
+ *  worker, and all workers are in range. */
+void
+checkPlacementInvariants(const Dag& dag, const Placement& p, int workers,
+                         const std::string& repro)
+{
+    ASSERT_TRUE(p.valid()) << repro;
+    ASSERT_EQ(p.worker_of.size(), dag.nodeCount()) << repro;
+    std::set<NodeId> seen;
+    for (size_t g = 0; g < p.groups.size(); ++g) {
+        for (const NodeId id : p.groups[g]) {
+            EXPECT_TRUE(seen.insert(id).second)
+                << "node in two groups: " << repro;
+            EXPECT_EQ(p.workerOf(id), p.group_worker[g]) << repro;
+        }
+    }
+    EXPECT_EQ(seen.size(), dag.nodeCount()) << repro;
+    for (const int w : p.worker_of) {
+        EXPECT_GE(w, 0) << repro;
+        EXPECT_LT(w, workers) << repro;
+    }
+}
+
+class GeneratedPartitionFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+/** Fuzz both partitioners over the generator's regime grid with swept
+ *  cluster knobs — worker counts down to 1, tiny capacities, and a
+ *  zero-quota corner where nothing may be localized. Any failure
+ *  message is a faasflow_gen reproducer. */
+TEST_P(GeneratedPartitionFuzz, GeneratedDagsKeepCoverAndQuotaInvariants)
+{
+    const uint64_t seed = GetParam();
+    for (const workflow::Regime regime : workflow::allRegimes()) {
+        for (int c = 0; c < 10; ++c) {
+            workflow::GenSpec spec;
+            spec.regime = regime;
+            spec.seed = seed * 7919 + static_cast<uint64_t>(c);
+            spec.nodes = workflow::regimeMinNodes(regime) + (c * 13) % 37;
+            spec.edge_density = (c % 5) / 4.0;
+            spec.width_max = 2 + c % 6;
+            spec.width_min = std::min(2, spec.width_max);
+            const auto gen = workflow::generate(spec);
+            ASSERT_TRUE(gen.ok()) << gen.error;
+            const std::string repro = strFormat(
+                "faasflow_gen --regime %s --seed %llu --nodes %d",
+                workflow::regimeName(regime),
+                static_cast<unsigned long long>(spec.seed), spec.nodes);
+
+            const int workers = 1 + static_cast<int>((seed + c) % 7);
+            const Placement hashed = hashPartition(gen.dag, workers, 0);
+            checkPlacementInvariants(gen.dag, hashed, workers, repro);
+            // First-iteration placement is a pure function of the graph.
+            EXPECT_EQ(hashed.worker_of,
+                      hashPartition(gen.dag, workers, 0).worker_of)
+                << repro;
+
+            cluster::FunctionRegistry registry;
+            for (const auto& f : gen.functions)
+                registry.add(f);
+            RuntimeFeedback feedback;
+            const int cap = 1 + static_cast<int>((seed * 31 + c) % 24);
+            const int64_t quota =
+                c % 3 == 0 ? 0 : static_cast<int64_t>(c * 37 % 200) * kMB;
+            GreedyGrouper grouper(gen.dag, registry, feedback,
+                                  contextWith(workers, cap, quota),
+                                  Rng(seed + static_cast<uint64_t>(c)));
+            const Placement p = grouper.run(1);
+            checkPlacementInvariants(gen.dag, p, workers, repro);
+
+            // Quota invariant (Eq. 2): localized bytes never exceed the
+            // budget; with quota 0 nothing gets StorageType MEM.
+            EXPECT_GE(grouper.memConsumed(), 0) << repro;
+            EXPECT_LE(grouper.memConsumed(), quota) << repro;
+            if (quota == 0) {
+                for (size_t i = 0; i < p.storage_mem.size(); ++i)
+                    EXPECT_FALSE(p.storage_mem[i]) << repro;
+            }
+        }
+    }
+}
+
+/** Disconnected shapes: two generated components glued into one Dag
+ *  (unrelated flows submitted as a single graph). Placement invariants
+ *  must hold and no phantom cross-component edge may appear. */
+TEST_P(GeneratedPartitionFuzz, DisconnectedUnionsPlaceEveryComponent)
+{
+    const uint64_t seed = GetParam();
+    workflow::GenSpec left, right;
+    left.regime = workflow::Regime::Chain;
+    left.seed = seed;
+    left.nodes = 1 + static_cast<int>(seed % 6);  // down to a lone node
+    right.regime = workflow::Regime::Diamond;
+    right.seed = seed + 1;
+    right.nodes = 5 + static_cast<int>(seed % 9);
+    const auto a = workflow::generate(left);
+    const auto b = workflow::generate(right);
+    ASSERT_TRUE(a.ok()) << a.error;
+    ASSERT_TRUE(b.ok()) << b.error;
+
+    Dag dag("union");
+    cluster::FunctionRegistry registry;
+    const auto graft = [&](const workflow::GeneratedWorkflow& gen,
+                           const std::string& prefix) {
+        std::vector<NodeId> map;
+        for (const auto& node : gen.dag.nodes()) {
+            workflow::DagNode copy = node;
+            copy.name = prefix + copy.name;
+            map.push_back(dag.addNode(copy));
+        }
+        for (const auto& edge : gen.dag.edges()) {
+            dag.addEdge(map[static_cast<size_t>(edge.from)],
+                        map[static_cast<size_t>(edge.to)],
+                        edge.dataBytes(), edge.weight);
+        }
+        for (const auto& f : gen.functions) {
+            if (!registry.contains(f.name))
+                registry.add(f);
+        }
+    };
+    graft(a, "l_");
+    graft(b, "r_");
+
+    const std::string repro = strFormat(
+        "union of chain seed %llu and diamond seed %llu",
+        static_cast<unsigned long long>(left.seed),
+        static_cast<unsigned long long>(right.seed));
+    const int workers = 2 + static_cast<int>(seed % 5);
+    checkPlacementInvariants(dag, hashPartition(dag, workers, 0), workers,
+                             repro);
+
+    RuntimeFeedback feedback;
+    GreedyGrouper grouper(dag, registry, feedback,
+                          contextWith(workers, 8, 256 * kMB), Rng(seed));
+    const Placement p = grouper.run(1);
+    checkPlacementInvariants(dag, p, workers, repro);
+    // No group may mix the components: there is no path between them,
+    // so no critical-path edge ever crosses, and merges are edge-driven.
+    for (const auto& group : p.groups) {
+        bool has_a = false, has_b = false;
+        for (const NodeId id : group) {
+            const std::string& name = dag.node(id).name;
+            (name.rfind("l_", 0) == 0 ? has_a : has_b) = true;
+        }
+        EXPECT_FALSE(has_a && has_b) << repro;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedPartitionFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Pinned fixtures: corners the fuzz grid found worth keeping explicit.
+// Each is the minimized (regime, seed, nodes, knobs) tuple — regenerate
+// with the faasflow_gen line in the comment.
+
+/** faasflow_gen --regime montage --seed 3 --nodes 1: the smallest
+ *  montage quantum (p=2, 12 nodes) on a single worker of capacity 1 —
+ *  the grouper must still place everything with zero merges possible
+ *  beyond capacity. */
+TEST(GeneratedPartitionRegression, MontageQuantumOnSaturatedWorker)
+{
+    workflow::GenSpec spec;
+    spec.regime = workflow::Regime::Montage;
+    spec.seed = 3;
+    spec.nodes = 1;
+    const auto gen = workflow::generate(spec);
+    ASSERT_TRUE(gen.ok()) << gen.error;
+    ASSERT_EQ(gen.dag.nodeCount(), 12u);
+
+    cluster::FunctionRegistry registry;
+    for (const auto& f : gen.functions)
+        registry.add(f);
+    RuntimeFeedback feedback;
+    GreedyGrouper grouper(gen.dag, registry, feedback,
+                          contextWith(1, 1, 64 * kMB), Rng(3));
+    const Placement p = grouper.run(1);
+    checkPlacementInvariants(gen.dag, p, 1, "montage quantum");
+}
+
+/** faasflow_gen --regime fanout --seed 11 --nodes 3: the minimum legal
+ *  fan-out (source, one worker task, sink) with quota 0 — the merge
+ *  chain must not localize a single byte. */
+TEST(GeneratedPartitionRegression, MinimumFanOutWithZeroQuota)
+{
+    workflow::GenSpec spec;
+    spec.regime = workflow::Regime::FanOut;
+    spec.seed = 11;
+    spec.nodes = 3;
+    const auto gen = workflow::generate(spec);
+    ASSERT_TRUE(gen.ok()) << gen.error;
+
+    cluster::FunctionRegistry registry;
+    for (const auto& f : gen.functions)
+        registry.add(f);
+    RuntimeFeedback feedback;
+    GreedyGrouper grouper(gen.dag, registry, feedback,
+                          contextWith(4, 16, 0), Rng(11));
+    const Placement p = grouper.run(1);
+    checkPlacementInvariants(gen.dag, p, 4, "min fanout, zero quota");
+    EXPECT_EQ(grouper.memConsumed(), 0);
+    for (size_t i = 0; i < p.storage_mem.size(); ++i)
+        EXPECT_FALSE(p.storage_mem[i]);
 }
 
 }  // namespace

@@ -136,7 +136,7 @@ main(int argc, char** argv)
                     "comma-separated section-name globs (* and ?)");
     flags.addString("suite", "",
                     "restrict to one suite: figures|tables|ablation|load|"
-                    "perf");
+                    "perf|workloads");
     flags.addBool("smoke", false,
                   "CI-sized workloads (tier recorded in the report; not "
                   "comparable with full runs)");
